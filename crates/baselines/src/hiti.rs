@@ -1,0 +1,330 @@
+//! HiTi — hierarchical topographical index (Jung & Pramanik; paper §2.1).
+//!
+//! The network is partitioned by a grid; subgraphs are recursively grouped
+//! (2×2 here) into higher-level subgraphs, and for each subgraph at each
+//! level the shortest paths among its border nodes are precomputed and
+//! stored. The paper's point (§3.2 and Table 1) is that the accumulated
+//! super-edges make the index several times larger than the network, so a
+//! broadcast client would have to receive an enormous cycle and hold it in
+//! a heap it does not have: HiTi and SPQ are excluded from the per-query
+//! experiments for exactly that reason.
+//!
+//! This module reproduces that verdict: it builds the full hierarchy (for
+//! the size and precompute-time experiments) and provides an exact local
+//! query over the level-0 contraction to validate the construction.
+
+use spair_partition::{GridPartition, Partitioning, RegionId};
+use spair_roadnet::{Distance, MinHeap, NodeId, RoadNetwork};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// One precomputed border-pair shortest path (a super-edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperEdge {
+    /// Entry border node.
+    pub from: NodeId,
+    /// Exit border node.
+    pub to: NodeId,
+    /// Subgraph-restricted shortest distance.
+    pub cost: Distance,
+    /// Interior nodes of the materialized path view, in travel order
+    /// (excludes both endpoints). HiTi/HEPV store the paths, not just the
+    /// costs — that is what makes the index several times the network in
+    /// Table 1.
+    pub via: Vec<NodeId>,
+}
+
+impl SuperEdge {
+    /// Hops of the materialized path (`via.len() + 1`).
+    pub fn hops(&self) -> u32 {
+        self.via.len() as u32 + 1
+    }
+}
+
+/// One level of the HiTi hierarchy.
+#[derive(Debug, Clone)]
+pub struct HiTiLevel {
+    /// Number of cells per side at this level.
+    pub cells_per_side: usize,
+    /// Super-edges of every subgraph at this level.
+    pub super_edges: Vec<SuperEdge>,
+}
+
+/// The full HiTi index.
+#[derive(Debug, Clone)]
+pub struct HiTiIndex {
+    /// Levels, finest first.
+    pub levels: Vec<HiTiLevel>,
+    /// Cell assignment of every node at the base level.
+    base_cell: Vec<RegionId>,
+    base_side: usize,
+    /// Broadcastable geometry of the base grid.
+    locator: spair_partition::GridLocator,
+    /// Build wall-clock (Table 3 context).
+    pub precompute_secs: f64,
+}
+
+impl HiTiIndex {
+    /// Builds the hierarchy over a `side × side` base grid with
+    /// `num_levels` levels (side halves per level; side must be a power
+    /// of two and `>= 2^(num_levels-1)`).
+    pub fn build(g: &RoadNetwork, side: usize, num_levels: usize) -> Self {
+        assert!(side.is_power_of_two(), "grid side must be a power of two");
+        assert!(num_levels >= 1 && side >> (num_levels - 1) >= 1);
+        let start = Instant::now();
+        let base = GridPartition::build(g, side, side);
+        let base_cell: Vec<RegionId> = g.node_ids().map(|v| base.region_of(v)).collect();
+
+        let mut levels = Vec::with_capacity(num_levels);
+        for level in 0..num_levels {
+            let cells = side >> level;
+            // Group id of a node at this level.
+            let group_of = |v: NodeId| -> usize {
+                let c = base_cell[v as usize] as usize;
+                let (x, y) = (c % side, c / side);
+                (y >> level) * cells + (x >> level)
+            };
+            // Collect each group's nodes.
+            let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+            for v in g.node_ids() {
+                groups.entry(group_of(v)).or_default().push(v);
+            }
+            let mut super_edges = Vec::new();
+            for (_, nodes) in groups {
+                let inside: HashSet<NodeId> = nodes.iter().copied().collect();
+                let borders: Vec<NodeId> = nodes
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        g.out_edges(v).any(|(u, _)| !inside.contains(&u))
+                            || g.in_edges(v).any(|(u, _)| !inside.contains(&u))
+                    })
+                    .collect();
+                let border_set: HashSet<NodeId> = borders.iter().copied().collect();
+                for &b in &borders {
+                    for (t, d, via) in restricted_dijkstra(g, b, &inside) {
+                        if t != b && border_set.contains(&t) {
+                            super_edges.push(SuperEdge {
+                                from: b,
+                                to: t,
+                                cost: d,
+                                via,
+                            });
+                        }
+                    }
+                }
+            }
+            levels.push(HiTiLevel {
+                cells_per_side: cells,
+                super_edges,
+            });
+        }
+
+        Self {
+            levels,
+            base_cell,
+            base_side: side,
+            locator: base.locator(),
+            precompute_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Base grid side (cells per axis at level 0).
+    pub fn base_side(&self) -> usize {
+        self.base_side
+    }
+
+    /// Base-level cell of a node.
+    pub fn base_cell_of(&self, v: NodeId) -> RegionId {
+        self.base_cell[v as usize]
+    }
+
+    /// Broadcastable base-grid geometry.
+    pub fn locator(&self) -> spair_partition::GridLocator {
+        self.locator
+    }
+
+    /// Group index of base cell `cell` at `level` (0 = the cell itself).
+    pub fn group_of_cell(&self, cell: RegionId, level: usize) -> usize {
+        let (x, y) = (cell as usize % self.base_side, cell as usize / self.base_side);
+        let cells = self.base_side >> level;
+        (y >> level) * cells + (x >> level)
+    }
+
+    /// Total index size in bytes: 12 per super-edge (two ids + cost) plus
+    /// 4 bytes per interior hop of the materialized path view.
+    pub fn index_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| l.super_edges.iter())
+            .map(|se| 12 + 4 * se.via.len())
+            .sum()
+    }
+
+    /// Index size in broadcast packets.
+    pub fn index_packets(&self) -> usize {
+        self.index_bytes()
+            .div_ceil(spair_broadcast::packet::PAYLOAD_CAPACITY)
+    }
+
+    /// Exact point-to-point query over the level-0 contraction: the cells
+    /// of `s` and `t` stay raw, every other cell contributes only its
+    /// super-edges, plus all cross-cell edges. Validates the construction.
+    pub fn query(&self, g: &RoadNetwork, s: NodeId, t: NodeId) -> Option<Distance> {
+        let cs = self.base_cell[s as usize];
+        let ct = self.base_cell[t as usize];
+        // Adjacency of G': super-edges of non-terminal cells + raw edges
+        // of terminal cells + all cross-cell edges.
+        let mut adj: HashMap<NodeId, Vec<(NodeId, Distance)>> = HashMap::new();
+        for se in &self.levels[0].super_edges {
+            let c = self.base_cell[se.from as usize];
+            if c != cs && c != ct {
+                adj.entry(se.from).or_default().push((se.to, se.cost));
+            }
+        }
+        for v in g.node_ids() {
+            let cv = self.base_cell[v as usize];
+            for (u, w) in g.out_edges(v) {
+                let cu = self.base_cell[u as usize];
+                if cu != cv || cv == cs || cv == ct {
+                    adj.entry(v).or_default().push((u, w as Distance));
+                }
+            }
+        }
+        // Dijkstra over G'.
+        let mut dist: HashMap<NodeId, Distance> = HashMap::new();
+        let mut heap = MinHeap::new();
+        dist.insert(s, 0);
+        heap.push(0, s);
+        while let Some(e) = heap.pop() {
+            let v = e.item;
+            if dist.get(&v) != Some(&e.key) {
+                continue;
+            }
+            if v == t {
+                return Some(e.key);
+            }
+            for &(u, c) in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+                let cand = e.key + c;
+                if dist.get(&u).is_none_or(|&d| cand < d) {
+                    dist.insert(u, cand);
+                    heap.push(cand, u);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Dijkstra restricted to `inside`, returning all reached
+/// `(node, dist, interior path nodes)`.
+fn restricted_dijkstra(
+    g: &RoadNetwork,
+    source: NodeId,
+    inside: &HashSet<NodeId>,
+) -> Vec<(NodeId, Distance, Vec<NodeId>)> {
+    let mut dist: HashMap<NodeId, Distance> = HashMap::new();
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut heap = MinHeap::new();
+    dist.insert(source, 0);
+    heap.push(0, source);
+    while let Some(e) = heap.pop() {
+        let v = e.item;
+        if dist.get(&v) != Some(&e.key) {
+            continue;
+        }
+        for (u, w) in g.out_edges(v) {
+            if !inside.contains(&u) {
+                continue;
+            }
+            let cand = e.key + w as Distance;
+            if dist.get(&u).is_none_or(|&d| cand < d) {
+                dist.insert(u, cand);
+                parent.insert(u, v);
+                heap.push(cand, u);
+            }
+        }
+    }
+    dist.into_iter()
+        .map(|(v, d)| {
+            // Interior nodes by walking parents back (excludes endpoints).
+            let mut via = Vec::new();
+            let mut cur = v;
+            while let Some(&p) = parent.get(&cur) {
+                if p == source {
+                    break;
+                }
+                via.push(p);
+                cur = p;
+            }
+            via.reverse();
+            (v, d, via)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spair_roadnet::dijkstra_distance;
+    use spair_roadnet::generators::small_grid;
+
+    #[test]
+    fn query_is_exact() {
+        let g = small_grid(10, 10, 3);
+        let idx = HiTiIndex::build(&g, 4, 2);
+        for &(s, t) in &[(0u32, 99u32), (12, 87), (50, 51), (3, 3)] {
+            assert_eq!(
+                idx.query(&g, s, t),
+                dijkstra_distance(&g, s, t),
+                "{s}->{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_levels_shrink() {
+        let g = small_grid(8, 8, 1);
+        let idx = HiTiIndex::build(&g, 4, 3);
+        assert_eq!(idx.levels.len(), 3);
+        assert_eq!(idx.levels[0].cells_per_side, 4);
+        assert_eq!(idx.levels[1].cells_per_side, 2);
+        assert_eq!(idx.levels[2].cells_per_side, 1);
+        // The coarsest level is one all-covering subgraph: no borders, no
+        // super-edges.
+        assert!(idx.levels[2].super_edges.is_empty());
+    }
+
+    #[test]
+    fn index_is_larger_than_the_network_data() {
+        // The paper's Table 1 headline: HiTi's precomputed distances
+        // dwarf the raw network.
+        let g = small_grid(12, 12, 2);
+        let idx = HiTiIndex::build(&g, 8, 3);
+        let network_bytes = g.num_edges() * 8 + g.num_nodes() * 12;
+        assert!(
+            idx.index_bytes() > network_bytes,
+            "index {} vs network {}",
+            idx.index_bytes(),
+            network_bytes
+        );
+    }
+
+    #[test]
+    fn super_edge_costs_are_subgraph_restricted_shortest() {
+        let g = small_grid(6, 6, 4);
+        let idx = HiTiIndex::build(&g, 2, 1);
+        for se in &idx.levels[0].super_edges {
+            // Cost can never beat the unrestricted shortest distance.
+            let free = dijkstra_distance(&g, se.from, se.to).unwrap();
+            assert!(se.cost >= free);
+        }
+    }
+
+    #[test]
+    fn precompute_time_recorded() {
+        let g = small_grid(5, 5, 0);
+        let idx = HiTiIndex::build(&g, 2, 1);
+        assert!(idx.precompute_secs >= 0.0);
+    }
+}

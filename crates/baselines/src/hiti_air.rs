@@ -1,0 +1,793 @@
+//! HiTi on the air: broadcast program and client (paper §3.2).
+//!
+//! The paper singles HiTi out as "the only approach that could effectively
+//! achieve selective tuning, since it uses an index structure to determine
+//! the needed regions of the network in advance. For this pruning of the
+//! search space to be possible, however, the client should receive the
+//! entire index" — and the index, holding materialized border-pair path
+//! views at every hierarchy level, is several times larger than the
+//! network itself (Table 1), which is what disqualifies HiTi on real
+//! devices (Table 2).
+//!
+//! This module makes that verdict *measurable* instead of asserted: it
+//! assembles a real HiTi broadcast cycle and implements the full client so
+//! the experiments can report its genuine tuning time, memory footprint
+//! and access latency next to the other methods.
+//!
+//! Cycle layout:
+//!
+//! ```text
+//! [ global index: geometry, per-cell offsets, super-edge catalog
+//!   (all levels, with path views), cross-cell edges ]
+//! [ cell 0 raw data ][ cell 1 raw data ] ... [ cell k²-1 raw data ]
+//! ```
+//!
+//! Client protocol: receive the entire index (reliably, §6.2 — a lost
+//! index packet is re-received next cycle since HiTi's index is not
+//! replicated), locate the source/target cells from the grid geometry,
+//! selectively tune in to just those two cells' raw data, then run
+//! Dijkstra over the *hierarchical* contraction `G'`: the coarsest
+//! disjoint groups that avoid both terminal cells contribute only their
+//! super-edges, the terminal cells contribute raw adjacency, and
+//! cross-cell edges stitch everything together. Super-edges on the answer
+//! are expanded through their materialized path views.
+
+use crate::hiti::HiTiIndex;
+use bytes::Bytes;
+use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_broadcast::cycle::{CycleBuilder, SegmentKind};
+use spair_broadcast::packet::{PacketKind, PAYLOAD_CAPACITY};
+use spair_broadcast::{
+    BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats, Received,
+};
+use spair_core::client_common::{find_next_index, receive_segment_reliable, MAX_RETRY_CYCLES};
+use spair_core::netcodec::{decode_payload, encode_nodes, ReceivedGraph};
+use spair_core::query::{decoded_node_bytes, AirClient, Query, QueryError, QueryOutcome};
+use spair_partition::{GridLocator, RegionId};
+use spair_roadnet::{Distance, MinHeap, NodeId, RoadNetwork, Weight};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+const MAGIC: u8 = 0xA7;
+const HEADER_LEN: usize = 5;
+
+const TAG_GEOM: u8 = 1;
+const TAG_CELL: u8 = 2;
+const TAG_SE: u8 = 3;
+const TAG_SEPATH: u8 = 4;
+const TAG_BEDGE: u8 = 5;
+
+/// Interior path nodes carried per SEPATH record.
+const PATH_CHUNK: usize = 24;
+
+/// A fully assembled HiTi broadcast program.
+#[derive(Debug)]
+pub struct HiTiProgram {
+    cycle: BroadcastCycle,
+    index_packets: usize,
+}
+
+impl HiTiProgram {
+    /// The broadcast cycle.
+    pub fn cycle(&self) -> &BroadcastCycle {
+        &self.cycle
+    }
+
+    /// Packets of the global index (geometry + offsets + super-edge
+    /// catalog + cross-cell edges).
+    pub fn index_packets(&self) -> usize {
+        self.index_packets
+    }
+}
+
+/// HiTi server: serializes the hierarchy and the cell-ordered network.
+pub struct HiTiAirServer<'a> {
+    g: &'a RoadNetwork,
+    index: &'a HiTiIndex,
+}
+
+impl<'a> HiTiAirServer<'a> {
+    /// Binds the server to the network and a built hierarchy.
+    pub fn new(g: &'a RoadNetwork, index: &'a HiTiIndex) -> Self {
+        Self { g, index }
+    }
+
+    /// Index payloads given the per-cell offset table (fixed width, so a
+    /// placeholder pass and the real pass produce equal packet counts).
+    fn encode_index(&self, cells: &[(u32, u16)]) -> Vec<Bytes> {
+        let side = self.index.base_side();
+        let loc = self.index.locator();
+        let body = |total: u16| -> Vec<Bytes> {
+            let mut w = RecordWriter::with_capacity(PAYLOAD_CAPACITY - HEADER_LEN);
+            let mut rec = RecordBuf::new();
+
+            rec.put_u8(TAG_GEOM)
+                .put_f64(loc.min.x)
+                .put_f64(loc.min.y)
+                .put_f64(loc.cell_w)
+                .put_f64(loc.cell_h)
+                .put_u16(side as u16)
+                .put_u8(self.index.levels.len() as u8);
+            w.push_record(rec.as_slice());
+
+            for (cell, &(offset, packets)) in cells.iter().enumerate() {
+                rec.clear();
+                rec.put_u8(TAG_CELL)
+                    .put_u16(cell as u16)
+                    .put_u32(offset)
+                    .put_u16(packets);
+                w.push_record(rec.as_slice());
+            }
+
+            // Super-edge catalog across all levels, with path views.
+            let mut id = 0u32;
+            for (level, l) in self.index.levels.iter().enumerate() {
+                for se in &l.super_edges {
+                    let cell = self.index.base_cell_of(se.from);
+                    let group = self.index.group_of_cell(cell, level) as u16;
+                    rec.clear();
+                    rec.put_u8(TAG_SE)
+                        .put_u32(id)
+                        .put_u8(level as u8)
+                        .put_u16(group)
+                        .put_u32(se.from)
+                        .put_u32(se.to)
+                        .put_u64(se.cost)
+                        .put_u16(se.via.len() as u16);
+                    w.push_record(rec.as_slice());
+                    for (ci, chunk) in se.via.chunks(PATH_CHUNK).enumerate() {
+                        rec.clear();
+                        rec.put_u8(TAG_SEPATH)
+                            .put_u32(id)
+                            .put_u16((ci * PATH_CHUNK) as u16)
+                            .put_u8(chunk.len() as u8);
+                        for &v in chunk {
+                            rec.put_u32(v);
+                        }
+                        w.push_record(rec.as_slice());
+                    }
+                    id += 1;
+                }
+            }
+
+            // Cross-cell (border) edges: the stitching between subgraphs.
+            for v in self.g.node_ids() {
+                let cv = self.index.base_cell_of(v);
+                for (u, wt) in self.g.out_edges(v) {
+                    if self.index.base_cell_of(u) != cv {
+                        rec.clear();
+                        rec.put_u8(TAG_BEDGE).put_u32(v).put_u32(u).put_u32(wt);
+                        w.push_record(rec.as_slice());
+                    }
+                }
+            }
+
+            w.finish()
+                .into_iter()
+                .enumerate()
+                .map(|(seq, body)| {
+                    let mut h = RecordBuf::new();
+                    h.put_u8(MAGIC).put_u16(seq as u16).put_u16(total);
+                    let mut v = h.as_slice().to_vec();
+                    v.extend_from_slice(&body);
+                    Bytes::from(v)
+                })
+                .collect()
+        };
+        let count = body(0).len() as u16;
+        body(count)
+    }
+
+    /// Assembles the broadcast program.
+    pub fn build_program(&self) -> HiTiProgram {
+        let side = self.index.base_side();
+        let num_cells = side * side;
+        let mut by_cell: Vec<Vec<NodeId>> = vec![Vec::new(); num_cells];
+        for v in self.g.node_ids() {
+            by_cell[self.index.base_cell_of(v) as usize].push(v);
+        }
+        let cell_payloads: Vec<Vec<Bytes>> = by_cell
+            .iter()
+            .map(|nodes| encode_nodes(self.g, nodes))
+            .collect();
+
+        // Pass 1: placeholder offsets to learn the index extent.
+        let placeholder = vec![(0u32, 0u16); num_cells];
+        let index_packets = self.encode_index(&placeholder).len();
+
+        let mut offset = index_packets;
+        let cells: Vec<(u32, u16)> = cell_payloads
+            .iter()
+            .map(|p| {
+                let entry = (offset as u32, p.len() as u16);
+                offset += p.len();
+                entry
+            })
+            .collect();
+
+        // Pass 2: real offsets.
+        let index_payloads = self.encode_index(&cells);
+        assert_eq!(index_payloads.len(), index_packets, "fixed-width encoding");
+
+        let mut b = CycleBuilder::new();
+        b.push_segment(SegmentKind::GlobalIndex, PacketKind::Index, index_payloads);
+        for (cell, payloads) in cell_payloads.into_iter().enumerate() {
+            b.push_segment(
+                SegmentKind::RegionData(cell as u16),
+                PacketKind::Data,
+                payloads,
+            );
+        }
+        HiTiProgram {
+            cycle: b.finish(),
+            index_packets,
+        }
+    }
+}
+
+/// One decoded super-edge of the catalog.
+#[derive(Debug, Clone)]
+struct DecodedSe {
+    level: u8,
+    group: u16,
+    from: NodeId,
+    to: NodeId,
+    cost: Distance,
+    via: Vec<NodeId>,
+}
+
+/// The decoded global index.
+#[derive(Debug, Default)]
+struct DecodedIndex {
+    locator: Option<GridLocator>,
+    levels: usize,
+    cells: HashMap<u16, (u32, u16)>,
+    ses: HashMap<u32, DecodedSe>,
+    bedges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl DecodedIndex {
+    /// Decoded size charged to the client's memory meter.
+    fn retained_bytes(&self) -> usize {
+        let se_bytes: usize = self.ses.values().map(|se| 24 + 4 * se.via.len()).sum();
+        48 + self.cells.len() * 8 + se_bytes + self.bedges.len() * 12
+    }
+
+    fn ingest(&mut self, payload: &[u8]) -> bool {
+        let mut r = PayloadReader::new(payload);
+        let Some(MAGIC) = r.read_u8() else {
+            return false;
+        };
+        let (Some(_seq), Some(_total)) = (r.read_u16(), r.read_u16()) else {
+            return false;
+        };
+        while let Some(tag) = r.read_u8() {
+            match tag {
+                TAG_GEOM => {
+                    let (Some(minx), Some(miny), Some(cw), Some(chh)) =
+                        (r.read_f64(), r.read_f64(), r.read_f64(), r.read_f64())
+                    else {
+                        return false;
+                    };
+                    let (Some(side), Some(levels)) = (r.read_u16(), r.read_u8()) else {
+                        return false;
+                    };
+                    self.locator = Some(GridLocator {
+                        min: spair_roadnet::Point::new(minx, miny),
+                        cell_w: cw,
+                        cell_h: chh,
+                        cols: side as usize,
+                        rows: side as usize,
+                    });
+                    self.levels = levels as usize;
+                }
+                TAG_CELL => {
+                    let (Some(cell), Some(off), Some(len)) =
+                        (r.read_u16(), r.read_u32(), r.read_u16())
+                    else {
+                        return false;
+                    };
+                    self.cells.insert(cell, (off, len));
+                }
+                TAG_SE => {
+                    let (Some(id), Some(level), Some(group)) =
+                        (r.read_u32(), r.read_u8(), r.read_u16())
+                    else {
+                        return false;
+                    };
+                    let (Some(from), Some(to), Some(cost), Some(via_total)) =
+                        (r.read_u32(), r.read_u32(), r.read_u64(), r.read_u16())
+                    else {
+                        return false;
+                    };
+                    let via = match self.ses.entry(id) {
+                        Entry::Occupied(e) => {
+                            // SEPATH records for this id arrived first;
+                            // keep the path, fix the metadata.
+                            e.remove().via
+                        }
+                        Entry::Vacant(_) => vec![NodeId::MAX; via_total as usize],
+                    };
+                    self.ses.insert(
+                        id,
+                        DecodedSe {
+                            level,
+                            group,
+                            from,
+                            to,
+                            cost,
+                            via,
+                        },
+                    );
+                }
+                TAG_SEPATH => {
+                    let (Some(id), Some(start), Some(count)) =
+                        (r.read_u32(), r.read_u16(), r.read_u8())
+                    else {
+                        return false;
+                    };
+                    let se = self.ses.entry(id).or_insert_with(|| DecodedSe {
+                        level: 0,
+                        group: 0,
+                        from: NodeId::MAX,
+                        to: NodeId::MAX,
+                        cost: 0,
+                        via: Vec::new(),
+                    });
+                    for k in 0..count as usize {
+                        let Some(v) = r.read_u32() else { return false };
+                        let idx = start as usize + k;
+                        if se.via.len() <= idx {
+                            se.via.resize(idx + 1, NodeId::MAX);
+                        }
+                        se.via[idx] = v;
+                    }
+                }
+                TAG_BEDGE => {
+                    let (Some(v), Some(u), Some(wt)) = (r.read_u32(), r.read_u32(), r.read_u32())
+                    else {
+                        return false;
+                    };
+                    self.bedges.push((v, u, wt));
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Coarsest disjoint groups avoiding both terminal cells: descend the
+/// 2×2 group hierarchy from the top level, splitting only groups that
+/// contain `cs` or `ct`. Returns `(level, group)` pairs.
+fn select_groups(cs: RegionId, ct: RegionId, side: usize, levels: usize) -> Vec<(u8, u16)> {
+    let group_of = |cell: RegionId, level: usize| -> usize {
+        let (x, y) = (cell as usize % side, cell as usize / side);
+        let cells = side >> level;
+        (y >> level) * cells + (x >> level)
+    };
+    let top = levels - 1;
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, usize)> = {
+        let cells = side >> top;
+        (0..cells * cells).map(|gr| (top, gr)).collect()
+    };
+    while let Some((level, gr)) = stack.pop() {
+        let contains_terminal = group_of(cs, level) == gr || group_of(ct, level) == gr;
+        if !contains_terminal {
+            out.push((level as u8, gr as u16));
+        } else if level > 0 {
+            // Split into the four children one level finer.
+            let cells = side >> level;
+            let (gx, gy) = (gr % cells, gr / cells);
+            let fcells = side >> (level - 1);
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    stack.push((level - 1, (2 * gy + dy) * fcells + (2 * gx + dx)));
+                }
+            }
+        }
+        // level == 0 and terminal: the cell stays raw.
+    }
+    out
+}
+
+/// The HiTi client.
+#[derive(Debug, Clone, Default)]
+pub struct HiTiAirClient;
+
+impl HiTiAirClient {
+    /// New client.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Receives the entire global index reliably starting at `start`. The
+    /// copy length is learned from the first intact packet header (each
+    /// packet carries `seq`/`total`); lost packets are re-received in
+    /// later cycles (§6.2 — HiTi's index is not replicated, so a loss in
+    /// it costs a cycle-long wait, which Figure 14 would show).
+    fn receive_index(
+        &self,
+        ch: &mut BroadcastChannel<'_>,
+        start: usize,
+    ) -> Result<DecodedIndex, QueryError> {
+        let len = ch.cycle_len();
+        let mut dec = DecodedIndex::default();
+        let mut total: Option<usize> = None;
+        let mut received: Vec<bool> = Vec::new();
+        for _round in 0..MAX_RETRY_CYCLES {
+            ch.sleep_to_offset(start);
+            let mut pos = 0usize;
+            loop {
+                if let Some(t) = total {
+                    if pos >= t {
+                        break;
+                    }
+                }
+                match ch.receive() {
+                    Received::Packet(p) => {
+                        if p.kind() != PacketKind::Index {
+                            // Overran the copy without learning its
+                            // length (only possible when `total` is still
+                            // unknown, i.e. every index packet was lost).
+                            break;
+                        }
+                        let mut r = PayloadReader::new(p.payload());
+                        if r.read_u8() != Some(MAGIC) {
+                            return Err(QueryError::Aborted("channel does not carry a HiTi index"));
+                        }
+                        let (Some(seq), Some(tot)) = (r.read_u16(), r.read_u16()) else {
+                            return Err(QueryError::Aborted("malformed HiTi index header"));
+                        };
+                        let tot = tot as usize;
+                        total = Some(tot);
+                        received.resize(tot.max(received.len()), false);
+                        if !received[seq as usize] {
+                            if !dec.ingest(p.payload()) {
+                                return Err(QueryError::Aborted("undecodable HiTi index packet"));
+                            }
+                            received[seq as usize] = true;
+                        }
+                        pos = seq as usize + 1;
+                    }
+                    Received::Lost => pos += 1,
+                }
+            }
+            let Some(t) = total else {
+                continue; // nothing intact this cycle; try the next one
+            };
+            // Targeted retries for the holes.
+            let mut missing: Vec<usize> = (0..t).filter(|&i| !received[i]).collect();
+            let mut rounds = 0;
+            while !missing.is_empty() {
+                rounds += 1;
+                if rounds > MAX_RETRY_CYCLES {
+                    return Err(QueryError::Aborted("HiTi index reception never completed"));
+                }
+                let mut still = Vec::new();
+                for i in missing {
+                    ch.sleep_to_offset((start + i) % len);
+                    match ch.receive() {
+                        Received::Packet(p) => {
+                            if !dec.ingest(p.payload()) {
+                                return Err(QueryError::Aborted("undecodable HiTi index packet"));
+                            }
+                            received[i] = true;
+                        }
+                        Received::Lost => still.push(i),
+                    }
+                }
+                missing = still;
+            }
+            return Ok(dec);
+        }
+        Err(QueryError::Aborted("HiTi index reception never completed"))
+    }
+}
+
+impl AirClient for HiTiAirClient {
+    fn method_name(&self) -> &'static str {
+        "HiTi"
+    }
+
+    fn query(
+        &mut self,
+        ch: &mut BroadcastChannel<'_>,
+        q: &Query,
+    ) -> Result<QueryOutcome, QueryError> {
+        let mut mem = MemoryMeter::new();
+        let mut cpu = CpuMeter::new();
+        if q.source == q.target {
+            return Ok(QueryOutcome {
+                distance: 0,
+                path: vec![q.source],
+                stats: QueryStats::default(),
+            });
+        }
+
+        // 1. Entire index ("the client should receive the entire index").
+        let Some(start) = find_next_index(ch, 10_000) else {
+            return Err(QueryError::Aborted("no index on channel"));
+        };
+        let index = self.receive_index(ch, start)?;
+        mem.alloc(index.retained_bytes());
+        let Some(locator) = index.locator else {
+            return Err(QueryError::Aborted("HiTi index lacks geometry"));
+        };
+
+        // 2. Terminal cells and needed groups.
+        let cs = locator.locate(q.source_pt);
+        let ct = locator.locate(q.target_pt);
+        let side = locator.cols;
+        let selected = cpu.time(|| select_groups(cs, ct, side, index.levels.max(1)));
+
+        // 3. Selective tuning: only the two terminal cells' raw data.
+        let mut store = ReceivedGraph::new();
+        let mut cells_needed = vec![cs];
+        if ct != cs {
+            cells_needed.push(ct);
+        }
+        // Receive in broadcast order to stay within one pass.
+        cells_needed.sort_by_key(|&c| index.cells.get(&c).map(|&(off, _)| off).unwrap_or(0));
+        for cell in cells_needed {
+            let Some(&(off, len)) = index.cells.get(&cell) else {
+                return Err(QueryError::Aborted("cell offset missing from index"));
+            };
+            let payloads =
+                receive_segment_reliable(ch, off as usize, len as usize, MAX_RETRY_CYCLES)
+                    .ok_or(QueryError::Aborted("cell data reception never completed"))?;
+            for payload in &payloads {
+                if let Some(records) = decode_payload(payload) {
+                    for rec in records {
+                        mem.alloc(store.ingest(rec));
+                    }
+                }
+            }
+        }
+
+        // 4. Dijkstra over the hierarchical contraction G'.
+        let (res, settled) = cpu.time(|| {
+            hierarchical_search(&index, &selected, &store, q.source, q.target)
+        });
+        mem.alloc(settled * decoded_node_bytes(0));
+        let stats = QueryStats {
+            tuning_packets: ch.tuned(),
+            latency_packets: ch.elapsed(),
+            sleep_packets: ch.slept(),
+            peak_memory_bytes: mem.peak(),
+            cpu: cpu.total(),
+            settled_nodes: settled as u64,
+        };
+        match res {
+            Some((distance, path)) => Ok(QueryOutcome {
+                distance,
+                path,
+                stats,
+            }),
+            None => Err(QueryError::Unreachable),
+        }
+    }
+}
+
+/// Edge of the contraction: either a raw arc or a super-edge id to expand.
+#[derive(Debug, Clone, Copy)]
+enum GEdge {
+    Raw(NodeId, Distance),
+    Super(NodeId, Distance, u32),
+}
+
+/// Dijkstra over the hierarchical contraction, expanding super-edges on
+/// the returned path. Returns `(result, settled_count)`.
+fn hierarchical_search(
+    index: &DecodedIndex,
+    selected: &[(u8, u16)],
+    store: &ReceivedGraph,
+    s: NodeId,
+    t: NodeId,
+) -> (Option<(Distance, Vec<NodeId>)>, usize) {
+    let mut adj: HashMap<NodeId, Vec<GEdge>> = HashMap::new();
+    let selset: std::collections::HashSet<(u8, u16)> = selected.iter().copied().collect();
+    for (&id, se) in &index.ses {
+        if selset.contains(&(se.level, se.group)) {
+            adj.entry(se.from)
+                .or_default()
+                .push(GEdge::Super(se.to, se.cost, id));
+        }
+    }
+    for &(v, u, w) in &index.bedges {
+        adj.entry(v).or_default().push(GEdge::Raw(u, w as Distance));
+    }
+    for v in store.node_ids() {
+        for &(u, w) in store.out_edges(v) {
+            adj.entry(v).or_default().push(GEdge::Raw(u, w as Distance));
+        }
+    }
+
+    let mut dist: HashMap<NodeId, Distance> = HashMap::new();
+    let mut parent: HashMap<NodeId, (NodeId, Option<u32>)> = HashMap::new();
+    let mut heap = MinHeap::new();
+    dist.insert(s, 0);
+    heap.push(0, s);
+    let mut settled = 0usize;
+    while let Some(e) = heap.pop() {
+        let v = e.item;
+        if dist.get(&v) != Some(&e.key) {
+            continue;
+        }
+        settled += 1;
+        if v == t {
+            // Reconstruct, expanding super-edges through their views.
+            let mut path = vec![t];
+            let mut cur = t;
+            while cur != s {
+                let &(p, se) = parent.get(&cur).expect("settled nodes have parents");
+                if let Some(id) = se {
+                    let view = &index.ses[&id].via;
+                    for &x in view.iter().rev() {
+                        path.push(x);
+                    }
+                }
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return (Some((e.key, path)), settled);
+        }
+        for edge in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+            let (u, w, se) = match *edge {
+                GEdge::Raw(u, w) => (u, w, None),
+                GEdge::Super(u, w, id) => (u, w, Some(id)),
+            };
+            let cand = e.key + w;
+            if dist.get(&u).is_none_or(|&d| cand < d) {
+                dist.insert(u, cand);
+                parent.insert(u, (v, se));
+                heap.push(cand, u);
+            }
+        }
+    }
+    (None, settled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spair_broadcast::LossModel;
+    use spair_roadnet::dijkstra_distance;
+    use spair_roadnet::generators::small_grid;
+
+    fn setup(seed: u64, side: usize, levels: usize) -> (RoadNetwork, HiTiProgram) {
+        let g = small_grid(12, 12, seed);
+        let index = HiTiIndex::build(&g, side, levels);
+        let program = HiTiAirServer::new(&g, &index).build_program();
+        (g, program)
+    }
+
+    #[test]
+    fn matches_dijkstra_on_many_queries() {
+        let (g, program) = setup(11, 4, 3);
+        let mut client = HiTiAirClient::new();
+        for (i, &(s, t)) in [(0u32, 143u32), (5, 77), (130, 2), (60, 61), (143, 0)]
+            .iter()
+            .enumerate()
+        {
+            let mut ch = BroadcastChannel::tune_in(program.cycle(), i * 37, LossModel::Lossless);
+            let q = Query::for_nodes(&g, s, t);
+            let out = client.query(&mut ch, &q).unwrap();
+            assert_eq!(Some(out.distance), dijkstra_distance(&g, s, t), "{s}->{t}");
+            assert_eq!(out.path.first(), Some(&s));
+            assert_eq!(out.path.last(), Some(&t));
+        }
+    }
+
+    #[test]
+    fn expanded_paths_are_real_paths() {
+        let (g, program) = setup(3, 4, 2);
+        let mut client = HiTiAirClient::new();
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let q = Query::for_nodes(&g, 2, 141);
+        let out = client.query(&mut ch, &q).unwrap();
+        let mut acc: Distance = 0;
+        for w in out.path.windows(2) {
+            acc += g.weight_between(w[0], w[1]).expect("consecutive edge") as Distance;
+        }
+        assert_eq!(acc, out.distance);
+    }
+
+    #[test]
+    fn selective_tuning_beats_whole_cycle() {
+        let (g, program) = setup(7, 4, 3);
+        let mut client = HiTiAirClient::new();
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 0, 143)).unwrap();
+        // Index + two cells is less than the whole cycle.
+        assert!(
+            (out.stats.tuning_packets as usize) < program.cycle().len(),
+            "tuned {} of {}",
+            out.stats.tuning_packets,
+            program.cycle().len()
+        );
+        // But the entire index was received.
+        assert!(out.stats.tuning_packets as usize >= program.index_packets());
+    }
+
+    #[test]
+    fn memory_is_dominated_by_the_index() {
+        let (g, program) = setup(5, 8, 3);
+        let mut client = HiTiAirClient::new();
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 10, 100)).unwrap();
+        let network_bytes = g.num_edges() * 8 + g.num_nodes() * 12;
+        assert!(
+            out.stats.peak_memory_bytes > network_bytes,
+            "HiTi retained {} vs network {network_bytes}",
+            out.stats.peak_memory_bytes
+        );
+    }
+
+    #[test]
+    fn correct_under_packet_loss() {
+        let (g, program) = setup(13, 4, 2);
+        let mut client = HiTiAirClient::new();
+        let q = Query::for_nodes(&g, 3, 137);
+        for seed in 0..4 {
+            let mut ch = BroadcastChannel::tune_in(
+                program.cycle(),
+                41 * seed as usize,
+                LossModel::bernoulli(0.05, seed),
+            );
+            let out = client.query(&mut ch, &q).unwrap();
+            assert_eq!(Some(out.distance), dijkstra_distance(&g, 3, 137), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_tune_in_offset_works() {
+        let (g, program) = setup(9, 4, 2);
+        let mut client = HiTiAirClient::new();
+        let q = Query::for_nodes(&g, 20, 100);
+        let want = dijkstra_distance(&g, 20, 100);
+        let len = program.cycle().len();
+        for k in 0..8 {
+            let mut ch = BroadcastChannel::tune_in(program.cycle(), k * len / 8, LossModel::Lossless);
+            let out = client.query(&mut ch, &q).unwrap();
+            assert_eq!(Some(out.distance), want, "offset {}", k * len / 8);
+        }
+    }
+
+    #[test]
+    fn group_selection_is_disjoint_and_avoids_terminals() {
+        let side = 8usize;
+        let levels = 4usize;
+        let (cs, ct) = (3 as RegionId, 60 as RegionId);
+        let selected = select_groups(cs, ct, side, levels);
+        let group_of = |cell: usize, level: usize| {
+            let (x, y) = (cell % side, cell / side);
+            let cells = side >> level;
+            (y >> level) * cells + (x >> level)
+        };
+        // Every base cell except cs/ct is covered by exactly one group.
+        for cell in 0..side * side {
+            let covers = selected
+                .iter()
+                .filter(|&&(l, g)| group_of(cell, l as usize) == g as usize)
+                .count();
+            if cell == cs as usize || cell == ct as usize {
+                assert_eq!(covers, 0, "terminal cell {cell} must stay raw");
+            } else {
+                assert_eq!(covers, 1, "cell {cell} covered {covers} times");
+            }
+        }
+    }
+
+    #[test]
+    fn same_node_query_is_trivial() {
+        let (g, program) = setup(1, 4, 2);
+        let mut client = HiTiAirClient::new();
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 7, 7)).unwrap();
+        assert_eq!(out.distance, 0);
+        assert_eq!(out.path, vec![7]);
+    }
+}

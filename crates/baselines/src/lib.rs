@@ -1,0 +1,43 @@
+//! Broadcast adaptations of classical shortest-path methods (paper §2.1,
+//! §3.2) — the competitors EB and NR are evaluated against.
+//!
+//! * [`dj`] — Dijkstra on air: the shortest possible cycle (network data
+//!   only); the client listens to the *entire* cycle and searches locally.
+//! * [`arcflag`] — ArcFlag: per-edge region bit vectors restrict the
+//!   client's search, but the whole cycle (data + flags) must be received.
+//! * [`landmark`] — Landmark (ALT): per-node distance vectors to a few
+//!   anchor nodes provide A* lower bounds; again whole-cycle reception.
+//! * [`hiti`] — HiTi: hierarchical grids with precomputed border-pair
+//!   shortest paths. Its index is several times the network itself
+//!   (Table 1), which is exactly why the paper excludes it from the
+//!   per-query experiments: it cannot fit the 8 MB device heap. The
+//!   builder and a (local) exact query are implemented for the size and
+//!   applicability experiments.
+//! * [`spq`] — the shortest-path quadtree of Samet et al.: per-node
+//!   colored quadtrees over first-edge colors; also excluded from
+//!   per-query runs for its size.
+//!
+//! §3.2's verdict, reproduced by these implementations: none of the
+//! pre-computation methods can selectively tune (the next node to visit
+//! may already have been broadcast), so their clients fall back to
+//! whole-cycle reception, paying in tuning time and client memory. That
+//! failure mode is what motivates EB and NR.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arcflag;
+pub mod dj;
+pub mod hiti;
+pub mod hiti_air;
+pub mod landmark;
+pub mod spq;
+pub mod spq_air;
+
+pub use arcflag::{ArcFlagClient, ArcFlagProgram, ArcFlagServer};
+pub use dj::{DjClient, DjProgram, DjServer};
+pub use hiti::HiTiIndex;
+pub use hiti_air::{HiTiAirClient, HiTiAirServer, HiTiProgram};
+pub use landmark::{LandmarkClient, LandmarkProgram, LandmarkServer};
+pub use spq::SpqIndex;
+pub use spq_air::{SpqAirServer, SpqClient, SpqProgram};

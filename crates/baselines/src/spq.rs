@@ -1,0 +1,267 @@
+//! SPQ — the shortest-path quadtree of Samet, Sankaranarayanan & Alborzi
+//! (SIGMOD 2008; paper §2.1).
+//!
+//! For every node `v`, all other nodes are colored by the incident edge of
+//! `v` their shortest path leaves through; a region quadtree over the
+//! node coordinates coalesces same-colored areas. A query walks: look up
+//! `v_t`'s color in `v_s`'s quadtree, follow that edge, repeat from the
+//! next node until `v_t` is reached.
+//!
+//! As with HiTi, the paper keeps SPQ out of the per-query broadcast
+//! experiments: storing one quadtree per node multiplies the cycle length
+//! (Table 1: 52 337 packets versus Dijkstra's 14 019 on Germany) and the
+//! client would have to hold all trees on the path. Building is also the
+//! costliest of all methods (one full Dijkstra per node), so full-scale
+//! builds are reserved for `--full` experiment runs.
+
+use spair_roadnet::dijkstra::dijkstra_full;
+use spair_roadnet::{NodeId, Point, RoadNetwork};
+use std::time::Instant;
+
+/// Color = index of the first edge out of the root node (255 = none).
+pub type Color = u8;
+
+/// No-path marker.
+pub const NO_COLOR: Color = u8::MAX;
+
+/// A region quadtree over node coordinates with per-leaf colors.
+#[derive(Debug, Clone)]
+pub enum Quadtree {
+    /// All points below share one color.
+    Leaf(Color),
+    /// Four children (quadrant order: SW, SE, NW, NE).
+    Internal(Box<[Quadtree; 4]>),
+    /// Depth-capped mixed leaf: explicit `(point, color)` list.
+    Mixed(Vec<(Point, Color)>),
+}
+
+impl Quadtree {
+    /// Number of tree blocks (nodes), the size measure of the paper.
+    pub fn blocks(&self) -> usize {
+        match self {
+            Quadtree::Leaf(_) => 1,
+            Quadtree::Mixed(pts) => 1 + pts.len(),
+            Quadtree::Internal(ch) => 1 + ch.iter().map(Quadtree::blocks).sum::<usize>(),
+        }
+    }
+
+    /// Color lookup for an exact node coordinate.
+    pub fn color_at(&self, p: Point, bbox: (Point, Point)) -> Color {
+        match self {
+            Quadtree::Leaf(c) => *c,
+            Quadtree::Mixed(pts) => pts
+                .iter()
+                .find(|(q, _)| q.x == p.x && q.y == p.y)
+                .map(|(_, c)| *c)
+                .unwrap_or(NO_COLOR),
+            Quadtree::Internal(ch) => {
+                let (min, max) = bbox;
+                let mid = Point::new((min.x + max.x) / 2.0, (min.y + max.y) / 2.0);
+                let (qi, sub) = quadrant(p, min, mid, max);
+                ch[qi].color_at(p, sub)
+            }
+        }
+    }
+}
+
+fn quadrant(p: Point, min: Point, mid: Point, max: Point) -> (usize, (Point, Point)) {
+    let east = p.x >= mid.x;
+    let north = p.y >= mid.y;
+    let idx = usize::from(north) * 2 + usize::from(east);
+    let sub = (
+        Point::new(if east { mid.x } else { min.x }, if north { mid.y } else { min.y }),
+        Point::new(if east { max.x } else { mid.x }, if north { max.y } else { mid.y }),
+    );
+    (idx, sub)
+}
+
+const MAX_DEPTH: usize = 20;
+
+fn build_tree(points: &[(Point, Color)], bbox: (Point, Point), depth: usize) -> Quadtree {
+    if points.is_empty() {
+        return Quadtree::Leaf(NO_COLOR);
+    }
+    let first = points[0].1;
+    if points.iter().all(|&(_, c)| c == first) {
+        return Quadtree::Leaf(first);
+    }
+    if depth >= MAX_DEPTH {
+        return Quadtree::Mixed(points.to_vec());
+    }
+    let (min, max) = bbox;
+    let mid = Point::new((min.x + max.x) / 2.0, (min.y + max.y) / 2.0);
+    let mut buckets: [Vec<(Point, Color)>; 4] = Default::default();
+    let mut boxes = [bbox; 4];
+    for &(p, c) in points {
+        let (qi, sub) = quadrant(p, min, mid, max);
+        buckets[qi].push((p, c));
+        boxes[qi] = sub;
+    }
+    // Degenerate: all points landed in one child without progress.
+    if buckets.iter().filter(|b| !b.is_empty()).count() == 1 {
+        return Quadtree::Mixed(points.to_vec());
+    }
+    let children: Vec<Quadtree> = buckets
+        .iter()
+        .zip(boxes.iter())
+        .map(|(b, &bx)| build_tree(b, bx, depth + 1))
+        .collect();
+    Quadtree::Internal(Box::new(
+        children.try_into().expect("exactly four children"),
+    ))
+}
+
+/// The SPQ index: one colored quadtree per node.
+#[derive(Debug, Clone)]
+pub struct SpqIndex {
+    trees: Vec<Quadtree>,
+    bbox: (Point, Point),
+    /// Build wall-clock.
+    pub precompute_secs: f64,
+}
+
+impl SpqIndex {
+    /// Builds all quadtrees (one full Dijkstra per node — expensive by
+    /// design; this is the method's documented weakness).
+    pub fn build(g: &RoadNetwork) -> Self {
+        let start = Instant::now();
+        let bbox = g.bounding_box();
+        let mut trees = Vec::with_capacity(g.num_nodes());
+        let mut colors = vec![NO_COLOR; g.num_nodes()];
+        for v in g.node_ids() {
+            let tree = dijkstra_full(g, v);
+            // First-hop DP over the settle order.
+            let first_edges: Vec<NodeId> = g.out_edges(v).map(|(u, _)| u).collect();
+            for &u in tree.settle_order() {
+                colors[u as usize] = if u == v {
+                    NO_COLOR
+                } else {
+                    match tree.parent(u) {
+                        Some(p) if p == v => first_edges
+                            .iter()
+                            .position(|&x| x == u)
+                            .map(|i| i as Color)
+                            .unwrap_or(NO_COLOR),
+                        Some(p) => colors[p as usize],
+                        None => NO_COLOR,
+                    }
+                };
+            }
+            let points: Vec<(Point, Color)> = g
+                .node_ids()
+                .filter(|&u| u != v)
+                .map(|u| (g.point(u), colors[u as usize]))
+                .collect();
+            trees.push(build_tree(&points, bbox, 0));
+            // Reset colors for unreached nodes next round.
+            for c in colors.iter_mut() {
+                *c = NO_COLOR;
+            }
+        }
+        Self {
+            trees,
+            bbox,
+            precompute_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The colored quadtree of node `v`.
+    pub fn tree(&self, v: NodeId) -> &Quadtree {
+        &self.trees[v as usize]
+    }
+
+    /// Total quadtree blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.trees.iter().map(Quadtree::blocks).sum()
+    }
+
+    /// Index size in bytes (2 bytes per block: path-encoded quadrant +
+    /// color, the compact representation of the original paper).
+    pub fn index_bytes(&self) -> usize {
+        self.total_blocks() * 2
+    }
+
+    /// Index size in broadcast packets.
+    pub fn index_packets(&self) -> usize {
+        self.index_bytes()
+            .div_ceil(spair_broadcast::packet::PAYLOAD_CAPACITY)
+    }
+
+    /// Point-to-point query by repeated quadtree lookups. Returns the
+    /// traversed path (including both endpoints).
+    pub fn query(&self, g: &RoadNetwork, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![s];
+        let mut cur = s;
+        for _ in 0..g.num_nodes() {
+            if cur == t {
+                return Some(path);
+            }
+            let color = self.trees[cur as usize].color_at(g.point(t), self.bbox);
+            if color == NO_COLOR {
+                return None;
+            }
+            let next = g.out_edges(cur).nth(color as usize)?.0;
+            path.push(next);
+            cur = next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spair_roadnet::dijkstra_to_target;
+    use spair_roadnet::generators::small_grid;
+    use spair_roadnet::Distance;
+
+    #[test]
+    fn query_paths_are_shortest() {
+        let g = small_grid(6, 6, 5);
+        let idx = SpqIndex::build(&g);
+        for &(s, t) in &[(0u32, 35u32), (5, 30), (17, 18)] {
+            let path = idx.query(&g, s, t).unwrap();
+            let mut acc: Distance = 0;
+            for w in path.windows(2) {
+                acc += g.weight_between(w[0], w[1]).unwrap() as Distance;
+            }
+            let (want, _) = dijkstra_to_target(&g, s, t).unwrap();
+            assert_eq!(acc, want, "{s}->{t}");
+        }
+    }
+
+    #[test]
+    fn trivial_query() {
+        let g = small_grid(4, 4, 1);
+        let idx = SpqIndex::build(&g);
+        assert_eq!(idx.query(&g, 3, 3), Some(vec![3]));
+    }
+
+    #[test]
+    fn block_count_is_positive_and_large() {
+        let g = small_grid(8, 8, 2);
+        let idx = SpqIndex::build(&g);
+        // One tree per node, each with at least one block.
+        assert!(idx.total_blocks() >= g.num_nodes());
+        assert_eq!(idx.index_bytes(), idx.total_blocks() * 2);
+    }
+
+    #[test]
+    fn index_dwarfs_network_data() {
+        // Table 1's qualitative point for SPQ.
+        let g = small_grid(10, 10, 3);
+        let idx = SpqIndex::build(&g);
+        let network_bytes = g.num_edges() * 8 + g.num_nodes() * 12;
+        assert!(idx.index_bytes() > network_bytes);
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut b = spair_roadnet::GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        let g = b.finish();
+        let idx = SpqIndex::build(&g);
+        assert_eq!(idx.query(&g, 0, 1), None);
+    }
+}

@@ -1,0 +1,449 @@
+//! SPQ on the air: broadcast program and client (paper §3.2).
+//!
+//! The paper's verdict for SPQ mirrors ArcFlag/Landmark: selective tuning
+//! is hopeless (the quadtree needed next may have just been broadcast),
+//! so "the only viable option is that the device listens to the entire
+//! cycle and performs processing in the entire network" — and SPQ's cycle
+//! is the longest of all methods (Table 1: 52 337 packets on Germany vs
+//! Dijkstra's 14 019), because one colored quadtree per node dwarfs the
+//! adjacency lists.
+//!
+//! This module makes that measurable: a real cycle layout
+//! `[network data][per-node quadtrees]` and a full client that receives
+//! the whole cycle, decodes every tree, and answers queries by repeated
+//! color lookups (follow the edge whose color the target's coordinate has
+//! in the current node's tree). Per §6.2, adjacency data and quadtrees
+//! are kept in separate packets; a lost tree packet degrades that node's
+//! lookup to "consider all incident edges" (implemented as a local
+//! one-step expansion), while lost adjacency data must be re-received.
+
+use crate::spq::{Quadtree, SpqIndex, NO_COLOR};
+use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_broadcast::cycle::{CycleBuilder, SegmentKind};
+use spair_broadcast::packet::PacketKind;
+use spair_broadcast::{BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats};
+use spair_core::netcodec::{decode_payload, encode_nodes, ReceivedGraph};
+use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
+use spair_roadnet::{Distance, NodeId, Point, RoadNetwork};
+use std::collections::HashMap;
+
+const TREE_MAGIC: u8 = 0x9B;
+
+const NODE_LEAF: u8 = 0;
+const NODE_INTERNAL: u8 = 1;
+const NODE_MIXED: u8 = 2;
+
+/// Serializes a quadtree into a compact preorder byte string.
+fn encode_tree(tree: &Quadtree, out: &mut Vec<u8>) {
+    match tree {
+        Quadtree::Leaf(c) => {
+            out.push(NODE_LEAF);
+            out.push(*c);
+        }
+        Quadtree::Internal(children) => {
+            out.push(NODE_INTERNAL);
+            for ch in children.iter() {
+                encode_tree(ch, out);
+            }
+        }
+        Quadtree::Mixed(points) => {
+            out.push(NODE_MIXED);
+            out.extend_from_slice(&(points.len() as u16).to_le_bytes());
+            for (p, c) in points {
+                out.extend_from_slice(&p.x.to_le_bytes());
+                out.extend_from_slice(&p.y.to_le_bytes());
+                out.push(*c);
+            }
+        }
+    }
+}
+
+/// Parses one preorder-encoded quadtree, advancing `pos`.
+fn decode_tree(bytes: &[u8], pos: &mut usize) -> Option<Quadtree> {
+    let tag = *bytes.get(*pos)?;
+    *pos += 1;
+    match tag {
+        NODE_LEAF => {
+            let c = *bytes.get(*pos)?;
+            *pos += 1;
+            Some(Quadtree::Leaf(c))
+        }
+        NODE_INTERNAL => {
+            let mut children = Vec::with_capacity(4);
+            for _ in 0..4 {
+                children.push(decode_tree(bytes, pos)?);
+            }
+            Some(Quadtree::Internal(Box::new(
+                children.try_into().expect("exactly four children"),
+            )))
+        }
+        NODE_MIXED => {
+            let count =
+                u16::from_le_bytes(bytes.get(*pos..*pos + 2)?.try_into().ok()?) as usize;
+            *pos += 2;
+            let mut points = Vec::with_capacity(count);
+            for _ in 0..count {
+                let x = f64::from_le_bytes(bytes.get(*pos..*pos + 8)?.try_into().ok()?);
+                let y = f64::from_le_bytes(bytes.get(*pos + 8..*pos + 16)?.try_into().ok()?);
+                let c = *bytes.get(*pos + 16)?;
+                *pos += 17;
+                points.push((Point::new(x, y), c));
+            }
+            Some(Quadtree::Mixed(points))
+        }
+        _ => None,
+    }
+}
+
+/// A fully assembled SPQ broadcast program.
+#[derive(Debug)]
+pub struct SpqProgram {
+    cycle: BroadcastCycle,
+    bbox: (Point, Point),
+    tree_packets: usize,
+}
+
+impl SpqProgram {
+    /// The broadcast cycle.
+    pub fn cycle(&self) -> &BroadcastCycle {
+        &self.cycle
+    }
+
+    /// Quadtree bounding box (part of the client bootstrap, like the grid
+    /// extent in BGI \[12\]).
+    pub fn bbox(&self) -> (Point, Point) {
+        self.bbox
+    }
+
+    /// Packets of quadtree data.
+    pub fn tree_packets(&self) -> usize {
+        self.tree_packets
+    }
+}
+
+/// SPQ server: network data followed by every node's colored quadtree.
+pub struct SpqAirServer<'a> {
+    g: &'a RoadNetwork,
+    index: &'a SpqIndex,
+}
+
+impl<'a> SpqAirServer<'a> {
+    /// Binds the server to the network and a built SPQ index.
+    pub fn new(g: &'a RoadNetwork, index: &'a SpqIndex) -> Self {
+        Self { g, index }
+    }
+
+    /// Assembles the broadcast program.
+    pub fn build_program(&self) -> SpqProgram {
+        let nodes: Vec<NodeId> = self.g.node_ids().collect();
+        let mut b = CycleBuilder::new();
+        b.push_segment(
+            SegmentKind::NetworkData,
+            PacketKind::Data,
+            encode_nodes(self.g, &nodes),
+        );
+
+        // Quadtrees, chunked into records: (node, chunk offset, total
+        // bytes, chunk bytes...). Records self-describe so the client can
+        // reassemble each tree blob across packets in any order.
+        let mut w = RecordWriter::new();
+        let mut rec = RecordBuf::new();
+        let mut blob = Vec::new();
+        for v in self.g.node_ids() {
+            blob.clear();
+            encode_tree(self.index.tree(v), &mut blob);
+            // Max record body ~110 bytes: 13 bytes of header leaves 97.
+            for (ci, chunk) in blob.chunks(96).enumerate() {
+                rec.clear();
+                rec.put_u8(TREE_MAGIC)
+                    .put_u32(v)
+                    .put_u32((ci * 96) as u32)
+                    .put_u32(blob.len() as u32);
+                let mut body = rec.as_slice().to_vec();
+                body.extend_from_slice(chunk);
+                w.push_record(&body);
+            }
+        }
+        let tree_payloads = w.finish();
+        let tree_packets = tree_payloads.len();
+        b.push_segment(SegmentKind::AuxData, PacketKind::Aux, tree_payloads);
+
+        SpqProgram {
+            cycle: b.finish(),
+            bbox: self.g.bounding_box(),
+            tree_packets,
+        }
+    }
+}
+
+/// Reassembly buffer for one node's tree blob.
+#[derive(Debug, Default)]
+struct TreeBuf {
+    bytes: Vec<u8>,
+    have: usize,
+}
+
+/// The SPQ client.
+#[derive(Debug, Clone)]
+pub struct SpqClient {
+    bbox: (Point, Point),
+}
+
+impl SpqClient {
+    /// New client; the quadtree bounding box is assumed known (broadcast
+    /// once in the program preamble in a real deployment).
+    pub fn new(bbox: (Point, Point)) -> Self {
+        Self { bbox }
+    }
+}
+
+impl AirClient for SpqClient {
+    fn method_name(&self) -> &'static str {
+        "SPQ"
+    }
+
+    fn query(
+        &mut self,
+        ch: &mut BroadcastChannel<'_>,
+        q: &Query,
+    ) -> Result<QueryOutcome, QueryError> {
+        let mut mem = MemoryMeter::new();
+        let mut cpu = CpuMeter::new();
+        if q.source == q.target {
+            return Ok(QueryOutcome {
+                distance: 0,
+                path: vec![q.source],
+                stats: QueryStats::default(),
+            });
+        }
+
+        // Whole-cycle reception (§3.2): adjacency data must be complete;
+        // lost tree packets degrade, so they are not re-received.
+        let mut store = ReceivedGraph::new();
+        let mut bufs: HashMap<NodeId, TreeBuf> = HashMap::new();
+        crate::dj::receive_whole_cycle(ch, &mut mem, |kind, payload, mem| match kind {
+            PacketKind::Data => {
+                if let Some(records) = decode_payload(payload) {
+                    for rec in records {
+                        mem.alloc(store.ingest(rec));
+                    }
+                }
+            }
+            PacketKind::Aux => {
+                let mut r = PayloadReader::new(payload);
+                while let Some(TREE_MAGIC) = r.read_u8() {
+                    let (Some(v), Some(off), Some(total)) =
+                        (r.read_u32(), r.read_u32(), r.read_u32())
+                    else {
+                        return;
+                    };
+                    let chunk_len = (total as usize - off as usize).min(96);
+                    let Some(chunk) = r.take(chunk_len) else { return };
+                    let buf = bufs.entry(v).or_default();
+                    if buf.bytes.len() < total as usize {
+                        mem.alloc(total as usize - buf.bytes.len());
+                        buf.bytes.resize(total as usize, 0);
+                    }
+                    buf.bytes[off as usize..off as usize + chunk.len()].copy_from_slice(chunk);
+                    buf.have += chunk.len();
+                }
+            }
+            _ => {}
+        })
+        .map_err(|_| QueryError::Aborted("SPQ whole-cycle reception never completed"))?;
+
+        // Decode the trees (complete blobs only; incomplete = degraded).
+        let trees: HashMap<NodeId, Quadtree> = cpu.time(|| {
+            bufs.iter()
+                .filter(|(_, b)| b.have >= b.bytes.len())
+                .filter_map(|(&v, b)| {
+                    let mut pos = 0usize;
+                    decode_tree(&b.bytes, &mut pos).map(|t| (v, t))
+                })
+                .collect()
+        });
+
+        // Color walk: at each node, the target coordinate's color names
+        // the incident edge the shortest path leaves through. A missing
+        // tree (loss) degrades to a one-step local choice over all
+        // incident edges, per §6.2.
+        let target_pt = q.target_pt;
+        let walk = cpu.time(|| -> Option<(Distance, Vec<NodeId>)> {
+            let mut path = vec![q.source];
+            let mut distance: Distance = 0;
+            let mut cur = q.source;
+            for _ in 0..store.num_nodes().max(1) {
+                if cur == q.target {
+                    return Some((distance, path));
+                }
+                let edges = store.out_edges(cur);
+                let next = match trees.get(&cur) {
+                    Some(tree) => {
+                        let color = tree.color_at(target_pt, self.bbox);
+                        if color == NO_COLOR {
+                            return None;
+                        }
+                        edges.get(color as usize).copied()
+                    }
+                    None => {
+                        // Degraded: all incident edges must be considered
+                        // (§6.2); pick the neighbour whose own tree/walk
+                        // continues — locally, the Euclidean-nearest to
+                        // the target, the standard greedy fallback.
+                        edges
+                            .iter()
+                            .filter_map(|&(u, w)| {
+                                store.point(u).map(|p| (u, w, p.euclidean(&target_pt)))
+                            })
+                            .min_by(|a, b| a.2.total_cmp(&b.2))
+                            .map(|(u, w, _)| (u, w))
+                    }
+                };
+                let (u, w) = next?;
+                distance += w as Distance;
+                path.push(u);
+                cur = u;
+            }
+            None
+        });
+
+        let stats = QueryStats {
+            tuning_packets: ch.tuned(),
+            latency_packets: ch.elapsed(),
+            sleep_packets: ch.slept(),
+            peak_memory_bytes: mem.peak(),
+            cpu: cpu.total(),
+            settled_nodes: walk.as_ref().map(|(_, p)| p.len() as u64).unwrap_or(0),
+        };
+        match walk {
+            Some((distance, path)) => Ok(QueryOutcome {
+                distance,
+                path,
+                stats,
+            }),
+            None => Err(QueryError::Unreachable),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spair_broadcast::LossModel;
+    use spair_roadnet::dijkstra_distance;
+    use spair_roadnet::generators::small_grid;
+
+    fn setup(seed: u64) -> (RoadNetwork, SpqProgram) {
+        let g = small_grid(8, 8, seed);
+        let index = SpqIndex::build(&g);
+        let program = SpqAirServer::new(&g, &index).build_program();
+        (g, program)
+    }
+
+    #[test]
+    fn tree_codec_round_trips() {
+        let g = small_grid(7, 7, 3);
+        let index = SpqIndex::build(&g);
+        for v in g.node_ids() {
+            let mut blob = Vec::new();
+            encode_tree(index.tree(v), &mut blob);
+            let mut pos = 0usize;
+            let tree = decode_tree(&blob, &mut pos).unwrap();
+            assert_eq!(pos, blob.len(), "node {v}: trailing bytes");
+            // Every node coordinate must get the same color back.
+            let bbox = g.bounding_box();
+            for u in g.node_ids() {
+                assert_eq!(
+                    tree.color_at(g.point(u), bbox),
+                    index.tree(v).color_at(g.point(u), bbox),
+                    "node {v}, point of {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_many_queries() {
+        let (g, program) = setup(2);
+        let mut client = SpqClient::new(program.bbox());
+        for (i, &(s, t)) in [(0u32, 63u32), (5, 42), (60, 1), (30, 31)].iter().enumerate() {
+            let mut ch = BroadcastChannel::tune_in(program.cycle(), i * 19, LossModel::Lossless);
+            let q = Query::for_nodes(&g, s, t);
+            let out = client.query(&mut ch, &q).unwrap();
+            assert_eq!(Some(out.distance), dijkstra_distance(&g, s, t), "{s}->{t}");
+            assert_eq!(out.path.first(), Some(&s));
+            assert_eq!(out.path.last(), Some(&t));
+        }
+    }
+
+    #[test]
+    fn tuning_time_is_the_whole_cycle() {
+        let (g, program) = setup(4);
+        let mut client = SpqClient::new(program.bbox());
+        let mut ch = BroadcastChannel::tune_in(program.cycle(), 100, LossModel::Lossless);
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 0, 63)).unwrap();
+        assert_eq!(out.stats.tuning_packets as usize, program.cycle().len());
+    }
+
+    #[test]
+    fn cycle_dwarfs_dijkstras() {
+        let (g, program) = setup(6);
+        let dj = crate::dj::DjServer::new(&g).build_program();
+        assert!(
+            program.cycle().len() > 2 * dj.cycle().len(),
+            "SPQ {} vs DJ {}",
+            program.cycle().len(),
+            dj.cycle().len()
+        );
+        assert_eq!(
+            program.cycle().len(),
+            dj.cycle().len() + program.tree_packets()
+        );
+    }
+
+    #[test]
+    fn walk_path_is_a_real_path() {
+        let (g, program) = setup(8);
+        let mut client = SpqClient::new(program.bbox());
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 9, 54)).unwrap();
+        let mut acc: Distance = 0;
+        for w in out.path.windows(2) {
+            acc += g.weight_between(w[0], w[1]).expect("consecutive edge") as Distance;
+        }
+        assert_eq!(acc, out.distance);
+    }
+
+    #[test]
+    fn adjacency_survives_loss_with_degraded_trees() {
+        // Losses hit tree packets too; adjacency is re-received, trees
+        // degrade — the walk may detour but must still terminate at the
+        // target with a real path.
+        let (g, program) = setup(10);
+        let mut client = SpqClient::new(program.bbox());
+        for seed in 0..4 {
+            let mut ch =
+                BroadcastChannel::tune_in(program.cycle(), 3, LossModel::bernoulli(0.02, seed));
+            match client.query(&mut ch, &Query::for_nodes(&g, 0, 63)) {
+                Ok(out) => {
+                    assert_eq!(out.path.last(), Some(&63));
+                    let want = dijkstra_distance(&g, 0, 63).unwrap();
+                    assert!(out.distance >= want, "cannot beat the optimum");
+                }
+                // A degraded greedy walk can dead-end; that is the
+                // documented §6.2 trade-off, not an error in the client.
+                Err(QueryError::Unreachable) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn same_node_query_is_trivial() {
+        let (g, program) = setup(12);
+        let mut client = SpqClient::new(program.bbox());
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 5, 5)).unwrap();
+        assert_eq!(out.distance, 0);
+    }
+}

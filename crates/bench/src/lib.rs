@@ -1,0 +1,376 @@
+//! Shared experiment harness: world construction, query workloads, method
+//! drivers and table formatting for the per-table/per-figure runners in
+//! `src/bin/experiments.rs`.
+//!
+//! Every experiment follows the paper's §7 protocol: a road network (one
+//! of the five presets, scaled by `--scale` to keep single-core runtimes
+//! sane; `--full` restores paper scale), fine-tuned partitionings (AF 16,
+//! EB 32, NR 32 regions; LD 4 landmarks on the default network), and N
+//! shortest-path queries between uniformly random node pairs, each posed
+//! at a uniformly random tune-in instant.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spair_baselines::arcflag::{ArcFlagClient, ArcFlagIndex, ArcFlagProgram, ArcFlagServer};
+use spair_baselines::dj::{DjClient, DjProgram, DjServer};
+use spair_baselines::landmark::{LandmarkClient, LandmarkIndex, LandmarkProgram, LandmarkServer};
+use spair_broadcast::{BroadcastChannel, BroadcastCycle, LossModel, QueryStats};
+use spair_core::query::AirClient;
+use spair_core::{
+    BorderPrecomputation, EbClient, EbProgram, EbServer, NrClient, NrProgram, NrServer, Query,
+};
+use spair_partition::KdTreePartition;
+use spair_roadnet::{dijkstra_full, Distance, NetworkPreset, NodeId, RoadNetwork};
+
+/// Default scale factor for experiment networks (the evaluation host is a
+/// single core; `--full` restores 1.0).
+pub const DEFAULT_SCALE: f64 = 0.2;
+
+/// EB's fine-tuned region count (§7).
+pub const EB_REGIONS: usize = 32;
+/// NR's fine-tuned region count.
+pub const NR_REGIONS: usize = 32;
+/// ArcFlag's fine-tuned region count.
+pub const AF_REGIONS: usize = 16;
+/// Landmark's fine-tuned anchor count.
+pub const LD_LANDMARKS: usize = 4;
+/// Queries per experiment in the paper.
+pub const PAPER_QUERIES: usize = 400;
+
+/// A generated network with its partitioning and precomputation products.
+pub struct World {
+    /// The road network.
+    pub g: RoadNetwork,
+    /// Kd partitioning for EB/NR.
+    pub part: KdTreePartition,
+    /// Border-pair precomputation shared by EB and NR.
+    pub pre: BorderPrecomputation,
+}
+
+impl World {
+    /// Builds the world for a preset at `scale`, partitioned into
+    /// `regions` kd regions.
+    pub fn build(preset: NetworkPreset, scale: f64, regions: usize, seed: u64) -> Self {
+        let g = preset.scaled_config(seed, scale).generate();
+        let part = KdTreePartition::build(&g, regions);
+        let pre = BorderPrecomputation::run(&g, &part);
+        Self { g, part, pre }
+    }
+
+    /// EB broadcast program.
+    pub fn eb(&self) -> EbProgram {
+        EbServer::new(&self.g, &self.part, &self.pre).build_program()
+    }
+
+    /// NR broadcast program.
+    pub fn nr(&self) -> NrProgram {
+        NrServer::new(&self.g, &self.part, &self.pre).build_program()
+    }
+}
+
+/// `n` random distinct-source/target queries.
+pub fn random_queries(g: &RoadNetwork, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s = rng.gen_range(0..g.num_nodes()) as NodeId;
+            let mut t = rng.gen_range(0..g.num_nodes()) as NodeId;
+            while t == s {
+                t = rng.gen_range(0..g.num_nodes()) as NodeId;
+            }
+            Query::for_nodes(g, s, t)
+        })
+        .collect()
+}
+
+/// Approximate network diameter by a double sweep (for Figure 10's length
+/// buckets).
+pub fn approx_diameter(g: &RoadNetwork) -> Distance {
+    let t0 = dijkstra_full(g, 0);
+    let far = g
+        .node_ids()
+        .filter(|&v| t0.reachable(v))
+        .max_by_key(|&v| t0.distance(v))
+        .unwrap_or(0);
+    let t1 = dijkstra_full(g, far);
+    g.node_ids()
+        .filter(|&v| t1.reachable(v))
+        .map(|v| t1.distance(v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The methods that run per-query experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Next Region (the paper's best method).
+    Nr,
+    /// Elliptic Boundary.
+    Eb,
+    /// Dijkstra on air.
+    Dj,
+    /// Landmark / ALT.
+    Ld,
+    /// ArcFlag.
+    Af,
+}
+
+impl Method {
+    /// All per-query methods, in the paper's chart order.
+    pub const ALL: [Method; 5] = [Method::Nr, Method::Eb, Method::Dj, Method::Ld, Method::Af];
+
+    /// Chart label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Nr => "NR",
+            Method::Eb => "EB",
+            Method::Dj => "Dijkstra",
+            Method::Ld => "Landmark",
+            Method::Af => "ArcFlag",
+        }
+    }
+}
+
+/// All five broadcast programs for one network (kept together so
+/// experiments can iterate methods uniformly).
+pub struct Programs {
+    /// NR program.
+    pub nr: NrProgram,
+    /// EB program.
+    pub eb: EbProgram,
+    /// DJ program.
+    pub dj: DjProgram,
+    /// Landmark program.
+    pub ld: LandmarkProgram,
+    /// Landmark precompute seconds.
+    pub ld_secs: f64,
+    /// ArcFlag program.
+    pub af: ArcFlagProgram,
+    /// ArcFlag precompute seconds.
+    pub af_secs: f64,
+    af_regions: usize,
+}
+
+impl Programs {
+    /// Builds all five programs with the paper's fine-tuned parameters.
+    pub fn build(world: &World) -> Self {
+        Self::build_tuned(world, AF_REGIONS, LD_LANDMARKS)
+    }
+
+    /// Builds with explicit AF region / LD landmark counts (Figure 11).
+    pub fn build_tuned(world: &World, af_regions: usize, landmarks: usize) -> Self {
+        let ld_index = LandmarkIndex::build(&world.g, landmarks);
+        let ld_secs = ld_index.precompute_secs;
+        let ld = LandmarkServer::new(&world.g, &ld_index).build_program();
+        let af_part = KdTreePartition::build(&world.g, af_regions);
+        let af_index = ArcFlagIndex::build(&world.g, &af_part);
+        let af_secs = af_index.precompute_secs;
+        let af = ArcFlagServer::new(&world.g, &af_part, &af_index).build_program();
+        Self {
+            nr: world.nr(),
+            eb: world.eb(),
+            dj: DjServer::new(&world.g).build_program(),
+            ld,
+            ld_secs,
+            af,
+            af_secs,
+            af_regions,
+        }
+    }
+
+    /// Cycle of a method.
+    pub fn cycle(&self, m: Method) -> &BroadcastCycle {
+        match m {
+            Method::Nr => self.nr.cycle(),
+            Method::Eb => self.eb.cycle(),
+            Method::Dj => self.dj.cycle(),
+            Method::Ld => self.ld.cycle(),
+            Method::Af => self.af.cycle(),
+        }
+    }
+
+    /// Fresh client for a method.
+    pub fn client(&self, m: Method) -> Box<dyn AirClient> {
+        match m {
+            Method::Nr => Box::new(NrClient::new(self.nr.summary())),
+            Method::Eb => Box::new(EbClient::new(self.eb.summary())),
+            Method::Dj => Box::new(DjClient::new()),
+            Method::Ld => Box::new(LandmarkClient::new()),
+            Method::Af => Box::new(ArcFlagClient::new(self.af_regions)),
+        }
+    }
+}
+
+/// Averaged measurements over a query set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Averages {
+    /// Mean tuning time in packets.
+    pub tuning: f64,
+    /// Mean access latency in packets.
+    pub latency: f64,
+    /// Peak client memory in bytes over all queries.
+    pub peak_memory: usize,
+    /// Mean client CPU per query in milliseconds.
+    pub cpu_ms: f64,
+    /// Queries aggregated.
+    pub count: usize,
+}
+
+impl Averages {
+    /// Folds one query's stats in.
+    pub fn push(&mut self, s: &QueryStats) {
+        let n = self.count as f64;
+        self.tuning = (self.tuning * n + s.tuning_packets as f64) / (n + 1.0);
+        self.latency = (self.latency * n + s.latency_packets as f64) / (n + 1.0);
+        self.peak_memory = self.peak_memory.max(s.peak_memory_bytes);
+        self.cpu_ms = (self.cpu_ms * n + s.cpu.as_secs_f64() * 1000.0) / (n + 1.0);
+        self.count += 1;
+    }
+}
+
+/// Runs `queries` against one method's program, each from a random
+/// tune-in offset, under `loss_rate` (0 = lossless). Returns per-query
+/// `(distance, stats)` pairs.
+pub fn run_method(
+    programs: &Programs,
+    method: Method,
+    queries: &[Query],
+    loss_rate: f64,
+    seed: u64,
+) -> Vec<(Distance, QueryStats)> {
+    run_method_with_loss(programs, method, queries, seed, |i| {
+        if loss_rate > 0.0 {
+            LossModel::bernoulli(loss_rate, seed.wrapping_add(i as u64))
+        } else {
+            LossModel::Lossless
+        }
+    })
+}
+
+/// Like [`run_method`] with an arbitrary per-query loss model (used for
+/// the bursty-loss extension of Figure 14).
+pub fn run_method_with_loss(
+    programs: &Programs,
+    method: Method,
+    queries: &[Query],
+    seed: u64,
+    mut loss_for: impl FnMut(usize) -> LossModel,
+) -> Vec<(Distance, QueryStats)> {
+    let cycle = programs.cycle(method);
+    let mut client = programs.client(method);
+    let mut rng = StdRng::seed_from_u64(seed);
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let offset = rng.gen_range(0..cycle.len());
+            let mut ch = BroadcastChannel::tune_in(cycle, offset, loss_for(i));
+            let out = client
+                .query(&mut ch, q)
+                .unwrap_or_else(|e| panic!("{} failed on query {i}: {e}", method.name()));
+            (out.distance, out.stats)
+        })
+        .collect()
+}
+
+/// Formats a count with thousands separators.
+pub fn fmt_thousands(v: usize) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spair_roadnet::dijkstra_distance;
+
+    fn tiny_world() -> World {
+        let g = spair_roadnet::generators::small_grid(10, 10, 7);
+        let part = KdTreePartition::build(&g, 8);
+        let pre = BorderPrecomputation::run(&g, &part);
+        World { g, part, pre }
+    }
+
+    #[test]
+    fn all_methods_agree_on_distances() {
+        let world = tiny_world();
+        let programs = Programs::build_tuned(&world, 4, 2);
+        let queries = random_queries(&world.g, 6, 3);
+        let reference: Vec<_> = queries
+            .iter()
+            .map(|q| dijkstra_distance(&world.g, q.source, q.target).unwrap())
+            .collect();
+        for m in Method::ALL {
+            let results = run_method(&programs, m, &queries, 0.0, 1);
+            for (i, (d, _)) in results.iter().enumerate() {
+                assert_eq!(*d, reference[i], "{} query {i}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_methods_agree_under_loss() {
+        let world = tiny_world();
+        let programs = Programs::build_tuned(&world, 4, 2);
+        let queries = random_queries(&world.g, 3, 9);
+        let reference: Vec<_> = queries
+            .iter()
+            .map(|q| dijkstra_distance(&world.g, q.source, q.target).unwrap())
+            .collect();
+        for m in Method::ALL {
+            let results = run_method(&programs, m, &queries, 0.05, 2);
+            for (i, (d, _)) in results.iter().enumerate() {
+                assert_eq!(*d, reference[i], "{} query {i}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn averages_fold_correctly() {
+        let mut a = Averages::default();
+        let mk = |t: u64, mem: usize| QueryStats {
+            tuning_packets: t,
+            latency_packets: 2 * t,
+            sleep_packets: t,
+            peak_memory_bytes: mem,
+            cpu: std::time::Duration::from_millis(10),
+            settled_nodes: 1,
+        };
+        a.push(&mk(100, 5));
+        a.push(&mk(200, 9));
+        assert_eq!(a.count, 2);
+        assert!((a.tuning - 150.0).abs() < 1e-9);
+        assert!((a.latency - 300.0).abs() < 1e-9);
+        assert_eq!(a.peak_memory, 9);
+    }
+
+    #[test]
+    fn diameter_is_positive_and_bounded() {
+        let world = tiny_world();
+        let d = approx_diameter(&world.g);
+        assert!(d > 0);
+        // The double sweep is at worst a 0.5-approximation.
+        let q = random_queries(&world.g, 10, 5);
+        for q in q {
+            let dist = dijkstra_distance(&world.g, q.source, q.target).unwrap();
+            assert!(dist <= 2 * d);
+        }
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(fmt_thousands(0), "0");
+        assert_eq!(fmt_thousands(999), "999");
+        assert_eq!(fmt_thousands(14019), "14,019");
+        assert_eq!(fmt_thousands(1234567), "1,234,567");
+    }
+}

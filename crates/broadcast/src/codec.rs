@@ -1,0 +1,290 @@
+//! Record-aligned payload encoding.
+//!
+//! Broadcast content is a sequence of *records* (a node's adjacency list,
+//! one w×w square of EB's distance matrix, one row range of an NR local
+//! index, ...). Records never straddle packet boundaries: §6.2 argues for
+//! placing separable pieces of information in separate packets so that one
+//! lost packet costs only the records inside it. [`RecordWriter`] enforces
+//! the discipline at encode time; [`PayloadReader`] is the matching
+//! little-endian cursor used by the simulated clients to decode payloads
+//! they received.
+
+use crate::packet::PAYLOAD_CAPACITY;
+use bytes::Bytes;
+
+/// Splits a byte stream into packet payloads along record boundaries.
+#[derive(Debug)]
+pub struct RecordWriter {
+    capacity: usize,
+    payloads: Vec<Bytes>,
+    current: Vec<u8>,
+}
+
+impl Default for RecordWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordWriter {
+    /// Writer with the standard payload capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(PAYLOAD_CAPACITY)
+    }
+
+    /// Writer with a custom capacity (tests use small capacities).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            payloads: Vec::new(),
+            current: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one record. Panics if the record alone exceeds a payload —
+    /// encoders must split their records below the capacity.
+    pub fn push_record(&mut self, rec: &[u8]) {
+        assert!(
+            rec.len() <= self.capacity,
+            "record of {} bytes exceeds payload capacity {}",
+            rec.len(),
+            self.capacity
+        );
+        if self.current.len() + rec.len() > self.capacity {
+            self.flush();
+        }
+        self.current.extend_from_slice(rec);
+    }
+
+    /// Ends the current packet (subsequent records start a new one).
+    pub fn flush(&mut self) {
+        if !self.current.is_empty() {
+            self.payloads.push(Bytes::from(std::mem::take(&mut self.current)));
+        }
+    }
+
+    /// Number of payloads produced so far if finished now.
+    pub fn packet_count(&self) -> usize {
+        self.payloads.len() + usize::from(!self.current.is_empty())
+    }
+
+    /// Finishes and returns the payloads.
+    pub fn finish(mut self) -> Vec<Bytes> {
+        self.flush();
+        self.payloads
+    }
+}
+
+/// Little-endian read cursor over one payload.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Wraps a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the payload is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn read_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn read_f32(&mut self) -> Option<f32> {
+        self.take(4).map(|s| f32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn read_f64(&mut self) -> Option<f64> {
+        self.take(8).map(|s| f64::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+/// Record-construction helper mirroring [`PayloadReader`].
+#[derive(Debug, Default)]
+pub struct RecordBuf {
+    bytes: Vec<u8>,
+}
+
+impl RecordBuf {
+    /// Empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.bytes.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn put_f32(&mut self, v: f32) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Current encoded size.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Clears for reuse.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_never_straddle_packets() {
+        let mut w = RecordWriter::with_capacity(10);
+        for i in 0..20u8 {
+            w.push_record(&[i; 4]);
+        }
+        let payloads = w.finish();
+        // 2 records of 4 bytes fit per 10-byte payload.
+        assert_eq!(payloads.len(), 10);
+        for p in &payloads {
+            assert_eq!(p.len() % 4, 0);
+            assert!(p.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn explicit_flush_starts_new_packet() {
+        let mut w = RecordWriter::with_capacity(100);
+        w.push_record(b"abc");
+        w.flush();
+        w.push_record(b"def");
+        let payloads = w.finish();
+        assert_eq!(payloads.len(), 2);
+        assert_eq!(&payloads[0][..], b"abc");
+        assert_eq!(&payloads[1][..], b"def");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds payload capacity")]
+    fn oversized_record_panics() {
+        let mut w = RecordWriter::with_capacity(4);
+        w.push_record(&[0; 5]);
+    }
+
+    #[test]
+    fn packet_count_tracks_pending() {
+        let mut w = RecordWriter::with_capacity(8);
+        assert_eq!(w.packet_count(), 0);
+        w.push_record(&[0; 4]);
+        assert_eq!(w.packet_count(), 1);
+        w.push_record(&[0; 4]);
+        assert_eq!(w.packet_count(), 1);
+        w.push_record(&[0; 4]);
+        assert_eq!(w.packet_count(), 2);
+    }
+
+    #[test]
+    fn reader_round_trips_all_types() {
+        let mut r = RecordBuf::new();
+        r.put_u8(7)
+            .put_u16(300)
+            .put_u32(70_000)
+            .put_u64(1 << 40)
+            .put_f32(1.5)
+            .put_f64(-2.25);
+        let mut rd = PayloadReader::new(r.as_slice());
+        assert_eq!(rd.read_u8(), Some(7));
+        assert_eq!(rd.read_u16(), Some(300));
+        assert_eq!(rd.read_u32(), Some(70_000));
+        assert_eq!(rd.read_u64(), Some(1 << 40));
+        assert_eq!(rd.read_f32(), Some(1.5));
+        assert_eq!(rd.read_f64(), Some(-2.25));
+        assert!(rd.is_empty());
+        assert_eq!(rd.read_u8(), None);
+    }
+
+    #[test]
+    fn reader_short_buffer_returns_none() {
+        let buf = [1u8, 2, 3];
+        let mut rd = PayloadReader::new(&buf);
+        assert_eq!(rd.read_u32(), None);
+        assert_eq!(rd.read_u16(), Some(0x0201));
+        assert_eq!(rd.remaining(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Broadcast cycle assembly.
+//!
+//! A broadcast cycle is the fixed packet sequence the server repeats
+//! forever. Methods assemble theirs through [`CycleBuilder`], declaring
+//! *segments* (an index copy, one region's data, ...). When the final
+//! layout is known the builder stamps every packet's next-index pointer —
+//! the "pointer to the next copy of the index" that §4.1/§5.2 require on
+//! every packet — as a cyclic forward distance, so it works from any
+//! tune-in position across cycle boundaries.
+
+use crate::packet::{Packet, PacketKind};
+use bytes::Bytes;
+
+/// What a segment of the cycle carries. `u16` payloads are region numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// A copy of the global index (EB; also the (1,m) baselines).
+    GlobalIndex,
+    /// A region-local index (NR's `A^m`, broadcast just before region m).
+    LocalIndex(u16),
+    /// Adjacency data of one region (cross-border or whole).
+    RegionData(u16),
+    /// The local-node segment of one region (EB's split of §4.1).
+    RegionLocalData(u16),
+    /// Whole-network adjacency data (methods without partitioning).
+    NetworkData,
+    /// Per-node auxiliary data (flags / distance vectors / quadtrees).
+    AuxData,
+}
+
+impl SegmentKind {
+    /// Whether tuning to this segment's start yields an index copy.
+    fn is_index(&self) -> bool {
+        matches!(self, SegmentKind::GlobalIndex | SegmentKind::LocalIndex(_))
+    }
+}
+
+/// A contiguous packet range of one kind within the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Content of the range.
+    pub kind: SegmentKind,
+    /// First packet offset.
+    pub start: usize,
+    /// Number of packets.
+    pub len: usize,
+}
+
+/// An immutable, fully stamped broadcast cycle.
+#[derive(Debug, Clone)]
+pub struct BroadcastCycle {
+    packets: Vec<Packet>,
+    segments: Vec<Segment>,
+}
+
+impl BroadcastCycle {
+    /// Number of packets in one cycle.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True for a zero-length cycle (never produced by real programs).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Packet at cycle offset `pos`.
+    #[inline]
+    pub fn packet(&self, pos: usize) -> &Packet {
+        &self.packets[pos]
+    }
+
+    /// Declared segments in broadcast order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// First segment matching `kind`.
+    pub fn find_segment(&self, kind: SegmentKind) -> Option<Segment> {
+        self.segments.iter().copied().find(|s| s.kind == kind)
+    }
+
+    /// Seconds one full cycle takes at `bits_per_sec` (Table 1's columns).
+    pub fn duration_secs(&self, bits_per_sec: u64) -> f64 {
+        self.len() as f64 * crate::packet::PACKET_SIZE as f64 * 8.0 / bits_per_sec as f64
+    }
+}
+
+/// Builder collecting segments, then stamping pointers.
+#[derive(Debug, Default)]
+pub struct CycleBuilder {
+    packets: Vec<Packet>,
+    segments: Vec<Segment>,
+}
+
+impl CycleBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a segment of payloads as packets of `packet_kind`.
+    /// Returns the segment's start offset.
+    pub fn push_segment(
+        &mut self,
+        kind: SegmentKind,
+        packet_kind: PacketKind,
+        payloads: Vec<Bytes>,
+    ) -> usize {
+        let start = self.packets.len();
+        let len = payloads.len();
+        for p in payloads {
+            self.packets.push(Packet::new(packet_kind, 0, p));
+        }
+        self.segments.push(Segment { kind, start, len });
+        start
+    }
+
+    /// Current cycle length in packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if no packets yet.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Stamps all next-index pointers and freezes the cycle.
+    ///
+    /// For a packet at offset `p`, the pointer is the cyclic distance to
+    /// the start of the nearest *strictly later* index segment (so a
+    /// client that just read a packet knows how long to sleep). Cycles
+    /// with no index segments (plain Dijkstra) stamp `u32::MAX`.
+    pub fn finish(mut self) -> BroadcastCycle {
+        let n = self.packets.len();
+        let mut index_starts: Vec<usize> = self
+            .segments
+            .iter()
+            .filter(|s| s.kind.is_index() && s.len > 0)
+            .map(|s| s.start)
+            .collect();
+        index_starts.sort_unstable();
+        if index_starts.is_empty() {
+            for p in &mut self.packets {
+                p.set_next_index(u32::MAX);
+            }
+        } else {
+            for pos in 0..n {
+                // Distance to the first index start strictly after `pos`,
+                // wrapping around the cycle.
+                let next = match index_starts.binary_search(&(pos + 1)) {
+                    Ok(i) => index_starts[i],
+                    Err(i) if i < index_starts.len() => index_starts[i],
+                    Err(_) => index_starts[0] + n,
+                };
+                self.packets[pos].set_next_index((next - pos - 1) as u32);
+            }
+        }
+        BroadcastCycle {
+            packets: self.packets,
+            segments: self.segments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads(n: usize, byte: u8) -> Vec<Bytes> {
+        (0..n).map(|_| Bytes::from(vec![byte; 4])).collect()
+    }
+
+    #[test]
+    fn segments_record_layout() {
+        let mut b = CycleBuilder::new();
+        let s0 = b.push_segment(SegmentKind::GlobalIndex, PacketKind::Index, payloads(3, 1));
+        let s1 = b.push_segment(SegmentKind::RegionData(0), PacketKind::Data, payloads(5, 2));
+        assert_eq!((s0, s1), (0, 3));
+        let c = b.finish();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.segments().len(), 2);
+        assert_eq!(
+            c.find_segment(SegmentKind::RegionData(0)).unwrap().start,
+            3
+        );
+        assert!(c.find_segment(SegmentKind::AuxData).is_none());
+    }
+
+    #[test]
+    fn pointer_points_to_next_index_copy() {
+        // Layout: idx(2) data(3) idx(2) data(1) => starts at 0 and 5.
+        let mut b = CycleBuilder::new();
+        b.push_segment(SegmentKind::GlobalIndex, PacketKind::Index, payloads(2, 1));
+        b.push_segment(SegmentKind::RegionData(0), PacketKind::Data, payloads(3, 2));
+        b.push_segment(SegmentKind::GlobalIndex, PacketKind::Index, payloads(2, 3));
+        b.push_segment(SegmentKind::RegionData(1), PacketKind::Data, payloads(1, 4));
+        let c = b.finish();
+        // pos: 0 1 2 3 4 5 6 7 ; index starts: {0, 5}
+        let expect = [4u32, 3, 2, 1, 0, 2, 1, 0];
+        for (pos, want) in expect.iter().enumerate() {
+            assert_eq!(c.packet(pos).next_index(), *want, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn wraparound_pointer() {
+        // Single index at the start: the last packet points all the way
+        // around to offset 0 of the next cycle.
+        let mut b = CycleBuilder::new();
+        b.push_segment(SegmentKind::GlobalIndex, PacketKind::Index, payloads(1, 1));
+        b.push_segment(SegmentKind::NetworkData, PacketKind::Data, payloads(4, 2));
+        let c = b.finish();
+        assert_eq!(c.packet(0).next_index(), 4); // next cycle's index
+        assert_eq!(c.packet(4).next_index(), 0);
+    }
+
+    #[test]
+    fn no_index_stamps_sentinel() {
+        let mut b = CycleBuilder::new();
+        b.push_segment(SegmentKind::NetworkData, PacketKind::Data, payloads(3, 0));
+        let c = b.finish();
+        for pos in 0..3 {
+            assert_eq!(c.packet(pos).next_index(), u32::MAX);
+        }
+    }
+
+    #[test]
+    fn local_index_counts_as_index() {
+        let mut b = CycleBuilder::new();
+        b.push_segment(SegmentKind::LocalIndex(0), PacketKind::LocalIndex, payloads(1, 1));
+        b.push_segment(SegmentKind::RegionData(0), PacketKind::Data, payloads(2, 2));
+        b.push_segment(SegmentKind::LocalIndex(1), PacketKind::LocalIndex, payloads(1, 3));
+        b.push_segment(SegmentKind::RegionData(1), PacketKind::Data, payloads(2, 4));
+        let c = b.finish();
+        // Index starts: 0 and 3.
+        assert_eq!(c.packet(0).next_index(), 2);
+        assert_eq!(c.packet(1).next_index(), 1);
+        assert_eq!(c.packet(3).next_index(), 2); // wraps to 0 (+6)
+        assert_eq!(c.packet(5).next_index(), 0);
+    }
+
+    #[test]
+    fn duration_matches_rate() {
+        let mut b = CycleBuilder::new();
+        b.push_segment(SegmentKind::NetworkData, PacketKind::Data, payloads(1000, 0));
+        let c = b.finish();
+        // 1000 packets * 1024 bits / 2 Mbps = 0.512 s
+        assert!((c.duration_secs(2_000_000) - 0.512).abs() < 1e-9);
+    }
+}

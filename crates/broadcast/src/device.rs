@@ -1,0 +1,91 @@
+//! Device and channel profiles (paper §3.1, §7).
+//!
+//! The evaluation simulates "a generic GPS-enabled clamshell phone
+//! supporting the current J2ME standards: CLDC-1.1 and MIDP-2.1" with a
+//! default heap of 8 MB, listening to a 3G channel at 2 Mbps (static) or
+//! 384 Kbps (moving).
+
+use crate::packet::PACKET_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// Broadcast channel bit rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelRate {
+    /// Raw channel throughput.
+    pub bits_per_sec: u64,
+}
+
+impl ChannelRate {
+    /// Typical 3G rate for a static device (paper Table 1).
+    pub const STATIC_3G: ChannelRate = ChannelRate {
+        bits_per_sec: 2_000_000,
+    };
+
+    /// Typical 3G rate for a moving device (paper Table 1).
+    pub const MOVING_3G: ChannelRate = ChannelRate {
+        bits_per_sec: 384_000,
+    };
+
+    /// Seconds to transmit one packet.
+    pub fn packet_secs(&self) -> f64 {
+        (PACKET_SIZE * 8) as f64 / self.bits_per_sec as f64
+    }
+
+    /// Seconds to transmit `packets` packets.
+    pub fn secs_for(&self, packets: u64) -> f64 {
+        packets as f64 * self.packet_secs()
+    }
+}
+
+/// A mobile client's hardware constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Profile name for reports.
+    pub name: &'static str,
+    /// Application heap limit in bytes. A method is *applicable* on this
+    /// device (Table 2) only if its peak client memory stays below this.
+    pub heap_bytes: usize,
+}
+
+impl DeviceProfile {
+    /// The paper's simulated J2ME clamshell phone (8 MB default heap).
+    pub const J2ME_PHONE: DeviceProfile = DeviceProfile {
+        name: "J2ME clamshell (CLDC-1.1 / MIDP-2.1)",
+        heap_bytes: 8 * 1024 * 1024,
+    };
+
+    /// Whether a measured peak fits this device.
+    pub fn fits(&self, peak_memory_bytes: usize) -> bool {
+        peak_memory_bytes <= self.heap_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_time_at_2mbps() {
+        // 1024 bits / 2e6 bps = 0.512 ms
+        let t = ChannelRate::STATIC_3G.packet_secs();
+        assert!((t - 0.000512).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_times_match_paper_table1_scale() {
+        // Paper Table 1: Dijkstra cycle of 14019 packets takes 6.845 s at
+        // 2 Mbps and ~40 s at 384 Kbps.
+        let packets = 14_019u64;
+        let fast = ChannelRate::STATIC_3G.secs_for(packets);
+        let slow = ChannelRate::MOVING_3G.secs_for(packets);
+        assert!((fast - 7.178).abs() < 0.4, "{fast}");
+        assert!((slow - 37.4).abs() < 4.0, "{slow}");
+    }
+
+    #[test]
+    fn j2me_heap_is_8mb() {
+        assert_eq!(DeviceProfile::J2ME_PHONE.heap_bytes, 8 * 1024 * 1024);
+        assert!(DeviceProfile::J2ME_PHONE.fits(7 * 1024 * 1024));
+        assert!(!DeviceProfile::J2ME_PHONE.fits(9 * 1024 * 1024));
+    }
+}

@@ -1,0 +1,92 @@
+//! Client energy model (paper §3.1).
+//!
+//! "The (widely used) 802.11 WaveLAN card consumes 1.65 W, 1.4 W, and
+//! 0.045 W in transmit, receive, and sleep states respectively \[8\]. ...
+//! almost 98% of the market's mobile devices are integrated with an ARM
+//! processor ... with a typical peak consumption of 200 mW."
+//!
+//! The model converts a query's packet counts and CPU time into joules,
+//! substantiating the paper's claim that tuning time dominates power.
+
+use crate::device::ChannelRate;
+use crate::metrics::QueryStats;
+use serde::{Deserialize, Serialize};
+
+/// Power draw per client state, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Radio receive power.
+    pub receive_watts: f64,
+    /// Radio sleep power.
+    pub sleep_watts: f64,
+    /// CPU power while computing.
+    pub cpu_watts: f64,
+}
+
+impl EnergyModel {
+    /// WaveLAN receive/sleep + ARM CPU figures from the paper.
+    pub const WAVELAN_ARM: EnergyModel = EnergyModel {
+        receive_watts: 1.4,
+        sleep_watts: 0.045,
+        cpu_watts: 0.2,
+    };
+
+    /// Total joules a query consumed at the given channel rate.
+    pub fn joules(&self, stats: &QueryStats, rate: ChannelRate) -> f64 {
+        let rx = rate.secs_for(stats.tuning_packets) * self.receive_watts;
+        let sleep = rate.secs_for(stats.sleep_packets) * self.sleep_watts;
+        let cpu = stats.cpu.as_secs_f64() * self.cpu_watts;
+        rx + sleep + cpu
+    }
+
+    /// Breakdown `(receive, sleep, cpu)` in joules.
+    pub fn breakdown(&self, stats: &QueryStats, rate: ChannelRate) -> (f64, f64, f64) {
+        (
+            rate.secs_for(stats.tuning_packets) * self.receive_watts,
+            rate.secs_for(stats.sleep_packets) * self.sleep_watts,
+            stats.cpu.as_secs_f64() * self.cpu_watts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stats(tuning: u64, sleep: u64, cpu_ms: u64) -> QueryStats {
+        QueryStats {
+            tuning_packets: tuning,
+            latency_packets: tuning + sleep,
+            sleep_packets: sleep,
+            peak_memory_bytes: 0,
+            cpu: Duration::from_millis(cpu_ms),
+            settled_nodes: 0,
+        }
+    }
+
+    #[test]
+    fn receive_dominates_sleep_per_packet() {
+        let m = EnergyModel::WAVELAN_ARM;
+        let rx_only = m.joules(&stats(1000, 0, 0), ChannelRate::STATIC_3G);
+        let sleep_only = m.joules(&stats(0, 1000, 0), ChannelRate::STATIC_3G);
+        assert!(rx_only / sleep_only > 30.0, "1.4W vs 0.045W => ~31x");
+    }
+
+    #[test]
+    fn tuning_outweighs_cpu_for_realistic_queries() {
+        // ~5000 received packets vs 100 ms of ARM computation (§3.1's
+        // rationale for using tuning time as the energy proxy).
+        let m = EnergyModel::WAVELAN_ARM;
+        let (rx, _, cpu) = m.breakdown(&stats(5000, 10_000, 100), ChannelRate::MOVING_3G);
+        assert!(rx > 10.0 * cpu, "rx {rx} J vs cpu {cpu} J");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = EnergyModel::WAVELAN_ARM;
+        let s = stats(123, 456, 7);
+        let (a, b, c) = m.breakdown(&s, ChannelRate::STATIC_3G);
+        assert!((a + b + c - m.joules(&s, ChannelRate::STATIC_3G)).abs() < 1e-12);
+    }
+}

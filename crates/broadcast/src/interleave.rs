@@ -1,0 +1,175 @@
+//! The (1,m) interleaving scheme of Imielinski et al. (paper §2.2, Fig. 1).
+//!
+//! The data tuples are placed into `m` equi-sized segments, each preceded
+//! by a full copy of the index. A larger `m` shortens the wait for the
+//! next index but lengthens the cycle (more index copies); the classic
+//! optimum is `m = sqrt(data_packets / index_packets)`.
+//!
+//! EB uses a variant (§4.1): index copies are forced to fall *between*
+//! regions so region data is never cut by index packets; [`interleave_1m`]
+//! therefore takes pre-split data chunks and distributes the copies at
+//! chunk granularity, as close to equi-sized segments as the chunks allow.
+
+use crate::cycle::{CycleBuilder, SegmentKind};
+use crate::packet::PacketKind;
+use bytes::Bytes;
+
+/// Optimal number of index copies for the (1,m) scheme.
+///
+/// `m* = sqrt(data_packets / index_packets)`, clamped to at least 1.
+pub fn optimal_m(data_packets: usize, index_packets: usize) -> usize {
+    if index_packets == 0 || data_packets == 0 {
+        return 1;
+    }
+    let m = (data_packets as f64 / index_packets as f64).sqrt().round() as usize;
+    m.max(1)
+}
+
+/// A chunk of data packets that must stay contiguous (e.g. one region).
+#[derive(Debug, Clone)]
+pub struct DataChunk {
+    /// Segment label for the chunk.
+    pub kind: SegmentKind,
+    /// Packet tag for the chunk's packets.
+    pub packet_kind: PacketKind,
+    /// Payloads of the chunk.
+    pub payloads: Vec<Bytes>,
+}
+
+/// Assembles a (1,m)-interleaved cycle: `m` copies of `index` interleaved
+/// with the data chunks, index copies only at chunk boundaries.
+///
+/// Copies are placed greedily so that each of the `m` data segments holds
+/// roughly `total_data / m` packets. Returns the builder so callers can
+/// append further segments before finishing.
+pub fn interleave_1m(index: Vec<Bytes>, chunks: Vec<DataChunk>, m: usize) -> CycleBuilder {
+    assert!(m >= 1, "need at least one index copy");
+    let total_data: usize = chunks.iter().map(|c| c.payloads.len()).sum();
+    let per_segment = total_data.div_ceil(m).max(1);
+
+    let mut builder = CycleBuilder::new();
+    let mut copies_placed = 0usize;
+    let mut data_since_copy = usize::MAX; // force a copy before the first chunk
+
+    for chunk in chunks {
+        if data_since_copy >= per_segment && copies_placed < m {
+            builder.push_segment(SegmentKind::GlobalIndex, PacketKind::Index, index.clone());
+            copies_placed += 1;
+            data_since_copy = 0;
+        }
+        data_since_copy += chunk.payloads.len();
+        builder.push_segment(chunk.kind, chunk.packet_kind, chunk.payloads);
+    }
+    // Guarantee every requested copy exists even for degenerate inputs.
+    while copies_placed < m.min(1) {
+        builder.push_segment(SegmentKind::GlobalIndex, PacketKind::Index, index.clone());
+        copies_placed += 1;
+    }
+    builder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::Segment;
+
+    fn chunk(region: u16, n: usize) -> DataChunk {
+        DataChunk {
+            kind: SegmentKind::RegionData(region),
+            packet_kind: PacketKind::Data,
+            payloads: (0..n).map(|_| Bytes::from(vec![region as u8; 3])).collect(),
+        }
+    }
+
+    fn index(n: usize) -> Vec<Bytes> {
+        (0..n).map(|_| Bytes::from(vec![0xFF; 3])).collect()
+    }
+
+    fn index_segments(segs: &[Segment]) -> Vec<&Segment> {
+        segs.iter()
+            .filter(|s| s.kind == SegmentKind::GlobalIndex)
+            .collect()
+    }
+
+    #[test]
+    fn optimal_m_formula() {
+        assert_eq!(optimal_m(10_000, 100), 10);
+        assert_eq!(optimal_m(100, 100), 1);
+        assert_eq!(optimal_m(0, 5), 1);
+        assert_eq!(optimal_m(5, 0), 1);
+        // sqrt(2500/25)=10
+        assert_eq!(optimal_m(2500, 25), 10);
+    }
+
+    #[test]
+    fn m_copies_are_placed() {
+        let chunks: Vec<_> = (0..8).map(|r| chunk(r, 5)).collect();
+        let cycle = interleave_1m(index(2), chunks, 4).finish();
+        assert_eq!(index_segments(cycle.segments()).len(), 4);
+        // Total: 8*5 data + 4*2 index.
+        assert_eq!(cycle.len(), 48);
+    }
+
+    #[test]
+    fn copies_fall_between_chunks_only() {
+        let chunks: Vec<_> = (0..6).map(|r| chunk(r, 4)).collect();
+        let cycle = interleave_1m(index(3), chunks, 3).finish();
+        // Every data segment must be contiguous: verify no GlobalIndex
+        // segment starts strictly inside a data chunk's range.
+        for s in cycle.segments() {
+            if let SegmentKind::RegionData(_) = s.kind {
+                for i in index_segments(cycle.segments()) {
+                    assert!(i.start <= s.start || i.start >= s.start + s.len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_order_preserved() {
+        let chunks: Vec<_> = (0..5).map(|r| chunk(r, 2)).collect();
+        let cycle = interleave_1m(index(1), chunks, 2).finish();
+        let regions: Vec<u16> = cycle
+            .segments()
+            .iter()
+            .filter_map(|s| match s.kind {
+                SegmentKind::RegionData(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regions, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn m_one_is_plain_index_then_data() {
+        let cycle = interleave_1m(index(2), vec![chunk(0, 3), chunk(1, 3)], 1).finish();
+        let segs = cycle.segments();
+        assert_eq!(segs[0].kind, SegmentKind::GlobalIndex);
+        assert_eq!(index_segments(segs).len(), 1);
+    }
+
+    #[test]
+    fn segments_roughly_equal_sized() {
+        let chunks: Vec<_> = (0..12).map(|r| chunk(r, 3)).collect();
+        let cycle = interleave_1m(index(1), chunks, 4).finish();
+        // Count data packets between consecutive index copies.
+        let mut sizes = Vec::new();
+        let mut current = 0usize;
+        for s in cycle.segments() {
+            match s.kind {
+                SegmentKind::GlobalIndex => {
+                    if current > 0 {
+                        sizes.push(current);
+                    }
+                    current = 0;
+                }
+                _ => current += s.len,
+            }
+        }
+        sizes.push(current);
+        assert_eq!(sizes.iter().sum::<usize>(), 36);
+        for &sz in &sizes {
+            assert!((6..=12).contains(&sz), "segment size {sz} too uneven");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The performance factors of §3.1, as measured quantities.
+//!
+//! * **Tuning time** — packets the client listened to (drives energy);
+//! * **Access latency** — packets elapsed between posing the query and the
+//!   last packet needed (drives responsiveness);
+//! * **Memory** — peak bytes the client retained (the J2ME heap is 8 MB);
+//! * **CPU time** — wall-clock time of client-side computation.
+//!
+//! Memory is tracked by explicit accounting ([`MemoryMeter`]): the
+//! simulated clients charge every structure they retain (received
+//! adjacency lists, index arrays, search state) and release what they
+//! discard, mirroring how the paper measures heap utilization.
+
+use std::time::{Duration, Instant};
+
+/// Aggregated measurements of one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Packets received (paper: tuning time).
+    pub tuning_packets: u64,
+    /// Packets elapsed from tune-in until processing could finish
+    /// (paper: access latency).
+    pub latency_packets: u64,
+    /// Packets slept through (latency − tuning).
+    pub sleep_packets: u64,
+    /// Peak retained client memory in bytes.
+    pub peak_memory_bytes: usize,
+    /// Client-side computation time.
+    pub cpu: Duration,
+    /// Dijkstra work done by the client (settled nodes), for CPU-model
+    /// cross-checks.
+    pub settled_nodes: u64,
+}
+
+impl QueryStats {
+    /// Merges per-query stats into an accumulating average-friendly sum.
+    pub fn add(&mut self, other: &QueryStats) {
+        self.tuning_packets += other.tuning_packets;
+        self.latency_packets += other.latency_packets;
+        self.sleep_packets += other.sleep_packets;
+        self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
+        self.cpu += other.cpu;
+        self.settled_nodes += other.settled_nodes;
+    }
+}
+
+/// Explicit byte accounting with peak tracking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryMeter {
+    current: usize,
+    peak: usize,
+}
+
+impl MemoryMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `bytes` of retained memory.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Releases `bytes` (saturating: double-free clamps at zero).
+    pub fn free(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Currently retained bytes.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Peak retained bytes so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+/// Accumulating wall-clock meter for client-side computation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuMeter {
+    total: Duration,
+}
+
+impl CpuMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` and adds its duration.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.total += start.elapsed();
+        out
+    }
+
+    /// Total accumulated computation time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_meter_tracks_peak() {
+        let mut m = MemoryMeter::new();
+        m.alloc(100);
+        m.alloc(50);
+        assert_eq!(m.current(), 150);
+        m.free(120);
+        assert_eq!(m.current(), 30);
+        m.alloc(40);
+        assert_eq!(m.peak(), 150);
+        assert_eq!(m.current(), 70);
+    }
+
+    #[test]
+    fn memory_meter_free_saturates() {
+        let mut m = MemoryMeter::new();
+        m.alloc(10);
+        m.free(100);
+        assert_eq!(m.current(), 0);
+        assert_eq!(m.peak(), 10);
+    }
+
+    #[test]
+    fn cpu_meter_accumulates() {
+        let mut c = CpuMeter::new();
+        let v = c.time(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(c.total() >= Duration::from_millis(2));
+        let before = c.total();
+        c.time(|| ());
+        assert!(c.total() >= before);
+    }
+
+    #[test]
+    fn stats_add_merges() {
+        let mut a = QueryStats {
+            tuning_packets: 10,
+            latency_packets: 20,
+            sleep_packets: 10,
+            peak_memory_bytes: 500,
+            cpu: Duration::from_millis(1),
+            settled_nodes: 7,
+        };
+        let b = QueryStats {
+            tuning_packets: 5,
+            latency_packets: 8,
+            sleep_packets: 3,
+            peak_memory_bytes: 900,
+            cpu: Duration::from_millis(2),
+            settled_nodes: 3,
+        };
+        a.add(&b);
+        assert_eq!(a.tuning_packets, 15);
+        assert_eq!(a.latency_packets, 28);
+        assert_eq!(a.peak_memory_bytes, 900);
+        assert_eq!(a.cpu, Duration::from_millis(3));
+        assert_eq!(a.settled_nodes, 10);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared client-side reception routines, including the §6.2 loss recovery
+//! discipline: "missing any needed adjacency data still requires waiting
+//! for the next cycle".
+
+use bytes::Bytes;
+use spair_broadcast::{BroadcastChannel, Received};
+
+/// Receives the `len` packets starting at cycle offset `offset`, sleeping
+/// to the start first. Lost packets yield `None` at their position.
+pub fn receive_segment(
+    ch: &mut BroadcastChannel<'_>,
+    offset: usize,
+    len: usize,
+) -> Vec<Option<Bytes>> {
+    ch.sleep_to_offset(offset);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(ch.receive().ok().map(|p| p.payload().clone()));
+    }
+    out
+}
+
+/// Receives a segment reliably: lost packets are re-received in subsequent
+/// broadcast cycles (each retry wakes up exactly at the still-missing
+/// offsets, sleeping in between). Gives up after `max_cycles` extra cycles
+/// and returns `None` — only possible at loss rates far beyond the
+/// evaluated 10%.
+pub fn receive_segment_reliable(
+    ch: &mut BroadcastChannel<'_>,
+    offset: usize,
+    len: usize,
+    max_cycles: usize,
+) -> Option<Vec<Bytes>> {
+    let mut slots = receive_segment(ch, offset, len);
+    let mut rounds = 0;
+    while slots.iter().any(Option::is_none) {
+        rounds += 1;
+        if rounds > max_cycles {
+            return None;
+        }
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                ch.sleep_to_offset((offset + i) % ch.cycle_len());
+                *slot = ch.receive().ok().map(|p| p.payload().clone());
+            }
+        }
+    }
+    Some(slots.into_iter().map(|s| s.expect("filled")).collect())
+}
+
+/// Retry budget for reliable reception; at the paper's worst loss rate
+/// (10%) the probability of a packet still missing after 100 cycles is
+/// 10^-100 — this is an abort guard, not a tuning knob.
+pub const MAX_RETRY_CYCLES: usize = 100;
+
+/// Listens to one packet to learn the pointer to the next index copy.
+/// If the packet is lost, keeps listening (each subsequent packet also
+/// carries the pointer). Returns the cycle offset where the next index
+/// copy starts.
+pub fn find_next_index(ch: &mut BroadcastChannel<'_>, max_attempts: usize) -> Option<usize> {
+    for _ in 0..max_attempts {
+        if let Received::Packet(p) = ch.receive() {
+            let ni = p.next_index();
+            if ni == u32::MAX {
+                return None; // cycle carries no index at all
+            }
+            return Some((ch.offset() + ni as usize) % ch.cycle_len());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spair_broadcast::cycle::{CycleBuilder, SegmentKind};
+    use spair_broadcast::packet::PacketKind;
+    use spair_broadcast::LossModel;
+
+    fn test_cycle(n: usize) -> spair_broadcast::BroadcastCycle {
+        let mut b = CycleBuilder::new();
+        b.push_segment(
+            SegmentKind::GlobalIndex,
+            PacketKind::Index,
+            vec![Bytes::from(vec![255u8])],
+        );
+        b.push_segment(
+            SegmentKind::NetworkData,
+            PacketKind::Data,
+            (1..n).map(|i| Bytes::from(vec![i as u8])).collect(),
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn segment_reception_in_order() {
+        let c = test_cycle(10);
+        let mut ch = BroadcastChannel::lossless(&c);
+        let got = receive_segment(&mut ch, 3, 4);
+        let bytes: Vec<u8> = got.iter().map(|o| o.as_ref().unwrap()[0]).collect();
+        assert_eq!(bytes, vec![3, 4, 5, 6]);
+        assert_eq!(ch.tuned(), 4);
+    }
+
+    #[test]
+    fn segment_wraps_cycle() {
+        let c = test_cycle(6);
+        let mut ch = BroadcastChannel::lossless(&c);
+        let got = receive_segment(&mut ch, 4, 4);
+        let bytes: Vec<u8> = got.iter().map(|o| o.as_ref().unwrap()[0]).collect();
+        assert_eq!(bytes, vec![4, 5, 255, 1]);
+    }
+
+    #[test]
+    fn reliable_reception_recovers_losses() {
+        let c = test_cycle(20);
+        let mut ch = BroadcastChannel::tune_in(&c, 0, LossModel::bernoulli(0.3, 99));
+        let got = receive_segment_reliable(&mut ch, 2, 10, MAX_RETRY_CYCLES).unwrap();
+        let bytes: Vec<u8> = got.iter().map(|b| b[0]).collect();
+        assert_eq!(bytes, (2..12).map(|i| i as u8).collect::<Vec<_>>());
+        // Retries cost extra tuning and latency.
+        assert!(ch.tuned() >= 10);
+    }
+
+    #[test]
+    fn reliable_reception_lossless_is_one_pass() {
+        let c = test_cycle(12);
+        let mut ch = BroadcastChannel::lossless(&c);
+        let got = receive_segment_reliable(&mut ch, 0, 5, MAX_RETRY_CYCLES).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(ch.tuned(), 5);
+        assert_eq!(ch.elapsed(), 5);
+    }
+
+    #[test]
+    fn find_next_index_follows_pointer() {
+        let c = test_cycle(8);
+        // Tune in mid-data: pointer should lead to offset 0 (the index).
+        let mut ch = BroadcastChannel::tune_in(&c, 3, LossModel::Lossless);
+        let idx = find_next_index(&mut ch, 10).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(ch.tuned(), 1);
+    }
+
+    #[test]
+    fn find_next_index_retries_on_loss() {
+        let c = test_cycle(8);
+        let mut ch = BroadcastChannel::tune_in(&c, 3, LossModel::bernoulli(0.5, 7));
+        let idx = find_next_index(&mut ch, 1000).unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn find_next_index_none_without_index() {
+        let mut b = CycleBuilder::new();
+        b.push_segment(
+            SegmentKind::NetworkData,
+            PacketKind::Data,
+            vec![Bytes::from(vec![1u8]); 4],
+        );
+        let c = b.finish();
+        let mut ch = BroadcastChannel::lossless(&c);
+        assert_eq!(find_next_index(&mut ch, 10), None);
+    }
+}

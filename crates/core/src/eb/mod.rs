@@ -1,0 +1,27 @@
+//! The Elliptic Boundary (EB) method (paper §4).
+//!
+//! Server side: partition the network with a kd-tree, precompute min/max
+//! shortest-path distances between the border nodes of every region pair,
+//! and broadcast (a) the kd splitting values, (b) the n×n min/max matrix
+//! `A`, and (c) a per-region offset table — followed by the region data,
+//! with `(1,m)` index replication forced between regions. Region data is
+//! split into a cross-border segment and a local segment so non-terminal
+//! regions cost only the former (§4.1's ~20% tuning saving).
+//!
+//! Client side (§4.2, Algorithm 1): receive the index, locate `Rs`/`Rt`,
+//! take `UB = A[Rs][Rt].max`, receive exactly the regions `R` with
+//! `A[Rs][R].min + A[R][Rt].min ≤ UB`, and run Dijkstra over their union.
+//!
+//! Soundness of the pruning: the optimal path's middle segment between its
+//! first exit from `Rs` and last entry into `Rt` is itself a shortest path
+//! between border nodes of `Rs` and `Rt`, hence no longer than `UB`; every
+//! region that segment touches therefore satisfies the kept-inequality,
+//! and the prefix/suffix lie inside `Rs`/`Rt`, which are always received.
+
+mod client;
+pub mod index;
+mod server;
+
+pub use client::EbClient;
+pub use index::{EbIndex, EbRegionEntry};
+pub use server::{EbProgram, EbServer, EbSummary};

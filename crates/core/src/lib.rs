@@ -1,0 +1,52 @@
+//! The paper's contribution: **Elliptic Boundary (EB)** and **Next Region
+//! (NR)** air-index methods for shortest path computation on wireless
+//! broadcast channels (Kellaris & Mouratidis, PVLDB 2010).
+//!
+//! Both methods partition the road network into regions (kd-tree, §4.1),
+//! precompute shortest paths between all border nodes of different regions
+//! on the server, and broadcast concise per-region metadata so a client can
+//! *selectively tune*: it listens only to the regions that can contain its
+//! shortest path and sleeps through everything else.
+//!
+//! * **EB** (§4) broadcasts an `n × n` matrix of min/max border-pair
+//!   distances. The max entry for `(Rs, Rt)` upper-bounds the inter-region
+//!   portion of any source-target path, and a region `R` survives pruning
+//!   only if `min(Rs,R) + min(R,Rt)` does not exceed that bound — a
+//!   network-distance "ellipse" with foci `Rs` and `Rt`.
+//! * **NR** (§5) stores, per region pair, which regions some border-pair
+//!   shortest path traverses — but instead of broadcasting the full n³
+//!   table, each region `Rm` is preceded by a small local index `A^m`
+//!   telling the client only *the next needed region* in broadcast order.
+//!   The client hops from region to region, never receiving a global index.
+//!
+//! Additional machinery: [`memory_bound`] implements §6.1 (collapse each
+//! received region into super-edges between its border nodes, for
+//! heap-constrained devices), and both clients implement the packet-loss
+//! recovery rules of §6.2.
+//!
+//! The crate also hosts the pieces shared with the baseline methods:
+//! [`precompute`] (border-pair Dijkstra pass) and [`netcodec`] (the on-air
+//! encoding of adjacency lists).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client_common;
+pub mod eb;
+pub mod knn;
+pub mod memory_bound;
+pub mod netcodec;
+pub mod onedge;
+pub mod nr;
+pub mod precompute;
+pub mod query;
+pub mod regionset;
+
+pub use eb::{EbClient, EbProgram, EbServer, EbSummary};
+pub use knn::{KnnClient, KnnProgram, KnnServer};
+pub use memory_bound::MemoryBoundProcessor;
+pub use onedge::{on_edge_query, OnEdgeOutcome, OnEdgePoint};
+pub use nr::{NrClient, NrProgram, NrServer, NrSummary};
+pub use precompute::{BorderPrecomputation, MinMax};
+pub use query::{Query, QueryError, QueryOutcome};
+pub use regionset::RegionSet;

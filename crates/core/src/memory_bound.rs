@@ -1,0 +1,396 @@
+//! Memory-bound processing (paper §6.1).
+//!
+//! A device with very limited heap can avoid keeping every received region
+//! in memory: as soon as a region `R` is fully received, the client runs
+//! Dijkstra *within* `R` from each of its border nodes (plus `v_s`/`v_t`
+//! for the terminal regions) and keeps only the resulting **super-edges**
+//! — border-to-border shortest paths with their costs — discarding the raw
+//! adjacency data. The final search runs over the graph `G'` of
+//! super-edges and border edges; super-edges on the answer path are then
+//! replaced by the paths they abbreviate.
+//!
+//! The contraction preserves distances: any true shortest path decomposes
+//! into maximal intra-region segments between anchors, and each segment is
+//! replaced by a super-edge of exactly its region-restricted shortest
+//! length, while every super-edge expands back to a real path. The paper
+//! reports ~35% lower peak memory at the cost of extra client CPU
+//! (Figure 13); the trade-off is reproduced by the `fig13` experiment.
+//!
+//! **Path storage.** The paper does not account for where the expansion
+//! paths of super-edges live; storing every border-pair path can dwarf the
+//! raw region data when the border/node ratio is high. The processor
+//! therefore has two modes: the default stores super-edge *costs* only
+//! (matching the paper's reported memory saving; the answer path is
+//! anchor-level, with super-edges left contracted), and `keep_paths`
+//! additionally retains the expansions so the returned path is the full
+//! node sequence. The saving materializes when regions are large relative
+//! to their border count — exactly the road-network regime (a few percent
+//! of a kd region's nodes are border nodes at paper scale).
+
+use crate::netcodec::ReceivedGraph;
+use crate::query::decoded_node_bytes;
+use spair_broadcast::{CpuMeter, MemoryMeter};
+use spair_roadnet::{Distance, MinHeap, NodeId, Weight};
+use std::collections::{HashMap, HashSet};
+
+/// One edge of the contracted graph `G'`.
+#[derive(Debug, Clone)]
+enum GEdge {
+    /// A raw network edge retained as-is (border/cross edges).
+    Raw(Weight),
+    /// A super-edge abbreviating an intra-region path (index into the
+    /// stored path table).
+    Super(Distance, usize),
+}
+
+/// Incremental §6.1 contractor.
+#[derive(Debug, Default)]
+pub struct MemoryBoundProcessor {
+    gprime: HashMap<NodeId, Vec<(NodeId, GEdge)>>,
+    paths: Vec<Vec<NodeId>>,
+    keep_paths: bool,
+    /// Peak/current memory of the retained state (G' plus the region
+    /// currently being contracted).
+    pub mem: MemoryMeter,
+    /// CPU spent contracting (the paper notes it must outpace reception).
+    pub cpu: CpuMeter,
+}
+
+impl MemoryBoundProcessor {
+    /// Costs-only processor (the paper's memory model).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processor that also retains expansion paths, so answers carry the
+    /// full node sequence.
+    pub fn with_paths() -> Self {
+        Self {
+            keep_paths: true,
+            ..Self::default()
+        }
+    }
+
+    /// Contracts one fully received region.
+    ///
+    /// `region_nodes` are the node ids of the region with their adjacency
+    /// in `store`; `terminals` lists query endpoints inside this region
+    /// (empty for non-terminal regions). The region's raw data is charged
+    /// to the meter while the contraction runs and released afterwards —
+    /// that is precisely the §6.1 saving.
+    pub fn add_region(
+        &mut self,
+        store: &ReceivedGraph,
+        region_nodes: &[NodeId],
+        terminals: &[NodeId],
+    ) {
+        // Charge the raw region (it had to be held during reception).
+        let raw_bytes: usize = region_nodes
+            .iter()
+            .map(|&v| decoded_node_bytes(store.out_edges(v).len()))
+            .sum();
+        self.mem.alloc(raw_bytes);
+
+        let inside: HashSet<NodeId> = region_nodes.iter().copied().collect();
+        let mut anchors: Vec<NodeId> = region_nodes
+            .iter()
+            .copied()
+            .filter(|&v| store.is_border(v).unwrap_or(false))
+            .collect();
+        for &t in terminals {
+            if inside.contains(&t) && !anchors.contains(&t) {
+                anchors.push(t);
+            }
+        }
+
+        let anchor_set: HashSet<NodeId> = anchors.iter().copied().collect();
+        let mut new_edges: Vec<(NodeId, NodeId, GEdge)> = Vec::new();
+        let mut path_bytes = 0usize;
+        let keep_paths = self.keep_paths;
+        self.cpu.time(|| {
+            for &a in &anchors {
+                path_bytes += contract_from(
+                    store,
+                    a,
+                    &inside,
+                    &anchor_set,
+                    keep_paths,
+                    &mut self.paths,
+                    &mut new_edges,
+                );
+            }
+            // Keep raw cross-region edges of border nodes (border edges).
+            for &v in &anchors {
+                for &(u, w) in store.out_edges(v) {
+                    if !inside.contains(&u) {
+                        new_edges.push((v, u, GEdge::Raw(w)));
+                    }
+                }
+            }
+        });
+        self.mem.alloc(path_bytes + new_edges.len() * 16);
+        for (from, to, e) in new_edges {
+            self.gprime.entry(from).or_default().push((to, e));
+        }
+
+        // Release the raw region data (§6.1: "the region data can be
+        // discarded").
+        self.mem.free(raw_bytes);
+    }
+
+    /// Final Dijkstra over `G'` followed by super-edge expansion.
+    pub fn shortest_path(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+    ) -> Option<(Distance, Vec<NodeId>)> {
+        let gprime = std::mem::take(&mut self.gprime);
+        let result = self.cpu.time(|| {
+            let mut dist: HashMap<NodeId, Distance> = HashMap::new();
+            let mut parent: HashMap<NodeId, (NodeId, Option<usize>)> = HashMap::new();
+            let mut heap = MinHeap::new();
+            dist.insert(source, 0);
+            heap.push(0, source);
+            while let Some(e) = heap.pop() {
+                let v = e.item;
+                if dist.get(&v) != Some(&e.key) {
+                    continue;
+                }
+                if v == target {
+                    break;
+                }
+                for (u, edge) in gprime.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+                    let (cost, pidx) = match edge {
+                        GEdge::Raw(w) => (*w as Distance, None),
+                        GEdge::Super(d, i) => (*d, Some(*i)),
+                    };
+                    let cand = e.key + cost;
+                    if dist.get(u).is_none_or(|&d| cand < d) {
+                        dist.insert(*u, cand);
+                        parent.insert(*u, (v, pidx));
+                        heap.push(cand, *u);
+                    }
+                }
+            }
+            (dist, parent)
+        });
+        self.gprime = gprime;
+        let (dist, parent) = result;
+        let d = *dist.get(&target)?;
+        // Expand: walk parents, splicing super-edge paths back in.
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != source {
+            let &(p, pidx) = parent.get(&cur)?;
+            match pidx {
+                None | Some(usize::MAX) => path.push(p),
+                Some(i) => {
+                    // Stored path runs p -> cur; splice reversed interior.
+                    let sp = &self.paths[i];
+                    debug_assert_eq!(sp.first(), Some(&p));
+                    debug_assert_eq!(sp.last(), Some(&cur));
+                    for &node in sp.iter().rev().skip(1) {
+                        path.push(node);
+                    }
+                }
+            }
+            cur = p;
+        }
+        path.reverse();
+        Some((d, path))
+    }
+}
+
+/// Region-restricted Dijkstra from anchor `a`; appends super-edges to
+/// every other anchor reached. Returns the bytes of stored paths.
+fn contract_from(
+    store: &ReceivedGraph,
+    a: NodeId,
+    inside: &HashSet<NodeId>,
+    anchors: &HashSet<NodeId>,
+    keep_paths: bool,
+    paths: &mut Vec<Vec<NodeId>>,
+    out: &mut Vec<(NodeId, NodeId, GEdge)>,
+) -> usize {
+    let mut dist: HashMap<NodeId, Distance> = HashMap::new();
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut heap = MinHeap::new();
+    dist.insert(a, 0);
+    heap.push(0, a);
+    while let Some(e) = heap.pop() {
+        let v = e.item;
+        if dist.get(&v) != Some(&e.key) {
+            continue;
+        }
+        for &(u, w) in store.out_edges(v) {
+            if !inside.contains(&u) {
+                continue;
+            }
+            let cand = e.key + w as Distance;
+            if dist.get(&u).is_none_or(|&d| cand < d) {
+                dist.insert(u, cand);
+                parent.insert(u, v);
+                heap.push(cand, u);
+            }
+        }
+    }
+    let mut bytes = 0usize;
+    for (&b, &d) in &dist {
+        if b == a || !anchors.contains(&b) {
+            continue;
+        }
+        let idx = if keep_paths {
+            let mut path = vec![b];
+            let mut cur = b;
+            while let Some(&p) = parent.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            bytes += 4 * path.len();
+            paths.push(path);
+            paths.len() - 1
+        } else {
+            usize::MAX // contracted marker: answer path stays anchor-level
+        };
+        out.push((a, b, GEdge::Super(d, idx)));
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netcodec::{decode_payload, encode_nodes_with_borders};
+    use crate::precompute::BorderPrecomputation;
+    use spair_partition::{KdTreePartition, Partitioning};
+    use spair_roadnet::generators::small_grid;
+    use spair_roadnet::{dijkstra_distance, RoadNetwork};
+
+    /// Builds a ReceivedGraph holding the whole network with true border
+    /// flags, plus the per-region node lists.
+    fn received_world(g: &RoadNetwork, regions: usize) -> (ReceivedGraph, Vec<Vec<NodeId>>) {
+        let part = KdTreePartition::build(g, regions);
+        let pre = BorderPrecomputation::run(g, &part);
+        let mut store = ReceivedGraph::new();
+        for r in 0..regions {
+            let nodes = &part.nodes_by_region()[r];
+            for payload in encode_nodes_with_borders(g, nodes, |v| pre.borders().is_border(v)) {
+                for rec in decode_payload(&payload).unwrap() {
+                    store.ingest(rec);
+                }
+            }
+        }
+        (store, part.nodes_by_region().to_vec())
+    }
+
+    #[test]
+    fn distances_match_plain_search() {
+        let g = small_grid(10, 10, 3);
+        let (store, by_region) = received_world(&g, 8);
+        for &(s, t) in &[(0u32, 99u32), (5, 60), (42, 43)] {
+            let mut proc = MemoryBoundProcessor::with_paths();
+            for nodes in &by_region {
+                let terminals: Vec<NodeId> =
+                    [s, t].iter().copied().filter(|v| nodes.contains(v)).collect();
+                proc.add_region(&store, nodes, &terminals);
+            }
+            let got = proc.shortest_path(s, t);
+            assert_eq!(
+                got.as_ref().map(|(d, _)| *d),
+                dijkstra_distance(&g, s, t),
+                "{s}->{t}"
+            );
+            // Expanded path must be a real path of the claimed length.
+            let (d, path) = got.unwrap();
+            let mut acc: Distance = 0;
+            for w in path.windows(2) {
+                acc += g.weight_between(w[0], w[1]).unwrap() as Distance;
+            }
+            assert_eq!(acc, d);
+            assert_eq!(path.first(), Some(&s));
+            assert_eq!(path.last(), Some(&t));
+        }
+    }
+
+    #[test]
+    fn peak_memory_below_plain_retention() {
+        // The saving needs regions that are big relative to their border
+        // count (the road-network regime): four chain clusters joined by
+        // single bridge edges, so each region has at most two border
+        // nodes.
+        use spair_roadnet::{GraphBuilder, Point};
+        let k: u32 = 60;
+        let mut b = GraphBuilder::new();
+        for c in 0..4 {
+            for i in 0..k {
+                b.add_node(Point::new(c as f64 * 1000.0 + (i % 10) as f64, (i / 10) as f64));
+            }
+        }
+        for c in 0..4u32 {
+            let base = c * k;
+            for i in 0..k - 1 {
+                b.add_undirected_edge(base + i, base + i + 1, 3);
+            }
+            if c < 3 {
+                b.add_undirected_edge(base + k - 1, base + k, 5); // bridge
+            }
+        }
+        let g = b.finish();
+        let (store, by_region) = received_world(&g, 4);
+        let (s, t) = (0u32, 4 * k - 1);
+        let mut proc = MemoryBoundProcessor::new();
+        for nodes in &by_region {
+            let terminals: Vec<NodeId> =
+                [s, t].iter().copied().filter(|v| nodes.contains(v)).collect();
+            proc.add_region(&store, nodes, &terminals);
+        }
+        let plain = store.retained_bytes();
+        assert!(
+            proc.mem.peak() < plain,
+            "contracted peak {} vs plain {}",
+            proc.mem.peak(),
+            plain
+        );
+        let got = proc.shortest_path(s, t).map(|(d, _)| d);
+        assert_eq!(got, dijkstra_distance(&g, s, t));
+    }
+
+    #[test]
+    fn terminal_inside_single_region() {
+        let g = small_grid(8, 8, 1);
+        let (store, by_region) = received_world(&g, 4);
+        // Source and target in the same region.
+        let nodes0 = &by_region[0];
+        let (s, t) = (nodes0[0], *nodes0.last().unwrap());
+        let mut proc = MemoryBoundProcessor::with_paths();
+        for nodes in &by_region {
+            let terminals: Vec<NodeId> =
+                [s, t].iter().copied().filter(|v| nodes.contains(v)).collect();
+            proc.add_region(&store, nodes, &terminals);
+        }
+        assert_eq!(
+            proc.shortest_path(s, t).map(|(d, _)| d),
+            dijkstra_distance(&g, s, t)
+        );
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let store = ReceivedGraph::new();
+        let mut proc = MemoryBoundProcessor::new();
+        proc.add_region(&store, &[], &[]);
+        assert!(proc.shortest_path(0, 1).is_none());
+    }
+
+    #[test]
+    fn contraction_cpu_is_measured() {
+        let g = small_grid(8, 8, 2);
+        let (store, by_region) = received_world(&g, 4);
+        let mut proc = MemoryBoundProcessor::new();
+        for nodes in &by_region {
+            proc.add_region(&store, nodes, &[]);
+        }
+        assert!(proc.cpu.total().as_nanos() > 0);
+    }
+}

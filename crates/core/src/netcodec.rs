@@ -1,0 +1,363 @@
+//! On-air encoding of road-network data (adjacency lists).
+//!
+//! One *node record* carries a node's id, coordinates and (a chunk of) its
+//! adjacency list: `id:u32, x:f32, y:f32, count:u8, flags:u8,
+//! count × (target:u32, weight:u32)`. High-degree nodes split across
+//! records (flag bit 0 marks continuation chunks exist), so records always
+//! fit a packet and a lost packet costs only the records inside it. Flag
+//! bit 1 marks border nodes — the client-side super-edge contraction of
+//! §6.1 needs to know a region's border nodes, and the server knows them
+//! for free.
+//!
+//! The decoded in-memory footprint of a record is what the client memory
+//! meter charges: the paper's clients keep adjacency lists of every
+//! received node for the final Dijkstra.
+
+use crate::query::decoded_node_bytes;
+use bytes::Bytes;
+use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_roadnet::{NodeId, Point, RoadNetwork, Weight};
+
+/// Maximum adjacency entries per record so the record fits a payload:
+/// header 14 bytes + k×8 ≤ 123 → k ≤ 13.
+pub const MAX_EDGES_PER_RECORD: usize = 13;
+
+/// A decoded node record (one chunk of a node's adjacency list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord {
+    /// Node id.
+    pub id: NodeId,
+    /// Node coordinates.
+    pub point: Point,
+    /// Whether further chunks of this node's adjacency follow.
+    pub more: bool,
+    /// Whether the node is a border node of its region.
+    pub border: bool,
+    /// `(target, weight)` adjacency entries in this chunk.
+    pub edges: Vec<(NodeId, Weight)>,
+}
+
+/// Encodes the adjacency data of `nodes` (in the given order) into packet
+/// payloads. No nodes are marked as border nodes; use
+/// [`encode_nodes_with_borders`] when the §6.1 contraction matters.
+pub fn encode_nodes(g: &RoadNetwork, nodes: &[NodeId]) -> Vec<Bytes> {
+    encode_nodes_with_borders(g, nodes, |_| false)
+}
+
+/// Encodes adjacency data, flagging border nodes per `is_border`.
+pub fn encode_nodes_with_borders(
+    g: &RoadNetwork,
+    nodes: &[NodeId],
+    is_border: impl Fn(NodeId) -> bool,
+) -> Vec<Bytes> {
+    let mut w = RecordWriter::new();
+    let mut rec = RecordBuf::new();
+    for &v in nodes {
+        let edges: Vec<(NodeId, Weight)> = g.out_edges(v).collect();
+        let chunks: Vec<&[(NodeId, Weight)]> = if edges.is_empty() {
+            vec![&[][..]]
+        } else {
+            edges.chunks(MAX_EDGES_PER_RECORD).collect()
+        };
+        let last = chunks.len() - 1;
+        for (ci, chunk) in chunks.iter().enumerate() {
+            rec.clear();
+            let p = g.point(v);
+            let flags = u8::from(ci != last) | (u8::from(is_border(v)) << 1);
+            rec.put_u32(v)
+                .put_f32(p.x as f32)
+                .put_f32(p.y as f32)
+                .put_u8(chunk.len() as u8)
+                .put_u8(flags);
+            for &(t, wt) in chunk.iter() {
+                rec.put_u32(t).put_u32(wt);
+            }
+            w.push_record(rec.as_slice());
+        }
+    }
+    w.finish()
+}
+
+/// Decodes all node records in one payload. Returns `None` on a malformed
+/// payload (which clients treat like a lost packet).
+pub fn decode_payload(payload: &[u8]) -> Option<Vec<NodeRecord>> {
+    let mut r = PayloadReader::new(payload);
+    let mut out = Vec::new();
+    while !r.is_empty() {
+        let id = r.read_u32()?;
+        let x = r.read_f32()?;
+        let y = r.read_f32()?;
+        let count = r.read_u8()? as usize;
+        let flags = r.read_u8()?;
+        let more = flags & 1 != 0;
+        let border = flags & 2 != 0;
+        if count > MAX_EDGES_PER_RECORD {
+            return None;
+        }
+        let mut edges = Vec::with_capacity(count);
+        for _ in 0..count {
+            let t = r.read_u32()?;
+            let w = r.read_u32()?;
+            edges.push((t, w));
+        }
+        out.push(NodeRecord {
+            id,
+            point: Point::new(x as f64, y as f64),
+            more,
+            border,
+            edges,
+        });
+    }
+    Some(out)
+}
+
+/// Packets needed to broadcast the adjacency data of `nodes`.
+pub fn packet_count(g: &RoadNetwork, nodes: &[NodeId]) -> usize {
+    encode_nodes(g, nodes).len()
+}
+
+/// Decoded per-node state: coordinates, border flag, adjacency.
+type StoredNode = (Point, bool, Vec<(NodeId, Weight)>);
+
+/// A client-side store of received adjacency data, with memory accounting
+/// hooks. Nodes may arrive in multiple chunks; the store merges them.
+#[derive(Debug, Default)]
+pub struct ReceivedGraph {
+    /// `(point, border flag, adjacency)` per received node.
+    nodes: std::collections::HashMap<NodeId, StoredNode>,
+}
+
+impl ReceivedGraph {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one record; returns the bytes newly retained (for the
+    /// memory meter).
+    pub fn ingest(&mut self, rec: NodeRecord) -> usize {
+        let entry = self
+            .nodes
+            .entry(rec.id)
+            .or_insert_with(|| (rec.point, rec.border, Vec::new()));
+        entry.1 |= rec.border;
+        let added = rec.edges.len();
+        entry.2.extend(rec.edges);
+        // Charge per decoded edge plus once per fresh node.
+        let fresh_node = if entry.2.len() == added {
+            decoded_node_bytes(0)
+        } else {
+            0
+        };
+        fresh_node + added * 8
+    }
+
+    /// Number of distinct nodes received.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `v` was received.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.contains_key(&v)
+    }
+
+    /// Out-edges of `v` (empty if unknown).
+    pub fn out_edges(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        self.nodes
+            .get(&v)
+            .map(|(_, _, e)| e.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Point of `v`, if received.
+    pub fn point(&self, v: NodeId) -> Option<Point> {
+        self.nodes.get(&v).map(|(p, _, _)| *p)
+    }
+
+    /// Whether `v` was flagged as a border node of its region.
+    pub fn is_border(&self, v: NodeId) -> Option<bool> {
+        self.nodes.get(&v).map(|(_, b, _)| *b)
+    }
+
+    /// Iterates received node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Total retained bytes (consistent with the per-ingest charges).
+    pub fn retained_bytes(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|(_, _, e)| decoded_node_bytes(0) + e.len() * 8)
+            .sum()
+    }
+
+    /// Drops a node's adjacency (memory-bound processing discards region
+    /// data after contraction); returns bytes released.
+    pub fn discard(&mut self, v: NodeId) -> usize {
+        match self.nodes.remove(&v) {
+            Some((_, _, e)) => decoded_node_bytes(0) + e.len() * 8,
+            None => 0,
+        }
+    }
+
+    /// Dijkstra from `source` to `target` over the received subgraph.
+    /// Returns `(distance, path)` if `target` is reachable, plus settled
+    /// node count.
+    pub fn shortest_path(
+        &self,
+        source: NodeId,
+        target: NodeId,
+    ) -> (Option<(u64, Vec<NodeId>)>, usize) {
+        use spair_roadnet::MinHeap;
+        use std::collections::HashMap;
+        let mut dist: HashMap<NodeId, u64> = HashMap::new();
+        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut heap = MinHeap::new();
+        let mut settled = 0usize;
+        dist.insert(source, 0);
+        heap.push(0, source);
+        while let Some(e) = heap.pop() {
+            let v = e.item;
+            if dist.get(&v) != Some(&e.key) {
+                continue;
+            }
+            settled += 1;
+            if v == target {
+                let mut path = vec![v];
+                let mut cur = v;
+                while let Some(&p) = parent.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return (Some((e.key, path)), settled);
+            }
+            for &(u, w) in self.out_edges(v) {
+                let cand = e.key + w as u64;
+                if dist.get(&u).is_none_or(|&d| cand < d) {
+                    dist.insert(u, cand);
+                    parent.insert(u, v);
+                    heap.push(cand, u);
+                }
+            }
+        }
+        (None, settled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spair_roadnet::generators::small_grid;
+    use spair_roadnet::{dijkstra_distance, GraphBuilder};
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let g = small_grid(6, 6, 1);
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        let payloads = encode_nodes(&g, &nodes);
+        let mut store = ReceivedGraph::new();
+        for p in &payloads {
+            for rec in decode_payload(p).unwrap() {
+                store.ingest(rec);
+            }
+        }
+        assert_eq!(store.num_nodes(), g.num_nodes());
+        for v in g.node_ids() {
+            let mut want: Vec<_> = g.out_edges(v).collect();
+            let mut got = store.out_edges(v).to_vec();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(want, got, "node {v}");
+            let p = store.point(v).unwrap();
+            assert!((p.x - g.point(v).x).abs() < 0.51); // f32 quantization
+        }
+    }
+
+    #[test]
+    fn high_degree_nodes_split_into_chunks() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(Point::new(0.0, 0.0));
+        for i in 0..30 {
+            let v = b.add_node(Point::new(i as f64, 1.0));
+            b.add_edge(hub, v, i + 1);
+        }
+        let g = b.finish();
+        let payloads = encode_nodes(&g, &[hub]);
+        let mut recs = Vec::new();
+        for p in &payloads {
+            recs.extend(decode_payload(p).unwrap());
+        }
+        assert!(recs.len() >= 3, "30 edges need >= 3 chunks of 13");
+        assert!(recs[0].more);
+        assert!(!recs.last().unwrap().more);
+        let mut store = ReceivedGraph::new();
+        for r in recs {
+            store.ingest(r);
+        }
+        assert_eq!(store.out_edges(hub).len(), 30);
+    }
+
+    #[test]
+    fn isolated_node_still_encoded() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(5.0, 5.0));
+        let g = b.finish();
+        let payloads = encode_nodes(&g, &[0]);
+        let recs = decode_payload(&payloads[0]).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].edges.is_empty());
+        assert!(!recs[0].more);
+    }
+
+    #[test]
+    fn malformed_payload_returns_none() {
+        assert!(decode_payload(&[1, 2, 3]).is_none());
+        // Valid header claiming more edges than present.
+        let mut rec = RecordBuf::new();
+        rec.put_u32(0).put_f32(0.0).put_f32(0.0).put_u8(5).put_u8(0);
+        assert!(decode_payload(rec.as_slice()).is_none());
+    }
+
+    #[test]
+    fn received_subgraph_shortest_path_matches_full_graph() {
+        let g = small_grid(7, 7, 9);
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        let mut store = ReceivedGraph::new();
+        for p in &encode_nodes(&g, &nodes) {
+            for rec in decode_payload(p).unwrap() {
+                store.ingest(rec);
+            }
+        }
+        for &(s, t) in &[(0u32, 48u32), (3, 40), (10, 10)] {
+            let (res, _) = store.shortest_path(s, t);
+            assert_eq!(res.map(|(d, _)| d), dijkstra_distance(&g, s, t));
+        }
+    }
+
+    #[test]
+    fn memory_accounting_matches_retained() {
+        let g = small_grid(5, 5, 2);
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        let mut store = ReceivedGraph::new();
+        let mut charged = 0usize;
+        for p in &encode_nodes(&g, &nodes) {
+            for rec in decode_payload(p).unwrap() {
+                charged += store.ingest(rec);
+            }
+        }
+        assert_eq!(charged, store.retained_bytes());
+        let freed = store.discard(0);
+        assert!(freed > 0);
+        assert_eq!(charged - freed, store.retained_bytes());
+    }
+
+    #[test]
+    fn packet_count_is_encode_length() {
+        let g = small_grid(6, 6, 3);
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        assert_eq!(packet_count(&g, &nodes), encode_nodes(&g, &nodes).len());
+    }
+}

@@ -1,0 +1,25 @@
+//! The Next Region (NR) method (paper §5).
+//!
+//! NR fixes EB's weakness on long paths: instead of an elliptic candidate
+//! set derived from distance bounds, the server records — per region pair
+//! `(Ri, Rj)` — exactly which regions some border-pair shortest path
+//! traverses. Broadcasting that n³ table would dwarf the network, so NR
+//! ships no global index at all: each region `Rm` is preceded by a small
+//! *local* index `A^m` whose `(Ri, Rj)` cell names only the **next needed
+//! region in broadcast order**. The client hops: receive a local index,
+//! look up one cell, sleep to the named region, receive it together with
+//! the local index that follows it, look up the next cell, ... until the
+//! cell points at a region it already holds (Algorithm 2).
+//!
+//! This is fundamentally different from replicating one global index
+//! (1,m)-style: the client starts useful work one local index after tuning
+//! in, receives only the tiny slices of indexing information it needs, and
+//! the cycle stays barely longer than the raw network data.
+
+mod client;
+mod index;
+mod server;
+
+pub use client::NrClient;
+pub use index::{NrLocalIndex, NrOffsetEntry};
+pub use server::{NrProgram, NrServer, NrSummary};

@@ -1,0 +1,186 @@
+//! Compact sets of region ids, and the n×n matrix of such sets that NR's
+//! precomputation produces (the boolean n³ array of §5, stored as bitsets).
+
+use spair_partition::RegionId;
+
+/// A bitset over region ids `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSet {
+    words: Vec<u64>,
+    num_regions: usize,
+}
+
+impl RegionSet {
+    /// Empty set over `num_regions` regions.
+    pub fn new(num_regions: usize) -> Self {
+        Self {
+            words: vec![0; num_regions.div_ceil(64)],
+            num_regions,
+        }
+    }
+
+    /// Number of regions the set ranges over.
+    pub fn num_regions(&self) -> usize {
+        self.num_regions
+    }
+
+    /// Inserts `r`.
+    #[inline]
+    pub fn insert(&mut self, r: RegionId) {
+        debug_assert!((r as usize) < self.num_regions);
+        self.words[r as usize / 64] |= 1u64 << (r as usize % 64);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, r: RegionId) -> bool {
+        (self.words[r as usize / 64] >> (r as usize % 64)) & 1 == 1
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &RegionSet) {
+        debug_assert_eq!(self.num_regions, other.num_regions);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of regions in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the member region ids ascending.
+    pub fn iter(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros();
+                    w &= w - 1;
+                    Some((wi * 64) as RegionId + bit as RegionId)
+                }
+            })
+        })
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Raw words (exposed for tests and the precomputation DP).
+    #[cfg(test)]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Unions raw words into this set.
+    pub(crate) fn union_words(&mut self, words: &[u64]) {
+        debug_assert_eq!(self.words.len(), words.len());
+        for (a, &b) in self.words.iter_mut().zip(words) {
+            *a |= b;
+        }
+    }
+}
+
+/// An `n × n` matrix of [`RegionSet`]s: cell `(i, j)` holds the regions
+/// traversed by some shortest path from a border node of `Ri` to a border
+/// node of `Rj`.
+#[derive(Debug, Clone)]
+pub struct RegionSetMatrix {
+    sets: Vec<RegionSet>,
+    n: usize,
+}
+
+impl RegionSetMatrix {
+    /// All-empty matrix for `n` regions.
+    pub fn new(n: usize) -> Self {
+        Self {
+            sets: vec![RegionSet::new(n); n * n],
+            n,
+        }
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.n
+    }
+
+    /// The set for `(from, to)`.
+    #[inline]
+    pub fn get(&self, from: RegionId, to: RegionId) -> &RegionSet {
+        &self.sets[from as usize * self.n + to as usize]
+    }
+
+    /// Mutable set for `(from, to)`.
+    #[inline]
+    pub fn get_mut(&mut self, from: RegionId, to: RegionId) -> &mut RegionSet {
+        &mut self.sets[from as usize * self.n + to as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut s = RegionSet::new(130);
+        for r in [0u16, 63, 64, 65, 129] {
+            s.insert(r);
+        }
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 129]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut a = RegionSet::new(70);
+        let mut b = RegionSet::new(70);
+        a.insert(1);
+        b.insert(69);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(69));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = RegionSet::new(10);
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn matrix_cells_independent() {
+        let mut m = RegionSetMatrix::new(4);
+        m.get_mut(1, 2).insert(3);
+        assert!(m.get(1, 2).contains(3));
+        assert!(!m.get(2, 1).contains(3));
+        assert!(m.get(0, 0).is_empty());
+    }
+
+    #[test]
+    fn word_level_union() {
+        let mut a = RegionSet::new(128);
+        let mut b = RegionSet::new(128);
+        b.insert(127);
+        b.insert(2);
+        a.union_words(b.words());
+        assert!(a.contains(127) && a.contains(2));
+    }
+}

@@ -1,0 +1,163 @@
+//! Border-node analysis (paper §2.1 / §4.1).
+//!
+//! A node is a *border node* of its region if at least one adjacent node
+//! (in either edge direction — the graph is directed) lies in a different
+//! region. Border nodes are where all inter-region shortest paths cross,
+//! which is why EB/NR precompute exactly the border-pair distances.
+//!
+//! EB further classifies the remaining nodes (§4.1, end): a node is
+//! *cross-border* if it appears on at least one precomputed border-pair
+//! shortest path, otherwise *local*. Cross-border/local is computed later
+//! by the precomputation pass (it needs the shortest paths); this module
+//! owns the classification storage.
+
+use crate::{Partitioning, RegionId};
+use spair_roadnet::{NodeId, RoadNetwork};
+
+/// Classification of a node within its region (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeClass {
+    /// Has a neighbour in another region.
+    Border,
+    /// Non-border, but lies on some border-pair shortest path.
+    CrossBorder,
+    /// Appears on no inter-region shortest path.
+    Local,
+}
+
+/// Border nodes of every region, plus per-node flags.
+#[derive(Debug, Clone)]
+pub struct BorderInfo {
+    is_border: Vec<bool>,
+    /// Border node ids per region, ascending.
+    per_region: Vec<Vec<NodeId>>,
+    /// All border node ids, ascending.
+    all: Vec<NodeId>,
+}
+
+impl BorderInfo {
+    /// Identifies the border nodes of `g` under `part`.
+    pub fn compute(g: &RoadNetwork, part: &impl Partitioning) -> Self {
+        let mut is_border = vec![false; g.num_nodes()];
+        for v in g.node_ids() {
+            let rv = part.region_of(v);
+            let crosses = g.out_edges(v).any(|(u, _)| part.region_of(u) != rv)
+                || g.in_edges(v).any(|(u, _)| part.region_of(u) != rv);
+            is_border[v as usize] = crosses;
+        }
+        let mut per_region = vec![Vec::new(); part.num_regions()];
+        let mut all = Vec::new();
+        for v in g.node_ids() {
+            if is_border[v as usize] {
+                per_region[part.region_of(v) as usize].push(v);
+                all.push(v);
+            }
+        }
+        Self {
+            is_border,
+            per_region,
+            all,
+        }
+    }
+
+    /// Whether `v` is a border node.
+    #[inline]
+    pub fn is_border(&self, v: NodeId) -> bool {
+        self.is_border[v as usize]
+    }
+
+    /// Border nodes of region `r`, ascending.
+    #[inline]
+    pub fn of_region(&self, r: RegionId) -> &[NodeId] {
+        &self.per_region[r as usize]
+    }
+
+    /// All border nodes, ascending.
+    #[inline]
+    pub fn all(&self) -> &[NodeId] {
+        &self.all
+    }
+
+    /// Total number of border nodes.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.all.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdtree::KdTreePartition;
+    use spair_roadnet::generators::small_grid;
+    use spair_roadnet::{GraphBuilder, Point};
+
+    #[test]
+    fn border_definition_holds() {
+        let g = small_grid(10, 10, 6);
+        let part = KdTreePartition::build(&g, 8);
+        let info = BorderInfo::compute(&g, &part);
+        for v in g.node_ids() {
+            let rv = part.region_of(v);
+            let expect = g.out_edges(v).any(|(u, _)| part.region_of(u) != rv)
+                || g.in_edges(v).any(|(u, _)| part.region_of(u) != rv);
+            assert_eq!(info.is_border(v), expect);
+        }
+    }
+
+    #[test]
+    fn per_region_lists_are_consistent() {
+        let g = small_grid(8, 8, 9);
+        let part = KdTreePartition::build(&g, 4);
+        let info = BorderInfo::compute(&g, &part);
+        let mut total = 0;
+        for r in 0..part.num_regions() as RegionId {
+            for &v in info.of_region(r) {
+                assert_eq!(part.region_of(v), r);
+                assert!(info.is_border(v));
+                total += 1;
+            }
+        }
+        assert_eq!(total, info.count());
+        assert_eq!(info.all().len(), info.count());
+    }
+
+    #[test]
+    fn single_region_has_no_borders() {
+        // A grid partition with one cell: nothing crosses regions.
+        let g = small_grid(5, 5, 0);
+        let part = crate::grid::GridPartition::build(&g, 1, 1);
+        let info = BorderInfo::compute(&g, &part);
+        assert_eq!(info.count(), 0);
+    }
+
+    #[test]
+    fn directed_edges_mark_both_endpoints() {
+        // 0 --> 1 with a one-way edge across the region boundary: both the
+        // source (out-neighbour elsewhere) and the target (in-neighbour
+        // elsewhere) are border nodes.
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(10.0, 0.0));
+        b.add_node(Point::new(0.0, 1.0));
+        b.add_node(Point::new(10.0, 1.0));
+        b.add_edge(0, 1, 1); // one-way crossing
+        b.add_undirected_edge(0, 2, 1);
+        b.add_undirected_edge(1, 3, 1);
+        let g = b.finish();
+        let part = crate::grid::GridPartition::build(&g, 2, 1);
+        let info = BorderInfo::compute(&g, &part);
+        assert!(info.is_border(0));
+        assert!(info.is_border(1));
+        assert!(!info.is_border(2));
+        assert!(!info.is_border(3));
+    }
+
+    #[test]
+    fn border_fraction_shrinks_with_fewer_regions() {
+        let g = small_grid(16, 16, 2);
+        let few = BorderInfo::compute(&g, &KdTreePartition::build(&g, 4)).count();
+        let many = BorderInfo::compute(&g, &KdTreePartition::build(&g, 64)).count();
+        assert!(few < many);
+    }
+}

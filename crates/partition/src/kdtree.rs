@@ -1,0 +1,342 @@
+//! Kd-tree partitioning (paper §4.1, Figure 2).
+//!
+//! The network is recursively bisected at the *median* coordinate of the
+//! nodes in each cell, alternating axes per level. The paper's example
+//! starts with a line parallel to the x-axis, i.e. the root splits on the
+//! **y** coordinate; children split on x, and so on. With `2^L` leaves the
+//! tree is perfect, so the `2^L − 1` splitting values in breadth-first
+//! order define the partition completely — this is exactly the first index
+//! component EB and NR broadcast.
+//!
+//! Region numbering follows the paper's convention (leftmost region of the
+//! leftmost leaf is R1, then its sibling, ...): leaves are numbered left to
+//! right, which equals the path interpreted as a binary number with
+//! "below/left of the split" = 0.
+
+use crate::{Partitioning, RegionId};
+use serde::{Deserialize, Serialize};
+use spair_roadnet::{NodeId, Point, RoadNetwork};
+
+/// Axis a level splits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+#[inline]
+fn axis_for_level(level: u32) -> Axis {
+    // Level 0 splits with a line parallel to the x-axis => compares y.
+    if level.is_multiple_of(2) {
+        Axis::Y
+    } else {
+        Axis::X
+    }
+}
+
+#[inline]
+fn coord(p: Point, axis: Axis) -> f64 {
+    match axis {
+        Axis::X => p.x,
+        Axis::Y => p.y,
+    }
+}
+
+/// The client-side reconstruction of a kd partition: only the splitting
+/// values in BFS order. This is what travels on the air.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KdLocator {
+    /// Splitting values in breadth-first order (`2^levels − 1` entries).
+    splits: Vec<f64>,
+    /// Number of levels (`num_regions = 2^levels`).
+    levels: u32,
+}
+
+impl KdLocator {
+    /// Rebuilds a locator from raw splitting values.
+    ///
+    /// Panics if `splits.len() + 1` is not a power of two.
+    pub fn from_splits(splits: Vec<f64>) -> Self {
+        let n = splits.len() + 1;
+        assert!(n.is_power_of_two(), "split count must be 2^L - 1");
+        Self {
+            levels: n.trailing_zeros(),
+            splits,
+        }
+    }
+
+    /// The splitting values in BFS order.
+    pub fn splits(&self) -> &[f64] {
+        &self.splits
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        1usize << self.levels
+    }
+
+    /// Region containing point `p`.
+    pub fn locate(&self, p: Point) -> RegionId {
+        let mut node = 0usize; // BFS index into `splits`
+        let mut region = 0usize;
+        for level in 0..self.levels {
+            let axis = axis_for_level(level);
+            let right = coord(p, axis) >= self.splits[node];
+            region = (region << 1) | usize::from(right);
+            node = 2 * node + 1 + usize::from(right);
+        }
+        region as RegionId
+    }
+}
+
+/// A kd-tree partition bound to a concrete road network.
+#[derive(Debug, Clone)]
+pub struct KdTreePartition {
+    locator: KdLocator,
+    assignment: Vec<RegionId>,
+    by_region: Vec<Vec<NodeId>>,
+}
+
+impl KdTreePartition {
+    /// Builds a kd partition of `g` into `num_regions` regions.
+    ///
+    /// `num_regions` must be a power of two and at least 2. Empty regions
+    /// are possible in degenerate inputs (e.g. many co-located nodes) and
+    /// are handled by all consumers.
+    pub fn build(g: &RoadNetwork, num_regions: usize) -> Self {
+        assert!(
+            num_regions.is_power_of_two() && num_regions >= 2,
+            "num_regions must be a power of two >= 2"
+        );
+        let levels = num_regions.trailing_zeros();
+        let mut splits = vec![0.0f64; num_regions - 1];
+        let mut ids: Vec<NodeId> = g.node_ids().collect();
+
+        // Recursive median splitting. `stack` carries (bfs index, level,
+        // slice range) over `ids`, which is permuted in place.
+        let mut stack = vec![(0usize, 0u32, 0usize, ids.len())];
+        while let Some((node, level, lo, hi)) = stack.pop() {
+            let axis = axis_for_level(level);
+            let slice = &mut ids[lo..hi];
+            let mid = slice.len() / 2;
+            if slice.is_empty() {
+                // Empty cell: keep a degenerate split; both children empty.
+                splits[node] = 0.0;
+            } else {
+                slice.select_nth_unstable_by(mid.min(slice.len() - 1), |&a, &b| {
+                    coord(g.point(a), axis)
+                        .partial_cmp(&coord(g.point(b), axis))
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+                splits[node] = coord(g.point(slice[mid.min(slice.len() - 1)]), axis);
+            }
+            if level + 1 < levels {
+                // Children partition by the *split value*, not the slice
+                // midpoint, so locate() and assignment agree exactly.
+                let split = splits[node];
+                let cut = partition_by(&mut ids[lo..hi], |&v| coord(g.point(v), axis) < split);
+                stack.push((2 * node + 1, level + 1, lo, lo + cut));
+                stack.push((2 * node + 2, level + 1, lo + cut, hi));
+            }
+        }
+
+        let locator = KdLocator {
+            splits,
+            levels,
+        };
+        let mut assignment = vec![0 as RegionId; g.num_nodes()];
+        let mut by_region = vec![Vec::new(); num_regions];
+        for v in g.node_ids() {
+            let r = locator.locate(g.point(v));
+            assignment[v as usize] = r;
+            by_region[r as usize].push(v);
+        }
+        Self {
+            locator,
+            assignment,
+            by_region,
+        }
+    }
+
+    /// The broadcastable locator (splitting values).
+    pub fn locator(&self) -> &KdLocator {
+        &self.locator
+    }
+
+    /// Splitting values in BFS order — the paper's first index component.
+    pub fn splits(&self) -> &[f64] {
+        self.locator.splits()
+    }
+}
+
+/// Stable partition: moves elements satisfying `pred` to the front,
+/// returning the cut index.
+fn partition_by<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut front: Vec<T> = Vec::with_capacity(slice.len());
+    let mut back: Vec<T> = Vec::new();
+    for &x in slice.iter() {
+        if pred(&x) {
+            front.push(x);
+        } else {
+            back.push(x);
+        }
+    }
+    let cut = front.len();
+    slice[..cut].copy_from_slice(&front);
+    slice[cut..].copy_from_slice(&back);
+    cut
+}
+
+impl Partitioning for KdTreePartition {
+    fn num_regions(&self) -> usize {
+        self.locator.num_regions()
+    }
+
+    fn region_of(&self, v: NodeId) -> RegionId {
+        self.assignment[v as usize]
+    }
+
+    fn locate(&self, p: Point) -> RegionId {
+        self.locator.locate(p)
+    }
+
+    fn nodes_by_region(&self) -> &[Vec<NodeId>] {
+        &self.by_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spair_roadnet::generators::small_grid;
+    use spair_roadnet::GraphBuilder;
+
+    #[test]
+    fn every_node_in_exactly_one_region() {
+        let g = small_grid(12, 12, 1);
+        let part = KdTreePartition::build(&g, 16);
+        let mut seen = vec![false; g.num_nodes()];
+        for (r, nodes) in part.nodes_by_region().iter().enumerate() {
+            for &v in nodes {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+                assert_eq!(part.region_of(v), r as RegionId);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn regions_are_balanced_by_median_splits() {
+        let g = small_grid(16, 16, 3);
+        let part = KdTreePartition::build(&g, 16);
+        let expected = g.num_nodes() / 16;
+        for nodes in part.nodes_by_region() {
+            // Median splits keep each region within a small factor.
+            assert!(
+                nodes.len() >= expected / 2 && nodes.len() <= expected * 2,
+                "unbalanced region: {} vs expected ~{expected}",
+                nodes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_node_assignment() {
+        let g = small_grid(10, 14, 5);
+        for &n in &[2usize, 4, 8, 32] {
+            let part = KdTreePartition::build(&g, n);
+            for v in g.node_ids() {
+                assert_eq!(part.locate(g.point(v)), part.region_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn locator_round_trips_through_splits() {
+        let g = small_grid(9, 9, 8);
+        let part = KdTreePartition::build(&g, 8);
+        let rebuilt = KdLocator::from_splits(part.splits().to_vec());
+        for v in g.node_ids() {
+            assert_eq!(rebuilt.locate(g.point(v)), part.region_of(v));
+        }
+        assert_eq!(rebuilt.num_regions(), 8);
+    }
+
+    #[test]
+    fn split_count_matches_paper_formula() {
+        // n partitions => n - 1 splitting values (§4.1).
+        let g = small_grid(8, 8, 2);
+        for &n in &[2usize, 4, 8, 16, 32] {
+            let part = KdTreePartition::build(&g, n);
+            assert_eq!(part.splits().len(), n - 1);
+        }
+    }
+
+    #[test]
+    fn first_split_is_on_y_axis() {
+        // Build a graph stretched along y: the root split (level 0, which
+        // compares y per the paper's Figure 2) must separate low-y from
+        // high-y nodes.
+        let mut b = GraphBuilder::new();
+        for i in 0..8 {
+            b.add_node(Point::new(0.0, i as f64));
+        }
+        for i in 0..7 {
+            b.add_undirected_edge(i, i + 1, 1);
+        }
+        let g = b.finish();
+        let part = KdTreePartition::build(&g, 2);
+        // Nodes 0..3 below the median-y, 4..7 at or above it.
+        assert_eq!(part.region_of(0), 0);
+        assert_eq!(part.region_of(7), 1);
+    }
+
+    #[test]
+    fn region_numbering_is_left_to_right() {
+        // 4 nodes in a 2x2 layout, 4 regions: numbering should follow
+        // (low-y, low-x), (low-y, high-x), (high-y, low-x), (high-y, high-x).
+        let mut b = GraphBuilder::new();
+        let pts = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        for (x, y) in pts {
+            b.add_node(Point::new(x, y));
+        }
+        b.add_undirected_edge(0, 1, 1);
+        b.add_undirected_edge(2, 3, 1);
+        b.add_undirected_edge(0, 2, 1);
+        let g = b.finish();
+        let part = KdTreePartition::build(&g, 4);
+        let regions: Vec<_> = g.node_ids().map(|v| part.region_of(v)).collect();
+        // All four nodes land in distinct regions and low-y nodes precede
+        // high-y nodes (root splits on y).
+        let mut sorted = regions.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert!(regions[0] < regions[2]);
+        assert!(regions[1] < regions[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let g = small_grid(4, 4, 0);
+        KdTreePartition::build(&g, 12);
+    }
+
+    #[test]
+    fn duplicate_coordinates_still_assign_consistently() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..16 {
+            b.add_node(Point::new(1.0, 1.0));
+        }
+        for i in 0..15 {
+            b.add_undirected_edge(i, i + 1, 1);
+        }
+        let g = b.finish();
+        let part = KdTreePartition::build(&g, 4);
+        for v in g.node_ids() {
+            assert_eq!(part.locate(g.point(v)), part.region_of(v));
+        }
+    }
+}

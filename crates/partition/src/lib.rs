@@ -1,0 +1,48 @@
+//! Space partitioning of road networks (paper §4.1).
+//!
+//! EB, NR and ArcFlag all rest on a partition of the network nodes into
+//! regions. The paper uses kd-tree partitioning (median splits alternating
+//! between the axes, following Möhring et al.) because it balances node
+//! counts per region; a regular grid is provided as the simpler alternative
+//! the paper discusses and discards.
+//!
+//! The kd-tree's defining trick for the broadcast setting: the *splitting
+//! values alone* (n−1 numbers in breadth-first order) reconstruct the whole
+//! partition on the client, so region lookup for the query's source and
+//! destination costs a handful of comparisons after receiving n−1 floats —
+//! far cheaper than shipping per-region bounding boxes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod border;
+pub mod grid;
+pub mod kdtree;
+
+pub use border::{BorderInfo, NodeClass};
+pub use grid::{GridLocator, GridPartition};
+pub use kdtree::{KdLocator, KdTreePartition};
+
+use spair_roadnet::{NodeId, Point};
+
+/// Region identifier. Regions are numbered `0..num_regions` (the paper's
+/// `R1..Rn` shifted to 0-based).
+pub type RegionId = u16;
+
+/// A partition of the network nodes into spatial regions.
+pub trait Partitioning {
+    /// Number of regions.
+    fn num_regions(&self) -> usize;
+
+    /// Region containing node `v`.
+    fn region_of(&self, v: NodeId) -> RegionId;
+
+    /// Region containing an arbitrary point (used by clients to map the
+    /// query's source/destination coordinates to `Rs`/`Rt`).
+    fn locate(&self, p: Point) -> RegionId;
+
+    /// Node ids grouped by region, each group sorted ascending. Region
+    /// ordering abides by region numbers, which is also the broadcast
+    /// order of region data in the cycle (§4.1).
+    fn nodes_by_region(&self) -> &[Vec<NodeId>];
+}

@@ -1,0 +1,193 @@
+//! A* search (paper §2.1) with a pluggable admissible lower bound.
+//!
+//! The paper dismisses plain A* for general road networks because no a
+//! priori lower bound exists, but the Landmark baseline (Goldberg &
+//! Harrelson's ALT) supplies one from precomputed landmark distances. The
+//! search is written against the [`LowerBound`] trait so the baseline crate
+//! can plug its vectors in without copying the algorithm.
+
+use crate::graph::{NodeId, RoadNetwork};
+use crate::heap::MinHeap;
+use crate::sptree::NO_PARENT;
+use crate::dijkstra::SearchStats;
+use crate::{Distance, DIST_INF};
+
+/// An admissible lower bound on graph distance `d(v, target)`.
+pub trait LowerBound {
+    /// Returns a value `<= d(v, target)`. Must be consistent (triangle
+    /// inequality with edge weights) for A* to settle each node once.
+    fn lower_bound(&self, v: NodeId, target: NodeId) -> Distance;
+}
+
+/// The trivial bound: always 0 (degenerates A* to Dijkstra).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroBound;
+
+impl LowerBound for ZeroBound {
+    #[inline]
+    fn lower_bound(&self, _v: NodeId, _target: NodeId) -> Distance {
+        0
+    }
+}
+
+/// A* point-to-point distance, or `None` if unreachable.
+pub fn astar_distance(
+    g: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    lb: &impl LowerBound,
+) -> Option<Distance> {
+    astar_search(g, source, target, lb).0.map(|(d, _)| d)
+}
+
+/// A* point-to-point search returning `(distance, path)` plus work counters.
+pub fn astar_search(
+    g: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    lb: &impl LowerBound,
+) -> (Option<(Distance, Vec<NodeId>)>, SearchStats) {
+    let n = g.num_nodes();
+    let mut dist = vec![DIST_INF; n];
+    let mut parent = vec![NO_PARENT; n];
+    let mut settled = vec![false; n];
+    let mut heap = MinHeap::with_capacity(64);
+    let mut stats = SearchStats::default();
+
+    dist[source as usize] = 0;
+    heap.push(lb.lower_bound(source, target), source);
+
+    while let Some(e) = heap.pop() {
+        let v = e.item;
+        if settled[v as usize] {
+            continue;
+        }
+        settled[v as usize] = true;
+        stats.settled += 1;
+        if v == target {
+            let mut path = vec![v];
+            let mut cur = v;
+            while parent[cur as usize] != NO_PARENT {
+                cur = parent[cur as usize];
+                path.push(cur);
+            }
+            path.reverse();
+            return (Some((dist[v as usize], path)), stats);
+        }
+        let dv = dist[v as usize];
+        for (u, w) in g.out_edges(v) {
+            stats.relaxed += 1;
+            let cand = dv + w as Distance;
+            if cand < dist[u as usize] {
+                dist[u as usize] = cand;
+                parent[u as usize] = v;
+                heap.push(cand + lb.lower_bound(u, target), u);
+            }
+        }
+    }
+    (None, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_distance;
+    use crate::graph::{GraphBuilder, Point};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(seed: u64, n: usize, extra: usize) -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        for _i in 0..n {
+            b.add_node(Point::new(
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+            ));
+        }
+        for i in 1..n {
+            let p = rng.gen_range(0..i);
+            b.add_undirected_edge(p as NodeId, i as NodeId, rng.gen_range(1..50));
+        }
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n) as NodeId;
+            let c = rng.gen_range(0..n) as NodeId;
+            if a != c {
+                b.add_undirected_edge(a, c, rng.gen_range(1..50));
+            }
+        }
+        b.finish()
+    }
+
+    /// An exact-oracle bound (the strongest admissible bound) for testing.
+    struct OracleBound {
+        to_target: Vec<Distance>,
+    }
+
+    impl LowerBound for OracleBound {
+        fn lower_bound(&self, v: NodeId, _t: NodeId) -> Distance {
+            self.to_target[v as usize]
+        }
+    }
+
+    #[test]
+    fn zero_bound_matches_dijkstra() {
+        for seed in 0..8 {
+            let g = random_graph(seed, 50, 40);
+            for &(s, t) in &[(0u32, 49u32), (10, 20), (5, 5)] {
+                assert_eq!(
+                    astar_distance(&g, s, t, &ZeroBound),
+                    dijkstra_distance(&g, s, t),
+                    "seed {seed} pair {s}->{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_bound_settles_fewer_nodes() {
+        let g = random_graph(1, 200, 150);
+        let rev = crate::dijkstra::dijkstra_full_reverse(&g, 150);
+        let oracle = OracleBound {
+            to_target: rev.distances().to_vec(),
+        };
+        let (res_fast, stats_fast) = astar_search(&g, 0, 150, &oracle);
+        let (res_slow, stats_slow) = astar_search(&g, 0, 150, &ZeroBound);
+        assert_eq!(
+            res_fast.as_ref().map(|(d, _)| *d),
+            res_slow.as_ref().map(|(d, _)| *d)
+        );
+        assert!(stats_fast.settled <= stats_slow.settled);
+    }
+
+    #[test]
+    fn returned_path_has_claimed_length() {
+        let g = random_graph(4, 80, 60);
+        let (res, _) = astar_search(&g, 2, 70, &ZeroBound);
+        let (d, path) = res.unwrap();
+        let mut acc: Distance = 0;
+        for w in path.windows(2) {
+            acc += g.weight_between(w[0], w[1]).unwrap() as Distance;
+        }
+        assert_eq!(acc, d);
+        assert_eq!(path.first(), Some(&2));
+        assert_eq!(path.last(), Some(&70));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        let g = b.finish();
+        assert_eq!(astar_distance(&g, 0, 1, &ZeroBound), None);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = random_graph(2, 10, 5);
+        let (res, stats) = astar_search(&g, 3, 3, &ZeroBound);
+        assert_eq!(res.unwrap(), (0, vec![3]));
+        assert_eq!(stats.settled, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Plain-text road-network interchange format (DIMACS-challenge flavoured).
+//!
+//! Real datasets (e.g. the 9th DIMACS Implementation Challenge graphs the
+//! ArcFlag paper was evaluated on) ship as `.gr`/`.co` pairs; this module
+//! reads and writes a single-file merge of the two so users can run the
+//! framework on real maps:
+//!
+//! ```text
+//! c free-form comment lines
+//! p sp <num_nodes> <num_directed_edges>
+//! v <node_id> <x> <y>          (one per node, 0-based ids)
+//! a <from> <to> <weight>       (one per directed edge)
+//! ```
+
+use crate::graph::{GraphBuilder, NodeId, Point, RoadNetwork};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while parsing the text format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not match the grammar.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The `p` header is missing or duplicated.
+    BadHeader(String),
+    /// Node/edge counts did not match the header.
+    CountMismatch(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseError::BadHeader(s) => write!(f, "bad header: {s}"),
+            ParseError::CountMismatch(s) => write!(f, "count mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Writes `g` in the text format.
+pub fn write_text<W: Write>(g: &RoadNetwork, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "c spair road network")?;
+    writeln!(out, "p sp {} {}", g.num_nodes(), g.num_edges())?;
+    for v in g.node_ids() {
+        let p = g.point(v);
+        writeln!(out, "v {} {} {}", v, p.x, p.y)?;
+    }
+    for v in g.node_ids() {
+        for (u, w) in g.out_edges(v) {
+            writeln!(out, "a {} {} {}", v, u, w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a network in the text format.
+pub fn read_text<R: BufRead>(input: R) -> Result<RoadNetwork, ParseError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut nodes_seen = 0usize;
+    let mut edges_seen = 0usize;
+    let mut builder = GraphBuilder::new();
+    let mut pending_nodes: Vec<(NodeId, Point)> = Vec::new();
+
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if header.is_some() {
+                    return Err(ParseError::BadHeader("duplicate p line".into()));
+                }
+                let kind = parts.next().unwrap_or("");
+                if kind != "sp" {
+                    return Err(ParseError::BadHeader(format!("unknown problem '{kind}'")));
+                }
+                let n = parse_field(parts.next(), lineno, "node count")?;
+                let m = parse_field(parts.next(), lineno, "edge count")?;
+                header = Some((n, m));
+                pending_nodes.reserve(n);
+            }
+            Some("v") => {
+                let id: usize = parse_field(parts.next(), lineno, "node id")?;
+                let x: f64 = parse_field(parts.next(), lineno, "x")?;
+                let y: f64 = parse_field(parts.next(), lineno, "y")?;
+                pending_nodes.push((id as NodeId, Point::new(x, y)));
+                nodes_seen += 1;
+            }
+            Some("a") => {
+                // All v lines must precede a lines; materialize nodes once.
+                if builder.num_nodes() == 0 && !pending_nodes.is_empty() {
+                    materialize_nodes(&mut builder, &mut pending_nodes, header)?;
+                }
+                let from: usize = parse_field(parts.next(), lineno, "from")?;
+                let to: usize = parse_field(parts.next(), lineno, "to")?;
+                let w: u32 = parse_field(parts.next(), lineno, "weight")?;
+                if from >= builder.num_nodes() || to >= builder.num_nodes() {
+                    return Err(ParseError::Malformed {
+                        line: lineno,
+                        reason: format!("edge ({from},{to}) references unknown node"),
+                    });
+                }
+                builder.add_edge(from as NodeId, to as NodeId, w);
+                edges_seen += 1;
+            }
+            Some(tok) => {
+                return Err(ParseError::Malformed {
+                    line: lineno,
+                    reason: format!("unknown record '{tok}'"),
+                })
+            }
+            None => {}
+        }
+    }
+
+    let (n, m) = header.ok_or_else(|| ParseError::BadHeader("missing p line".into()))?;
+    if builder.num_nodes() == 0 && !pending_nodes.is_empty() {
+        materialize_nodes(&mut builder, &mut pending_nodes, Some((n, m)))?;
+    }
+    if nodes_seen != n {
+        return Err(ParseError::CountMismatch(format!(
+            "header says {n} nodes, found {nodes_seen}"
+        )));
+    }
+    if edges_seen != m {
+        return Err(ParseError::CountMismatch(format!(
+            "header says {m} edges, found {edges_seen}"
+        )));
+    }
+    Ok(builder.finish())
+}
+
+fn materialize_nodes(
+    builder: &mut GraphBuilder,
+    pending: &mut Vec<(NodeId, Point)>,
+    header: Option<(usize, usize)>,
+) -> Result<(), ParseError> {
+    let n = header
+        .map(|(n, _)| n)
+        .ok_or_else(|| ParseError::BadHeader("v records before p line".into()))?;
+    let mut points = vec![None; n];
+    for &(id, p) in pending.iter() {
+        let slot = points.get_mut(id as usize).ok_or_else(|| {
+            ParseError::CountMismatch(format!("node id {id} out of range 0..{n}"))
+        })?;
+        *slot = Some(p);
+    }
+    for (id, p) in points.into_iter().enumerate() {
+        let p = p.ok_or_else(|| ParseError::CountMismatch(format!("node {id} missing")))?;
+        builder.add_node(p);
+    }
+    pending.clear();
+    Ok(())
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    field
+        .ok_or_else(|| ParseError::Malformed {
+            line,
+            reason: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| ParseError::Malformed {
+            line,
+            reason: format!("unparsable {what}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::small_grid;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = small_grid(8, 8, 5);
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let g2 = read_text(&buf[..]).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.node_ids() {
+            let mut e1: Vec<_> = g.out_edges(v).collect();
+            let mut e2: Vec<_> = g2.out_edges(v).collect();
+            e1.sort_unstable();
+            e2.sort_unstable();
+            assert_eq!(e1, e2);
+            assert_eq!(g.point(v).x, g2.point(v).x);
+            assert_eq!(g.point(v).y, g2.point(v).y);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "c hello\n\np sp 2 1\nv 0 0.0 0.0\nv 1 1.0 0.0\nc mid comment\na 0 1 5\n";
+        let g = read_text(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.weight_between(0, 1), Some(5));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let text = "v 0 0 0\n";
+        assert!(matches!(
+            read_text(text.as_bytes()),
+            Err(ParseError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let text = "p sp 2 2\nv 0 0 0\nv 1 1 0\na 0 1 5\n";
+        assert!(matches!(
+            read_text(text.as_bytes()),
+            Err(ParseError::CountMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn edge_to_unknown_node_rejected() {
+        let text = "p sp 2 1\nv 0 0 0\nv 1 1 0\na 0 7 5\n";
+        assert!(matches!(
+            read_text(text.as_bytes()),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_record_rejected() {
+        let text = "p sp 1 0\nv 0 0 0\nq nope\n";
+        assert!(matches!(
+            read_text(text.as_bytes()),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn node_ids_may_arrive_out_of_order() {
+        let text = "p sp 3 0\nv 2 2 0\nv 0 0 0\nv 1 1 0\n";
+        let g = read_text(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.point(2).x, 2.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Nearest-node lookup for arbitrary client locations.
+//!
+//! The paper's main body assumes queries start and end at network nodes and
+//! remarks (§5, end) that arbitrary on-edge locations are handled by
+//! redefining border nodes; this locator supplies the practical complement
+//! on the client side: snap a GPS fix to the closest network node. Lookup
+//! uses a uniform bucket grid with expanding ring search, O(1) expected for
+//! road-like (spatially uniform) node layouts.
+
+use crate::graph::{NodeId, Point, RoadNetwork};
+
+/// Spatial index mapping arbitrary points to their nearest network node.
+#[derive(Debug, Clone)]
+pub struct NodeLocator {
+    min: Point,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<NodeId>>,
+    points: Vec<Point>,
+}
+
+impl NodeLocator {
+    /// Builds a locator over all nodes of `g`, sized for ~2 nodes/bucket.
+    pub fn build(g: &RoadNetwork) -> Self {
+        assert!(g.num_nodes() > 0, "cannot build a locator over an empty network");
+        let (min, max) = g.bounding_box();
+        let n = g.num_nodes();
+        let target_buckets = (n / 2).max(1);
+        let w = (max.x - min.x).max(1e-9);
+        let h = (max.y - min.y).max(1e-9);
+        let cell = (w * h / target_buckets as f64).sqrt().max(1e-9);
+        let cols = (w / cell).ceil() as usize + 1;
+        let rows = (h / cell).ceil() as usize + 1;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        let points: Vec<Point> = g.points().to_vec();
+        for (i, p) in points.iter().enumerate() {
+            let (bx, by) = bucket_of(p, &min, cell, cols, rows);
+            buckets[by * cols + bx].push(i as NodeId);
+        }
+        Self {
+            min,
+            cell,
+            cols,
+            rows,
+            buckets,
+            points,
+        }
+    }
+
+    /// Returns the node nearest to `q` (ties broken by smaller id).
+    pub fn nearest(&self, q: Point) -> NodeId {
+        let (qx, qy) = bucket_of(&q, &self.min, self.cell, self.cols, self.rows);
+        let mut best: Option<(f64, NodeId)> = None;
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            // Once a candidate is found, one extra ring suffices: anything
+            // farther out is at least `ring * cell` away.
+            if let Some((d, _)) = best {
+                if d <= (ring as f64 - 1.0) * self.cell {
+                    break;
+                }
+            }
+            for (bx, by) in ring_cells(qx, qy, ring, self.cols, self.rows) {
+                for &v in &self.buckets[by * self.cols + bx] {
+                    let d = self.points[v as usize].euclidean(&q);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bv)) => d < bd || (d == bd && v < bv),
+                    };
+                    if better {
+                        best = Some((d, v));
+                    }
+                }
+            }
+        }
+        best.expect("non-empty locator").1
+    }
+}
+
+fn bucket_of(p: &Point, min: &Point, cell: f64, cols: usize, rows: usize) -> (usize, usize) {
+    let bx = (((p.x - min.x) / cell).floor().max(0.0) as usize).min(cols - 1);
+    let by = (((p.y - min.y) / cell).floor().max(0.0) as usize).min(rows - 1);
+    (bx, by)
+}
+
+/// Cells at Chebyshev distance `ring` from `(cx, cy)`, clipped to grid.
+fn ring_cells(
+    cx: usize,
+    cy: usize,
+    ring: usize,
+    cols: usize,
+    rows: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let mut cells = Vec::new();
+    let (cx, cy, r) = (cx as isize, cy as isize, ring as isize);
+    if ring == 0 {
+        cells.push((cx, cy));
+    } else {
+        for dx in -r..=r {
+            cells.push((cx + dx, cy - r));
+            cells.push((cx + dx, cy + r));
+        }
+        for dy in (-r + 1)..r {
+            cells.push((cx - r, cy + dy));
+            cells.push((cx + r, cy + dy));
+        }
+    }
+    cells
+        .into_iter()
+        .filter(move |&(x, y)| x >= 0 && y >= 0 && (x as usize) < cols && (y as usize) < rows)
+        .map(|(x, y)| (x as usize, y as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::small_grid;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_nearest(g: &RoadNetwork, q: Point) -> NodeId {
+        let mut best = (f64::INFINITY, 0);
+        for v in g.node_ids() {
+            let d = g.point(v).euclidean(&q);
+            if d < best.0 || (d == best.0 && v < best.1) {
+                best = (d, v);
+            }
+        }
+        best.1
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_queries() {
+        let g = small_grid(15, 15, 2);
+        let loc = NodeLocator::build(&g);
+        let mut rng = StdRng::seed_from_u64(77);
+        let (min, max) = g.bounding_box();
+        for _ in 0..200 {
+            let q = Point::new(
+                rng.gen_range(min.x - 50.0..max.x + 50.0),
+                rng.gen_range(min.y - 50.0..max.y + 50.0),
+            );
+            assert_eq!(loc.nearest(q), brute_nearest(&g, q));
+        }
+    }
+
+    #[test]
+    fn exact_node_position_maps_to_itself() {
+        let g = small_grid(10, 10, 4);
+        let loc = NodeLocator::build(&g);
+        for v in g.node_ids().step_by(7) {
+            assert_eq!(loc.nearest(g.point(v)), v);
+        }
+    }
+
+    #[test]
+    fn far_outside_bbox_still_works() {
+        let g = small_grid(5, 5, 1);
+        let loc = NodeLocator::build(&g);
+        let q = Point::new(-1e6, -1e6);
+        assert_eq!(loc.nearest(q), brute_nearest(&g, q));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_network_panics() {
+        let g = crate::graph::GraphBuilder::new().finish();
+        NodeLocator::build(&g);
+    }
+}

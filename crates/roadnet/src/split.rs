@@ -1,0 +1,235 @@
+//! Edge splitting: materialize arbitrary on-edge positions as real graph
+//! nodes.
+//!
+//! The paper's §5 closing remark allows the source/destination to sit "at
+//! arbitrary locations on the network" rather than on nodes. The air
+//! methods handle that client-side (see `spair-core`'s `onedge` module);
+//! this utility builds the *reference* answer by physically inserting the
+//! positions into the graph and running ordinary Dijkstra, which the
+//! property tests compare against.
+//!
+//! Assumes at most one arc per direction between any node pair (true for
+//! all generators and loaders in this crate).
+
+use crate::graph::{GraphBuilder, NodeId, Point, RoadNetwork, Weight};
+use std::collections::HashMap;
+
+/// A position on an arc `(from, to)`, `along` weight units after `from`
+/// (`0 < along < weight(from, to)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgePosition {
+    /// Arc tail.
+    pub from: NodeId,
+    /// Arc head.
+    pub to: NodeId,
+    /// Distance from `from` in weight units.
+    pub along: Weight,
+}
+
+/// Inserts every position as a new node, splitting the arcs it lies on
+/// (and their reverse arcs, if present, at the mirrored offset). Returns
+/// the rebuilt network and the node id assigned to each position, in
+/// input order.
+///
+/// Panics if a position's arc does not exist or `along` is not strictly
+/// inside it.
+pub fn insert_positions(
+    g: &RoadNetwork,
+    positions: &[EdgePosition],
+) -> (RoadNetwork, Vec<NodeId>) {
+    // Normalize to undirected keys (min, max) with alongs measured from
+    // the key's smaller endpoint.
+    let mut by_key: HashMap<(NodeId, NodeId), Vec<(usize, Weight)>> = HashMap::new();
+    for (i, p) in positions.iter().enumerate() {
+        let w = g
+            .weight_between(p.from, p.to)
+            .unwrap_or_else(|| panic!("no arc {} -> {}", p.from, p.to));
+        assert!(
+            p.along > 0 && p.along < w,
+            "position must be strictly inside the arc"
+        );
+        let (key, along) = if p.from <= p.to {
+            ((p.from, p.to), p.along)
+        } else {
+            ((p.to, p.from), w - p.along)
+        };
+        by_key.entry(key).or_default().push((i, along));
+    }
+    for list in by_key.values_mut() {
+        list.sort_by_key(|&(_, a)| a);
+    }
+
+    let mut b = GraphBuilder::with_capacity(g.num_nodes() + positions.len(), g.num_edges());
+    for v in g.node_ids() {
+        b.add_node(g.point(v));
+    }
+    // Allocate the split nodes (interpolated coordinates).
+    let mut ids = vec![NodeId::MAX; positions.len()];
+    for (&(a, c), list) in &by_key {
+        let w = g
+            .weight_between(a, c)
+            .or_else(|| g.weight_between(c, a))
+            .expect("validated above");
+        let (pa, pc) = (g.point(a), g.point(c));
+        for &(i, along) in list {
+            let t = along as f64 / w as f64;
+            ids[i] = b.add_node(Point::new(
+                pa.x + t * (pc.x - pa.x),
+                pa.y + t * (pc.y - pa.y),
+            ));
+        }
+    }
+
+    // Re-add arcs, splitting the affected ones into chains.
+    for v in g.node_ids() {
+        for (u, w) in g.out_edges(v) {
+            let key = if v <= u { (v, u) } else { (u, v) };
+            match by_key.get(&key) {
+                None => b.add_edge(v, u, w),
+                Some(list) => {
+                    // Chain from v to u through the split nodes. `list` is
+                    // sorted by distance from the key's smaller endpoint;
+                    // walking v -> u traverses it forward iff v is that
+                    // endpoint.
+                    let forward = v == key.0;
+                    let mut prev = v;
+                    let mut prev_along = if forward { 0 } else { w };
+                    let iter: Vec<(usize, Weight)> = if forward {
+                        list.clone()
+                    } else {
+                        list.iter().rev().copied().collect()
+                    };
+                    for (i, along) in iter {
+                        let seg = if forward {
+                            along - prev_along
+                        } else {
+                            prev_along - along
+                        };
+                        b.add_edge(prev, ids[i], seg);
+                        prev = ids[i];
+                        prev_along = along;
+                    }
+                    let last = if forward { w - prev_along } else { prev_along };
+                    b.add_edge(prev, u, last);
+                }
+            }
+        }
+    }
+    (b.finish(), ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_distance;
+    use crate::generators::small_grid;
+
+    fn first_arc(g: &RoadNetwork) -> (NodeId, NodeId, Weight) {
+        for v in g.node_ids() {
+            if let Some((u, w)) = g.out_edges(v).next() {
+                if w >= 2 {
+                    return (v, u, w);
+                }
+            }
+        }
+        panic!("no splittable arc");
+    }
+
+    #[test]
+    fn split_preserves_distances_between_original_nodes() {
+        let g = small_grid(6, 6, 1);
+        let (u, v, w) = first_arc(&g);
+        let (g2, ids) = insert_positions(
+            &g,
+            &[EdgePosition {
+                from: u,
+                to: v,
+                along: w / 2,
+            }],
+        );
+        assert_eq!(g2.num_nodes(), g.num_nodes() + 1);
+        assert_eq!(ids.len(), 1);
+        for &(s, t) in &[(0u32, 35u32), (7, 28), (v, u)] {
+            assert_eq!(
+                dijkstra_distance(&g2, s, t),
+                dijkstra_distance(&g, s, t),
+                "{s}->{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_node_distances_are_partial_weights() {
+        let g = small_grid(5, 5, 3);
+        let (u, v, w) = first_arc(&g);
+        let along = 1.max(w / 3);
+        let (g2, ids) = insert_positions(&g, &[EdgePosition { from: u, to: v, along }]);
+        let s = ids[0];
+        assert_eq!(dijkstra_distance(&g2, u, s), Some(along as u64));
+        assert_eq!(dijkstra_distance(&g2, s, v), Some((w - along) as u64));
+    }
+
+    #[test]
+    fn two_positions_on_the_same_edge_chain_correctly() {
+        let g = small_grid(4, 4, 2);
+        let (u, v, w) = {
+            // Need an arc with weight >= 3 for two interior points.
+            let mut found = None;
+            'outer: for x in g.node_ids() {
+                for (y, wt) in g.out_edges(x) {
+                    if wt >= 3 {
+                        found = Some((x, y, wt));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("weight >= 3 arc")
+        };
+        let a1 = 1;
+        let a2 = w - 1;
+        let (g2, ids) = insert_positions(
+            &g,
+            &[
+                EdgePosition { from: u, to: v, along: a2 },
+                EdgePosition { from: u, to: v, along: a1 },
+            ],
+        );
+        // ids follow input order regardless of along order.
+        assert_eq!(dijkstra_distance(&g2, u, ids[1]), Some(a1 as u64));
+        assert_eq!(dijkstra_distance(&g2, ids[1], ids[0]), Some((a2 - a1) as u64));
+        assert_eq!(dijkstra_distance(&g2, ids[0], v), Some(1));
+        // Distances between original nodes unchanged.
+        assert_eq!(dijkstra_distance(&g2, u, v), dijkstra_distance(&g, u, v));
+    }
+
+    #[test]
+    fn reverse_arc_splits_at_the_mirrored_offset() {
+        let g = small_grid(5, 5, 7);
+        let (u, v, w) = first_arc(&g);
+        let along = 1;
+        let (g2, ids) = insert_positions(&g, &[EdgePosition { from: u, to: v, along }]);
+        // Travelling v -> u passes the split node after w - along units.
+        assert_eq!(dijkstra_distance(&g2, v, ids[0]), Some((w - along) as u64));
+        assert_eq!(dijkstra_distance(&g2, ids[0], u), Some(along as u64));
+    }
+
+    #[test]
+    fn interpolated_coordinates_lie_between_endpoints() {
+        let g = small_grid(4, 4, 9);
+        let (u, v, w) = first_arc(&g);
+        let (g2, ids) = insert_positions(&g, &[EdgePosition { from: u, to: v, along: w / 2 }]);
+        let p = g2.point(ids[0]);
+        let (pu, pv) = (g.point(u), g.point(v));
+        let minx = pu.x.min(pv.x) - 1e-9;
+        let maxx = pu.x.max(pv.x) + 1e-9;
+        assert!(p.x >= minx && p.x <= maxx);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn zero_along_rejected() {
+        let g = small_grid(3, 3, 0);
+        let (u, v, _) = first_arc(&g);
+        insert_positions(&g, &[EdgePosition { from: u, to: v, along: 0 }]);
+    }
+}

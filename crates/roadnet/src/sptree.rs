@@ -1,0 +1,177 @@
+//! Shortest-path tree produced by a full Dijkstra run.
+//!
+//! Besides distances and parent pointers, the tree records the *settle
+//! order* (nodes in nondecreasing distance). The order is what makes the
+//! O(V)-per-source dynamic programs of the index builders possible:
+//! forward scans propagate information from parents to children (e.g. the
+//! set of regions a path has traversed), reverse scans propagate from
+//! children to parents (e.g. "lies on a path towards some border node").
+
+use crate::graph::NodeId;
+use crate::{Distance, DIST_INF};
+
+/// Sentinel parent for the source node and unreachable nodes.
+pub const NO_PARENT: NodeId = NodeId::MAX;
+
+/// A complete single-source shortest-path tree.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<Distance>,
+    parent: Vec<NodeId>,
+    order: Vec<NodeId>,
+}
+
+impl ShortestPathTree {
+    /// Assembles a tree from raw Dijkstra output.
+    pub(crate) fn new(
+        source: NodeId,
+        dist: Vec<Distance>,
+        parent: Vec<NodeId>,
+        order: Vec<NodeId>,
+    ) -> Self {
+        Self {
+            source,
+            dist,
+            parent,
+            order,
+        }
+    }
+
+    /// The tree's source node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `v` (`DIST_INF` if unreachable).
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.dist[v as usize]
+    }
+
+    /// Whether `v` is reachable from the source.
+    #[inline]
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist[v as usize] != DIST_INF
+    }
+
+    /// Parent of `v` in the tree, if any.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent[v as usize];
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// Raw distance slice.
+    #[inline]
+    pub fn distances(&self) -> &[Distance] {
+        &self.dist
+    }
+
+    /// Nodes in nondecreasing distance (settle) order. The source is first.
+    #[inline]
+    pub fn settle_order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Reconstructs the path `source -> v` as a node sequence.
+    ///
+    /// Returns `None` if `v` is unreachable. The returned path starts at the
+    /// source and ends at `v`; for `v == source` it is the singleton path.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+
+    /// Number of hops (edges) of the tree path to `v`, or `None` if
+    /// unreachable.
+    pub fn hops_to(&self, v: NodeId) -> Option<usize> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut hops = 0;
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            hops += 1;
+            cur = p;
+        }
+        Some(hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_full;
+    use crate::graph::{GraphBuilder, Point};
+
+    fn line_graph(n: usize) -> crate::RoadNetwork {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node(Point::new(i as f64, 0.0));
+        }
+        for i in 0..n - 1 {
+            b.add_undirected_edge(i as NodeId, (i + 1) as NodeId, 2);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn path_reconstruction_on_line() {
+        let g = line_graph(5);
+        let t = dijkstra_full(&g, 0);
+        assert_eq!(t.path_to(4).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.distance(4), 8);
+        assert_eq!(t.hops_to(4), Some(4));
+    }
+
+    #[test]
+    fn source_path_is_singleton() {
+        let g = line_graph(3);
+        let t = dijkstra_full(&g, 1);
+        assert_eq!(t.path_to(1).unwrap(), vec![1]);
+        assert_eq!(t.hops_to(1), Some(0));
+        assert_eq!(t.parent(1), None);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 0.0));
+        let g = b.finish();
+        let t = dijkstra_full(&g, 0);
+        assert!(!t.reachable(1));
+        assert!(t.path_to(1).is_none());
+        assert!(t.hops_to(1).is_none());
+    }
+
+    #[test]
+    fn settle_order_is_nondecreasing_distance() {
+        let g = line_graph(10);
+        let t = dijkstra_full(&g, 3);
+        let order = t.settle_order();
+        assert_eq!(order[0], 3);
+        for w in order.windows(2) {
+            assert!(t.distance(w[0]) <= t.distance(w[1]));
+        }
+        // All reachable nodes appear exactly once.
+        let mut seen = [false; 10];
+        for &v in order {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests on the road-network substrate: every search
+//! algorithm agrees with plain Dijkstra, the generators produce usable
+//! networks, and the serializers round-trip.
+
+use proptest::prelude::*;
+use spair_roadnet::generators::GeneratorConfig;
+use spair_roadnet::{
+    astar_distance, bidirectional_distance, dijkstra_distance, dijkstra_full, dijkstra_to_target,
+    insert_positions, io, EdgePosition, NodeId, NodeLocator, Point, RoadNetwork, ZeroBound,
+};
+
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (20usize..200, 0u64..1000, 0.0f64..0.8).prop_map(|(nodes, seed, extra)| {
+        GeneratorConfig {
+            nodes,
+            undirected_edges: nodes - 1 + (nodes as f64 * extra) as usize,
+            seed,
+            ..GeneratorConfig::default()
+        }
+        .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Point-to-point Dijkstra agrees with the full-tree distance.
+    #[test]
+    fn p2p_matches_full_tree(g in arb_network(), pair in (0usize..10_000, 0usize..10_000)) {
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        let tree = dijkstra_full(&g, s);
+        let want = tree.reachable(t).then(|| tree.distance(t));
+        prop_assert_eq!(dijkstra_distance(&g, s, t), want);
+    }
+
+    /// Bidirectional search returns the Dijkstra distance.
+    #[test]
+    fn bidirectional_matches_dijkstra(
+        g in arb_network(),
+        pair in (0usize..10_000, 0usize..10_000),
+    ) {
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        prop_assert_eq!(bidirectional_distance(&g, s, t), dijkstra_distance(&g, s, t));
+    }
+
+    /// A* with the zero bound degenerates to Dijkstra.
+    #[test]
+    fn astar_zero_bound_matches_dijkstra(
+        g in arb_network(),
+        pair in (0usize..10_000, 0usize..10_000),
+    ) {
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        prop_assert_eq!(astar_distance(&g, s, t, &ZeroBound), dijkstra_distance(&g, s, t));
+    }
+
+    /// Returned paths are real paths: consecutive edges exist and their
+    /// weights sum to the reported distance.
+    #[test]
+    fn paths_are_consistent(g in arb_network(), pair in (0usize..10_000, 0usize..10_000)) {
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        if let Some((d, path)) = dijkstra_to_target(&g, s, t) {
+            prop_assert_eq!(path.first(), Some(&s));
+            prop_assert_eq!(path.last(), Some(&t));
+            let mut acc = 0u64;
+            for w in path.windows(2) {
+                let Some(wt) = g.weight_between(w[0], w[1]) else {
+                    return Err(TestCaseError::fail(format!("missing edge {}->{}", w[0], w[1])));
+                };
+                acc += wt as u64;
+            }
+            prop_assert_eq!(acc, d);
+        }
+    }
+
+    /// Generated networks are connected (every node reachable from 0) —
+    /// the MST backbone guarantees it.
+    #[test]
+    fn generated_networks_are_connected(g in arb_network()) {
+        let tree = dijkstra_full(&g, 0);
+        for v in g.node_ids() {
+            prop_assert!(tree.reachable(v), "node {v} unreachable");
+        }
+    }
+
+    /// The text serializer round-trips every generated network exactly.
+    #[test]
+    fn io_round_trips(g in arb_network()) {
+        let mut buf = Vec::new();
+        io::write_text(&g, &mut buf).unwrap();
+        let g2 = io::read_text(buf.as_slice()).unwrap();
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.node_ids() {
+            let a: Vec<_> = g.out_edges(v).collect();
+            let b: Vec<_> = g2.out_edges(v).collect();
+            prop_assert_eq!(a, b, "adjacency of {}", v);
+            prop_assert_eq!(g.point(v).x, g2.point(v).x);
+            prop_assert_eq!(g.point(v).y, g2.point(v).y);
+        }
+    }
+
+    /// The grid-bucketed nearest-node locator agrees with brute force.
+    #[test]
+    fn snap_matches_brute_force(
+        g in arb_network(),
+        q in ((-100.0f64..3000.0), (-100.0f64..3000.0)),
+    ) {
+        let locator = NodeLocator::build(&g);
+        let p = Point::new(q.0, q.1);
+        let got = locator.nearest(p);
+        let best = g
+            .node_ids()
+            .map(|v| (g.point(v).euclidean(&p), v))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap();
+        // Ties may resolve to a different node at the same distance.
+        prop_assert_eq!(g.point(got).euclidean(&p), best.0);
+    }
+
+    /// Splitting an edge never changes distances between original nodes.
+    #[test]
+    fn edge_split_preserves_metric(
+        g in arb_network(),
+        pick in 0usize..10_000,
+        frac in 1u32..100,
+        pair in (0usize..10_000, 0usize..10_000),
+    ) {
+        // Find a splittable arc deterministically from the pick.
+        let n = g.num_nodes() as NodeId;
+        let start = (pick % g.num_nodes()) as NodeId;
+        let mut arc = None;
+        'outer: for v in (start..n).chain(0..start) {
+            for (u, w) in g.out_edges(v) {
+                if w >= 2 && g.weight_between(u, v) == Some(w) {
+                    arc = Some((v, u, w));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((u, v, w)) = arc else { return Ok(()) };
+        let along = 1 + (frac % (w - 1).max(1));
+        let (g2, _) = insert_positions(&g, &[EdgePosition { from: u, to: v, along }]);
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        prop_assert_eq!(dijkstra_distance(&g2, s, t), dijkstra_distance(&g, s, t));
+    }
+}

@@ -1,0 +1,61 @@
+//! Arbitrary client locations (§5, closing remark): in practice the
+//! source and destination are GPS fixes, not network nodes. The client
+//! snaps both to the nearest network nodes with the bucket-grid locator
+//! and proceeds as usual; the same snapping also answers "which region am
+//! I in" directly from the kd splitting values.
+//!
+//! Run with: `cargo run --release --example gps_snapping`
+
+use spair::prelude::*;
+use spair::roadnet::NodeLocator;
+
+fn main() {
+    let network = NetworkPreset::Milan.scaled_config(9, 0.05).generate();
+    let part = KdTreePartition::build(&network, 16);
+    let pre = BorderPrecomputation::run(&network, &part);
+    let program = NrServer::new(&network, &part, &pre).build_program();
+    let locator = NodeLocator::build(&network);
+
+    // Two raw GPS fixes somewhere between intersections.
+    let here = Point::new(731.4, 492.8);
+    let there = Point::new(4312.9, 3279.2);
+    let s = locator.nearest(here);
+    let t = locator.nearest(there);
+    println!(
+        "GPS ({:.0},{:.0}) snapped to node {s} at ({:.0},{:.0})",
+        here.x,
+        here.y,
+        network.point(s).x,
+        network.point(s).y
+    );
+    println!(
+        "GPS ({:.0},{:.0}) snapped to node {t} at ({:.0},{:.0})",
+        there.x,
+        there.y,
+        network.point(t).x,
+        network.point(t).y
+    );
+    println!(
+        "kd regions: R{} -> R{}",
+        part.locate(here),
+        part.locate(there)
+    );
+
+    let mut channel = BroadcastChannel::lossless(program.cycle());
+    let mut client = NrClient::new(program.summary());
+    let out = client
+        .query(&mut channel, &Query::for_nodes(&network, s, t))
+        .expect("reachable");
+    println!(
+        "\nroute: {} network units over {} road segments, \
+         after {} received packets",
+        out.distance,
+        out.path.len() - 1,
+        out.stats.tuning_packets
+    );
+
+    // Local (offline) cross-check with bidirectional Dijkstra.
+    let check = spair::roadnet::bidirectional_distance(&network, s, t);
+    assert_eq!(check, Some(out.distance));
+    println!("cross-checked with bidirectional Dijkstra ✓");
+}

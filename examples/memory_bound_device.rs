@@ -1,0 +1,77 @@
+//! Memory-bound processing (§6.1): a device with a tiny heap contracts
+//! each received region into super-edges and discards the raw data,
+//! trading CPU for peak memory while keeping answers exact.
+//!
+//! Run with: `cargo run --release --example memory_bound_device`
+
+use spair::prelude::*;
+use spair::core::netcodec::{decode_payload, encode_nodes_with_borders, ReceivedGraph};
+
+fn main() {
+    let network = NetworkPreset::Germany.scaled_config(3, 0.05).generate();
+    let part = KdTreePartition::build(&network, 16);
+    let pre = BorderPrecomputation::run(&network, &part);
+    println!(
+        "network: {} nodes, {} regions, {} border nodes",
+        network.num_nodes(),
+        part.num_regions(),
+        pre.borders().count()
+    );
+
+    // What the client would have decoded off the air, border flags included.
+    let mut store = ReceivedGraph::new();
+    for r in 0..part.num_regions() {
+        let nodes = &part.nodes_by_region()[r];
+        for payload in encode_nodes_with_borders(&network, nodes, |v| pre.borders().is_border(v)) {
+            for rec in decode_payload(&payload).unwrap() {
+                store.ingest(rec);
+            }
+        }
+    }
+
+    let (s, t) = (5u32, (network.num_nodes() - 7) as u32);
+    let (rs, rt) = (part.region_of(s), part.region_of(t));
+    let needed: Vec<_> = pre.needed_regions(rs, rt).iter().collect();
+    println!(
+        "query {s} -> {t}: NR needs {} of {} regions",
+        needed.len(),
+        part.num_regions()
+    );
+
+    // Plain processing: hold every needed region until the final search.
+    let plain_bytes: usize = needed
+        .iter()
+        .flat_map(|&r| part.nodes_by_region()[r as usize].iter())
+        .map(|&v| 16 + 8 * store.out_edges(v).len())
+        .sum();
+    let (plain, _) = store.shortest_path(s, t);
+    let plain = plain.expect("reachable");
+
+    // §6.1: contract each region as it completes, discard its raw data.
+    let mut proc = MemoryBoundProcessor::new();
+    for &r in &needed {
+        let nodes = &part.nodes_by_region()[r as usize];
+        let terminals: Vec<u32> = [s, t].iter().copied().filter(|v| nodes.contains(v)).collect();
+        proc.add_region(&store, nodes, &terminals);
+    }
+    let (dist, _) = proc.shortest_path(s, t).expect("reachable");
+
+    println!("\n{:<22} {:>12} {:>12}", "", "plain", "super-edges");
+    println!(
+        "{:<22} {:>10.1} KB {:>10.1} KB",
+        "peak client memory",
+        plain_bytes as f64 / 1024.0,
+        proc.mem.peak() as f64 / 1024.0
+    );
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "distance", plain.0, dist
+    );
+    assert_eq!(plain.0, dist, "contraction must preserve the distance");
+    let saving = 100.0 * (1.0 - proc.mem.peak() as f64 / plain_bytes as f64);
+    println!(
+        "\nsuper-edge contraction cut peak memory by {saving:.0}% (paper reports ~35%) \
+         at {:.2} ms extra CPU",
+        proc.cpu.total().as_secs_f64() * 1000.0
+    );
+}

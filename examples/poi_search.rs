@@ -1,0 +1,73 @@
+//! On-air k-nearest-neighbour search: "find the 3 nearest gas stations"
+//! over a broadcast channel — the paper's §8 future work, built on EB's
+//! index machinery.
+//!
+//! The broadcast cycle carries the EB index (kd splits + min/max
+//! border-distance matrix + region offsets) plus a POI id stream. The
+//! client receives regions in ascending `min(Rs, ·)` order and stops as
+//! soon as the k-th candidate's distance beats the next region's lower
+//! bound — it never listens to the far side of the network.
+//!
+//! Run with: `cargo run --release --example poi_search`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spair::prelude::*;
+use spair::roadnet::NodeId;
+
+fn main() {
+    let network = NetworkPreset::Germany.scaled_config(7, 0.05).generate();
+    let partitioning = KdTreePartition::build(&network, 32);
+    let precomputed = BorderPrecomputation::run(&network, &partitioning);
+
+    // One node in fifty hosts a gas station.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut stations: Vec<NodeId> = (0..network.num_nodes() / 50)
+        .map(|_| rng.gen_range(0..network.num_nodes()) as NodeId)
+        .collect();
+    stations.sort_unstable();
+    stations.dedup();
+
+    let program = KnnServer::new(&network, &partitioning, &precomputed, &stations).build_program();
+    println!(
+        "network: {} nodes, {} gas stations, cycle {} packets",
+        network.num_nodes(),
+        stations.len(),
+        program.cycle().len()
+    );
+
+    let mut client = KnnClient::new(partitioning.num_regions());
+    for &source in &[0 as NodeId, (network.num_nodes() / 3) as NodeId] {
+        let mut channel = BroadcastChannel::tune_in(
+            program.cycle(),
+            program.cycle().len() / 2,
+            LossModel::Lossless,
+        );
+        let out = client
+            .query(&mut channel, source, network.point(source), 3)
+            .expect("channel healthy");
+        println!("\n3 nearest stations to node {source}:");
+        for nb in &out.neighbors {
+            println!("  station at node {:>6}  network distance {:>8}", nb.node, nb.distance);
+        }
+        println!(
+            "  tuning {} packets of a {}-packet cycle ({:.0}% pruned)",
+            out.stats.tuning_packets,
+            program.cycle().len(),
+            100.0 * (1.0 - out.stats.tuning_packets as f64 / program.cycle().len() as f64)
+        );
+
+        // Cross-check against exhaustive Dijkstra.
+        let tree = spair::roadnet::dijkstra_full(&network, source);
+        let mut want: Vec<u64> = stations
+            .iter()
+            .filter(|&&p| tree.reachable(p))
+            .map(|&p| tree.distance(p))
+            .collect();
+        want.sort_unstable();
+        want.truncate(3);
+        let got: Vec<u64> = out.neighbors.iter().map(|n| n.distance).collect();
+        assert_eq!(got, want, "matches exhaustive search");
+    }
+    println!("\nall answers verified against exhaustive Dijkstra");
+}

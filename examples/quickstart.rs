@@ -1,0 +1,50 @@
+//! Quickstart: broadcast a small road network with the NR method and
+//! answer one shortest-path query at the client.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spair::prelude::*;
+
+fn main() {
+    // 1. The server side: a road network, a kd partitioning, and the
+    //    border-pair precomputation both EB and NR share.
+    let network = spair::roadnet::generators::small_grid(20, 20, 7);
+    println!(
+        "network: {} nodes / {} directed edges",
+        network.num_nodes(),
+        network.num_edges()
+    );
+    let partitioning = KdTreePartition::build(&network, 16);
+    let precomputed = BorderPrecomputation::run(&network, &partitioning);
+    let program = NrServer::new(&network, &partitioning, &precomputed).build_program();
+    println!("broadcast cycle: {} packets of 128 bytes", program.cycle().len());
+
+    // 2. The client side: tune in mid-cycle, hop between local indexes,
+    //    receive only the regions that can contain the shortest path.
+    let query = Query::for_nodes(&network, 3, 396);
+    let mut channel =
+        BroadcastChannel::tune_in(program.cycle(), program.cycle().len() / 3, LossModel::Lossless);
+    let mut client = NrClient::new(program.summary());
+    let outcome = client.query(&mut channel, &query).expect("reachable");
+
+    println!("\nshortest path {} -> {}:", query.source, query.target);
+    println!("  distance       : {}", outcome.distance);
+    println!("  hops           : {}", outcome.path.len() - 1);
+    println!("  tuning time    : {} packets", outcome.stats.tuning_packets);
+    println!("  access latency : {} packets", outcome.stats.latency_packets);
+    println!(
+        "  peak memory    : {:.1} KB",
+        outcome.stats.peak_memory_bytes as f64 / 1024.0
+    );
+    let energy = EnergyModel::WAVELAN_ARM.joules(&outcome.stats, ChannelRate::MOVING_3G);
+    println!("  energy (384k)  : {energy:.3} J");
+    println!(
+        "\nthe client listened to {:.1}% of the cycle and slept through the rest",
+        100.0 * outcome.stats.tuning_packets as f64 / program.cycle().len() as f64
+    );
+
+    // Sanity: the broadcast answer equals a local whole-graph Dijkstra.
+    let reference = spair::roadnet::dijkstra_distance(&network, query.source, query.target);
+    assert_eq!(Some(outcome.distance), reference);
+    println!("verified against whole-graph Dijkstra ✓");
+}

@@ -1,0 +1,375 @@
+//! `spair` — command-line front end for the air-index framework.
+//!
+//! ```text
+//! spair generate --preset germany --scale 0.1 --seed 7 -o map.gr
+//! spair inspect  map.gr
+//! spair serve    map.gr --method nr --regions 32      # cycle statistics
+//! spair query    map.gr --method eb --from 10 --to 9000 [--loss 0.01]
+//! spair knn      map.gr --from 10 --k 3 --poi-every 50
+//! ```
+//!
+//! `generate` writes the DIMACS-style text format `roadnet::io` reads, so
+//! real road data can be substituted for the synthetic presets. All other
+//! subcommands accept any file in that format.
+
+use spair::prelude::*;
+use spair::roadnet::{self, NodeId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(rest),
+        "inspect" => inspect(rest),
+        "serve" => serve(rest),
+        "query" => query(rest),
+        "knn" => knn(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+spair — shortest paths on air indexes (VLDB'10 reproduction)
+
+commands:
+  generate --preset <milan|germany|argentina|india|sanfrancisco>
+           [--scale <f>] [--seed <n>] -o <file>     write a synthetic network
+  inspect  <file>                                   network statistics
+  serve    <file> [--method <nr|eb|dj|af|ld>] [--regions <n>]
+                                                    broadcast-cycle statistics
+  query    <file> --from <node> --to <node> [--method <m>] [--regions <n>]
+           [--loss <rate>] [--offset <packets>]     run one client query
+  knn      <file> --from <node> [--k <n>] [--poi-every <n>] [--regions <n>]
+                                                    on-air k-nearest-neighbour";
+
+/// Tiny flag parser: `--key value` pairs plus positionals.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix('-').filter(|k| k.len() == 1));
+            if let Some(key) = key {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                pairs.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { positional, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad value '{v}'")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn file(&self) -> Result<&str, String> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| "a network file is required".to_string())
+    }
+}
+
+fn load(path: &str) -> Result<RoadNetwork, String> {
+    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    roadnet::io::read_text(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let preset = match flags.require("preset")?.to_ascii_lowercase().as_str() {
+        "milan" => NetworkPreset::Milan,
+        "germany" => NetworkPreset::Germany,
+        "argentina" => NetworkPreset::Argentina,
+        "india" => NetworkPreset::India,
+        "sanfrancisco" | "san-francisco" | "sf" => NetworkPreset::SanFrancisco,
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    let scale: f64 = flags.get_parsed("scale", 1.0)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let out = flags.require("o")?;
+    let g = preset.scaled_config(seed, scale).generate();
+    let f = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    roadnet::io::write_text(&g, BufWriter::new(f)).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} nodes, {} directed edges ({} @ scale {scale}, seed {seed})",
+        g.num_nodes(),
+        g.num_edges(),
+        preset.name()
+    );
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = load(flags.file()?)?;
+    let (min, max) = g.bounding_box();
+    let degrees: Vec<usize> = g.node_ids().map(|v| g.out_degree(v)).collect();
+    let mean_deg = degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64;
+    println!("nodes           : {}", g.num_nodes());
+    println!("directed edges  : {}", g.num_edges());
+    println!("mean out-degree : {mean_deg:.2}");
+    println!("max out-degree  : {}", degrees.iter().max().copied().unwrap_or(0));
+    println!("extent          : ({:.1}, {:.1}) .. ({:.1}, {:.1})", min.x, min.y, max.x, max.y);
+    println!("adjacency bytes : {}", g.adjacency_bytes());
+    let raw = spair::core::netcodec::packet_count(&g, &g.node_ids().collect::<Vec<_>>());
+    println!("raw data packets: {raw} (128 B each)");
+    Ok(())
+}
+
+/// Builds the requested method's broadcast cycle.
+fn build_cycle(
+    g: &RoadNetwork,
+    method: &str,
+    regions: usize,
+) -> Result<(spair::broadcast::BroadcastCycle, String), String> {
+    match method {
+        "nr" | "eb" => {
+            let part = KdTreePartition::build(g, regions);
+            let pre = BorderPrecomputation::run(g, &part);
+            if method == "nr" {
+                let p = NrServer::new(g, &part, &pre).build_program();
+                Ok((p.cycle().clone(), format!("NR, {regions} regions")))
+            } else {
+                let p = EbServer::new(g, &part, &pre).build_program();
+                Ok((
+                    p.cycle().clone(),
+                    format!("EB, {regions} regions, (1,{}) interleaving", p.replication()),
+                ))
+            }
+        }
+        "dj" => {
+            let p = spair::baselines::DjServer::new(g).build_program();
+            Ok((p.cycle().clone(), "Dijkstra on air".to_string()))
+        }
+        "af" => {
+            let part = KdTreePartition::build(g, regions.min(16));
+            let index = spair::baselines::arcflag::ArcFlagIndex::build(g, &part);
+            let p = spair::baselines::ArcFlagServer::new(g, &part, &index).build_program();
+            Ok((p.cycle().clone(), format!("ArcFlag, {} regions", regions.min(16))))
+        }
+        "ld" => {
+            let index = spair::baselines::landmark::LandmarkIndex::build(g, 4);
+            let p = spair::baselines::LandmarkServer::new(g, &index).build_program();
+            Ok((p.cycle().clone(), "Landmark, 4 anchors".to_string()))
+        }
+        other => Err(format!("unknown method '{other}' (nr|eb|dj|af|ld)")),
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = load(flags.file()?)?;
+    let method = flags.get("method").unwrap_or("nr").to_ascii_lowercase();
+    let regions: usize = flags.get_parsed("regions", 32)?;
+    let (cycle, label) = build_cycle(&g, &method, regions)?;
+    println!("method          : {label}");
+    println!("cycle length    : {} packets ({} KB)", cycle.len(), cycle.len() * 128 / 1024);
+    println!("cycle duration  : {:.3} s @ 2 Mbps, {:.3} s @ 384 Kbps",
+        cycle.duration_secs(2_000_000),
+        cycle.duration_secs(384_000),
+    );
+    println!("segments        : {}", cycle.segments().len());
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = load(flags.file()?)?;
+    let from: NodeId = flags.get_parsed("from", NodeId::MAX)?;
+    let to: NodeId = flags.get_parsed("to", NodeId::MAX)?;
+    if from == NodeId::MAX || to == NodeId::MAX {
+        return Err("--from and --to are required".into());
+    }
+    if from as usize >= g.num_nodes() || to as usize >= g.num_nodes() {
+        return Err(format!("node ids must be < {}", g.num_nodes()));
+    }
+    let method = flags.get("method").unwrap_or("nr").to_ascii_lowercase();
+    let regions: usize = flags.get_parsed("regions", 32)?;
+    let loss: f64 = flags.get_parsed("loss", 0.0)?;
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+
+    // Build program + matching client.
+    let part = KdTreePartition::build(&g, regions);
+    let pre = BorderPrecomputation::run(&g, &part);
+    let (cycle, mut client): (spair::broadcast::BroadcastCycle, Box<dyn AirClient>) =
+        match method.as_str() {
+            "nr" => {
+                let p = NrServer::new(&g, &part, &pre).build_program();
+                (p.cycle().clone(), Box::new(NrClient::new(p.summary())))
+            }
+            "eb" => {
+                let p = EbServer::new(&g, &part, &pre).build_program();
+                (p.cycle().clone(), Box::new(EbClient::new(p.summary())))
+            }
+            "dj" => {
+                let p = spair::baselines::DjServer::new(&g).build_program();
+                (p.cycle().clone(), Box::new(DjClient::new()))
+            }
+            "af" => {
+                let af_part = KdTreePartition::build(&g, regions.min(16));
+                let index = spair::baselines::arcflag::ArcFlagIndex::build(&g, &af_part);
+                let p = spair::baselines::ArcFlagServer::new(&g, &af_part, &index).build_program();
+                (
+                    p.cycle().clone(),
+                    Box::new(ArcFlagClient::new(regions.min(16))),
+                )
+            }
+            "ld" => {
+                let index = spair::baselines::landmark::LandmarkIndex::build(&g, 4);
+                let p = spair::baselines::LandmarkServer::new(&g, &index).build_program();
+                (p.cycle().clone(), Box::new(LandmarkClient::new()))
+            }
+            other => return Err(format!("unknown method '{other}'")),
+        };
+
+    let offset: usize = flags.get_parsed("offset", cycle.len() / 3)?;
+    let loss_model = if loss > 0.0 {
+        LossModel::bernoulli(loss, seed)
+    } else {
+        LossModel::Lossless
+    };
+    let mut ch = BroadcastChannel::tune_in(&cycle, offset % cycle.len(), loss_model);
+    let out = client
+        .query(&mut ch, &Query::for_nodes(&g, from, to))
+        .map_err(|e| e.to_string())?;
+
+    println!("method          : {}", client.method_name());
+    println!("distance        : {}", out.distance);
+    println!("path hops       : {}", out.path.len().saturating_sub(1));
+    println!("tuning time     : {} packets", out.stats.tuning_packets);
+    println!("access latency  : {} packets ({:.3} s @ 384 Kbps)",
+        out.stats.latency_packets,
+        out.stats.latency_packets as f64 * 128.0 * 8.0 / 384_000.0,
+    );
+    println!("peak memory     : {:.1} KB", out.stats.peak_memory_bytes as f64 / 1024.0);
+    println!("client CPU      : {:.3} ms", out.stats.cpu.as_secs_f64() * 1000.0);
+    let energy = EnergyModel::WAVELAN_ARM.joules(&out.stats, ChannelRate::MOVING_3G);
+    println!("energy          : {energy:.3} J (WaveLAN/ARM @ 384 Kbps)");
+
+    // Sanity: verify against local Dijkstra.
+    let want = roadnet::dijkstra_distance(&g, from, to);
+    if want != Some(out.distance) {
+        return Err(format!("MISMATCH vs local Dijkstra: {want:?}"));
+    }
+    println!("verified        : matches local Dijkstra");
+    Ok(())
+}
+
+fn knn(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = load(flags.file()?)?;
+    let from: NodeId = flags.get_parsed("from", NodeId::MAX)?;
+    if from == NodeId::MAX || from as usize >= g.num_nodes() {
+        return Err("--from is required and must be a valid node id".into());
+    }
+    let k: usize = flags.get_parsed("k", 3)?;
+    let every: usize = flags.get_parsed("poi-every", 50)?;
+    let regions: usize = flags.get_parsed("regions", 32)?;
+    let part = KdTreePartition::build(&g, regions);
+    let pre = BorderPrecomputation::run(&g, &part);
+    let pois: Vec<NodeId> = g.node_ids().step_by(every.max(1)).collect();
+    let program = KnnServer::new(&g, &part, &pre, &pois).build_program();
+    let mut client = KnnClient::new(regions);
+    let mut ch = BroadcastChannel::lossless(program.cycle());
+    let out = client
+        .query(&mut ch, from, g.point(from), k)
+        .map_err(|e| e.to_string())?;
+    println!("{} POIs on the network (every {every}th node)", pois.len());
+    println!("{k} nearest to node {from}:");
+    for nb in &out.neighbors {
+        println!("  node {:>8}  distance {:>10}", nb.node, nb.distance);
+    }
+    println!(
+        "tuning {} of {} cycle packets ({:.0}% pruned)",
+        out.stats.tuning_packets,
+        program.cycle().len(),
+        100.0 * (1.0 - out.stats.tuning_packets as f64 / program.cycle().len() as f64),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Flags;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_long_and_short_flags() {
+        let f = flags(&["map.gr", "--method", "nr", "-o", "out.gr"]);
+        assert_eq!(f.file().unwrap(), "map.gr");
+        assert_eq!(f.get("method"), Some("nr"));
+        assert_eq!(f.get("o"), Some("out.gr"));
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let f = flags(&["--seed", "1", "--seed", "2"]);
+        assert_eq!(f.get_parsed::<u64>("seed", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let f = flags(&["map.gr"]);
+        assert_eq!(f.get_parsed::<usize>("regions", 32).unwrap(), 32);
+        assert!(f.require("method").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let args = vec!["--seed".to_string()];
+        assert!(Flags::parse(&args).is_err());
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let f = flags(&["--scale", "abc"]);
+        assert!(f.get_parsed::<f64>("scale", 1.0).is_err());
+    }
+}

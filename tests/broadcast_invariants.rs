@@ -1,0 +1,147 @@
+//! Property tests on the broadcast substrate itself: channel clock
+//! arithmetic, pointer stamping, and the loss model — the invariants every
+//! client implicitly depends on.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use spair::broadcast::cycle::{CycleBuilder, SegmentKind};
+use spair::broadcast::packet::PacketKind;
+use spair::prelude::*;
+
+fn build_cycle(seg_lens: &[usize], index_every: usize) -> spair::broadcast::BroadcastCycle {
+    let mut b = CycleBuilder::new();
+    for (i, &len) in seg_lens.iter().enumerate() {
+        if i % index_every == 0 {
+            b.push_segment(
+                SegmentKind::GlobalIndex,
+                PacketKind::Index,
+                vec![Bytes::from(vec![0xEEu8])],
+            );
+        }
+        b.push_segment(
+            SegmentKind::RegionData(i as u16),
+            PacketKind::Data,
+            (0..len).map(|j| Bytes::from(vec![i as u8, j as u8])).collect(),
+        );
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every packet's next-index pointer lands exactly on an index packet,
+    /// and no index packet exists strictly between the pointer's origin
+    /// and its destination.
+    #[test]
+    fn pointers_always_hit_the_next_index(
+        seg_lens in prop::collection::vec(0usize..7, 1..12),
+        index_every in 1usize..4,
+    ) {
+        let cycle = build_cycle(&seg_lens, index_every);
+        let n = cycle.len();
+        for pos in 0..n {
+            let ptr = cycle.packet(pos).next_index() as usize;
+            prop_assert!(ptr < n, "pointer wraps at most once");
+            let target = (pos + 1 + ptr) % n;
+            prop_assert_eq!(cycle.packet(target).kind(), PacketKind::Index);
+            for k in 0..ptr {
+                let between = (pos + 1 + k) % n;
+                prop_assert_ne!(cycle.packet(between).kind(), PacketKind::Index);
+            }
+        }
+    }
+
+    /// Channel clock: elapsed = tuned + slept always; offsets wrap
+    /// modulo the cycle; sleep_to_offset never sleeps a full cycle.
+    #[test]
+    fn channel_clock_arithmetic(
+        seg_lens in prop::collection::vec(1usize..6, 1..8),
+        ops in prop::collection::vec((0u8..3, 0usize..40), 1..60),
+        start in 0usize..1000,
+    ) {
+        let cycle = build_cycle(&seg_lens, 2);
+        let mut ch = BroadcastChannel::tune_in(&cycle, start, LossModel::Lossless);
+        for (op, arg) in ops {
+            let before = ch.elapsed();
+            match op {
+                0 => {
+                    ch.receive();
+                    prop_assert_eq!(ch.elapsed(), before + 1);
+                }
+                1 => {
+                    ch.sleep(arg as u64);
+                    prop_assert_eq!(ch.elapsed(), before + arg as u64);
+                }
+                _ => {
+                    let target = arg % cycle.len();
+                    ch.sleep_to_offset(target);
+                    prop_assert_eq!(ch.offset(), target);
+                    prop_assert!(ch.elapsed() - before < cycle.len() as u64);
+                }
+            }
+            prop_assert_eq!(ch.elapsed(), ch.tuned() + ch.slept());
+            prop_assert!(ch.offset() < cycle.len());
+        }
+    }
+
+    /// The Bernoulli loss model is deterministic per seed and the
+    /// empirical rate converges to the configured one.
+    #[test]
+    fn loss_model_rate_and_determinism(rate in 0.0f64..0.5, seed in 0u64..50) {
+        let cycle = build_cycle(&[3, 3], 1);
+        let sample = |seed| {
+            let mut ch = BroadcastChannel::tune_in(&cycle, 0, LossModel::bernoulli(rate, seed));
+            (0..4000)
+                .map(|_| ch.receive().ok().is_none())
+                .collect::<Vec<bool>>()
+        };
+        let a = sample(seed);
+        prop_assert_eq!(&a, &sample(seed), "same seed, same losses");
+        let observed = a.iter().filter(|&&l| l).count() as f64 / a.len() as f64;
+        prop_assert!((observed - rate).abs() < 0.05, "rate {rate} observed {observed}");
+    }
+
+    /// The 4-ary heap agrees with the standard library's binary heap on
+    /// arbitrary push/pop interleavings.
+    #[test]
+    fn min_heap_matches_std(ops in prop::collection::vec((any::<bool>(), 0u64..10_000), 1..300)) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ours = spair::roadnet::MinHeap::new();
+        let mut std_heap = BinaryHeap::new();
+        for (push, key) in ops {
+            if push || std_heap.is_empty() {
+                ours.push(key, ());
+                std_heap.push(Reverse(key));
+            } else {
+                prop_assert_eq!(ours.pop().map(|e| e.key), std_heap.pop().map(|r| r.0));
+            }
+            prop_assert_eq!(ours.peek_key(), std_heap.peek().map(|r| r.0));
+            prop_assert_eq!(ours.len(), std_heap.len());
+        }
+    }
+
+    /// Bidirectional Dijkstra equals unidirectional on arbitrary networks
+    /// and query pairs.
+    #[test]
+    fn bidirectional_always_matches(
+        nodes in 20usize..120,
+        seed in 0u64..200,
+        pair in (0usize..10_000, 0usize..10_000),
+    ) {
+        let g = spair::roadnet::generators::GeneratorConfig {
+            nodes,
+            undirected_edges: nodes + nodes / 3,
+            seed,
+            ..Default::default()
+        }
+        .generate();
+        let s = (pair.0 % nodes) as u32;
+        let t = (pair.1 % nodes) as u32;
+        prop_assert_eq!(
+            spair::roadnet::bidirectional_distance(&g, s, t),
+            spair::roadnet::dijkstra_distance(&g, s, t)
+        );
+    }
+}

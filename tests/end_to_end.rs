@@ -1,0 +1,224 @@
+//! End-to-end integration tests through the public `spair` facade: every
+//! broadcast method must return exactly the whole-graph Dijkstra distance
+//! for every query, from every tune-in position, with and without packet
+//! loss.
+
+use spair::prelude::*;
+use spair_baselines::arcflag::{ArcFlagIndex, ArcFlagServer};
+use spair_baselines::dj::DjServer;
+use spair_baselines::landmark::{LandmarkIndex, LandmarkServer};
+use spair_roadnet::generators::GeneratorConfig;
+use spair_roadnet::{dijkstra_distance, NodeId};
+
+fn network(seed: u64, nodes: usize) -> RoadNetwork {
+    GeneratorConfig {
+        nodes,
+        undirected_edges: (nodes as f64 * 1.3) as usize,
+        seed,
+        ..GeneratorConfig::default()
+    }
+    .generate()
+}
+
+struct Setup {
+    g: RoadNetwork,
+    nr: spair::core::NrProgram,
+    eb: spair::core::EbProgram,
+    dj: spair_baselines::DjProgram,
+    af: spair_baselines::ArcFlagProgram,
+    ld: spair_baselines::LandmarkProgram,
+}
+
+fn setup(seed: u64, nodes: usize, regions: usize) -> Setup {
+    let g = network(seed, nodes);
+    let part = KdTreePartition::build(&g, regions);
+    let pre = BorderPrecomputation::run(&g, &part);
+    let nr = NrServer::new(&g, &part, &pre).build_program();
+    let eb = EbServer::new(&g, &part, &pre).build_program();
+    let dj = DjServer::new(&g).build_program();
+    let af_index = ArcFlagIndex::build(&g, &part);
+    let af = ArcFlagServer::new(&g, &part, &af_index).build_program();
+    let ld_index = LandmarkIndex::build(&g, 3);
+    let ld = LandmarkServer::new(&g, &ld_index).build_program();
+    Setup {
+        g,
+        nr,
+        eb,
+        dj,
+        af,
+        ld,
+    }
+}
+
+fn queries(g: &RoadNetwork, n: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..g.num_nodes()) as NodeId,
+                rng.gen_range(0..g.num_nodes()) as NodeId,
+            )
+        })
+        .collect()
+}
+
+fn check_all(s: &Setup, loss: f64, qseed: u64, n_queries: usize) {
+    let regions = 8usize;
+    for (i, (a, b)) in queries(&s.g, n_queries, qseed).into_iter().enumerate() {
+        let q = Query::for_nodes(&s.g, a, b);
+        let want = dijkstra_distance(&s.g, a, b);
+        let offset = (i * 61) % s.nr.cycle().len();
+        let mk_loss = |seed: u64| {
+            if loss > 0.0 {
+                LossModel::bernoulli(loss, seed)
+            } else {
+                LossModel::Lossless
+            }
+        };
+        let outcomes: Vec<(&str, Result<QueryOutcome, QueryError>)> = vec![
+            ("NR", {
+                let mut ch = BroadcastChannel::tune_in(s.nr.cycle(), offset, mk_loss(i as u64));
+                NrClient::new(s.nr.summary()).query(&mut ch, &q)
+            }),
+            ("EB", {
+                let mut ch =
+                    BroadcastChannel::tune_in(s.eb.cycle(), offset % s.eb.cycle().len(), mk_loss(i as u64 + 100));
+                EbClient::new(s.eb.summary()).query(&mut ch, &q)
+            }),
+            ("DJ", {
+                let mut ch =
+                    BroadcastChannel::tune_in(s.dj.cycle(), offset % s.dj.cycle().len(), mk_loss(i as u64 + 200));
+                DjClient::new().query(&mut ch, &q)
+            }),
+            ("AF", {
+                let mut ch =
+                    BroadcastChannel::tune_in(s.af.cycle(), offset % s.af.cycle().len(), mk_loss(i as u64 + 300));
+                ArcFlagClient::new(regions).query(&mut ch, &q)
+            }),
+            ("LD", {
+                let mut ch =
+                    BroadcastChannel::tune_in(s.ld.cycle(), offset % s.ld.cycle().len(), mk_loss(i as u64 + 400));
+                LandmarkClient::new().query(&mut ch, &q)
+            }),
+        ];
+        for (name, out) in outcomes {
+            match (&want, out) {
+                (Some(w), Ok(o)) => assert_eq!(*w, o.distance, "{name} query {a}->{b}"),
+                (None, Err(QueryError::Unreachable)) => {}
+                (None, Ok(o)) if a == b => assert_eq!(o.distance, 0),
+                (w, o) => panic!("{name} {a}->{b}: want {w:?}, got {o:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn all_methods_exact_lossless() {
+    let s = setup(1, 150, 8);
+    check_all(&s, 0.0, 10, 12);
+}
+
+#[test]
+fn all_methods_exact_under_moderate_loss() {
+    let s = setup(2, 120, 8);
+    check_all(&s, 0.02, 20, 6);
+}
+
+#[test]
+fn all_methods_exact_under_paper_max_loss() {
+    let s = setup(3, 100, 8);
+    check_all(&s, 0.10, 30, 4);
+}
+
+#[test]
+fn selective_tuning_beats_whole_cycle() {
+    // The headline claim: NR and EB listen to fewer packets than DJ for
+    // short-range queries.
+    let s = setup(4, 400, 16);
+    // Nearby pair (spatially close ids in the jittered grid layout).
+    let q = Query::for_nodes(&s.g, 10, 12);
+    let mut ch = BroadcastChannel::lossless(s.nr.cycle());
+    let nr = NrClient::new(s.nr.summary()).query(&mut ch, &q).unwrap();
+    let mut ch = BroadcastChannel::lossless(s.dj.cycle());
+    let dj = DjClient::new().query(&mut ch, &q).unwrap();
+    assert_eq!(nr.distance, dj.distance);
+    assert!(
+        nr.stats.tuning_packets < dj.stats.tuning_packets,
+        "NR {} must tune less than DJ {}",
+        nr.stats.tuning_packets,
+        dj.stats.tuning_packets
+    );
+    assert!(nr.stats.peak_memory_bytes < dj.stats.peak_memory_bytes);
+}
+
+#[test]
+fn access_latency_stays_within_cycles() {
+    let s = setup(5, 200, 8);
+    for (i, (a, b)) in queries(&s.g, 8, 50).into_iter().enumerate() {
+        if a == b {
+            continue;
+        }
+        let q = Query::for_nodes(&s.g, a, b);
+        let mut ch = BroadcastChannel::tune_in(s.nr.cycle(), i * 97, LossModel::Lossless);
+        let out = NrClient::new(s.nr.summary()).query(&mut ch, &q).unwrap();
+        assert!(
+            (out.stats.latency_packets as usize) <= 2 * s.nr.cycle().len(),
+            "latency {} on cycle {}",
+            out.stats.latency_packets,
+            s.nr.cycle().len()
+        );
+    }
+}
+
+#[test]
+fn returned_paths_are_real_paths() {
+    let s = setup(6, 150, 8);
+    for (a, b) in queries(&s.g, 6, 60) {
+        if a == b {
+            continue;
+        }
+        let q = Query::for_nodes(&s.g, a, b);
+        let mut ch = BroadcastChannel::lossless(s.eb.cycle());
+        if let Ok(out) = EbClient::new(s.eb.summary()).query(&mut ch, &q) {
+            let mut acc = 0u64;
+            for w in out.path.windows(2) {
+                acc += s.g.weight_between(w[0], w[1]).expect("edge exists") as u64;
+            }
+            assert_eq!(acc, out.distance);
+            assert_eq!(out.path.first(), Some(&a));
+            assert_eq!(out.path.last(), Some(&b));
+        }
+    }
+}
+
+#[test]
+fn memory_bound_mode_preserves_answers() {
+    use spair::core::netcodec::{decode_payload, encode_nodes_with_borders, ReceivedGraph};
+    let g = network(7, 200);
+    let part = KdTreePartition::build(&g, 8);
+    let pre = BorderPrecomputation::run(&g, &part);
+    let mut store = ReceivedGraph::new();
+    for r in 0..part.num_regions() {
+        let nodes = &part.nodes_by_region()[r];
+        for payload in encode_nodes_with_borders(&g, nodes, |v| pre.borders().is_border(v)) {
+            for rec in decode_payload(&payload).unwrap() {
+                store.ingest(rec);
+            }
+        }
+    }
+    for (a, b) in queries(&g, 6, 70) {
+        let mut proc = MemoryBoundProcessor::with_paths();
+        for nodes in part.nodes_by_region() {
+            let terminals: Vec<_> =
+                [a, b].iter().copied().filter(|v| nodes.contains(v)).collect();
+            proc.add_region(&store, nodes, &terminals);
+        }
+        assert_eq!(
+            proc.shortest_path(a, b).map(|(d, _)| d),
+            dijkstra_distance(&g, a, b),
+            "{a}->{b}"
+        );
+    }
+}

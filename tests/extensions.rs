@@ -1,0 +1,282 @@
+//! Integration tests for the framework extensions: HiTi and SPQ full
+//! on-air clients, on-edge queries driven through real air clients, and
+//! on-air kNN — all validated against exhaustive references.
+
+use proptest::prelude::*;
+use spair::prelude::*;
+use spair::roadnet::generators::GeneratorConfig;
+use spair::roadnet::{
+    dijkstra_distance, dijkstra_full, insert_positions, EdgePosition, NodeId, Weight,
+};
+
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (40usize..160, 0u64..500, 0.1f64..0.5).prop_map(|(nodes, seed, extra)| {
+        GeneratorConfig {
+            nodes,
+            undirected_edges: nodes - 1 + (nodes as f64 * extra) as usize,
+            seed,
+            ..GeneratorConfig::default()
+        }
+        .generate()
+    })
+}
+
+/// First splittable undirected segment scanning from node `from`.
+fn splittable_arc(g: &RoadNetwork, from: NodeId) -> Option<(NodeId, NodeId, Weight)> {
+    for v in (from..g.num_nodes() as NodeId).chain(0..from) {
+        for (u, w) in g.out_edges(v) {
+            if w >= 4 && g.weight_between(u, v) == Some(w) {
+                return Some((v, u, w));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full HiTi on-air client equals whole-graph Dijkstra for
+    /// arbitrary networks, grid sides, hierarchy depths and tune-ins.
+    #[test]
+    fn hiti_air_always_matches_dijkstra(
+        g in arb_network(),
+        side_pow in 1u32..4,
+        pair in (0usize..10_000, 0usize..10_000),
+        offset in 0usize..10_000,
+    ) {
+        let side = 1usize << side_pow;
+        let levels = (side_pow as usize + 1).min(3);
+        let index = HiTiIndex::build(&g, side, levels);
+        let program = HiTiAirServer::new(&g, &index).build_program();
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        let mut ch = BroadcastChannel::tune_in(
+            program.cycle(),
+            offset % program.cycle().len(),
+            LossModel::Lossless,
+        );
+        let out = HiTiAirClient::new().query(&mut ch, &Query::for_nodes(&g, s, t));
+        prop_assert_eq!(out.ok().map(|o| o.distance), dijkstra_distance(&g, s, t));
+    }
+
+    /// The SPQ on-air client equals whole-graph Dijkstra on lossless
+    /// channels (its quadtree walk is exact when every tree decodes).
+    #[test]
+    fn spq_air_always_matches_dijkstra(
+        g in arb_network(),
+        pair in (0usize..10_000, 0usize..10_000),
+        offset in 0usize..10_000,
+    ) {
+        let index = SpqIndex::build(&g);
+        let program = SpqAirServer::new(&g, &index).build_program();
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        let mut ch = BroadcastChannel::tune_in(
+            program.cycle(),
+            offset % program.cycle().len(),
+            LossModel::Lossless,
+        );
+        let out = SpqClient::new(program.bbox()).query(&mut ch, &Query::for_nodes(&g, s, t));
+        prop_assert_eq!(out.ok().map(|o| o.distance), dijkstra_distance(&g, s, t));
+    }
+
+    /// On-edge queries answered through the EB air client match the
+    /// split-graph reference.
+    #[test]
+    fn on_edge_via_eb_matches_split_reference(
+        g in arb_network(),
+        picks in (0u32..10_000, 0u32..10_000),
+        target in 0usize..10_000,
+    ) {
+        let part = KdTreePartition::build(&g, 8);
+        let pre = BorderPrecomputation::run(&g, &part);
+        let program = EbServer::new(&g, &part, &pre).build_program();
+        let n = g.num_nodes() as NodeId;
+        let Some((u, v, w)) = splittable_arc(&g, picks.0 % n) else {
+            return Ok(());
+        };
+        let along = 1 + picks.1 % (w - 1);
+        let src = OnEdgePoint::on_undirected(&g, u, v, along);
+        let dst = OnEdgePoint::at_node(&g, (target % g.num_nodes()) as NodeId);
+        let mut client = EbClient::new(program.summary());
+        let got = on_edge_query(&src, &dst, |q| {
+            let mut ch = BroadcastChannel::lossless(program.cycle());
+            client.query(&mut ch, q)
+        })
+        .ok()
+        .map(|o| o.distance);
+        let (g2, ids) = insert_positions(&g, &[EdgePosition { from: u, to: v, along }]);
+        prop_assert_eq!(got, dijkstra_distance(&g2, ids[0], dst.exits[0].0));
+    }
+
+    /// On-air kNN matches exhaustive Dijkstra over the POI set, for
+    /// arbitrary POI densities and k.
+    #[test]
+    fn knn_air_matches_exhaustive(
+        g in arb_network(),
+        poi_seed in 0u64..1000,
+        density in 2usize..12,
+        k in 1usize..6,
+        source in 0usize..10_000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let part = KdTreePartition::build(&g, 8);
+        let pre = BorderPrecomputation::run(&g, &part);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(poi_seed);
+        let mut pois: Vec<NodeId> = (0..g.num_nodes() / density)
+            .map(|_| rng.gen_range(0..g.num_nodes()) as NodeId)
+            .collect();
+        pois.sort_unstable();
+        pois.dedup();
+        prop_assume!(!pois.is_empty());
+        let program = KnnServer::new(&g, &part, &pre, &pois).build_program();
+        let s = (source % g.num_nodes()) as NodeId;
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let out = KnnClient::new(8)
+            .query(&mut ch, s, g.point(s), k)
+            .expect("lossless channel");
+        let tree = dijkstra_full(&g, s);
+        let mut want: Vec<u64> = pois
+            .iter()
+            .filter(|&&p| tree.reachable(p))
+            .map(|&p| tree.distance(p))
+            .collect();
+        want.sort_unstable();
+        want.truncate(k);
+        let got: Vec<u64> = out.neighbors.iter().map(|nb| nb.distance).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn all_methods_exact_under_bursty_loss() {
+    // Gilbert–Elliott bursts (mean length 8) at a 5 % stationary rate:
+    // every method's §6.2 recovery must still deliver the exact answer.
+    let g = spair::roadnet::generators::small_grid(10, 10, 6);
+    let part = KdTreePartition::build(&g, 8);
+    let pre = BorderPrecomputation::run(&g, &part);
+    let want = dijkstra_distance(&g, 2, 97);
+    let q = Query::for_nodes(&g, 2, 97);
+
+    let nr = NrServer::new(&g, &part, &pre).build_program();
+    let eb = EbServer::new(&g, &part, &pre).build_program();
+    let dj = spair::baselines::DjServer::new(&g).build_program();
+    let af_index = spair::baselines::arcflag::ArcFlagIndex::build(&g, &part);
+    let af = spair::baselines::ArcFlagServer::new(&g, &part, &af_index).build_program();
+    let ld_index = spair::baselines::landmark::LandmarkIndex::build(&g, 2);
+    let ld = spair::baselines::LandmarkServer::new(&g, &ld_index).build_program();
+
+    for seed in 0..4u64 {
+        let loss = || LossModel::bursty(0.05, 8.0, seed);
+        let mut runs: Vec<(&str, Result<spair::core::QueryOutcome, QueryError>)> = Vec::new();
+        let mut ch = BroadcastChannel::tune_in(nr.cycle(), 7, loss());
+        runs.push(("NR", NrClient::new(nr.summary()).query(&mut ch, &q)));
+        let mut ch = BroadcastChannel::tune_in(eb.cycle(), 7, loss());
+        runs.push(("EB", EbClient::new(eb.summary()).query(&mut ch, &q)));
+        let mut ch = BroadcastChannel::tune_in(dj.cycle(), 7, loss());
+        runs.push(("DJ", DjClient::new().query(&mut ch, &q)));
+        let mut ch = BroadcastChannel::tune_in(af.cycle(), 7, loss());
+        runs.push(("AF", ArcFlagClient::new(8).query(&mut ch, &q)));
+        let mut ch = BroadcastChannel::tune_in(ld.cycle(), 7, loss());
+        runs.push(("LD", LandmarkClient::new().query(&mut ch, &q)));
+        for (name, out) in runs {
+            assert_eq!(
+                out.unwrap().distance,
+                want.unwrap(),
+                "{name} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hiti_air_survives_heavy_loss() {
+    let g = spair::roadnet::generators::small_grid(10, 10, 3);
+    let index = HiTiIndex::build(&g, 4, 2);
+    let program = HiTiAirServer::new(&g, &index).build_program();
+    let mut client = HiTiAirClient::new();
+    for seed in 0..6 {
+        let mut ch =
+            BroadcastChannel::tune_in(program.cycle(), 17 * seed as usize, LossModel::bernoulli(0.10, seed));
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 0, 99)).unwrap();
+        assert_eq!(Some(out.distance), dijkstra_distance(&g, 0, 99), "seed {seed}");
+    }
+}
+
+#[test]
+fn on_edge_same_segment_is_exact_for_all_methods() {
+    let g = spair::roadnet::generators::small_grid(8, 8, 5);
+    let part = KdTreePartition::build(&g, 8);
+    let pre = BorderPrecomputation::run(&g, &part);
+    let (u, v, w) = splittable_arc(&g, 0).unwrap();
+    let src = OnEdgePoint::on_undirected(&g, u, v, 1);
+    let dst = OnEdgePoint::on_undirected(&g, u, v, w - 1);
+    let (g2, ids) = insert_positions(
+        &g,
+        &[
+            EdgePosition { from: u, to: v, along: 1 },
+            EdgePosition { from: u, to: v, along: w - 1 },
+        ],
+    );
+    let want = dijkstra_distance(&g2, ids[0], ids[1]);
+
+    let nr_program = NrServer::new(&g, &part, &pre).build_program();
+    let mut nr = NrClient::new(nr_program.summary());
+    let got_nr = on_edge_query(&src, &dst, |q| {
+        let mut ch = BroadcastChannel::lossless(nr_program.cycle());
+        nr.query(&mut ch, q)
+    })
+    .unwrap();
+    assert_eq!(Some(got_nr.distance), want);
+
+    let eb_program = EbServer::new(&g, &part, &pre).build_program();
+    let mut eb = EbClient::new(eb_program.summary());
+    let got_eb = on_edge_query(&src, &dst, |q| {
+        let mut ch = BroadcastChannel::lossless(eb_program.cycle());
+        eb.query(&mut ch, q)
+    })
+    .unwrap();
+    assert_eq!(Some(got_eb.distance), want);
+}
+
+#[test]
+fn knn_tuning_is_selective_for_local_answers() {
+    let g = spair::roadnet::generators::small_grid(16, 16, 9);
+    let part = KdTreePartition::build(&g, 16);
+    let pre = BorderPrecomputation::run(&g, &part);
+    // POIs everywhere: the nearest few are always local.
+    let pois: Vec<NodeId> = g.node_ids().step_by(5).collect();
+    let program = KnnServer::new(&g, &part, &pre, &pois).build_program();
+    let mut client = KnnClient::new(16);
+    let mut ch = BroadcastChannel::lossless(program.cycle());
+    let out = client.query(&mut ch, 0, g.point(0), 2).unwrap();
+    assert_eq!(out.neighbors.len(), 2);
+    assert!(
+        (out.stats.tuning_packets as usize) < program.cycle().len() / 2,
+        "tuned {} of {}",
+        out.stats.tuning_packets,
+        program.cycle().len()
+    );
+}
+
+#[test]
+fn hiti_hierarchy_depth_trades_index_for_tuning() {
+    // Deeper hierarchies add super-edge levels (longer cycle, more index
+    // bytes) but coarser groups for long-range queries.
+    let g = spair::roadnet::generators::small_grid(14, 14, 4);
+    let shallow = HiTiIndex::build(&g, 8, 1);
+    let deep = HiTiIndex::build(&g, 8, 3);
+    assert!(deep.index_bytes() > shallow.index_bytes());
+    let ps = HiTiAirServer::new(&g, &shallow).build_program();
+    let pd = HiTiAirServer::new(&g, &deep).build_program();
+    assert!(pd.cycle().len() > ps.cycle().len());
+    // Both remain exact.
+    for program in [&ps, &pd] {
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let out = HiTiAirClient::new()
+            .query(&mut ch, &Query::for_nodes(&g, 0, 195))
+            .unwrap();
+        assert_eq!(Some(out.distance), dijkstra_distance(&g, 0, 195));
+    }
+}
