@@ -24,7 +24,8 @@ use spair_broadcast::{
 use spair_core::netcodec::{decode_payload, encode_nodes, ReceivedGraph};
 use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_partition::{BorderInfo, KdLocator, KdTreePartition, Partitioning, RegionId};
-use spair_roadnet::dijkstra::{Direction, DijkstraWorkspace};
+use spair_roadnet::dijkstra::{DijkstraWorkspace, Direction};
+use spair_roadnet::parallel;
 use spair_roadnet::{Distance, MinHeap, NodeId, RoadNetwork, DIST_INF};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -46,8 +47,17 @@ pub struct ArcFlagIndex {
 }
 
 impl ArcFlagIndex {
-    /// Builds flags with one backward Dijkstra per border node.
+    /// Builds flags with one backward Dijkstra per border node, fanned
+    /// out across [`parallel::num_threads`] workers.
     pub fn build(g: &RoadNetwork, part: &KdTreePartition) -> Self {
+        Self::build_with_threads(g, part, parallel::num_threads())
+    }
+
+    /// Builds on an explicit number of worker threads. Flag bits depend
+    /// only on exact distances (never on tie-broken parents), and
+    /// per-source contributions merge by bitwise or, so the index is
+    /// identical for every thread count.
+    pub fn build_with_threads(g: &RoadNetwork, part: &KdTreePartition, threads: usize) -> Self {
         let start = Instant::now();
         let n = part.num_regions();
         let words = n.div_ceil(64);
@@ -64,22 +74,43 @@ impl ArcFlagIndex {
         }
 
         let borders = BorderInfo::compute(g, part);
-        let mut ws = DijkstraWorkspace::new(g.num_nodes());
-        for &b in borders.all() {
-            let rb = part.region_of(b) as usize;
-            ws.run(g, b, Direction::Reverse); // d(x -> b)
-            for u in g.node_ids() {
-                let du = ws.distance(u);
-                if du == DIST_INF {
-                    continue;
-                }
-                for e in g.out_edge_ids(u) {
-                    let v = g.edge_target(e);
-                    let dv = ws.distance(v);
-                    if dv != DIST_INF && du == dv + g.edge_weight(e) as Distance {
-                        flags[e as usize * words + rb / 64] |= 1 << (rb % 64);
+        let merged = parallel::map_reduce_chunked(
+            borders.all(),
+            threads,
+            4,
+            || DijkstraWorkspace::new(g.num_nodes()),
+            || vec![0u64; m * words],
+            |ws, partial: &mut Vec<u64>, sources, _base| {
+                for &b in sources {
+                    let rb = part.region_of(b) as usize;
+                    // An edge (u,v) lies on a shortest path towards b
+                    // iff d(u→b) = w(u,v) + d(v→b) — marks the whole
+                    // shortest-path DAG, covering ties.
+                    ws.run(g, b, Direction::Reverse); // d(x -> b)
+                    for u in g.node_ids() {
+                        let du = ws.distance(u);
+                        if du == DIST_INF {
+                            continue;
+                        }
+                        for e in g.out_edge_ids(u) {
+                            let v = g.edge_target(e);
+                            let dv = ws.distance(v);
+                            if dv != DIST_INF && du == dv + g.edge_weight(e) as Distance {
+                                partial[e as usize * words + rb / 64] |= 1 << (rb % 64);
+                            }
+                        }
                     }
                 }
+            },
+            |acc, p| {
+                for (a, b) in acc.iter_mut().zip(&p) {
+                    *a |= b;
+                }
+            },
+        );
+        if let Some(partial) = merged {
+            for (a, b) in flags.iter_mut().zip(&partial) {
+                *a |= b;
             }
         }
 
@@ -422,14 +453,23 @@ mod tests {
     }
 
     #[test]
+    fn build_is_identical_across_thread_counts() {
+        let g = small_grid(8, 8, 7);
+        let part = KdTreePartition::build(&g, 8);
+        let one = ArcFlagIndex::build_with_threads(&g, &part, 1);
+        for t in [2, 4, 7] {
+            let multi = ArcFlagIndex::build_with_threads(&g, &part, t);
+            assert_eq!(one.flags, multi.flags, "threads={t}");
+        }
+    }
+
+    #[test]
     fn client_matches_dijkstra() {
         let (g, program) = setup(2, 8);
         let mut client = ArcFlagClient::new(8);
         for &(s, t) in &[(0u32, 80u32), (9, 45), (77, 3)] {
             let mut ch = BroadcastChannel::lossless(program.cycle());
-            let out = client
-                .query(&mut ch, &Query::for_nodes(&g, s, t))
-                .unwrap();
+            let out = client.query(&mut ch, &Query::for_nodes(&g, s, t)).unwrap();
             assert_eq!(Some(out.distance), dijkstra_distance(&g, s, t));
         }
     }

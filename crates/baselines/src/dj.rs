@@ -167,9 +167,7 @@ mod tests {
         let mut client = DjClient::new();
         for &(s, t) in &[(0u32, 99u32), (5, 50), (98, 1)] {
             let mut ch = BroadcastChannel::lossless(program.cycle());
-            let out = client
-                .query(&mut ch, &Query::for_nodes(&g, s, t))
-                .unwrap();
+            let out = client.query(&mut ch, &Query::for_nodes(&g, s, t)).unwrap();
             assert_eq!(Some(out.distance), dijkstra_distance(&g, s, t));
         }
     }
@@ -180,9 +178,7 @@ mod tests {
         let program = DjServer::new(&g).build_program();
         let mut client = DjClient::new();
         let mut ch = BroadcastChannel::tune_in(program.cycle(), 13, LossModel::Lossless);
-        let out = client
-            .query(&mut ch, &Query::for_nodes(&g, 0, 63))
-            .unwrap();
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 0, 63)).unwrap();
         assert_eq!(out.stats.tuning_packets as usize, program.cycle().len());
         assert_eq!(out.stats.latency_packets, out.stats.tuning_packets);
     }
@@ -208,9 +204,7 @@ mod tests {
         let program = DjServer::new(&g).build_program();
         let mut client = DjClient::new();
         let mut ch = BroadcastChannel::lossless(program.cycle());
-        let out = client
-            .query(&mut ch, &Query::for_nodes(&g, 0, 99))
-            .unwrap();
+        let out = client.query(&mut ch, &Query::for_nodes(&g, 0, 99)).unwrap();
         // At least one decoded byte per network node.
         assert!(out.stats.peak_memory_bytes >= g.num_nodes() * 16);
     }

@@ -14,6 +14,7 @@
 //! query over the level-0 contraction to validate the construction.
 
 use spair_partition::{GridPartition, Partitioning, RegionId};
+use spair_roadnet::parallel;
 use spair_roadnet::{Distance, MinHeap, NodeId, RoadNetwork};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -69,6 +70,21 @@ impl HiTiIndex {
     /// `num_levels` levels (side halves per level; side must be a power
     /// of two and `>= 2^(num_levels-1)`).
     pub fn build(g: &RoadNetwork, side: usize, num_levels: usize) -> Self {
+        Self::build_with_threads(g, side, num_levels, parallel::num_threads())
+    }
+
+    /// Builds the hierarchy on an explicit number of worker threads.
+    /// Subgraphs are independent, so each level's groups fan out across
+    /// workers; groups are processed and merged in ascending group-id
+    /// order, making the super-edge list identical for every thread
+    /// count (the `HashMap`-ordered serial build was not even
+    /// deterministic across runs).
+    pub fn build_with_threads(
+        g: &RoadNetwork,
+        side: usize,
+        num_levels: usize,
+        threads: usize,
+    ) -> Self {
         assert!(side.is_power_of_two(), "grid side must be a power of two");
         assert!(num_levels >= 1 && side >> (num_levels - 1) >= 1);
         let start = Instant::now();
@@ -84,36 +100,28 @@ impl HiTiIndex {
                 let (x, y) = (c % side, c / side);
                 (y >> level) * cells + (x >> level)
             };
-            // Collect each group's nodes.
+            // Collect each group's nodes, in ascending group-id order.
             let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
             for v in g.node_ids() {
                 groups.entry(group_of(v)).or_default().push(v);
             }
-            let mut super_edges = Vec::new();
-            for (_, nodes) in groups {
-                let inside: HashSet<NodeId> = nodes.iter().copied().collect();
-                let borders: Vec<NodeId> = nodes
-                    .iter()
-                    .copied()
-                    .filter(|&v| {
-                        g.out_edges(v).any(|(u, _)| !inside.contains(&u))
-                            || g.in_edges(v).any(|(u, _)| !inside.contains(&u))
-                    })
-                    .collect();
-                let border_set: HashSet<NodeId> = borders.iter().copied().collect();
-                for &b in &borders {
-                    for (t, d, via) in restricted_dijkstra(g, b, &inside) {
-                        if t != b && border_set.contains(&t) {
-                            super_edges.push(SuperEdge {
-                                from: b,
-                                to: t,
-                                cost: d,
-                                via,
-                            });
-                        }
+            let mut group_list: Vec<(usize, Vec<NodeId>)> = groups.into_iter().collect();
+            group_list.sort_unstable_by_key(|&(gid, _)| gid);
+
+            let super_edges = parallel::map_reduce_chunked(
+                &group_list,
+                threads,
+                2,
+                || (),
+                Vec::<SuperEdge>::new,
+                |_, partial, chunk, _base| {
+                    for (_, nodes) in chunk {
+                        build_group_super_edges(g, nodes, partial);
                     }
-                }
-            }
+                },
+                |acc, p| acc.extend(p),
+            )
+            .unwrap_or_default();
             levels.push(HiTiLevel {
                 cells_per_side: cells,
                 super_edges,
@@ -146,7 +154,10 @@ impl HiTiIndex {
 
     /// Group index of base cell `cell` at `level` (0 = the cell itself).
     pub fn group_of_cell(&self, cell: RegionId, level: usize) -> usize {
-        let (x, y) = (cell as usize % self.base_side, cell as usize / self.base_side);
+        let (x, y) = (
+            cell as usize % self.base_side,
+            cell as usize / self.base_side,
+        );
         let cells = self.base_side >> level;
         (y >> level) * cells + (x >> level)
     }
@@ -216,8 +227,36 @@ impl HiTiIndex {
     }
 }
 
+/// Emits all super-edges of one subgraph (border-pair restricted
+/// shortest paths) into `out`, ordered by source border then target id.
+fn build_group_super_edges(g: &RoadNetwork, nodes: &[NodeId], out: &mut Vec<SuperEdge>) {
+    let inside: HashSet<NodeId> = nodes.iter().copied().collect();
+    let borders: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|&v| {
+            g.out_edges(v).any(|(u, _)| !inside.contains(&u))
+                || g.in_edges(v).any(|(u, _)| !inside.contains(&u))
+        })
+        .collect();
+    let border_set: HashSet<NodeId> = borders.iter().copied().collect();
+    for &b in &borders {
+        for (t, d, via) in restricted_dijkstra(g, b, &inside) {
+            if t != b && border_set.contains(&t) {
+                out.push(SuperEdge {
+                    from: b,
+                    to: t,
+                    cost: d,
+                    via,
+                });
+            }
+        }
+    }
+}
+
 /// Dijkstra restricted to `inside`, returning all reached
-/// `(node, dist, interior path nodes)`.
+/// `(node, dist, interior path nodes)` in ascending node order (the
+/// deterministic order the parallel build's merge relies on).
 fn restricted_dijkstra(
     g: &RoadNetwork,
     source: NodeId,
@@ -245,7 +284,10 @@ fn restricted_dijkstra(
             }
         }
     }
-    dist.into_iter()
+    let mut reached: Vec<(NodeId, Distance)> = dist.into_iter().collect();
+    reached.sort_unstable_by_key(|&(v, _)| v);
+    reached
+        .into_iter()
         .map(|(v, d)| {
             // Interior nodes by walking parents back (excludes endpoints).
             let mut via = Vec::new();
@@ -274,11 +316,7 @@ mod tests {
         let g = small_grid(10, 10, 3);
         let idx = HiTiIndex::build(&g, 4, 2);
         for &(s, t) in &[(0u32, 99u32), (12, 87), (50, 51), (3, 3)] {
-            assert_eq!(
-                idx.query(&g, s, t),
-                dijkstra_distance(&g, s, t),
-                "{s}->{t}"
-            );
+            assert_eq!(idx.query(&g, s, t), dijkstra_distance(&g, s, t), "{s}->{t}");
         }
     }
 
@@ -318,6 +356,18 @@ mod tests {
             // Cost can never beat the unrestricted shortest distance.
             let free = dijkstra_distance(&g, se.from, se.to).unwrap();
             assert!(se.cost >= free);
+        }
+    }
+
+    #[test]
+    fn build_is_identical_across_thread_counts() {
+        let g = small_grid(8, 8, 5);
+        let one = HiTiIndex::build_with_threads(&g, 4, 2, 1);
+        for t in [2, 3, 6] {
+            let multi = HiTiIndex::build_with_threads(&g, 4, 2, t);
+            for (a, b) in one.levels.iter().zip(&multi.levels) {
+                assert_eq!(a.super_edges, b.super_edges, "threads={t}");
+            }
         }
     }
 

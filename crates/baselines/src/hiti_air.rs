@@ -547,9 +547,8 @@ impl AirClient for HiTiAirClient {
         }
 
         // 4. Dijkstra over the hierarchical contraction G'.
-        let (res, settled) = cpu.time(|| {
-            hierarchical_search(&index, &selected, &store, q.source, q.target)
-        });
+        let (res, settled) =
+            cpu.time(|| hierarchical_search(&index, &selected, &store, q.source, q.target));
         mem.alloc(settled * decoded_node_bytes(0));
         let stats = QueryStats {
             tuning_packets: ch.tuned(),
@@ -700,7 +699,9 @@ mod tests {
         let (g, program) = setup(7, 4, 3);
         let mut client = HiTiAirClient::new();
         let mut ch = BroadcastChannel::lossless(program.cycle());
-        let out = client.query(&mut ch, &Query::for_nodes(&g, 0, 143)).unwrap();
+        let out = client
+            .query(&mut ch, &Query::for_nodes(&g, 0, 143))
+            .unwrap();
         // Index + two cells is less than the whole cycle.
         assert!(
             (out.stats.tuning_packets as usize) < program.cycle().len(),
@@ -717,7 +718,9 @@ mod tests {
         let (g, program) = setup(5, 8, 3);
         let mut client = HiTiAirClient::new();
         let mut ch = BroadcastChannel::lossless(program.cycle());
-        let out = client.query(&mut ch, &Query::for_nodes(&g, 10, 100)).unwrap();
+        let out = client
+            .query(&mut ch, &Query::for_nodes(&g, 10, 100))
+            .unwrap();
         let network_bytes = g.num_edges() * 8 + g.num_nodes() * 12;
         assert!(
             out.stats.peak_memory_bytes > network_bytes,
@@ -738,7 +741,11 @@ mod tests {
                 LossModel::bernoulli(0.05, seed),
             );
             let out = client.query(&mut ch, &q).unwrap();
-            assert_eq!(Some(out.distance), dijkstra_distance(&g, 3, 137), "seed {seed}");
+            assert_eq!(
+                Some(out.distance),
+                dijkstra_distance(&g, 3, 137),
+                "seed {seed}"
+            );
         }
     }
 
@@ -750,7 +757,8 @@ mod tests {
         let want = dijkstra_distance(&g, 20, 100);
         let len = program.cycle().len();
         for k in 0..8 {
-            let mut ch = BroadcastChannel::tune_in(program.cycle(), k * len / 8, LossModel::Lossless);
+            let mut ch =
+                BroadcastChannel::tune_in(program.cycle(), k * len / 8, LossModel::Lossless);
             let out = client.query(&mut ch, &q).unwrap();
             assert_eq!(Some(out.distance), want, "offset {}", k * len / 8);
         }

@@ -56,10 +56,17 @@ impl LandmarkIndex {
         let mut to_landmark = vec![DIST_INF; n * k];
         let mut from_landmark = vec![DIST_INF; n * k];
         let mut min_dist = vec![Distance::MAX; n];
+        // Farthest-point selection is inherently sequential (landmark
+        // i+1 depends on the distances of landmarks 0..=i), but each
+        // step's forward and reverse trees are independent — run them as
+        // a two-way fork-join. Distances are exact, so the result is
+        // identical to the serial build.
         for i in 0..k {
             let l = landmarks[i];
-            let fwd = dijkstra_full(g, l); // d(L -> v)
-            let rev = dijkstra_full_reverse(g, l); // d(v -> L)
+            let (fwd, rev) = spair_roadnet::parallel::join(
+                || dijkstra_full(g, l),         // d(L -> v)
+                || dijkstra_full_reverse(g, l), // d(v -> L)
+            );
             for v in g.node_ids() {
                 from_landmark[v as usize * k + i] = fwd.distance(v);
                 to_landmark[v as usize * k + i] = rev.distance(v);
@@ -392,9 +399,7 @@ mod tests {
         let mut client = LandmarkClient::new();
         for &(s, t) in &[(0u32, 80u32), (40, 41), (8, 72)] {
             let mut ch = BroadcastChannel::lossless(program.cycle());
-            let out = client
-                .query(&mut ch, &Query::for_nodes(&g, s, t))
-                .unwrap();
+            let out = client.query(&mut ch, &Query::for_nodes(&g, s, t)).unwrap();
             assert_eq!(Some(out.distance), dijkstra_distance(&g, s, t));
         }
     }

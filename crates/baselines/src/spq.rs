@@ -69,8 +69,14 @@ fn quadrant(p: Point, min: Point, mid: Point, max: Point) -> (usize, (Point, Poi
     let north = p.y >= mid.y;
     let idx = usize::from(north) * 2 + usize::from(east);
     let sub = (
-        Point::new(if east { mid.x } else { min.x }, if north { mid.y } else { min.y }),
-        Point::new(if east { max.x } else { mid.x }, if north { max.y } else { mid.y }),
+        Point::new(
+            if east { mid.x } else { min.x },
+            if north { mid.y } else { min.y },
+        ),
+        Point::new(
+            if east { max.x } else { mid.x },
+            if north { max.y } else { mid.y },
+        ),
     );
     (idx, sub)
 }

@@ -78,8 +78,7 @@ fn decode_tree(bytes: &[u8], pos: &mut usize) -> Option<Quadtree> {
             )))
         }
         NODE_MIXED => {
-            let count =
-                u16::from_le_bytes(bytes.get(*pos..*pos + 2)?.try_into().ok()?) as usize;
+            let count = u16::from_le_bytes(bytes.get(*pos..*pos + 2)?.try_into().ok()?) as usize;
             *pos += 2;
             let mut points = Vec::with_capacity(count);
             for _ in 0..count {
@@ -238,7 +237,9 @@ impl AirClient for SpqClient {
                         return;
                     };
                     let chunk_len = (total as usize - off as usize).min(96);
-                    let Some(chunk) = r.take(chunk_len) else { return };
+                    let Some(chunk) = r.take(chunk_len) else {
+                        return;
+                    };
                     let buf = bufs.entry(v).or_default();
                     if buf.bytes.len() < total as usize {
                         mem.alloc(total as usize - buf.bytes.len());
@@ -366,7 +367,10 @@ mod tests {
     fn matches_dijkstra_on_many_queries() {
         let (g, program) = setup(2);
         let mut client = SpqClient::new(program.bbox());
-        for (i, &(s, t)) in [(0u32, 63u32), (5, 42), (60, 1), (30, 31)].iter().enumerate() {
+        for (i, &(s, t)) in [(0u32, 63u32), (5, 42), (60, 1), (30, 31)]
+            .iter()
+            .enumerate()
+        {
             let mut ch = BroadcastChannel::tune_in(program.cycle(), i * 19, LossModel::Lossless);
             let q = Query::for_nodes(&g, s, t);
             let out = client.query(&mut ch, &q).unwrap();

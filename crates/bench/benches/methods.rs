@@ -17,9 +17,7 @@ fn bench_world() -> World {
 
 fn bench_dijkstra(c: &mut Criterion) {
     let g = NetworkPreset::Germany.scaled_config(1, 0.1).generate();
-    c.bench_function("dijkstra/full_tree", |b| {
-        b.iter(|| dijkstra_full(&g, 0))
-    });
+    c.bench_function("dijkstra/full_tree", |b| b.iter(|| dijkstra_full(&g, 0)));
     c.bench_function("dijkstra/point_to_point", |b| {
         b.iter(|| dijkstra_to_target(&g, 0, (g.num_nodes() / 2) as u32))
     });
@@ -76,7 +74,10 @@ fn bench_lossy_client(c: &mut Criterion) {
         b.iter_batched(
             || {
                 seed += 1;
-                (programs.client(Method::Nr), LossModel::bernoulli(0.05, seed))
+                (
+                    programs.client(Method::Nr),
+                    LossModel::bernoulli(0.05, seed),
+                )
             },
             |(mut client, loss)| {
                 let mut ch = BroadcastChannel::tune_in(cycle, 0, loss);
@@ -119,7 +120,9 @@ fn bench_heavy_baselines(c: &mut Criterion) {
     c.bench_function("client/SPQ", |b| {
         b.iter(|| {
             let mut ch = BroadcastChannel::lossless(spq_program.cycle());
-            SpqClient::new(spq_program.bbox()).query(&mut ch, &q).unwrap()
+            SpqClient::new(spq_program.bbox())
+                .query(&mut ch, &q)
+                .unwrap()
         })
     });
 }

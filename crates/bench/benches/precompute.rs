@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the precomputation pipeline and the
+//! search kernels it rests on: serial vs parallel border-pair
+//! precomputation, heap- vs bucket-queue Dijkstra, and the parallel
+//! ArcFlag build. Complements `src/bin/bench_precompute.rs`, which runs
+//! the acceptance-grade serial/parallel comparison and records it in
+//! `BENCH_precompute.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spair_baselines::arcflag::ArcFlagIndex;
+use spair_core::BorderPrecomputation;
+use spair_partition::KdTreePartition;
+use spair_roadnet::dijkstra::{dijkstra_with_options, DijkstraOptions};
+use spair_roadnet::parallel;
+use spair_roadnet::{NetworkPreset, QueuePolicy};
+
+fn bench_precompute_parallel(c: &mut Criterion) {
+    let g = NetworkPreset::Milan.scaled_config(2, 0.05).generate();
+    let part = KdTreePartition::build(&g, 16);
+    c.bench_function("precompute/border_serial", |b| {
+        b.iter(|| BorderPrecomputation::run_serial(&g, &part))
+    });
+    let threads = parallel::num_threads();
+    c.bench_function(&format!("precompute/border_parallel_t{threads}"), |b| {
+        b.iter(|| BorderPrecomputation::run_with_threads(&g, &part, threads))
+    });
+    c.bench_function("precompute/arcflag_serial", |b| {
+        b.iter(|| ArcFlagIndex::build_with_threads(&g, &part, 1))
+    });
+    c.bench_function(&format!("precompute/arcflag_parallel_t{threads}"), |b| {
+        b.iter(|| ArcFlagIndex::build_with_threads(&g, &part, threads))
+    });
+}
+
+fn bench_queue_policies(c: &mut Criterion) {
+    let g = NetworkPreset::Germany.scaled_config(1, 0.1).generate();
+    let target = (g.num_nodes() / 2) as u32;
+    for (name, queue) in [("heap", QueuePolicy::Heap), ("bucket", QueuePolicy::Bucket)] {
+        c.bench_function(&format!("dijkstra/point_to_point_{name}"), |b| {
+            b.iter(|| {
+                dijkstra_with_options(
+                    &g,
+                    0,
+                    DijkstraOptions {
+                        target: Some(target),
+                        bound: None,
+                        queue,
+                    },
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_precompute_parallel, bench_queue_policies
+}
+criterion_main!(benches);

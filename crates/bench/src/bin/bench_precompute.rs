@@ -1,0 +1,144 @@
+//! Serial-vs-parallel precomputation benchmark and `BENCH_precompute.json`
+//! emitter — the BENCH trajectory point for the parallel pipeline.
+//!
+//! ```text
+//! cargo run --release -p spair-bench --bin bench_precompute -- \
+//!     [--side 71] [--regions 32] [--threads N] [--repeat 3] [--out BENCH_precompute.json]
+//! ```
+//!
+//! Builds a generated road network (`side × side` grid topology, ~5k
+//! nodes by default), partitions it, then:
+//!
+//! 1. runs `BorderPrecomputation::run_serial` and the parallel
+//!    `run_with_threads` (best of `--repeat` runs each),
+//! 2. verifies the parallel tables are **bit-identical** to serial,
+//! 3. writes the measurements as JSON.
+//!
+//! The JSON schema is documented in ROADMAP.md's Performance section.
+
+use spair_core::BorderPrecomputation;
+use spair_partition::KdTreePartition;
+use spair_roadnet::generators::small_grid;
+use spair_roadnet::parallel;
+use std::time::Instant;
+
+struct Opts {
+    side: usize,
+    regions: usize,
+    threads: usize,
+    repeat: usize,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        side: 71,
+        regions: 32,
+        threads: parallel::num_threads(),
+        repeat: 3,
+        out: "BENCH_precompute.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        let parse = |flag: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--side" => opts.side = parse(flag, value()),
+            "--regions" => opts.regions = parse(flag, value()),
+            "--threads" => opts.threads = parse(flag, value()),
+            "--repeat" => opts.repeat = parse(flag, value()),
+            "--out" => opts.out = value(),
+            other => {
+                eprintln!(
+                    "error: unknown flag {other}\nusage: bench_precompute \
+                     [--side N] [--regions N] [--threads N] [--repeat N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.repeat == 0 || opts.side == 0 || opts.regions == 0 {
+        eprintln!("error: --side, --regions and --repeat must be >= 1");
+        std::process::exit(2);
+    }
+    opts
+}
+
+fn best_of<T>(repeat: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (best, out.expect("repeat >= 1"))
+}
+
+fn main() {
+    let opts = parse_opts();
+    let g = small_grid(opts.side, opts.side, 42);
+    let part = KdTreePartition::build(&g, opts.regions);
+
+    eprintln!(
+        "graph: {} nodes, {} edges; partition: {} regions; threads: {}",
+        g.num_nodes(),
+        g.num_edges(),
+        opts.regions,
+        opts.threads
+    );
+
+    let (serial_secs, serial) =
+        best_of(opts.repeat, || BorderPrecomputation::run_serial(&g, &part));
+    eprintln!("serial:   {serial_secs:.3}s (best of {})", opts.repeat);
+    let (parallel_secs, par) = best_of(opts.repeat, || {
+        BorderPrecomputation::run_with_threads(&g, &part, opts.threads)
+    });
+    eprintln!("parallel: {parallel_secs:.3}s (best of {})", opts.repeat);
+
+    let identical = serial.same_tables(&par);
+    assert!(identical, "parallel output diverged from serial");
+    let speedup = serial_secs / parallel_secs;
+    eprintln!("speedup:  {speedup:.2}x (bit-identical: {identical})");
+
+    let json = format!(
+        "{{\n  \
+         \"benchmark\": \"border_precompute_serial_vs_parallel\",\n  \
+         \"graph\": {{ \"nodes\": {}, \"edges\": {}, \"border_nodes\": {}, \"regions\": {} }},\n  \
+         \"host\": {{ \"available_parallelism\": {}, \"worker_threads\": {} }},\n  \
+         \"repeat\": {},\n  \
+         \"serial_secs\": {:.6},\n  \
+         \"parallel_secs\": {:.6},\n  \
+         \"speedup\": {:.4},\n  \
+         \"bit_identical\": {}\n\
+         }}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        serial.borders().count(),
+        opts.regions,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        opts.threads,
+        opts.repeat,
+        serial_secs,
+        parallel_secs,
+        speedup,
+        identical
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {}", opts.out);
+}

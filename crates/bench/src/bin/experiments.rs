@@ -19,8 +19,8 @@
 
 use spair_baselines::hiti::HiTiIndex;
 use spair_baselines::hiti_air::HiTiAirServer;
-use spair_baselines::spq_air::SpqAirServer;
 use spair_baselines::spq::SpqIndex;
+use spair_baselines::spq_air::SpqAirServer;
 use spair_bench::*;
 use spair_broadcast::{ChannelRate, DeviceProfile, EnergyModel};
 use spair_core::memory_bound::MemoryBoundProcessor;
@@ -66,7 +66,11 @@ fn main() {
     eprintln!(
         "# spair experiments — scale {:.2}{}, seed {}",
         opts.scale,
-        if opts.scale >= 1.0 { " (paper scale)" } else { "" },
+        if opts.scale >= 1.0 {
+            " (paper scale)"
+        } else {
+            ""
+        },
         opts.seed
     );
     match opts.cmd.as_str() {
@@ -108,7 +112,10 @@ fn queries_or(opts: &Opts, default: usize) -> usize {
 
 /// Table 1: broadcast cycle length per method on the default network.
 fn table1(opts: &Opts) {
-    println!("\n== Table 1: Broadcast cycle length (Germany @ {:.2}) ==", opts.scale);
+    println!(
+        "\n== Table 1: Broadcast cycle length (Germany @ {:.2}) ==",
+        opts.scale
+    );
     let world = default_world(opts);
     let programs = Programs::build(&world);
     eprintln!("  building HiTi hierarchy...");
@@ -163,7 +170,11 @@ fn table2(opts: &Opts) {
         let mut marks = Vec::new();
         for m in [Method::Af, Method::Ld, Method::Dj, Method::Eb, Method::Nr] {
             let results = run_method(&programs, m, &queries, 0.0, opts.seed + 2);
-            let peak = results.iter().map(|(_, s)| s.peak_memory_bytes).max().unwrap_or(0);
+            let peak = results
+                .iter()
+                .map(|(_, s)| s.peak_memory_bytes)
+                .max()
+                .unwrap_or(0);
             marks.push(if peak <= heap { "ok" } else { "--" });
         }
         println!(
@@ -229,7 +240,8 @@ fn run_air_client(
         .iter()
         .enumerate()
         .map(|(i, q)| {
-            let mut ch = BroadcastChannel::tune_in(cycle, (i * 131) % cycle.len(), LossModel::Lossless);
+            let mut ch =
+                BroadcastChannel::tune_in(cycle, (i * 131) % cycle.len(), LossModel::Lossless);
             client
                 .query(&mut ch, q)
                 .map(|o| o.stats.peak_memory_bytes)
@@ -261,7 +273,10 @@ fn table3(opts: &Opts) {
 
 /// Figure 10: tuning / memory / latency / CPU vs shortest-path length.
 fn fig10(opts: &Opts) {
-    println!("\n== Figure 10: Effect of shortest path length (Germany @ {:.2}) ==", opts.scale);
+    println!(
+        "\n== Figure 10: Effect of shortest path length (Germany @ {:.2}) ==",
+        opts.scale
+    );
     let world = default_world(opts);
     let programs = Programs::build(&world);
     let n_queries = queries_or(opts, PAPER_QUERIES);
@@ -294,18 +309,15 @@ fn fig10(opts: &Opts) {
             "a) Tuning time (packets)",
             &(|a: &Averages| format!("{:>10.0}", a.tuning)) as &dyn Fn(&Averages) -> String,
         ),
-        (
-            "b) Peak memory (MB)",
-            &|a: &Averages| format!("{:>10.3}", a.peak_memory as f64 / (1024.0 * 1024.0)),
-        ),
-        (
-            "c) Access latency (packets)",
-            &|a: &Averages| format!("{:>10.0}", a.latency),
-        ),
-        (
-            "d) CPU time (ms)",
-            &|a: &Averages| format!("{:>10.3}", a.cpu_ms),
-        ),
+        ("b) Peak memory (MB)", &|a: &Averages| {
+            format!("{:>10.3}", a.peak_memory as f64 / (1024.0 * 1024.0))
+        }),
+        ("c) Access latency (packets)", &|a: &Averages| {
+            format!("{:>10.0}", a.latency)
+        }),
+        ("d) CPU time (ms)", &|a: &Averages| {
+            format!("{:>10.3}", a.cpu_ms)
+        }),
     ] {
         println!("\n-- {title} --");
         println!(
@@ -383,7 +395,11 @@ fn fig12(opts: &Opts) {
             for (_, s) in &results {
                 avg.push(s);
             }
-            let oom = if avg.peak_memory > heap { "  [exceeds heap]" } else { "" };
+            let oom = if avg.peak_memory > heap {
+                "  [exceeds heap]"
+            } else {
+                ""
+            };
             println!(
                 "{:<14} {:<10} {:>10.0} {:>12.3} {:>10.0} {:>10.3}{}",
                 preset.name(),
@@ -401,7 +417,10 @@ fn fig12(opts: &Opts) {
 /// Figure 13: client-side super-edge precomputation (§6.1) — memory & CPU
 /// with and without, for EB and NR.
 fn fig13(opts: &Opts) {
-    println!("\n== Figure 13: Memory-bound processing (Germany @ {:.2}) ==", opts.scale);
+    println!(
+        "\n== Figure 13: Memory-bound processing (Germany @ {:.2}) ==",
+        opts.scale
+    );
     let world = default_world(opts);
     let n_queries = queries_or(opts, 50);
     let queries = random_queries(&world.g, n_queries, opts.seed + 40);
@@ -553,7 +572,11 @@ fn ablations(opts: &Opts) {
             "   m={m:>2}: cycle {:>7} packets, mean wait for index {:>8.0} packets{}",
             fmt_thousands(cycle),
             mean_wait,
-            if m == programs.eb.replication() { "   <- optimal m used" } else { "" },
+            if m == programs.eb.replication() {
+                "   <- optimal m used"
+            } else {
+                ""
+            },
         );
     }
 
@@ -661,7 +684,10 @@ fn ablations(opts: &Opts) {
 
 /// Figure 14: robustness to packet loss — tuning time and access latency.
 fn fig14(opts: &Opts) {
-    println!("\n== Figure 14: Effect of packet loss (Germany @ {:.2}) ==", opts.scale);
+    println!(
+        "\n== Figure 14: Effect of packet loss (Germany @ {:.2}) ==",
+        opts.scale
+    );
     let world = default_world(opts);
     let programs = Programs::build(&world);
     let n_queries = queries_or(opts, 50);

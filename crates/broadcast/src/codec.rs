@@ -60,7 +60,8 @@ impl RecordWriter {
     /// Ends the current packet (subsequent records start a new one).
     pub fn flush(&mut self) {
         if !self.current.is_empty() {
-            self.payloads.push(Bytes::from(std::mem::take(&mut self.current)));
+            self.payloads
+                .push(Bytes::from(std::mem::take(&mut self.current)));
         }
     }
 
@@ -116,27 +117,32 @@ impl<'a> PayloadReader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn read_u16(&mut self) -> Option<u16> {
-        self.take(2).map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
     }
 
     /// Reads a little-endian `u32`.
     pub fn read_u32(&mut self) -> Option<u32> {
-        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
     }
 
     /// Reads a little-endian `u64`.
     pub fn read_u64(&mut self) -> Option<u64> {
-        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
     }
 
     /// Reads a little-endian `f32`.
     pub fn read_f32(&mut self) -> Option<f32> {
-        self.take(4).map(|s| f32::from_le_bytes(s.try_into().unwrap()))
+        self.take(4)
+            .map(|s| f32::from_le_bytes(s.try_into().unwrap()))
     }
 
     /// Reads a little-endian `f64`.
     pub fn read_f64(&mut self) -> Option<f64> {
-        self.take(8).map(|s| f64::from_le_bytes(s.try_into().unwrap()))
+        self.take(8)
+            .map(|s| f64::from_le_bytes(s.try_into().unwrap()))
     }
 }
 

@@ -183,10 +183,7 @@ mod tests {
         let c = b.finish();
         assert_eq!(c.len(), 8);
         assert_eq!(c.segments().len(), 2);
-        assert_eq!(
-            c.find_segment(SegmentKind::RegionData(0)).unwrap().start,
-            3
-        );
+        assert_eq!(c.find_segment(SegmentKind::RegionData(0)).unwrap().start, 3);
         assert!(c.find_segment(SegmentKind::AuxData).is_none());
     }
 
@@ -231,9 +228,17 @@ mod tests {
     #[test]
     fn local_index_counts_as_index() {
         let mut b = CycleBuilder::new();
-        b.push_segment(SegmentKind::LocalIndex(0), PacketKind::LocalIndex, payloads(1, 1));
+        b.push_segment(
+            SegmentKind::LocalIndex(0),
+            PacketKind::LocalIndex,
+            payloads(1, 1),
+        );
         b.push_segment(SegmentKind::RegionData(0), PacketKind::Data, payloads(2, 2));
-        b.push_segment(SegmentKind::LocalIndex(1), PacketKind::LocalIndex, payloads(1, 3));
+        b.push_segment(
+            SegmentKind::LocalIndex(1),
+            PacketKind::LocalIndex,
+            payloads(1, 3),
+        );
         b.push_segment(SegmentKind::RegionData(1), PacketKind::Data, payloads(2, 4));
         let c = b.finish();
         // Index starts: 0 and 3.
@@ -246,7 +251,11 @@ mod tests {
     #[test]
     fn duration_matches_rate() {
         let mut b = CycleBuilder::new();
-        b.push_segment(SegmentKind::NetworkData, PacketKind::Data, payloads(1000, 0));
+        b.push_segment(
+            SegmentKind::NetworkData,
+            PacketKind::Data,
+            payloads(1000, 0),
+        );
         let c = b.finish();
         // 1000 packets * 1024 bits / 2 Mbps = 0.512 s
         assert!((c.duration_secs(2_000_000) - 0.512).abs() < 1e-9);

@@ -138,11 +138,7 @@ mod tests {
 
     #[test]
     fn wire_round_trip() {
-        let p = Packet::new(
-            PacketKind::Data,
-            17,
-            Bytes::from_static(b"hello broadcast"),
-        );
+        let p = Packet::new(PacketKind::Data, 17, Bytes::from_static(b"hello broadcast"));
         let wire = p.to_wire();
         let q = Packet::from_wire(&wire, p.payload().len()).unwrap();
         assert_eq!(q.kind(), PacketKind::Data);

@@ -236,8 +236,12 @@ impl EbIndexDecoder {
         while let Some(tag) = r.read_u8() {
             match tag {
                 TAG_SPLITS => {
-                    let Some(start) = r.read_u16() else { return false };
-                    let Some(count) = r.read_u8() else { return false };
+                    let Some(start) = r.read_u16() else {
+                        return false;
+                    };
+                    let Some(count) = r.read_u8() else {
+                        return false;
+                    };
                     for k in 0..count as usize {
                         let Some(v) = r.read_f64() else { return false };
                         if let Some(slot) = self.splits.get_mut(start as usize + k) {

@@ -126,10 +126,7 @@ impl<'a> EbServer<'a> {
         );
         let index_payloads = placeholder.encode();
         let index_packets = index_payloads.len();
-        let total_data: usize = region_data
-            .iter()
-            .map(|(c, l)| c.len() + l.len())
-            .sum();
+        let total_data: usize = region_data.iter().map(|(c, l)| c.len() + l.len()).sum();
         let m = optimal_m(total_data, index_packets);
 
         let chunks = |data: &[(Vec<Bytes>, Vec<Bytes>)]| -> Vec<DataChunk> {

@@ -24,8 +24,8 @@
 //! with the cut-off fixed at `d` instead of the k-th candidate.
 
 use crate::client_common::{find_next_index, receive_segment, MAX_RETRY_CYCLES};
-use crate::eb::{EbIndex, EbRegionEntry};
 use crate::eb::index::EbIndexDecoder;
+use crate::eb::{EbIndex, EbRegionEntry};
 use crate::netcodec::{decode_payload, encode_nodes_with_borders, ReceivedGraph};
 use crate::precompute::BorderPrecomputation;
 use bytes::Bytes;
@@ -75,12 +75,7 @@ impl<'a> KnnServer<'a> {
         pois: &'a [NodeId],
     ) -> Self {
         assert_eq!(part.num_regions(), pre.num_regions());
-        Self {
-            g,
-            part,
-            pre,
-            pois,
-        }
+        Self { g, part, pre, pois }
     }
 
     fn poi_payloads(&self) -> Vec<Bytes> {
@@ -263,9 +258,7 @@ impl KnnClient {
         ch.sleep_to_offset(idx_off);
         let len = ch.cycle_len();
         let mut lost: Vec<usize> = Vec::new();
-        let ingest_index = |payload: &[u8],
-                                dec: &mut EbIndexDecoder,
-                                poi_ids: &mut Vec<NodeId>| {
+        let ingest_index = |payload: &[u8], dec: &mut EbIndexDecoder, poi_ids: &mut Vec<NodeId>| {
             if !dec.ingest(payload) {
                 if let Some(ids) = decode_pois(payload) {
                     poi_ids.extend(ids);
@@ -289,7 +282,9 @@ impl KnnClient {
         while !lost.is_empty() {
             rounds += 1;
             if rounds > MAX_RETRY_CYCLES {
-                return Err(crate::query::QueryError::Aborted("kNN index never completed"));
+                return Err(crate::query::QueryError::Aborted(
+                    "kNN index never completed",
+                ));
             }
             let mut still = Vec::new();
             for off in lost {
@@ -370,7 +365,9 @@ impl KnnClient {
             while !missing.is_empty() {
                 rounds += 1;
                 if rounds > MAX_RETRY_CYCLES {
-                    return Err(crate::query::QueryError::Aborted("kNN data never completed"));
+                    return Err(crate::query::QueryError::Aborted(
+                        "kNN data never completed",
+                    ));
                 }
                 missing.sort_by_key(|&off| (off + len - ch.offset()) % len);
                 let mut still = Vec::new();
@@ -483,11 +480,7 @@ mod tests {
     use spair_roadnet::dijkstra_full;
     use spair_roadnet::generators::small_grid;
 
-    fn setup(
-        seed: u64,
-        regions: usize,
-        n_pois: usize,
-    ) -> (RoadNetwork, Vec<NodeId>, KnnProgram) {
+    fn setup(seed: u64, regions: usize, n_pois: usize) -> (RoadNetwork, Vec<NodeId>, KnnProgram) {
         let g = small_grid(14, 14, seed);
         let part = KdTreePartition::build(&g, regions);
         let pre = BorderPrecomputation::run(&g, &part);

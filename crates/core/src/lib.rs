@@ -36,8 +36,8 @@ pub mod eb;
 pub mod knn;
 pub mod memory_bound;
 pub mod netcodec;
-pub mod onedge;
 pub mod nr;
+pub mod onedge;
 pub mod precompute;
 pub mod query;
 pub mod regionset;
@@ -45,8 +45,8 @@ pub mod regionset;
 pub use eb::{EbClient, EbProgram, EbServer, EbSummary};
 pub use knn::{KnnClient, KnnProgram, KnnServer};
 pub use memory_bound::MemoryBoundProcessor;
-pub use onedge::{on_edge_query, OnEdgeOutcome, OnEdgePoint};
 pub use nr::{NrClient, NrProgram, NrServer, NrSummary};
+pub use onedge::{on_edge_query, OnEdgeOutcome, OnEdgePoint};
 pub use precompute::{BorderPrecomputation, MinMax};
 pub use query::{Query, QueryError, QueryOutcome};
 pub use regionset::RegionSet;

@@ -291,8 +291,11 @@ mod tests {
         for &(s, t) in &[(0u32, 99u32), (5, 60), (42, 43)] {
             let mut proc = MemoryBoundProcessor::with_paths();
             for nodes in &by_region {
-                let terminals: Vec<NodeId> =
-                    [s, t].iter().copied().filter(|v| nodes.contains(v)).collect();
+                let terminals: Vec<NodeId> = [s, t]
+                    .iter()
+                    .copied()
+                    .filter(|v| nodes.contains(v))
+                    .collect();
                 proc.add_region(&store, nodes, &terminals);
             }
             let got = proc.shortest_path(s, t);
@@ -324,7 +327,10 @@ mod tests {
         let mut b = GraphBuilder::new();
         for c in 0..4 {
             for i in 0..k {
-                b.add_node(Point::new(c as f64 * 1000.0 + (i % 10) as f64, (i / 10) as f64));
+                b.add_node(Point::new(
+                    c as f64 * 1000.0 + (i % 10) as f64,
+                    (i / 10) as f64,
+                ));
             }
         }
         for c in 0..4u32 {
@@ -341,8 +347,11 @@ mod tests {
         let (s, t) = (0u32, 4 * k - 1);
         let mut proc = MemoryBoundProcessor::new();
         for nodes in &by_region {
-            let terminals: Vec<NodeId> =
-                [s, t].iter().copied().filter(|v| nodes.contains(v)).collect();
+            let terminals: Vec<NodeId> = [s, t]
+                .iter()
+                .copied()
+                .filter(|v| nodes.contains(v))
+                .collect();
             proc.add_region(&store, nodes, &terminals);
         }
         let plain = store.retained_bytes();
@@ -365,8 +374,11 @@ mod tests {
         let (s, t) = (nodes0[0], *nodes0.last().unwrap());
         let mut proc = MemoryBoundProcessor::with_paths();
         for nodes in &by_region {
-            let terminals: Vec<NodeId> =
-                [s, t].iter().copied().filter(|v| nodes.contains(v)).collect();
+            let terminals: Vec<NodeId> = [s, t]
+                .iter()
+                .copied()
+                .filter(|v| nodes.contains(v))
+                .collect();
             proc.add_region(&store, nodes, &terminals);
         }
         assert_eq!(

@@ -284,17 +284,13 @@ impl AirClient for NrClient {
                     }
                     match shared.offsets.get(next as usize).copied().flatten() {
                         Some(e) => {
-                            let pre = drain_overrun(
-                                &mut overrun,
-                                &mut store,
-                                &mut mem,
-                                &mut missing,
-                            );
+                            let pre =
+                                drain_overrun(&mut overrun, &mut store, &mut mem, &mut missing);
                             if !received[next as usize] {
                                 // §4.1 split: only terminal regions need
                                 // their local segment.
-                                let terminal = rs_rt
-                                    .is_none_or(|(rs, rt)| next == rs || next == rt);
+                                let terminal =
+                                    rs_rt.is_none_or(|(rs, rt)| next == rs || next == rt);
                                 self.receive_region_data(
                                     ch,
                                     &e,
@@ -310,12 +306,12 @@ impl AirClient for NrClient {
                                 // fallback): skip its data, wake up at the
                                 // local index that follows it.
                                 ch.sleep_to_offset(
-                                    (e.data_offset as usize + e.data_packets())
-                                        % ch.cycle_len(),
+                                    (e.data_offset as usize + e.data_packets()) % ch.cycle_len(),
                                 );
                             }
                             // The next local index follows contiguously.
-                            let (dec, ovr) = self.receive_local_index(ch, &mut shared, &mut missing);
+                            let (dec, ovr) =
+                                self.receive_local_index(ch, &mut shared, &mut missing);
                             current = dec;
                             overrun = ovr;
                         }
@@ -323,8 +319,13 @@ impl AirClient for NrClient {
                             // Offset entry lost: crawl to the next index,
                             // healing the table from its copy.
                             drain_overrun(&mut overrun, &mut store, &mut mem, &mut missing);
-                            match self.crawl_to_next_index(ch, &mut store, &mut shared, &mut mem, &mut missing)
-                            {
+                            match self.crawl_to_next_index(
+                                ch,
+                                &mut store,
+                                &mut shared,
+                                &mut mem,
+                                &mut missing,
+                            ) {
                                 Some(dec) => {
                                     current = dec;
                                     overrun = Overrun::None;
@@ -346,12 +347,8 @@ impl AirClient for NrClient {
                     {
                         Some(e) => {
                             let m = fallback_region.expect("matched above");
-                            let pre = drain_overrun(
-                                &mut overrun,
-                                &mut store,
-                                &mut mem,
-                                &mut missing,
-                            );
+                            let pre =
+                                drain_overrun(&mut overrun, &mut store, &mut mem, &mut missing);
                             // Conservative under loss: take the local
                             // segment too (the region might be terminal).
                             self.receive_region_data(
@@ -364,13 +361,20 @@ impl AirClient for NrClient {
                                 &mut missing,
                             );
                             received[m as usize] = true;
-                            let (dec, ovr) = self.receive_local_index(ch, &mut shared, &mut missing);
+                            let (dec, ovr) =
+                                self.receive_local_index(ch, &mut shared, &mut missing);
                             current = dec;
                             overrun = ovr;
                         }
                         None => {
                             drain_overrun(&mut overrun, &mut store, &mut mem, &mut missing);
-                            match self.crawl_to_next_index(ch, &mut store, &mut shared, &mut mem, &mut missing) {
+                            match self.crawl_to_next_index(
+                                ch,
+                                &mut store,
+                                &mut shared,
+                                &mut mem,
+                                &mut missing,
+                            ) {
                                 Some(dec) => {
                                     current = dec;
                                     overrun = Overrun::None;
@@ -458,8 +462,7 @@ mod tests {
             .iter()
             .enumerate()
         {
-            let mut ch =
-                BroadcastChannel::tune_in(program.cycle(), i * 53, LossModel::Lossless);
+            let mut ch = BroadcastChannel::tune_in(program.cycle(), i * 53, LossModel::Lossless);
             let q = Query::for_nodes(&g, s, t);
             let out = client.query(&mut ch, &q).unwrap();
             assert_eq!(Some(out.distance), dijkstra_distance(&g, s, t), "{s}->{t}");
@@ -557,14 +560,10 @@ mod tests {
         let want = dijkstra_distance(&g, 20, 100);
         let len = program.cycle().len();
         for k in 0..12 {
-            let mut ch = BroadcastChannel::tune_in(
-                program.cycle(),
-                k * len / 12,
-                LossModel::Lossless,
-            );
+            let mut ch =
+                BroadcastChannel::tune_in(program.cycle(), k * len / 12, LossModel::Lossless);
             let out = client.query(&mut ch, &q).unwrap();
             assert_eq!(Some(out.distance), want, "offset {}", k * len / 12);
         }
     }
 }
-

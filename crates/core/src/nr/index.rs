@@ -335,7 +335,9 @@ mod tests {
             region,
             num_regions: n,
             splits: (0..n - 1).map(|i| i as f64 + 0.5).collect(),
-            next: (0..n * n).map(|k| ((k + region as usize) % n) as u16).collect(),
+            next: (0..n * n)
+                .map(|k| ((k + region as usize) % n) as u16)
+                .collect(),
             offsets: (0..n)
                 .map(|r| NrOffsetEntry {
                     data_offset: 10 * r as u32,
@@ -357,10 +359,7 @@ mod tests {
         }
         assert_eq!(dec.region, Some(3));
         assert_eq!(dec.total_packets, Some(payloads.len() as u16));
-        assert_eq!(
-            shared.complete_splits().unwrap(),
-            idx.splits
-        );
+        assert_eq!(shared.complete_splits().unwrap(), idx.splits);
         for i in 0..16u16 {
             for j in 0..16u16 {
                 assert_eq!(dec.cell(i, j), Some(idx.next[i as usize * 16 + j as usize]));
@@ -418,8 +417,8 @@ mod tests {
         for p in p0.iter().skip(1) {
             d0.ingest(p, &mut shared);
         }
-        let incomplete = shared.complete_splits().is_none()
-            || shared.offsets.iter().any(Option::is_none);
+        let incomplete =
+            shared.complete_splits().is_none() || shared.offsets.iter().any(Option::is_none);
         let mut d1 = NrIndexDecoder::new();
         for p in &p1 {
             d1.ingest(p, &mut shared);

@@ -287,7 +287,10 @@ mod tests {
         let nr = NrServer::new(&g, &part, &pre).build_program();
         let raw: usize = (0..16u16)
             .map(|r| {
-                nr.cycle().find_segment(SegmentKind::RegionData(r)).unwrap().len
+                nr.cycle()
+                    .find_segment(SegmentKind::RegionData(r))
+                    .unwrap()
+                    .len
                     + nr.cycle()
                         .find_segment(SegmentKind::RegionLocalData(r))
                         .unwrap()

@@ -140,22 +140,28 @@ pub fn on_edge_query(
     if let (Some((a1, b1, o1)), Some((a2, b2, o2))) = (src.arc, dst.arc) {
         if (a1, b1) == (a2, b2) {
             if o2 >= o1 && src.exits.iter().any(|&(v, _)| v == b1) {
-                consider(&mut best, OnEdgeOutcome {
-                    distance: (o2 - o1) as Distance,
-                    src_partial: o2 - o1,
-                    nodes: Vec::new(),
-                    dst_partial: 0,
-                    stats: QueryStats::default(),
-                });
+                consider(
+                    &mut best,
+                    OnEdgeOutcome {
+                        distance: (o2 - o1) as Distance,
+                        src_partial: o2 - o1,
+                        nodes: Vec::new(),
+                        dst_partial: 0,
+                        stats: QueryStats::default(),
+                    },
+                );
             }
             if o1 >= o2 && src.exits.iter().any(|&(v, _)| v == a1) {
-                consider(&mut best, OnEdgeOutcome {
-                    distance: (o1 - o2) as Distance,
-                    src_partial: o1 - o2,
-                    nodes: Vec::new(),
-                    dst_partial: 0,
-                    stats: QueryStats::default(),
-                });
+                consider(
+                    &mut best,
+                    OnEdgeOutcome {
+                        distance: (o1 - o2) as Distance,
+                        src_partial: o1 - o2,
+                        nodes: Vec::new(),
+                        dst_partial: 0,
+                        stats: QueryStats::default(),
+                    },
+                );
             }
         }
     }
@@ -165,13 +171,16 @@ pub fn on_edge_query(
         for &(b, cb) in &dst.entries {
             if a == b {
                 any_reachable = true;
-                consider(&mut best, OnEdgeOutcome {
-                    distance: ca as Distance + cb as Distance,
-                    src_partial: ca,
-                    nodes: vec![a],
-                    dst_partial: cb,
-                    stats: QueryStats::default(),
-                });
+                consider(
+                    &mut best,
+                    OnEdgeOutcome {
+                        distance: ca as Distance + cb as Distance,
+                        src_partial: ca,
+                        nodes: vec![a],
+                        dst_partial: cb,
+                        stats: QueryStats::default(),
+                    },
+                );
                 continue;
             }
             let q = Query {
@@ -184,13 +193,16 @@ pub fn on_edge_query(
                 Ok(out) => {
                     any_reachable = true;
                     stats.add(&out.stats);
-                    consider(&mut best, OnEdgeOutcome {
-                        distance: ca as Distance + out.distance + cb as Distance,
-                        src_partial: ca,
-                        nodes: out.path,
-                        dst_partial: cb,
-                        stats: QueryStats::default(),
-                    });
+                    consider(
+                        &mut best,
+                        OnEdgeOutcome {
+                            distance: ca as Distance + out.distance + cb as Distance,
+                            src_partial: ca,
+                            nodes: out.path,
+                            dst_partial: cb,
+                            stats: QueryStats::default(),
+                        },
+                    );
                 }
                 Err(QueryError::Unreachable) => {}
                 Err(e) => return Err(e),
@@ -214,7 +226,9 @@ mod tests {
     use spair_roadnet::{dijkstra_distance, dijkstra_to_target, insert_positions, EdgePosition};
 
     /// Plain-Dijkstra runner standing in for an air client.
-    fn local_runner(g: &RoadNetwork) -> impl FnMut(&Query) -> Result<QueryOutcome, QueryError> + '_ {
+    fn local_runner(
+        g: &RoadNetwork,
+    ) -> impl FnMut(&Query) -> Result<QueryOutcome, QueryError> + '_ {
         move |q: &Query| match dijkstra_to_target(g, q.source, q.target) {
             Some((d, path)) => Ok(QueryOutcome {
                 distance: d,
@@ -256,8 +270,14 @@ mod tests {
         for t in [0u32, 24, 48] {
             let dst = OnEdgePoint::at_node(&g, t);
             let out = on_edge_query(&src, &dst, local_runner(&g)).unwrap();
-            let (g2, ids) =
-                insert_positions(&g, &[EdgePosition { from: u, to: v, along }]);
+            let (g2, ids) = insert_positions(
+                &g,
+                &[EdgePosition {
+                    from: u,
+                    to: v,
+                    along,
+                }],
+            );
             assert_eq!(
                 Some(out.distance),
                 dijkstra_distance(&g2, ids[0], t),
@@ -291,8 +311,16 @@ mod tests {
         let (g2, ids) = insert_positions(
             &g,
             &[
-                EdgePosition { from: u1, to: v1, along: a1 },
-                EdgePosition { from: u2, to: v2, along: a2 },
+                EdgePosition {
+                    from: u1,
+                    to: v1,
+                    along: a1,
+                },
+                EdgePosition {
+                    from: u2,
+                    to: v2,
+                    along: a2,
+                },
             ],
         );
         assert_eq!(Some(out.distance), dijkstra_distance(&g2, ids[0], ids[1]));
@@ -308,8 +336,16 @@ mod tests {
         let (g2, ids) = insert_positions(
             &g,
             &[
-                EdgePosition { from: u, to: v, along: 1 },
-                EdgePosition { from: u, to: v, along: w - 1 },
+                EdgePosition {
+                    from: u,
+                    to: v,
+                    along: 1,
+                },
+                EdgePosition {
+                    from: u,
+                    to: v,
+                    along: w - 1,
+                },
             ],
         );
         assert_eq!(Some(out.distance), dijkstra_distance(&g2, ids[0], ids[1]));

@@ -20,6 +20,7 @@
 use crate::regionset::{RegionSet, RegionSetMatrix};
 use spair_partition::{BorderInfo, Partitioning, RegionId};
 use spair_roadnet::dijkstra::{DijkstraWorkspace, Direction};
+use spair_roadnet::parallel;
 use spair_roadnet::{Distance, NodeId, RoadNetwork, DIST_INF};
 use std::time::Instant;
 
@@ -63,99 +64,98 @@ pub struct BorderPrecomputation {
     pub precompute_secs: f64,
 }
 
+/// Reusable per-worker buffers for the per-source DP passes.
+struct SourceScratch {
+    ws: DijkstraWorkspace,
+    /// Flat parent→child DP buffer: region set of the tree path to v.
+    path_regions: Vec<u64>,
+    /// Child→parent marks: v lies on a path towards some border target.
+    on_path: Vec<bool>,
+}
+
+/// One worker's contribution, merged cell-wise. Every combining
+/// operation (min, max, bitset union, bool or) is commutative and
+/// associative, and partials additionally merge in fixed chunk order, so
+/// the merged tables are bit-identical to the serial fold for any thread
+/// count.
+struct SourcePartial {
+    minmax: Vec<MinMax>,
+    traversed: RegionSetMatrix,
+    cross_border: Vec<bool>,
+}
+
 impl BorderPrecomputation {
-    /// Runs the pass: one forward Dijkstra per border node.
-    pub fn run(g: &RoadNetwork, part: &impl Partitioning) -> Self {
+    /// Runs the pass — one forward Dijkstra per border node — fanned out
+    /// over [`parallel::num_threads`] workers.
+    pub fn run(g: &RoadNetwork, part: &(impl Partitioning + Sync)) -> Self {
+        Self::run_with_threads(g, part, parallel::num_threads())
+    }
+
+    /// Single-threaded reference run (the baseline the parallel pipeline
+    /// is verified against and benchmarked over).
+    pub fn run_serial(g: &RoadNetwork, part: &(impl Partitioning + Sync)) -> Self {
+        Self::run_with_threads(g, part, 1)
+    }
+
+    /// Runs the pass on an explicit number of worker threads. Output is
+    /// bit-identical for every `threads` value.
+    pub fn run_with_threads(
+        g: &RoadNetwork,
+        part: &(impl Partitioning + Sync),
+        threads: usize,
+    ) -> Self {
         let start = Instant::now();
         let n = part.num_regions();
         let nn = g.num_nodes();
         let borders = BorderInfo::compute(g, part);
         let region_of: Vec<RegionId> = g.node_ids().map(|v| part.region_of(v)).collect();
+        let words = n.div_ceil(64);
 
-        let mut minmax = vec![MinMax::EMPTY; n * n];
+        let merged = parallel::map_reduce_chunked(
+            borders.all(),
+            threads,
+            4,
+            || SourceScratch {
+                ws: DijkstraWorkspace::new(nn),
+                path_regions: vec![0u64; nn * words],
+                on_path: vec![false; nn],
+            },
+            || SourcePartial {
+                minmax: vec![MinMax::EMPTY; n * n],
+                traversed: RegionSetMatrix::new(n),
+                cross_border: vec![false; nn],
+            },
+            |scratch, partial, sources, _base| {
+                for &b in sources {
+                    process_source(g, part, &borders, &region_of, words, scratch, partial, b);
+                }
+            },
+            |acc, p| {
+                for (a, b) in acc.minmax.iter_mut().zip(&p.minmax) {
+                    a.min = a.min.min(b.min);
+                    a.max = a.max.max(b.max);
+                }
+                acc.traversed.union_with(&p.traversed);
+                for (a, b) in acc.cross_border.iter_mut().zip(&p.cross_border) {
+                    *a |= b;
+                }
+            },
+        );
+
+        let (mut minmax, traversed, mut cross_border) = match merged {
+            Some(p) => (p.minmax, p.traversed, p.cross_border),
+            // A one-region partitioning has no border nodes at all.
+            None => (
+                vec![MinMax::EMPTY; n * n],
+                RegionSetMatrix::new(n),
+                vec![false; nn],
+            ),
+        };
         for r in 0..n {
             minmax[r * n + r].min = 0;
         }
-        let mut traversed = RegionSetMatrix::new(n);
-        let mut cross_border = vec![false; nn];
         for &b in borders.all() {
             cross_border[b as usize] = true;
-        }
-
-        let words = n.div_ceil(64);
-        let mut ws = DijkstraWorkspace::new(nn);
-        // Flat parent→child DP buffer: region set of the tree path to v.
-        let mut path_regions = vec![0u64; nn * words];
-        // Child→parent marks: v lies on a path towards some border target.
-        let mut on_path = vec![false; nn];
-
-        for &b in borders.all() {
-            let rb = part.region_of(b);
-            ws.run(g, b, Direction::Forward);
-
-            // Forward DP: regions of the path b -> v.
-            for &v in ws.settle_order() {
-                let vi = v as usize * words;
-                match ws.parent(v) {
-                    Some(p) => {
-                        let pi = p as usize * words;
-                        for k in 0..words {
-                            path_regions[vi + k] = path_regions[pi + k];
-                        }
-                    }
-                    None => path_regions[vi..vi + words].iter_mut().for_each(|w| *w = 0),
-                }
-                let r = region_of[v as usize] as usize;
-                path_regions[vi + r / 64] |= 1u64 << (r % 64);
-            }
-
-            // Collect min/max and traversed sets towards every other
-            // border node (different *or same* region — the diagonal
-            // serves same-region queries).
-            for &t in borders.all() {
-                if t == b {
-                    continue;
-                }
-                let d = ws.distance(t);
-                if d == DIST_INF {
-                    continue;
-                }
-                let rt = part.region_of(t);
-                let cell = &mut minmax[rb as usize * n + rt as usize];
-                cell.min = cell.min.min(d);
-                cell.max = cell.max.max(d);
-                let ti = t as usize * words;
-                traversed
-                    .get_mut(rb, rt)
-                    .union_words(&path_regions[ti..ti + words]);
-            }
-
-            // Reverse DP: mark ancestors of all border targets. §4.1
-            // defines cross-border nodes via paths between border nodes of
-            // *different* regions, but same-region border pairs must be
-            // included too: a query with Rs == Rt whose shortest path
-            // detours through a neighbouring region R' travels over nodes
-            // of R' that lie only on same-region border-pair paths, and
-            // EB ships only the cross-border segment of R'. (Extension of
-            // the paper's definition, required for correctness of
-            // same-region queries; the diagonal of matrix A is the
-            // matching extension on the pruning side.)
-            for &v in ws.settle_order() {
-                on_path[v as usize] = false;
-            }
-            for &t in borders.all() {
-                if t != b && ws.distance(t) != DIST_INF {
-                    on_path[t as usize] = true;
-                }
-            }
-            for &v in ws.settle_order().iter().rev() {
-                if on_path[v as usize] {
-                    cross_border[v as usize] = true;
-                    if let Some(p) = ws.parent(v) {
-                        on_path[p as usize] = true;
-                    }
-                }
-            }
         }
 
         Self {
@@ -166,6 +166,18 @@ impl BorderPrecomputation {
             borders,
             precompute_secs: start.elapsed().as_secs_f64(),
         }
+    }
+
+    /// True when the precomputed tables (min/max matrix, traversed-region
+    /// sets, cross-border marks, border inventory) are identical —
+    /// the bit-identical check the parallel pipeline is validated with.
+    /// Timing is deliberately excluded.
+    pub fn same_tables(&self, other: &Self) -> bool {
+        self.num_regions == other.num_regions
+            && self.minmax == other.minmax
+            && self.traversed == other.traversed
+            && self.cross_border == other.cross_border
+            && self.borders.all() == other.borders.all()
     }
 
     /// Number of regions.
@@ -207,6 +219,99 @@ impl BorderPrecomputation {
     }
 }
 
+/// Folds one border-node source into a partial: full forward Dijkstra,
+/// then the three tree DPs of the module docs. Depends only on `b`'s own
+/// search tree, never on other sources' results — the independence the
+/// parallel fan-out rests on.
+#[allow(clippy::too_many_arguments)]
+fn process_source(
+    g: &RoadNetwork,
+    part: &(impl Partitioning + Sync),
+    borders: &BorderInfo,
+    region_of: &[RegionId],
+    words: usize,
+    scratch: &mut SourceScratch,
+    partial: &mut SourcePartial,
+    b: NodeId,
+) {
+    let n = part.num_regions();
+    let rb = part.region_of(b);
+    let SourceScratch {
+        ws,
+        path_regions,
+        on_path,
+    } = scratch;
+    ws.run(g, b, Direction::Forward);
+
+    // Forward DP: regions of the path b -> v.
+    for &v in ws.settle_order() {
+        let vi = v as usize * words;
+        match ws.parent(v) {
+            Some(p) => {
+                let pi = p as usize * words;
+                for k in 0..words {
+                    path_regions[vi + k] = path_regions[pi + k];
+                }
+            }
+            None => path_regions[vi..vi + words].iter_mut().for_each(|w| *w = 0),
+        }
+        let r = region_of[v as usize] as usize;
+        path_regions[vi + r / 64] |= 1u64 << (r % 64);
+    }
+
+    // Collect min/max and traversed sets towards every other border node
+    // (different *or same* region — the diagonal serves same-region
+    // queries).
+    for &t in borders.all() {
+        if t == b {
+            continue;
+        }
+        let d = ws.distance(t);
+        if d == DIST_INF {
+            continue;
+        }
+        let rt = part.region_of(t);
+        let cell = &mut partial.minmax[rb as usize * n + rt as usize];
+        cell.min = cell.min.min(d);
+        cell.max = cell.max.max(d);
+        let ti = t as usize * words;
+        partial
+            .traversed
+            .get_mut(rb, rt)
+            .union_words(&path_regions[ti..ti + words]);
+    }
+
+    // Reverse DP: mark ancestors of all border targets. §4.1 defines
+    // cross-border nodes via paths between border nodes of *different*
+    // regions, but same-region border pairs must be included too: a query
+    // with Rs == Rt whose shortest path detours through a neighbouring
+    // region R' travels over nodes of R' that lie only on same-region
+    // border-pair paths, and EB ships only the cross-border segment of
+    // R'. (Extension of the paper's definition, required for correctness
+    // of same-region queries; the diagonal of matrix A is the matching
+    // extension on the pruning side.)
+    //
+    // `on_path` marks from a previous source are only ever read for
+    // nodes in the *current* settle order, which is cleared first, so
+    // the buffer carries over between sources without a full reset.
+    for &v in ws.settle_order() {
+        on_path[v as usize] = false;
+    }
+    for &t in borders.all() {
+        if t != b && ws.distance(t) != DIST_INF {
+            on_path[t as usize] = true;
+        }
+    }
+    for &v in ws.settle_order().iter().rev() {
+        if on_path[v as usize] {
+            partial.cross_border[v as usize] = true;
+            if let Some(p) = ws.parent(v) {
+                on_path[p as usize] = true;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,10 +319,7 @@ mod tests {
     use spair_roadnet::dijkstra::{dijkstra_distance, dijkstra_to_target};
     use spair_roadnet::generators::small_grid;
 
-    fn setup(
-        seed: u64,
-        regions: usize,
-    ) -> (RoadNetwork, KdTreePartition, BorderPrecomputation) {
+    fn setup(seed: u64, regions: usize) -> (RoadNetwork, KdTreePartition, BorderPrecomputation) {
         let g = small_grid(12, 12, seed);
         let part = KdTreePartition::build(&g, regions);
         let pre = BorderPrecomputation::run(&g, &part);
@@ -358,5 +460,31 @@ mod tests {
     fn timing_is_recorded() {
         let (_, _, pre) = setup(0, 4);
         assert!(pre.precompute_secs >= 0.0);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        for (seed, regions) in [(1u64, 4usize), (9, 8), (13, 16)] {
+            let g = small_grid(14, 14, seed);
+            let part = KdTreePartition::build(&g, regions);
+            let serial = BorderPrecomputation::run_serial(&g, &part);
+            for threads in [2, 3, 5, 8] {
+                let par = BorderPrecomputation::run_with_threads(&g, &part, threads);
+                assert!(
+                    serial.same_tables(&par),
+                    "threads={threads} seed={seed} regions={regions}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_region_partition_has_empty_tables() {
+        let g = small_grid(6, 6, 2);
+        let part = spair_partition::GridPartition::build(&g, 1, 1);
+        let pre = BorderPrecomputation::run(&g, &part);
+        assert_eq!(pre.borders().count(), 0);
+        assert_eq!(pre.minmax(0, 0).min, 0);
+        assert!(pre.traversed(0, 0).is_empty());
     }
 }

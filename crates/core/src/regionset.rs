@@ -94,7 +94,7 @@ impl RegionSet {
 /// An `n × n` matrix of [`RegionSet`]s: cell `(i, j)` holds the regions
 /// traversed by some shortest path from a border node of `Ri` to a border
 /// node of `Rj`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionSetMatrix {
     sets: Vec<RegionSet>,
     n: usize,
@@ -124,6 +124,16 @@ impl RegionSetMatrix {
     #[inline]
     pub fn get_mut(&mut self, from: RegionId, to: RegionId) -> &mut RegionSet {
         &mut self.sets[from as usize * self.n + to as usize]
+    }
+
+    /// Cell-wise in-place union (used to merge parallel precomputation
+    /// partials; union is commutative, so merge order cannot change the
+    /// result).
+    pub fn union_with(&mut self, other: &RegionSetMatrix) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.sets.iter_mut().zip(&other.sets) {
+            a.union_with(b);
+        }
     }
 }
 

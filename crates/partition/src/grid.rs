@@ -225,7 +225,11 @@ mod tests {
         }
         let g = b.finish();
         let part = GridPartition::build(&g, 4, 4);
-        let empty = part.nodes_by_region().iter().filter(|v| v.is_empty()).count();
+        let empty = part
+            .nodes_by_region()
+            .iter()
+            .filter(|v| v.is_empty())
+            .count();
         assert!(empty > 0);
     }
 }

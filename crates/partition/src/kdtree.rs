@@ -141,10 +141,7 @@ impl KdTreePartition {
             }
         }
 
-        let locator = KdLocator {
-            splits,
-            levels,
-        };
+        let locator = KdLocator { splits, levels };
         let mut assignment = vec![0 as RegionId; g.num_nodes()];
         let mut by_region = vec![Vec::new(); num_regions];
         for v in g.node_ids() {

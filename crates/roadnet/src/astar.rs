@@ -6,10 +6,10 @@
 //! search is written against the [`LowerBound`] trait so the baseline crate
 //! can plug its vectors in without copying the algorithm.
 
+use crate::dijkstra::SearchStats;
 use crate::graph::{NodeId, RoadNetwork};
 use crate::heap::MinHeap;
 use crate::sptree::NO_PARENT;
-use crate::dijkstra::SearchStats;
 use crate::{Distance, DIST_INF};
 
 /// An admissible lower bound on graph distance `d(v, target)`.

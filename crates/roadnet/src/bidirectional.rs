@@ -14,11 +14,7 @@ use crate::{Distance, DIST_INF};
 
 /// Point-to-point distance via bidirectional search, or `None` if the
 /// target is unreachable.
-pub fn bidirectional_distance(
-    g: &RoadNetwork,
-    source: NodeId,
-    target: NodeId,
-) -> Option<Distance> {
+pub fn bidirectional_distance(g: &RoadNetwork, source: NodeId, target: NodeId) -> Option<Distance> {
     bidirectional_search(g, source, target).0
 }
 
@@ -107,6 +103,7 @@ pub fn bidirectional_search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bucket_queue::QueuePolicy;
     use crate::dijkstra::{dijkstra_distance, dijkstra_with_options, DijkstraOptions};
     use crate::generators::{small_grid, GeneratorConfig};
     use crate::graph::{GraphBuilder, Point};
@@ -160,6 +157,7 @@ mod tests {
             DijkstraOptions {
                 target: Some(t),
                 bound: None,
+                queue: QueuePolicy::default(),
             },
         );
         assert!(

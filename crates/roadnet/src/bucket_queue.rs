@@ -1,0 +1,256 @@
+//! Dial's bucket queue — a drop-in [`MinHeap`] alternative for Dijkstra
+//! over bounded `u32` edge weights.
+//!
+//! Dijkstra's tentative keys always lie in `[cur, cur + C]`, where `cur`
+//! is the last settled distance and `C` the maximum edge weight, so a
+//! circular array of `C + 1` buckets indexed by `key mod (C + 1)` holds
+//! every live entry unambiguously. Push is O(1); pop advances a cursor
+//! monotonically, costing O(total distance range) over a whole search —
+//! cheaper than heap sift-downs on the short, uniform weights road
+//! networks have. The queue is *lazy* exactly like [`MinHeap`]: Dijkstra
+//! pushes duplicates and skips stale pops, so ties settle in a
+//! queue-specific order but distances are always exact.
+//!
+//! [`QueuePolicy`] selects between the two queues; `Auto` picks buckets
+//! whenever the graph's maximum edge weight is small enough for the
+//! bucket array to stay cache-friendly.
+
+use crate::graph::{NodeId, RoadNetwork, Weight};
+use crate::heap::MinHeap;
+use crate::Distance;
+
+/// Largest maximum edge weight for which [`QueuePolicy::Auto`] still
+/// chooses the bucket queue (beyond it the bucket array and the cursor
+/// scan stop paying off).
+pub const AUTO_BUCKET_MAX_WEIGHT: Weight = 1 << 16;
+
+/// Priority-queue selection for Dijkstra runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// The 4-ary [`MinHeap`] (always applicable).
+    #[default]
+    Heap,
+    /// Dial's bucket queue (requires bounded weights; panics on graphs
+    /// whose maximum edge weight exceeds what the caller sized for).
+    Bucket,
+    /// Buckets when `max_weight <= AUTO_BUCKET_MAX_WEIGHT`, heap otherwise.
+    Auto,
+}
+
+impl QueuePolicy {
+    /// Resolves `Auto` against a concrete graph.
+    pub fn resolve(self, g: &RoadNetwork) -> QueuePolicy {
+        match self {
+            QueuePolicy::Auto => {
+                if g.max_weight() <= AUTO_BUCKET_MAX_WEIGHT {
+                    QueuePolicy::Bucket
+                } else {
+                    QueuePolicy::Heap
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// The operations Dijkstra needs from a priority queue. Implemented by
+/// [`MinHeap`] and [`BucketQueue`] so the search loops are generic.
+pub trait DijkstraQueue {
+    /// Removes all entries (keeps allocations).
+    fn clear(&mut self);
+    /// Queues `item` at `key`.
+    fn push(&mut self, key: Distance, item: NodeId);
+    /// Removes and returns a minimum-key entry.
+    fn pop(&mut self) -> Option<(Distance, NodeId)>;
+}
+
+impl DijkstraQueue for MinHeap<NodeId> {
+    #[inline]
+    fn clear(&mut self) {
+        MinHeap::clear(self);
+    }
+
+    #[inline]
+    fn push(&mut self, key: Distance, item: NodeId) {
+        MinHeap::push(self, key, item);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Distance, NodeId)> {
+        MinHeap::pop(self).map(|e| (e.key, e.item))
+    }
+}
+
+/// Dial's circular bucket queue.
+#[derive(Debug, Clone)]
+pub struct BucketQueue {
+    buckets: Vec<Vec<NodeId>>,
+    /// Key the cursor currently points at.
+    cur: Distance,
+    /// Live entries (including stale duplicates).
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Queue for searches whose edge weights never exceed `max_weight`.
+    pub fn new(max_weight: Weight) -> Self {
+        Self {
+            buckets: vec![Vec::new(); max_weight as usize + 1],
+            cur: 0,
+            len: 0,
+        }
+    }
+
+    /// Queue sized for `g`'s maximum edge weight.
+    pub fn for_graph(g: &RoadNetwork) -> Self {
+        Self::new(g.max_weight())
+    }
+
+    /// Number of queued entries (including stale duplicates).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn span(&self) -> Distance {
+        self.buckets.len() as Distance
+    }
+}
+
+impl DijkstraQueue for BucketQueue {
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cur = 0;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn push(&mut self, key: Distance, item: NodeId) {
+        if self.len == 0 || key < self.cur {
+            // Re-anchor on the first push of a search (or a refill after
+            // a drain), and allow the cursor to move back for pre-pop
+            // batch loading. The caller must keep all live keys within
+            // one span of each other — Dijkstra does, since every pushed
+            // key is `settled + w <= settled + max_weight`.
+            self.cur = key;
+        }
+        // A real assert (not debug): an undersized queue would otherwise
+        // silently alias buckets and drop nodes in release builds.
+        assert!(
+            key - self.cur < self.span(),
+            "key {key} outside bucket window [{}, {})",
+            self.cur,
+            self.cur + self.span()
+        );
+        let slot = (key % self.span()) as usize;
+        self.buckets[slot].push(item);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Distance, NodeId)> {
+        if self.len == 0 {
+            return None;
+        }
+        let span = self.span();
+        loop {
+            if let Some(v) = self.buckets[(self.cur % span) as usize].pop() {
+                self.len -= 1;
+                return Some((self.cur, v));
+            }
+            self.cur += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = BucketQueue::new(9);
+        for &k in &[5u64, 3, 9, 1, 7] {
+            q.push(k, k as u32);
+        }
+        let mut keys = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q = BucketQueue::new(4);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_slides_with_pops() {
+        // Dijkstra-like usage: pushed keys stay within max_weight of the
+        // last popped key, across a range far larger than the bucket count.
+        let mut q = BucketQueue::new(10);
+        q.push(0, 0);
+        let mut last = 0;
+        for i in 0..1000u64 {
+            let (k, _) = q.pop().unwrap();
+            assert!(k >= last);
+            last = k;
+            q.push(k + 3 + (i % 8), i as u32);
+        }
+    }
+
+    #[test]
+    fn clear_resets_cursor() {
+        let mut q = BucketQueue::new(5);
+        q.push(3, 1);
+        q.pop();
+        q.clear();
+        q.push(0, 2);
+        assert_eq!(q.pop(), Some((0, 2)));
+    }
+
+    #[test]
+    fn refill_after_drain_reanchors() {
+        let mut q = BucketQueue::new(5);
+        q.push(2, 1);
+        assert_eq!(q.pop(), Some((2, 1)));
+        assert!(q.pop().is_none());
+        // Cursor was at 2; a fresh push below span must still work.
+        q.push(100, 7);
+        assert_eq!(q.pop(), Some((100, 7)));
+    }
+
+    #[test]
+    fn matches_heap_on_sliding_random_workload() {
+        let mut rng = StdRng::seed_from_u64(0xD1A1);
+        let mut q = BucketQueue::new(100);
+        let mut h = MinHeap::new();
+        let mut floor = 0u64;
+        for _ in 0..2000 {
+            if rng.gen_bool(0.6) || h.is_empty() {
+                let k = floor + rng.gen_range(0..100u64);
+                q.push(k, 0);
+                DijkstraQueue::push(&mut h, k, 0);
+            } else {
+                let (bk, _) = q.pop().unwrap();
+                let (hk, _) = DijkstraQueue::pop(&mut h).unwrap();
+                assert_eq!(bk, hk);
+                floor = bk;
+            }
+        }
+    }
+}

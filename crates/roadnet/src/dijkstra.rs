@@ -11,6 +11,7 @@
 //! * [`DijkstraWorkspace`] — allocation-free repeated searches for
 //!   server-side precomputation, with version-stamped visited marks.
 
+use crate::bucket_queue::{BucketQueue, DijkstraQueue, QueuePolicy};
 use crate::graph::{NodeId, RoadNetwork};
 use crate::heap::MinHeap;
 use crate::sptree::{ShortestPathTree, NO_PARENT};
@@ -32,6 +33,11 @@ pub struct DijkstraOptions {
     pub target: Option<NodeId>,
     /// Do not settle nodes farther than this bound.
     pub bound: Option<Distance>,
+    /// Priority queue to drive the search with. `Heap` is always valid;
+    /// `Bucket`/`Auto` exploit the bounded `u32` weights (Dial's
+    /// algorithm). Distances are identical under every policy; settle
+    /// order may differ among equal-distance nodes.
+    pub queue: QueuePolicy,
 }
 
 /// Counters describing the work a search performed. The client simulator
@@ -120,7 +126,7 @@ pub fn dijkstra_to_target(
         source,
         DijkstraOptions {
             target: Some(target),
-            bound: None,
+            ..DijkstraOptions::default()
         },
     );
     let d = tree.distance(target);
@@ -142,21 +148,31 @@ pub fn dijkstra_with_options(
     source: NodeId,
     opts: DijkstraOptions,
 ) -> (ShortestPathTree, SearchStats) {
+    match opts.queue.resolve(g) {
+        QueuePolicy::Bucket => options_loop(g, source, opts, &mut BucketQueue::for_graph(g)),
+        _ => options_loop(g, source, opts, &mut MinHeap::with_capacity(64)),
+    }
+}
+
+fn options_loop<Q: DijkstraQueue>(
+    g: &RoadNetwork,
+    source: NodeId,
+    opts: DijkstraOptions,
+    queue: &mut Q,
+) -> (ShortestPathTree, SearchStats) {
     let n = g.num_nodes();
     let mut dist = vec![DIST_INF; n];
     let mut parent = vec![NO_PARENT; n];
     let mut order = Vec::new();
-    let mut heap = MinHeap::with_capacity(64);
     let mut stats = SearchStats::default();
     dist[source as usize] = 0;
-    heap.push(0, source);
-    while let Some(e) = heap.pop() {
-        let v = e.item;
-        if e.key != dist[v as usize] {
+    queue.push(0, source);
+    while let Some((key, v)) = queue.pop() {
+        if key != dist[v as usize] {
             continue;
         }
         if let Some(b) = opts.bound {
-            if e.key > b {
+            if key > b {
                 break;
             }
         }
@@ -167,11 +183,11 @@ pub fn dijkstra_with_options(
         }
         for (u, w) in g.out_edges(v) {
             stats.relaxed += 1;
-            let cand = e.key + w as Distance;
+            let cand = key + w as Distance;
             if cand < dist[u as usize] {
                 dist[u as usize] = cand;
                 parent[u as usize] = v;
-                heap.push(cand, u);
+                queue.push(cand, u);
             }
         }
     }
@@ -239,26 +255,53 @@ pub struct DijkstraWorkspace {
     version: Vec<u32>,
     order: Vec<NodeId>,
     current: u32,
-    heap: MinHeap<NodeId>,
+    queue: WorkspaceQueue,
+}
+
+/// The workspace's owned queue, fixed at construction.
+#[derive(Debug)]
+enum WorkspaceQueue {
+    Heap(MinHeap<NodeId>),
+    Bucket(BucketQueue),
 }
 
 impl DijkstraWorkspace {
-    /// Creates a workspace for graphs with `n` nodes.
+    /// Creates a workspace for graphs with `n` nodes, driven by the
+    /// 4-ary heap (the historical default; settle order is identical to
+    /// [`dijkstra_full`]).
     pub fn new(n: usize) -> Self {
+        Self::with_queue(n, WorkspaceQueue::Heap(MinHeap::with_capacity(64)))
+    }
+
+    /// Creates a workspace for `g` with the queue `policy` selects.
+    /// `Auto`/`Bucket` size the bucket array for `g`'s maximum weight.
+    pub fn for_graph(g: &RoadNetwork, policy: QueuePolicy) -> Self {
+        let queue = match policy.resolve(g) {
+            QueuePolicy::Bucket => WorkspaceQueue::Bucket(BucketQueue::for_graph(g)),
+            _ => WorkspaceQueue::Heap(MinHeap::with_capacity(64)),
+        };
+        Self::with_queue(g.num_nodes(), queue)
+    }
+
+    fn with_queue(n: usize, queue: WorkspaceQueue) -> Self {
         Self {
             dist: vec![DIST_INF; n],
             parent: vec![NO_PARENT; n],
             version: vec![0; n],
             order: Vec::with_capacity(n),
             current: 0,
-            heap: MinHeap::with_capacity(64),
+            queue,
         }
     }
 
     /// Runs a complete search from `source` in direction `dir`. Results are
     /// valid until the next `run` call.
     pub fn run(&mut self, g: &RoadNetwork, source: NodeId, dir: Direction) {
-        assert_eq!(g.num_nodes(), self.dist.len(), "workspace sized for a different graph");
+        assert_eq!(
+            g.num_nodes(),
+            self.dist.len(),
+            "workspace sized for a different graph"
+        );
         self.current = self.current.wrapping_add(1);
         if self.current == 0 {
             // Version counter wrapped: hard-reset stamps once every 2^32 runs.
@@ -266,25 +309,41 @@ impl DijkstraWorkspace {
             self.current = 1;
         }
         self.order.clear();
-        self.heap.clear();
+        // Split borrows: the queue moves out of `self` views so the loop
+        // can relax against dist/parent/version without aliasing it.
+        let mut queue = std::mem::replace(&mut self.queue, WorkspaceQueue::Heap(MinHeap::new()));
+        match &mut queue {
+            WorkspaceQueue::Heap(q) => self.run_loop(g, source, dir, q),
+            WorkspaceQueue::Bucket(q) => self.run_loop(g, source, dir, q),
+        }
+        self.queue = queue;
+    }
+
+    fn run_loop<Q: DijkstraQueue>(
+        &mut self,
+        g: &RoadNetwork,
+        source: NodeId,
+        dir: Direction,
+        queue: &mut Q,
+    ) {
+        queue.clear();
         self.touch(source);
         self.dist[source as usize] = 0;
-        self.heap.push(0, source);
-        while let Some(e) = self.heap.pop() {
-            let v = e.item;
-            if e.key != self.dist[v as usize] {
+        queue.push(0, source);
+        while let Some((key, v)) = queue.pop() {
+            if key != self.dist[v as usize] {
                 continue;
             }
             self.order.push(v);
             match dir {
                 Direction::Forward => {
                     for (u, w) in g.out_edges(v) {
-                        self.relax(v, u, e.key + w as Distance);
+                        self.relax(queue, v, u, key + w as Distance);
                     }
                 }
                 Direction::Reverse => {
                     for (u, w) in g.in_edges(v) {
-                        self.relax(v, u, e.key + w as Distance);
+                        self.relax(queue, v, u, key + w as Distance);
                     }
                 }
             }
@@ -301,12 +360,12 @@ impl DijkstraWorkspace {
     }
 
     #[inline]
-    fn relax(&mut self, from: NodeId, to: NodeId, cand: Distance) {
+    fn relax<Q: DijkstraQueue>(&mut self, queue: &mut Q, from: NodeId, to: NodeId, cand: Distance) {
         self.touch(to);
         if cand < self.dist[to as usize] {
             self.dist[to as usize] = cand;
             self.parent[to as usize] = from;
-            self.heap.push(cand, to);
+            queue.push(cand, to);
         }
     }
 
@@ -449,6 +508,7 @@ mod tests {
             DijkstraOptions {
                 target: Some(42),
                 bound: None,
+                queue: QueuePolicy::default(),
             },
         );
         let reference = reference_distances(&g, 0);
@@ -467,6 +527,7 @@ mod tests {
             DijkstraOptions {
                 target: None,
                 bound: Some(bound),
+                queue: QueuePolicy::default(),
             },
         );
         for &v in tree.settle_order() {

@@ -62,6 +62,9 @@ pub struct RoadNetwork {
     in_offsets: Vec<u32>,
     in_sources: Vec<NodeId>,
     in_weights: Vec<Weight>,
+    /// Largest edge weight (0 for edgeless graphs). Cached at build time
+    /// so queue selection (`QueuePolicy::Auto`) is O(1).
+    max_weight: Weight,
 }
 
 impl RoadNetwork {
@@ -147,6 +150,12 @@ impl RoadNetwork {
         0..self.num_nodes() as NodeId
     }
 
+    /// Largest edge weight in the graph (0 if there are no edges).
+    #[inline]
+    pub fn max_weight(&self) -> Weight {
+        self.max_weight
+    }
+
     /// Looks up the weight of edge `(u, v)`, if present.
     pub fn weight_between(&self, u: NodeId, v: NodeId) -> Option<Weight> {
         self.out_edges(u).find(|&(t, _)| t == v).map(|(_, w)| w)
@@ -183,6 +192,10 @@ impl RoadNetwork {
 pub struct GraphBuilder {
     points: Vec<Point>,
     edges: Vec<(NodeId, NodeId, Weight)>,
+    /// Endpoint pairs already added, so `has_edge` is O(1). Generators
+    /// dedupe candidate edges through it, which was quadratic when it
+    /// scanned the edge list.
+    edge_set: std::collections::HashSet<(NodeId, NodeId)>,
 }
 
 impl GraphBuilder {
@@ -196,6 +209,7 @@ impl GraphBuilder {
         Self {
             points: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
+            edge_set: std::collections::HashSet::with_capacity(edges),
         }
     }
 
@@ -221,6 +235,7 @@ impl GraphBuilder {
         assert!((from as usize) < self.points.len(), "unknown source node");
         assert!((to as usize) < self.points.len(), "unknown target node");
         self.edges.push((from, to, w));
+        self.edge_set.insert((from, to));
     }
 
     /// Adds a pair of directed edges modelling an undirected road segment.
@@ -235,8 +250,9 @@ impl GraphBuilder {
     }
 
     /// Returns `true` if a directed edge `(from, to)` was already added.
+    /// O(1) via the endpoint-pair set maintained by `add_edge`.
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.edges.iter().any(|&(f, t, _)| f == from && t == to)
+        self.edge_set.contains(&(from, to))
     }
 
     /// Finalizes the CSR representation.
@@ -278,6 +294,7 @@ impl GraphBuilder {
             cursor[to as usize] += 1;
         }
 
+        let max_weight = self.edges.iter().map(|&(_, _, w)| w).max().unwrap_or(0);
         RoadNetwork {
             points: self.points,
             out_offsets,
@@ -286,6 +303,7 @@ impl GraphBuilder {
             in_offsets,
             in_sources,
             in_weights,
+            max_weight,
         }
     }
 }

@@ -21,17 +21,20 @@
 
 pub mod astar;
 pub mod bidirectional;
+pub mod bucket_queue;
 pub mod dijkstra;
 pub mod generators;
 pub mod graph;
 pub mod heap;
 pub mod io;
+pub mod parallel;
 pub mod snap;
 pub mod split;
 pub mod sptree;
 
 pub use astar::{astar_distance, ZeroBound};
 pub use bidirectional::{bidirectional_distance, bidirectional_search};
+pub use bucket_queue::{BucketQueue, DijkstraQueue, QueuePolicy};
 pub use dijkstra::{
     dijkstra_distance, dijkstra_full, dijkstra_to_target, DijkstraOptions, SearchStats,
 };

@@ -23,7 +23,10 @@ pub struct NodeLocator {
 impl NodeLocator {
     /// Builds a locator over all nodes of `g`, sized for ~2 nodes/bucket.
     pub fn build(g: &RoadNetwork) -> Self {
-        assert!(g.num_nodes() > 0, "cannot build a locator over an empty network");
+        assert!(
+            g.num_nodes() > 0,
+            "cannot build a locator over an empty network"
+        );
         let (min, max) = g.bounding_box();
         let n = g.num_nodes();
         let target_buckets = (n / 2).max(1);

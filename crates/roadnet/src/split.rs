@@ -33,10 +33,7 @@ pub struct EdgePosition {
 ///
 /// Panics if a position's arc does not exist or `along` is not strictly
 /// inside it.
-pub fn insert_positions(
-    g: &RoadNetwork,
-    positions: &[EdgePosition],
-) -> (RoadNetwork, Vec<NodeId>) {
+pub fn insert_positions(g: &RoadNetwork, positions: &[EdgePosition]) -> (RoadNetwork, Vec<NodeId>) {
     // Normalize to undirected keys (min, max) with alongs measured from
     // the key's smaller endpoint.
     let mut by_key: HashMap<(NodeId, NodeId), Vec<(usize, Weight)>> = HashMap::new();
@@ -163,7 +160,14 @@ mod tests {
         let g = small_grid(5, 5, 3);
         let (u, v, w) = first_arc(&g);
         let along = 1.max(w / 3);
-        let (g2, ids) = insert_positions(&g, &[EdgePosition { from: u, to: v, along }]);
+        let (g2, ids) = insert_positions(
+            &g,
+            &[EdgePosition {
+                from: u,
+                to: v,
+                along,
+            }],
+        );
         let s = ids[0];
         assert_eq!(dijkstra_distance(&g2, u, s), Some(along as u64));
         assert_eq!(dijkstra_distance(&g2, s, v), Some((w - along) as u64));
@@ -190,13 +194,24 @@ mod tests {
         let (g2, ids) = insert_positions(
             &g,
             &[
-                EdgePosition { from: u, to: v, along: a2 },
-                EdgePosition { from: u, to: v, along: a1 },
+                EdgePosition {
+                    from: u,
+                    to: v,
+                    along: a2,
+                },
+                EdgePosition {
+                    from: u,
+                    to: v,
+                    along: a1,
+                },
             ],
         );
         // ids follow input order regardless of along order.
         assert_eq!(dijkstra_distance(&g2, u, ids[1]), Some(a1 as u64));
-        assert_eq!(dijkstra_distance(&g2, ids[1], ids[0]), Some((a2 - a1) as u64));
+        assert_eq!(
+            dijkstra_distance(&g2, ids[1], ids[0]),
+            Some((a2 - a1) as u64)
+        );
         assert_eq!(dijkstra_distance(&g2, ids[0], v), Some(1));
         // Distances between original nodes unchanged.
         assert_eq!(dijkstra_distance(&g2, u, v), dijkstra_distance(&g, u, v));
@@ -207,7 +222,14 @@ mod tests {
         let g = small_grid(5, 5, 7);
         let (u, v, w) = first_arc(&g);
         let along = 1;
-        let (g2, ids) = insert_positions(&g, &[EdgePosition { from: u, to: v, along }]);
+        let (g2, ids) = insert_positions(
+            &g,
+            &[EdgePosition {
+                from: u,
+                to: v,
+                along,
+            }],
+        );
         // Travelling v -> u passes the split node after w - along units.
         assert_eq!(dijkstra_distance(&g2, v, ids[0]), Some((w - along) as u64));
         assert_eq!(dijkstra_distance(&g2, ids[0], u), Some(along as u64));
@@ -217,7 +239,14 @@ mod tests {
     fn interpolated_coordinates_lie_between_endpoints() {
         let g = small_grid(4, 4, 9);
         let (u, v, w) = first_arc(&g);
-        let (g2, ids) = insert_positions(&g, &[EdgePosition { from: u, to: v, along: w / 2 }]);
+        let (g2, ids) = insert_positions(
+            &g,
+            &[EdgePosition {
+                from: u,
+                to: v,
+                along: w / 2,
+            }],
+        );
         let p = g2.point(ids[0]);
         let (pu, pv) = (g.point(u), g.point(v));
         let minx = pu.x.min(pv.x) - 1e-9;
@@ -230,6 +259,13 @@ mod tests {
     fn zero_along_rejected() {
         let g = small_grid(3, 3, 0);
         let (u, v, _) = first_arc(&g);
-        insert_positions(&g, &[EdgePosition { from: u, to: v, along: 0 }]);
+        insert_positions(
+            &g,
+            &[EdgePosition {
+                from: u,
+                to: v,
+                along: 0,
+            }],
+        );
     }
 }

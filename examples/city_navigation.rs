@@ -66,7 +66,10 @@ fn main() {
     let d4 = run("Landmark", ld.cycle(), &mut LandmarkClient::new());
     let d5 = run("ArcFlag", af.cycle(), &mut ArcFlagClient::new(16));
 
-    assert!(d1 == d2 && d2 == d3 && d3 == d4 && d4 == d5, "all methods agree");
+    assert!(
+        d1 == d2 && d2 == d3 && d3 == d4 && d4 == d5,
+        "all methods agree"
+    );
     println!("\nall five methods computed the same distance: {d1} ✓");
     println!("NR/EB tune to a fraction of the cycle; the baselines must hear all of it.");
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example memory_bound_device`
 
-use spair::prelude::*;
 use spair::core::netcodec::{decode_payload, encode_nodes_with_borders, ReceivedGraph};
+use spair::prelude::*;
 
 fn main() {
     let network = NetworkPreset::Germany.scaled_config(3, 0.05).generate();
@@ -51,7 +51,11 @@ fn main() {
     let mut proc = MemoryBoundProcessor::new();
     for &r in &needed {
         let nodes = &part.nodes_by_region()[r as usize];
-        let terminals: Vec<u32> = [s, t].iter().copied().filter(|v| nodes.contains(v)).collect();
+        let terminals: Vec<u32> = [s, t]
+            .iter()
+            .copied()
+            .filter(|v| nodes.contains(v))
+            .collect();
         proc.add_region(&store, nodes, &terminals);
     }
     let (dist, _) = proc.shortest_path(s, t).expect("reachable");
@@ -63,10 +67,7 @@ fn main() {
         plain_bytes as f64 / 1024.0,
         proc.mem.peak() as f64 / 1024.0
     );
-    println!(
-        "{:<22} {:>12} {:>12}",
-        "distance", plain.0, dist
-    );
+    println!("{:<22} {:>12} {:>12}", "distance", plain.0, dist);
     assert_eq!(plain.0, dist, "contraction must preserve the distance");
     let saving = 100.0 * (1.0 - proc.mem.peak() as f64 / plain_bytes as f64);
     println!(

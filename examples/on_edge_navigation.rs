@@ -56,9 +56,18 @@ fn main() {
 
     println!("\non-edge shortest path:");
     println!("  distance        : {}", outcome.distance);
-    println!("  first segment   : {} weight units to enter the grid", outcome.src_partial);
-    println!("  node path hops  : {}", outcome.nodes.len().saturating_sub(1));
-    println!("  last segment    : {} weight units after leaving it", outcome.dst_partial);
+    println!(
+        "  first segment   : {} weight units to enter the grid",
+        outcome.src_partial
+    );
+    println!(
+        "  node path hops  : {}",
+        outcome.nodes.len().saturating_sub(1)
+    );
+    println!(
+        "  last segment    : {} weight units after leaving it",
+        outcome.dst_partial
+    );
     println!("  air queries run : {runs}");
     println!(
         "  total tuning    : {} packets (upper bound; §5's border \
@@ -70,12 +79,24 @@ fn main() {
     let (reference, ids) = insert_positions(
         &network,
         &[
-            EdgePosition { from: u1, to: v1, along: w1 / 2 },
-            EdgePosition { from: u2, to: v2, along: 2 * (w2 / 3).max(1) },
+            EdgePosition {
+                from: u1,
+                to: v1,
+                along: w1 / 2,
+            },
+            EdgePosition {
+                from: u2,
+                to: v2,
+                along: 2 * (w2 / 3).max(1),
+            },
         ],
     );
     let want = spair::roadnet::dijkstra_distance(&reference, ids[0], ids[1]);
-    assert_eq!(Some(outcome.distance), want, "matches the split-graph reference");
+    assert_eq!(
+        Some(outcome.distance),
+        want,
+        "matches the split-graph reference"
+    );
     println!("\nverified against the split-graph reference: {want:?}");
 }
 

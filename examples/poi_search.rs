@@ -48,7 +48,10 @@ fn main() {
             .expect("channel healthy");
         println!("\n3 nearest stations to node {source}:");
         for nb in &out.neighbors {
-            println!("  station at node {:>6}  network distance {:>8}", nb.node, nb.distance);
+            println!(
+                "  station at node {:>6}  network distance {:>8}",
+                nb.node, nb.distance
+            );
         }
         println!(
             "  tuning {} packets of a {}-packet cycle ({:.0}% pruned)",

@@ -17,21 +17,33 @@ fn main() {
     let partitioning = KdTreePartition::build(&network, 16);
     let precomputed = BorderPrecomputation::run(&network, &partitioning);
     let program = NrServer::new(&network, &partitioning, &precomputed).build_program();
-    println!("broadcast cycle: {} packets of 128 bytes", program.cycle().len());
+    println!(
+        "broadcast cycle: {} packets of 128 bytes",
+        program.cycle().len()
+    );
 
     // 2. The client side: tune in mid-cycle, hop between local indexes,
     //    receive only the regions that can contain the shortest path.
     let query = Query::for_nodes(&network, 3, 396);
-    let mut channel =
-        BroadcastChannel::tune_in(program.cycle(), program.cycle().len() / 3, LossModel::Lossless);
+    let mut channel = BroadcastChannel::tune_in(
+        program.cycle(),
+        program.cycle().len() / 3,
+        LossModel::Lossless,
+    );
     let mut client = NrClient::new(program.summary());
     let outcome = client.query(&mut channel, &query).expect("reachable");
 
     println!("\nshortest path {} -> {}:", query.source, query.target);
     println!("  distance       : {}", outcome.distance);
     println!("  hops           : {}", outcome.path.len() - 1);
-    println!("  tuning time    : {} packets", outcome.stats.tuning_packets);
-    println!("  access latency : {} packets", outcome.stats.latency_packets);
+    println!(
+        "  tuning time    : {} packets",
+        outcome.stats.tuning_packets
+    );
+    println!(
+        "  access latency : {} packets",
+        outcome.stats.latency_packets
+    );
     println!(
         "  peak memory    : {:.1} KB",
         outcome.stats.peak_memory_bytes as f64 / 1024.0

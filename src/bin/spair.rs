@@ -75,9 +75,7 @@ impl Flags {
                 .strip_prefix("--")
                 .or_else(|| a.strip_prefix('-').filter(|k| k.len() == 1));
             if let Some(key) = key {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 pairs.push((key.to_string(), value.clone()));
             } else {
                 positional.push(a.clone());
@@ -152,8 +150,14 @@ fn inspect(args: &[String]) -> Result<(), String> {
     println!("nodes           : {}", g.num_nodes());
     println!("directed edges  : {}", g.num_edges());
     println!("mean out-degree : {mean_deg:.2}");
-    println!("max out-degree  : {}", degrees.iter().max().copied().unwrap_or(0));
-    println!("extent          : ({:.1}, {:.1}) .. ({:.1}, {:.1})", min.x, min.y, max.x, max.y);
+    println!(
+        "max out-degree  : {}",
+        degrees.iter().max().copied().unwrap_or(0)
+    );
+    println!(
+        "extent          : ({:.1}, {:.1}) .. ({:.1}, {:.1})",
+        min.x, min.y, max.x, max.y
+    );
     println!("adjacency bytes : {}", g.adjacency_bytes());
     let raw = spair::core::netcodec::packet_count(&g, &g.node_ids().collect::<Vec<_>>());
     println!("raw data packets: {raw} (128 B each)");
@@ -177,7 +181,10 @@ fn build_cycle(
                 let p = EbServer::new(g, &part, &pre).build_program();
                 Ok((
                     p.cycle().clone(),
-                    format!("EB, {regions} regions, (1,{}) interleaving", p.replication()),
+                    format!(
+                        "EB, {regions} regions, (1,{}) interleaving",
+                        p.replication()
+                    ),
                 ))
             }
         }
@@ -189,7 +196,10 @@ fn build_cycle(
             let part = KdTreePartition::build(g, regions.min(16));
             let index = spair::baselines::arcflag::ArcFlagIndex::build(g, &part);
             let p = spair::baselines::ArcFlagServer::new(g, &part, &index).build_program();
-            Ok((p.cycle().clone(), format!("ArcFlag, {} regions", regions.min(16))))
+            Ok((
+                p.cycle().clone(),
+                format!("ArcFlag, {} regions", regions.min(16)),
+            ))
         }
         "ld" => {
             let index = spair::baselines::landmark::LandmarkIndex::build(g, 4);
@@ -207,8 +217,13 @@ fn serve(args: &[String]) -> Result<(), String> {
     let regions: usize = flags.get_parsed("regions", 32)?;
     let (cycle, label) = build_cycle(&g, &method, regions)?;
     println!("method          : {label}");
-    println!("cycle length    : {} packets ({} KB)", cycle.len(), cycle.len() * 128 / 1024);
-    println!("cycle duration  : {:.3} s @ 2 Mbps, {:.3} s @ 384 Kbps",
+    println!(
+        "cycle length    : {} packets ({} KB)",
+        cycle.len(),
+        cycle.len() * 128 / 1024
+    );
+    println!(
+        "cycle duration  : {:.3} s @ 2 Mbps, {:.3} s @ 384 Kbps",
         cycle.duration_secs(2_000_000),
         cycle.duration_secs(384_000),
     );
@@ -281,12 +296,19 @@ fn query(args: &[String]) -> Result<(), String> {
     println!("distance        : {}", out.distance);
     println!("path hops       : {}", out.path.len().saturating_sub(1));
     println!("tuning time     : {} packets", out.stats.tuning_packets);
-    println!("access latency  : {} packets ({:.3} s @ 384 Kbps)",
+    println!(
+        "access latency  : {} packets ({:.3} s @ 384 Kbps)",
         out.stats.latency_packets,
         out.stats.latency_packets as f64 * 128.0 * 8.0 / 384_000.0,
     );
-    println!("peak memory     : {:.1} KB", out.stats.peak_memory_bytes as f64 / 1024.0);
-    println!("client CPU      : {:.3} ms", out.stats.cpu.as_secs_f64() * 1000.0);
+    println!(
+        "peak memory     : {:.1} KB",
+        out.stats.peak_memory_bytes as f64 / 1024.0
+    );
+    println!(
+        "client CPU      : {:.3} ms",
+        out.stats.cpu.as_secs_f64() * 1000.0
+    );
     let energy = EnergyModel::WAVELAN_ARM.joules(&out.stats, ChannelRate::MOVING_3G);
     println!("energy          : {energy:.3} J (WaveLAN/ARM @ 384 Kbps)");
 

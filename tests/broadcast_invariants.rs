@@ -21,7 +21,9 @@ fn build_cycle(seg_lens: &[usize], index_every: usize) -> spair::broadcast::Broa
         b.push_segment(
             SegmentKind::RegionData(i as u16),
             PacketKind::Data,
-            (0..len).map(|j| Bytes::from(vec![i as u8, j as u8])).collect(),
+            (0..len)
+                .map(|j| Bytes::from(vec![i as u8, j as u8]))
+                .collect(),
         );
     }
     b.finish()

@@ -83,23 +83,35 @@ fn check_all(s: &Setup, loss: f64, qseed: u64, n_queries: usize) {
                 NrClient::new(s.nr.summary()).query(&mut ch, &q)
             }),
             ("EB", {
-                let mut ch =
-                    BroadcastChannel::tune_in(s.eb.cycle(), offset % s.eb.cycle().len(), mk_loss(i as u64 + 100));
+                let mut ch = BroadcastChannel::tune_in(
+                    s.eb.cycle(),
+                    offset % s.eb.cycle().len(),
+                    mk_loss(i as u64 + 100),
+                );
                 EbClient::new(s.eb.summary()).query(&mut ch, &q)
             }),
             ("DJ", {
-                let mut ch =
-                    BroadcastChannel::tune_in(s.dj.cycle(), offset % s.dj.cycle().len(), mk_loss(i as u64 + 200));
+                let mut ch = BroadcastChannel::tune_in(
+                    s.dj.cycle(),
+                    offset % s.dj.cycle().len(),
+                    mk_loss(i as u64 + 200),
+                );
                 DjClient::new().query(&mut ch, &q)
             }),
             ("AF", {
-                let mut ch =
-                    BroadcastChannel::tune_in(s.af.cycle(), offset % s.af.cycle().len(), mk_loss(i as u64 + 300));
+                let mut ch = BroadcastChannel::tune_in(
+                    s.af.cycle(),
+                    offset % s.af.cycle().len(),
+                    mk_loss(i as u64 + 300),
+                );
                 ArcFlagClient::new(regions).query(&mut ch, &q)
             }),
             ("LD", {
-                let mut ch =
-                    BroadcastChannel::tune_in(s.ld.cycle(), offset % s.ld.cycle().len(), mk_loss(i as u64 + 400));
+                let mut ch = BroadcastChannel::tune_in(
+                    s.ld.cycle(),
+                    offset % s.ld.cycle().len(),
+                    mk_loss(i as u64 + 400),
+                );
                 LandmarkClient::new().query(&mut ch, &q)
             }),
         ];
@@ -211,8 +223,11 @@ fn memory_bound_mode_preserves_answers() {
     for (a, b) in queries(&g, 6, 70) {
         let mut proc = MemoryBoundProcessor::with_paths();
         for nodes in part.nodes_by_region() {
-            let terminals: Vec<_> =
-                [a, b].iter().copied().filter(|v| nodes.contains(v)).collect();
+            let terminals: Vec<_> = [a, b]
+                .iter()
+                .copied()
+                .filter(|v| nodes.contains(v))
+                .collect();
             proc.add_region(&store, nodes, &terminals);
         }
         assert_eq!(

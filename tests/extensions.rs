@@ -181,11 +181,7 @@ fn all_methods_exact_under_bursty_loss() {
         let mut ch = BroadcastChannel::tune_in(ld.cycle(), 7, loss());
         runs.push(("LD", LandmarkClient::new().query(&mut ch, &q)));
         for (name, out) in runs {
-            assert_eq!(
-                out.unwrap().distance,
-                want.unwrap(),
-                "{name} seed {seed}"
-            );
+            assert_eq!(out.unwrap().distance, want.unwrap(), "{name} seed {seed}");
         }
     }
 }
@@ -197,10 +193,17 @@ fn hiti_air_survives_heavy_loss() {
     let program = HiTiAirServer::new(&g, &index).build_program();
     let mut client = HiTiAirClient::new();
     for seed in 0..6 {
-        let mut ch =
-            BroadcastChannel::tune_in(program.cycle(), 17 * seed as usize, LossModel::bernoulli(0.10, seed));
+        let mut ch = BroadcastChannel::tune_in(
+            program.cycle(),
+            17 * seed as usize,
+            LossModel::bernoulli(0.10, seed),
+        );
         let out = client.query(&mut ch, &Query::for_nodes(&g, 0, 99)).unwrap();
-        assert_eq!(Some(out.distance), dijkstra_distance(&g, 0, 99), "seed {seed}");
+        assert_eq!(
+            Some(out.distance),
+            dijkstra_distance(&g, 0, 99),
+            "seed {seed}"
+        );
     }
 }
 
@@ -215,8 +218,16 @@ fn on_edge_same_segment_is_exact_for_all_methods() {
     let (g2, ids) = insert_positions(
         &g,
         &[
-            EdgePosition { from: u, to: v, along: 1 },
-            EdgePosition { from: u, to: v, along: w - 1 },
+            EdgePosition {
+                from: u,
+                to: v,
+                along: 1,
+            },
+            EdgePosition {
+                from: u,
+                to: v,
+                along: w - 1,
+            },
         ],
     );
     let want = dijkstra_distance(&g2, ids[0], ids[1]);

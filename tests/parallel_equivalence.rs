@@ -1,0 +1,127 @@
+//! Property tests for the PR-1 kernels: bucket-queue Dijkstra, the
+//! queue-generic workspace, and the parallel precomputation pipeline
+//! must all agree exactly with their serial / heap-driven references on
+//! random generated networks.
+
+use proptest::prelude::*;
+use spair::prelude::*;
+use spair_core::BorderPrecomputation;
+use spair_roadnet::dijkstra::{
+    dijkstra_with_options, DijkstraOptions, DijkstraWorkspace, Direction,
+};
+use spair_roadnet::generators::GeneratorConfig;
+use spair_roadnet::{dijkstra_full, NodeId, QueuePolicy};
+
+fn arb_network() -> impl Strategy<Value = RoadNetwork> {
+    (30usize..160, 0u64..1000, 0.05f64..0.6).prop_map(|(nodes, seed, extra)| {
+        GeneratorConfig {
+            nodes,
+            undirected_edges: nodes - 1 + (nodes as f64 * extra) as usize,
+            seed,
+            ..GeneratorConfig::default()
+        }
+        .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bucket-queue Dijkstra settles every node at exactly the heap
+    /// distances — full single-source trees from several sources.
+    #[test]
+    fn bucket_queue_dijkstra_matches_heap(g in arb_network(), src in 0usize..10_000) {
+        let s = (src % g.num_nodes()) as NodeId;
+        let heap = dijkstra_with_options(&g, s, DijkstraOptions {
+            target: None,
+            bound: None,
+            queue: QueuePolicy::Heap,
+        }).0;
+        let bucket = dijkstra_with_options(&g, s, DijkstraOptions {
+            target: None,
+            bound: None,
+            queue: QueuePolicy::Bucket,
+        }).0;
+        for v in g.node_ids() {
+            prop_assert_eq!(heap.distance(v), bucket.distance(v), "node {}", v);
+        }
+        // Both settle the same node set (ties may reorder it).
+        prop_assert_eq!(heap.settle_order().len(), bucket.settle_order().len());
+    }
+
+    /// Early-terminating point-to-point search agrees across policies,
+    /// including `Auto` (which resolves to buckets on these weights).
+    #[test]
+    fn bucket_point_to_point_matches_heap(
+        g in arb_network(),
+        pair in (0usize..10_000, 0usize..10_000),
+    ) {
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        let reference = dijkstra_with_options(&g, s, DijkstraOptions {
+            target: Some(t),
+            bound: None,
+            queue: QueuePolicy::Heap,
+        }).0.distance(t);
+        for queue in [QueuePolicy::Bucket, QueuePolicy::Auto] {
+            let got = dijkstra_with_options(&g, s, DijkstraOptions {
+                target: Some(t),
+                bound: None,
+                queue,
+            }).0.distance(t);
+            prop_assert_eq!(reference, got);
+        }
+    }
+
+    /// The reusable workspace produces heap-identical distances when
+    /// driven by the bucket queue, across repeated runs (stamp reuse).
+    #[test]
+    fn bucket_workspace_matches_fresh_runs(g in arb_network(), seed in 0usize..10_000) {
+        let mut ws = DijkstraWorkspace::for_graph(&g, QueuePolicy::Bucket);
+        for step in 0..3usize {
+            let s = ((seed + step * 41) % g.num_nodes()) as NodeId;
+            ws.run(&g, s, Direction::Forward);
+            let fresh = dijkstra_full(&g, s);
+            for v in g.node_ids() {
+                prop_assert_eq!(ws.distance(v), fresh.distance(v), "src {} node {}", s, v);
+            }
+        }
+    }
+
+    /// Parallel precomputation is bit-identical to the serial reference
+    /// for every thread count, on random networks and partition sizes.
+    #[test]
+    fn parallel_precompute_matches_serial(
+        g in arb_network(),
+        regions_pow in 1u32..4,
+        threads in 2usize..9,
+    ) {
+        let regions = 1usize << regions_pow;
+        let part = KdTreePartition::build(&g, regions.max(2));
+        let serial = BorderPrecomputation::run_serial(&g, &part);
+        let par = BorderPrecomputation::run_with_threads(&g, &part, threads);
+        prop_assert!(serial.same_tables(&par), "threads {} diverged", threads);
+    }
+
+    /// The parallel pipeline feeds EB/NR unchanged: a client query over
+    /// a parallel-built program still matches plain Dijkstra.
+    #[test]
+    fn nr_over_parallel_precompute_matches_dijkstra(
+        g in arb_network(),
+        pair in (0usize..10_000, 0usize..10_000),
+        threads in 2usize..6,
+    ) {
+        let part = KdTreePartition::build(&g, 8);
+        let pre = BorderPrecomputation::run_with_threads(&g, &part, threads);
+        let program = NrServer::new(&g, &part, &pre).build_program();
+        let s = (pair.0 % g.num_nodes()) as NodeId;
+        let t = (pair.1 % g.num_nodes()) as NodeId;
+        let q = Query::for_nodes(&g, s, t);
+        let mut ch = BroadcastChannel::lossless(program.cycle());
+        let out = NrClient::new(program.summary()).query(&mut ch, &q);
+        prop_assert_eq!(
+            out.ok().map(|o| o.distance),
+            spair_roadnet::dijkstra_distance(&g, s, t)
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+/// Vec of `elem` values with length drawn from `len` (a usize range such
+/// as `0..10` or `1..=8`, or an exact count).
+pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        len: len.into(),
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic subset of the `proptest` API.
+//!
+//! Each property runs `ProptestConfig::cases` times with inputs drawn
+//! from strategies seeded by the test's module path and case index, so
+//! every run of the suite sees the same inputs and failures reproduce
+//! exactly. No shrinking: the failing case's number is reported instead.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, Just, Map, OneOf, SizeRange, Strategy, VecStrategy};
+pub use test_runner::{Gen, TestCaseError};
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut gen = $crate::Gen::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut gen);)*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property '{}' failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        cfg.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// whole process) via an early `Err` return.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Skips the case when its inputs don't satisfy a precondition. The
+/// upstream runner rejects and redraws; here the case simply passes.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion `left == right` failed\n  left: {:?}\n right: {:?}",
+                        l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion `left != right` failed\n  both: {:?}",
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |g: &mut $crate::Gen| $crate::Strategy::generate(&s, g))
+                    as ::std::boxed::Box<dyn Fn(&mut $crate::Gen) -> _>
+            }),+
+        ])
+    };
+}

@@ -1,0 +1,242 @@
+//! Value-generation strategies: ranges, tuples, `Just`, `any`, `prop_map`,
+//! and `prop_oneof!` support.
+
+use crate::test_runner::Gen;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of an associated type from a [`Gen`].
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _g: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, g: &mut Gen) -> U {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// One boxed generator inside a [`OneOf`].
+pub type BoxedGenerate<T> = Box<dyn Fn(&mut Gen) -> T>;
+
+/// Uniform choice among boxed generators (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedGenerate<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from at least one option.
+    pub fn new(options: Vec<BoxedGenerate<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, g: &mut Gen) -> T {
+        let i = g.below(self.options.len() as u64) as usize;
+        (self.options[i])(g)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + g.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + g.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * g.unit_f64() as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(g),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> $t {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> bool {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(g: &mut Gen) -> f64 {
+        // Finite values spanning many magnitudes and both signs; avoids
+        // NaN/inf, matching how the workspace's properties use floats
+        // (coordinates, rates).
+        let mag = g.unit_f64() * 2e6 - 1e6;
+        mag * g.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(g: &mut Gen) -> f32 {
+        f64::arbitrary(g) as f32
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+/// Length bounds for collection strategies, mirroring upstream's
+/// `SizeRange` so bare `1..12` literals infer `usize`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Vec strategy with a length drawn from a [`SizeRange`]
+/// (`prop::collection::vec`).
+pub struct VecStrategy<S> {
+    pub(crate) elem: S,
+    pub(crate) len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+        let n = self.len.lo + g.below((self.len.hi_inclusive - self.len.lo + 1) as u64) as usize;
+        (0..n).map(|_| self.elem.generate(g)).collect()
+    }
+}

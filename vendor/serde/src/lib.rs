@@ -1,0 +1,14 @@
+//! Serde marker traits for offline builds.
+//!
+//! Only the trait names and the derive macros are provided; nothing in
+//! this workspace serializes through serde (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

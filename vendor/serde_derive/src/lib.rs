@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace derives the serde traits on a few types but never
+//! serializes through serde (persistence goes through the DIMACS-style
+//! text format in `roadnet::io`), so offline builds only need the derive
+//! invocations — and their `#[serde(...)]` helper attributes — to be
+//! accepted. Each derive expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attrs; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attrs; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
