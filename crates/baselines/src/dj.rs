@@ -16,7 +16,7 @@ use spair_broadcast::{
 use spair_core::client_common::MAX_RETRY_CYCLES;
 use spair_core::netcodec::{decode_payload, encode_nodes, ReceivedGraph};
 use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
-use spair_roadnet::{NodeId, RoadNetwork};
+use spair_roadnet::{NodeId, QueuePolicy, RoadNetwork};
 
 /// The DJ broadcast program.
 #[derive(Debug)]
@@ -94,12 +94,21 @@ pub(crate) fn receive_whole_cycle(
 
 /// The DJ client.
 #[derive(Debug, Clone, Default)]
-pub struct DjClient;
+pub struct DjClient {
+    queue: QueuePolicy,
+}
 
 impl DjClient {
     /// New client.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Selects the queue driving the client-side Dijkstra over the
+    /// received network. Distances are identical under every policy.
+    pub fn with_queue_policy(mut self, queue: QueuePolicy) -> Self {
+        self.queue = queue;
+        self
     }
 }
 
@@ -133,7 +142,7 @@ impl AirClient for DjClient {
             }
         })?;
         mem.alloc(store.num_nodes() * 24);
-        let (res, settled) = cpu.time(|| store.shortest_path(q.source, q.target));
+        let (res, settled) = cpu.time(|| store.shortest_path_with(q.source, q.target, self.queue));
         let stats = QueryStats {
             tuning_packets: ch.tuned(),
             latency_packets: ch.elapsed(),

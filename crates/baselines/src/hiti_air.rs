@@ -587,7 +587,13 @@ fn hierarchical_search(
 ) -> (Option<(Distance, Vec<NodeId>)>, usize) {
     let mut adj: HashMap<NodeId, Vec<GEdge>> = HashMap::new();
     let selset: std::collections::HashSet<(u8, u16)> = selected.iter().copied().collect();
-    for (&id, se) in &index.ses {
+    // Iterate the hash-keyed structures in sorted order so the adjacency
+    // push order — and with it the tie-break among equal-distance paths
+    // and the settled count — is identical on every run.
+    let mut se_ids: Vec<u32> = index.ses.keys().copied().collect();
+    se_ids.sort_unstable();
+    for id in se_ids {
+        let se = &index.ses[&id];
         if selset.contains(&(se.level, se.group)) {
             adj.entry(se.from)
                 .or_default()
@@ -597,7 +603,9 @@ fn hierarchical_search(
     for &(v, u, w) in &index.bedges {
         adj.entry(v).or_default().push(GEdge::Raw(u, w as Distance));
     }
-    for v in store.node_ids() {
+    let mut received: Vec<NodeId> = store.node_ids().collect();
+    received.sort_unstable();
+    for v in received {
         for &(u, w) in store.out_edges(v) {
             adj.entry(v).or_default().push(GEdge::Raw(u, w as Distance));
         }

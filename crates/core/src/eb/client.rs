@@ -8,19 +8,30 @@ use crate::netcodec::{decode_payload, ReceivedGraph};
 use crate::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_broadcast::{BroadcastChannel, CpuMeter, MemoryMeter, QueryStats};
 use spair_partition::{KdLocator, RegionId};
-use spair_roadnet::DIST_INF;
+use spair_roadnet::{QueuePolicy, DIST_INF};
 
 /// The EB client. One instance can serve many queries; it holds no state
 /// between queries beyond the method summary.
 #[derive(Debug, Clone)]
 pub struct EbClient {
     summary: EbSummary,
+    queue: QueuePolicy,
 }
 
 impl EbClient {
     /// New client for an EB broadcast program.
     pub fn new(summary: EbSummary) -> Self {
-        Self { summary }
+        Self {
+            summary,
+            queue: QueuePolicy::default(),
+        }
+    }
+
+    /// Selects the queue driving the final client-side Dijkstra over the
+    /// received regions. Distances are identical under every policy.
+    pub fn with_queue_policy(mut self, queue: QueuePolicy) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Receives one full index copy starting at `index_offset`, ingesting
@@ -211,7 +222,7 @@ impl AirClient for EbClient {
         // Phase 4: Dijkstra over the union of received regions (§4.2
         // guarantees the answer is correct for the whole network).
         mem.alloc(store.num_nodes() * 24); // dist/parent search state
-        let (res, settled) = cpu.time(|| store.shortest_path(q.source, q.target));
+        let (res, settled) = cpu.time(|| store.shortest_path_with(q.source, q.target, self.queue));
         let stats = QueryStats {
             tuning_packets: ch.tuned(),
             latency_packets: ch.elapsed(),

@@ -30,7 +30,8 @@
 use crate::netcodec::ReceivedGraph;
 use crate::query::decoded_node_bytes;
 use spair_broadcast::{CpuMeter, MemoryMeter};
-use spair_roadnet::{Distance, MinHeap, NodeId, Weight};
+use spair_roadnet::bucket_queue::AUTO_BUCKET_MAX_WEIGHT;
+use spair_roadnet::{BucketQueue, DijkstraQueue, Distance, MinHeap, NodeId, QueuePolicy, Weight};
 use std::collections::{HashMap, HashSet};
 
 /// One edge of the contracted graph `G'`.
@@ -49,6 +50,10 @@ pub struct MemoryBoundProcessor {
     gprime: HashMap<NodeId, Vec<(NodeId, GEdge)>>,
     paths: Vec<Vec<NodeId>>,
     keep_paths: bool,
+    queue: QueuePolicy,
+    /// Largest edge cost inserted into `G'` (super-edges can span whole
+    /// regions, so this can exceed any raw network weight).
+    max_cost: Distance,
     /// Peak/current memory of the retained state (G' plus the region
     /// currently being contracted).
     pub mem: MemoryMeter,
@@ -69,6 +74,15 @@ impl MemoryBoundProcessor {
             keep_paths: true,
             ..Self::default()
         }
+    }
+
+    /// Selects the queue driving the final `G'` Dijkstra. `Auto` resolves
+    /// against the largest super-edge cost seen; when that cost exceeds
+    /// the bucket-friendly range the heap is used regardless (a bucket
+    /// array cannot be sized for unbounded super-edges).
+    pub fn with_queue_policy(mut self, queue: QueuePolicy) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Contracts one fully received region.
@@ -130,6 +144,10 @@ impl MemoryBoundProcessor {
         });
         self.mem.alloc(path_bytes + new_edges.len() * 16);
         for (from, to, e) in new_edges {
+            self.max_cost = self.max_cost.max(match &e {
+                GEdge::Raw(w) => *w as Distance,
+                GEdge::Super(d, _) => *d,
+            });
             self.gprime.entry(from).or_default().push((to, e));
         }
 
@@ -138,44 +156,28 @@ impl MemoryBoundProcessor {
         self.mem.free(raw_bytes);
     }
 
-    /// Final Dijkstra over `G'` followed by super-edge expansion.
+    /// Final Dijkstra over `G'` followed by super-edge expansion, on the
+    /// queue selected via [`Self::with_queue_policy`].
     pub fn shortest_path(
         &mut self,
         source: NodeId,
         target: NodeId,
     ) -> Option<(Distance, Vec<NodeId>)> {
-        let gprime = std::mem::take(&mut self.gprime);
-        let result = self.cpu.time(|| {
-            let mut dist: HashMap<NodeId, Distance> = HashMap::new();
-            let mut parent: HashMap<NodeId, (NodeId, Option<usize>)> = HashMap::new();
-            let mut heap = MinHeap::new();
-            dist.insert(source, 0);
-            heap.push(0, source);
-            while let Some(e) = heap.pop() {
-                let v = e.item;
-                if dist.get(&v) != Some(&e.key) {
-                    continue;
-                }
-                if v == target {
-                    break;
-                }
-                for (u, edge) in gprime.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
-                    let (cost, pidx) = match edge {
-                        GEdge::Raw(w) => (*w as Distance, None),
-                        GEdge::Super(d, i) => (*d, Some(*i)),
-                    };
-                    let cand = e.key + cost;
-                    if dist.get(u).is_none_or(|&d| cand < d) {
-                        dist.insert(*u, cand);
-                        parent.insert(*u, (v, pidx));
-                        heap.push(cand, *u);
-                    }
-                }
-            }
-            (dist, parent)
-        });
-        self.gprime = gprime;
-        let (dist, parent) = result;
+        let bucket_ok = self.max_cost <= AUTO_BUCKET_MAX_WEIGHT as Distance;
+        let resolved = if bucket_ok {
+            let expected = Some(self.gprime.len().div_ceil(2));
+            self.queue.resolve_for(self.max_cost as Weight, expected)
+        } else {
+            QueuePolicy::Heap
+        };
+        let (dist, parent) = match resolved {
+            QueuePolicy::Bucket => self.gprime_search(
+                source,
+                target,
+                &mut BucketQueue::new(self.max_cost as Weight),
+            ),
+            _ => self.gprime_search(source, target, &mut MinHeap::new()),
+        };
         let d = *dist.get(&target)?;
         // Expand: walk parents, splicing super-edge paths back in.
         let mut path = vec![target];
@@ -199,7 +201,54 @@ impl MemoryBoundProcessor {
         path.reverse();
         Some((d, path))
     }
+
+    /// The `G'` Dijkstra itself, generic over the driving queue. Takes
+    /// `gprime` out of `self` for the duration so the CPU meter can time
+    /// the closure without aliasing.
+    fn gprime_search<Q: DijkstraQueue>(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        queue: &mut Q,
+    ) -> GSearchState {
+        let gprime = std::mem::take(&mut self.gprime);
+        let result = self.cpu.time(|| {
+            let mut dist: HashMap<NodeId, Distance> = HashMap::new();
+            let mut parent: HashMap<NodeId, (NodeId, Option<usize>)> = HashMap::new();
+            dist.insert(source, 0);
+            queue.push(0, source);
+            while let Some((key, v)) = queue.pop() {
+                if dist.get(&v) != Some(&key) {
+                    continue;
+                }
+                if v == target {
+                    break;
+                }
+                for (u, edge) in gprime.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+                    let (cost, pidx) = match edge {
+                        GEdge::Raw(w) => (*w as Distance, None),
+                        GEdge::Super(d, i) => (*d, Some(*i)),
+                    };
+                    let cand = key + cost;
+                    if dist.get(u).is_none_or(|&d| cand < d) {
+                        dist.insert(*u, cand);
+                        parent.insert(*u, (v, pidx));
+                        queue.push(cand, *u);
+                    }
+                }
+            }
+            (dist, parent)
+        });
+        self.gprime = gprime;
+        result
+    }
 }
+
+/// `(distances, parents)` of one `G'` search.
+type GSearchState = (
+    HashMap<NodeId, Distance>,
+    HashMap<NodeId, (NodeId, Option<usize>)>,
+);
 
 /// Region-restricted Dijkstra from anchor `a`; appends super-edges to
 /// every other anchor reached. Returns the bytes of stored paths.
@@ -313,6 +362,30 @@ mod tests {
             assert_eq!(acc, d);
             assert_eq!(path.first(), Some(&s));
             assert_eq!(path.last(), Some(&t));
+        }
+    }
+
+    #[test]
+    fn distances_identical_under_every_queue_policy() {
+        let g = small_grid(9, 9, 6);
+        let (store, by_region) = received_world(&g, 8);
+        for &(s, t) in &[(0u32, 80u32), (10, 71)] {
+            let mut got = Vec::new();
+            for policy in [QueuePolicy::Heap, QueuePolicy::Bucket, QueuePolicy::Auto] {
+                let mut proc = MemoryBoundProcessor::with_paths().with_queue_policy(policy);
+                for nodes in &by_region {
+                    let terminals: Vec<NodeId> = [s, t]
+                        .iter()
+                        .copied()
+                        .filter(|v| nodes.contains(v))
+                        .collect();
+                    proc.add_region(&store, nodes, &terminals);
+                }
+                got.push(proc.shortest_path(s, t).map(|(d, _)| d));
+            }
+            assert_eq!(got[0], dijkstra_distance(&g, s, t));
+            assert_eq!(got[0], got[1]);
+            assert_eq!(got[0], got[2]);
         }
     }
 

@@ -16,7 +16,7 @@
 use crate::query::decoded_node_bytes;
 use bytes::Bytes;
 use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
-use spair_roadnet::{NodeId, Point, RoadNetwork, Weight};
+use spair_roadnet::{BucketQueue, DijkstraQueue, NodeId, Point, QueuePolicy, RoadNetwork, Weight};
 
 /// Maximum adjacency entries per record so the record fits a payload:
 /// header 14 bytes + k×8 ≤ 123 → k ≤ 13.
@@ -125,6 +125,9 @@ type StoredNode = (Point, bool, Vec<(NodeId, Weight)>);
 pub struct ReceivedGraph {
     /// `(point, border flag, adjacency)` per received node.
     nodes: std::collections::HashMap<NodeId, StoredNode>,
+    /// Largest edge weight received so far (sizes the bucket queue when a
+    /// [`QueuePolicy`] resolves to `Bucket`).
+    max_weight: Weight,
 }
 
 impl ReceivedGraph {
@@ -142,6 +145,9 @@ impl ReceivedGraph {
             .or_insert_with(|| (rec.point, rec.border, Vec::new()));
         entry.1 |= rec.border;
         let added = rec.edges.len();
+        for &(_, w) in &rec.edges {
+            self.max_weight = self.max_weight.max(w);
+        }
         entry.2.extend(rec.edges);
         // Charge per decoded edge plus once per fresh node.
         let fresh_node = if entry.2.len() == added {
@@ -202,25 +208,56 @@ impl ReceivedGraph {
         }
     }
 
-    /// Dijkstra from `source` to `target` over the received subgraph.
-    /// Returns `(distance, path)` if `target` is reachable, plus settled
-    /// node count.
+    /// Largest edge weight received so far.
+    pub fn max_weight(&self) -> Weight {
+        self.max_weight
+    }
+
+    /// Dijkstra from `source` to `target` over the received subgraph on
+    /// the default queue policy. Returns `(distance, path)` if `target`
+    /// is reachable, plus settled node count.
     pub fn shortest_path(
         &self,
         source: NodeId,
         target: NodeId,
     ) -> (Option<(u64, Vec<NodeId>)>, usize) {
-        use spair_roadnet::MinHeap;
+        self.shortest_path_with(source, target, QueuePolicy::default())
+    }
+
+    /// [`Self::shortest_path`] driven by an explicit [`QueuePolicy`].
+    /// `Auto` resolves against the maximum *received* weight and the
+    /// store's node count (the search terminates at `target`, so the
+    /// expected settle depth is about half the received nodes). Distances
+    /// are identical under every policy.
+    pub fn shortest_path_with(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        queue: QueuePolicy,
+    ) -> (Option<(u64, Vec<NodeId>)>, usize) {
+        let expected = Some(self.nodes.len().div_ceil(2));
+        match queue.resolve_for(self.max_weight, expected) {
+            QueuePolicy::Bucket => {
+                self.search(source, target, &mut BucketQueue::new(self.max_weight))
+            }
+            _ => self.search(source, target, &mut spair_roadnet::MinHeap::new()),
+        }
+    }
+
+    fn search<Q: DijkstraQueue>(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        queue: &mut Q,
+    ) -> (Option<(u64, Vec<NodeId>)>, usize) {
         use std::collections::HashMap;
         let mut dist: HashMap<NodeId, u64> = HashMap::new();
         let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut heap = MinHeap::new();
         let mut settled = 0usize;
         dist.insert(source, 0);
-        heap.push(0, source);
-        while let Some(e) = heap.pop() {
-            let v = e.item;
-            if dist.get(&v) != Some(&e.key) {
+        queue.push(0, source);
+        while let Some((key, v)) = queue.pop() {
+            if dist.get(&v) != Some(&key) {
                 continue;
             }
             settled += 1;
@@ -232,14 +269,14 @@ impl ReceivedGraph {
                     cur = p;
                 }
                 path.reverse();
-                return (Some((e.key, path)), settled);
+                return (Some((key, path)), settled);
             }
             for &(u, w) in self.out_edges(v) {
-                let cand = e.key + w as u64;
+                let cand = key + w as u64;
                 if dist.get(&u).is_none_or(|&d| cand < d) {
                     dist.insert(u, cand);
                     parent.insert(u, v);
-                    heap.push(cand, u);
+                    queue.push(cand, u);
                 }
             }
         }
@@ -319,6 +356,28 @@ mod tests {
         let mut rec = RecordBuf::new();
         rec.put_u32(0).put_f32(0.0).put_f32(0.0).put_u8(5).put_u8(0);
         assert!(decode_payload(rec.as_slice()).is_none());
+    }
+
+    #[test]
+    fn received_subgraph_same_distance_under_every_queue_policy() {
+        let g = small_grid(8, 8, 3);
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        let mut store = ReceivedGraph::new();
+        for payload in encode_nodes(&g, &nodes) {
+            for rec in decode_payload(&payload).unwrap() {
+                store.ingest(rec);
+            }
+        }
+        assert!(store.max_weight() > 0);
+        for (s, t) in [(0u32, 63u32), (7, 56), (12, 50)] {
+            let (heap, _) = store.shortest_path_with(s, t, QueuePolicy::Heap);
+            let (bucket, _) = store.shortest_path_with(s, t, QueuePolicy::Bucket);
+            let (auto, _) = store.shortest_path_with(s, t, QueuePolicy::Auto);
+            let want = dijkstra_distance(&g, s, t);
+            assert_eq!(heap.as_ref().map(|(d, _)| *d), want);
+            assert_eq!(bucket.map(|(d, _)| d), want);
+            assert_eq!(auto.map(|(d, _)| d), want);
+        }
     }
 
     #[test]

@@ -9,11 +9,13 @@ use crate::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_broadcast::packet::PacketKind;
 use spair_broadcast::{BroadcastChannel, CpuMeter, MemoryMeter, QueryStats, Received};
 use spair_partition::{KdLocator, RegionId};
+use spair_roadnet::QueuePolicy;
 
 /// The NR client.
 #[derive(Debug, Clone)]
 pub struct NrClient {
     summary: NrSummary,
+    queue: QueuePolicy,
 }
 
 /// What [`NrClient::receive_local_index`] ran into after the copy.
@@ -30,7 +32,17 @@ enum Overrun {
 impl NrClient {
     /// New client for an NR broadcast program.
     pub fn new(summary: NrSummary) -> Self {
-        Self { summary }
+        Self {
+            summary,
+            queue: QueuePolicy::default(),
+        }
+    }
+
+    /// Selects the queue driving the final client-side Dijkstra over the
+    /// received regions. Distances are identical under every policy.
+    pub fn with_queue_policy(mut self, queue: QueuePolicy) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Receives one local-index copy starting at (or inside) the current
@@ -416,7 +428,7 @@ impl AirClient for NrClient {
         }
 
         mem.alloc(store.num_nodes() * 24);
-        let (res, settled) = cpu.time(|| store.shortest_path(q.source, q.target));
+        let (res, settled) = cpu.time(|| store.shortest_path_with(q.source, q.target, self.queue));
         let stats = QueryStats {
             tuning_packets: ch.tuned(),
             latency_packets: ch.elapsed(),

@@ -29,14 +29,22 @@ use spair_broadcast::QueryStats;
 use spair_roadnet::{Distance, NodeId, Point, RoadNetwork, Weight};
 
 /// A query endpoint: a network node or a position strictly inside an arc.
+///
+/// Endpoint entries carry the endpoint node's *own* coordinates alongside
+/// the id: the node-to-node sub-queries must be located (region lookup,
+/// quadtree color lookup) at the node coordinate — §3.2's assumption —
+/// not at the interpolated on-edge position, whose containing region/cell
+/// can differ.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OnEdgePoint {
-    /// Coordinates (what the client feeds the region locator).
+    /// Coordinates of the position itself (reporting only).
     pub pt: Point,
-    /// `(endpoint, cost)` pairs travel can start through.
-    pub exits: Vec<(NodeId, Weight)>,
-    /// `(endpoint, cost)` pairs travel can arrive through.
-    pub entries: Vec<(NodeId, Weight)>,
+    /// `(endpoint, cost, endpoint coordinates)` triples travel can start
+    /// through.
+    pub exits: Vec<(NodeId, Weight, Point)>,
+    /// `(endpoint, cost, endpoint coordinates)` triples travel can arrive
+    /// through.
+    pub entries: Vec<(NodeId, Weight, Point)>,
     /// Canonical arc `(from, to)` the position lies on, with the offset
     /// from `from` — used for the same-arc direct-walk candidate. `None`
     /// for node endpoints.
@@ -48,8 +56,8 @@ impl OnEdgePoint {
     pub fn at_node(g: &RoadNetwork, v: NodeId) -> Self {
         Self {
             pt: g.point(v),
-            exits: vec![(v, 0)],
-            entries: vec![(v, 0)],
+            exits: vec![(v, 0, g.point(v))],
+            entries: vec![(v, 0, g.point(v))],
             arc: None,
         }
     }
@@ -65,8 +73,8 @@ impl OnEdgePoint {
         assert!(along > 0 && along < w, "position must be strictly inside");
         Self {
             pt: interpolate(g, from, to, along, w),
-            exits: vec![(to, w - along)],
-            entries: vec![(from, along)],
+            exits: vec![(to, w - along, g.point(to))],
+            entries: vec![(from, along, g.point(from))],
             arc: Some((from, to, along)),
         }
     }
@@ -86,8 +94,8 @@ impl OnEdgePoint {
         assert!(along > 0 && along < w, "position must be strictly inside");
         Self {
             pt: interpolate(g, a, b, along, w),
-            exits: vec![(a, along), (b, w - along)],
-            entries: vec![(a, along), (b, w - along)],
+            exits: vec![(a, along, g.point(a)), (b, w - along, g.point(b))],
+            entries: vec![(a, along, g.point(a)), (b, w - along, g.point(b))],
             arc: Some((a, b, along)),
         }
     }
@@ -139,7 +147,7 @@ pub fn on_edge_query(
     // Same-arc direct walk.
     if let (Some((a1, b1, o1)), Some((a2, b2, o2))) = (src.arc, dst.arc) {
         if (a1, b1) == (a2, b2) {
-            if o2 >= o1 && src.exits.iter().any(|&(v, _)| v == b1) {
+            if o2 >= o1 && src.exits.iter().any(|&(v, _, _)| v == b1) {
                 consider(
                     &mut best,
                     OnEdgeOutcome {
@@ -151,7 +159,7 @@ pub fn on_edge_query(
                     },
                 );
             }
-            if o1 >= o2 && src.exits.iter().any(|&(v, _)| v == a1) {
+            if o1 >= o2 && src.exits.iter().any(|&(v, _, _)| v == a1) {
                 consider(
                     &mut best,
                     OnEdgeOutcome {
@@ -167,8 +175,8 @@ pub fn on_edge_query(
     }
 
     let mut any_reachable = best.is_some();
-    for &(a, ca) in &src.exits {
-        for &(b, cb) in &dst.entries {
+    for &(a, ca, pa) in &src.exits {
+        for &(b, cb, pb) in &dst.entries {
             if a == b {
                 any_reachable = true;
                 consider(
@@ -183,11 +191,13 @@ pub fn on_edge_query(
                 );
                 continue;
             }
+            // Node coordinates, not the on-edge position: the underlying
+            // air query is an ordinary node-to-node query (§3.2).
             let q = Query {
                 source: a,
                 target: b,
-                source_pt: src.pt,
-                target_pt: dst.pt,
+                source_pt: pa,
+                target_pt: pb,
             };
             match run(&q) {
                 Ok(out) => {

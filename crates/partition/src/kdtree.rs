@@ -141,9 +141,75 @@ impl KdTreePartition {
             }
         }
 
-        let locator = KdLocator { splits, levels };
+        Self::from_splits_for(g, KdLocator { splits, levels })
+    }
+
+    /// Builds a *uniform* kd partition of `g` into `num_regions` regions:
+    /// every cell splits at the midpoint of its bounding-box extent
+    /// instead of the node median, which makes the leaves a regular
+    /// spatial grid (`2^ceil(L/2)` rows × `2^floor(L/2)` columns of equal
+    /// size). This is the "regular grid" alternative the paper discusses
+    /// in §4.1, expressed through the same splitting-value encoding, so
+    /// EB/NR clients can locate regions over a grid partitioner with zero
+    /// protocol changes — unlike median splits it does not balance node
+    /// counts, which is exactly the trade-off the scenario matrix probes.
+    ///
+    /// `num_regions` must be a power of two and at least 2.
+    pub fn build_uniform(g: &RoadNetwork, num_regions: usize) -> Self {
+        assert!(
+            num_regions.is_power_of_two() && num_regions >= 2,
+            "num_regions must be a power of two >= 2"
+        );
+        let levels = num_regions.trailing_zeros();
+        let mut splits = vec![0.0f64; num_regions - 1];
+
+        // Bounding box of the node coordinates.
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in g.node_ids() {
+            let p = g.point(v);
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        if g.num_nodes() == 0 {
+            (min_x, max_x, min_y, max_y) = (0.0, 0.0, 0.0, 0.0);
+        }
+
+        // Each BFS cell carries its own bounds; the split bisects the
+        // cell's extent on the level's axis.
+        let mut stack = vec![(0usize, 0u32, min_x, max_x, min_y, max_y)];
+        while let Some((node, level, lo_x, hi_x, lo_y, hi_y)) = stack.pop() {
+            let axis = axis_for_level(level);
+            let split = match axis {
+                Axis::X => (lo_x + hi_x) / 2.0,
+                Axis::Y => (lo_y + hi_y) / 2.0,
+            };
+            splits[node] = split;
+            if level + 1 < levels {
+                match axis {
+                    Axis::X => {
+                        stack.push((2 * node + 1, level + 1, lo_x, split, lo_y, hi_y));
+                        stack.push((2 * node + 2, level + 1, split, hi_x, lo_y, hi_y));
+                    }
+                    Axis::Y => {
+                        stack.push((2 * node + 1, level + 1, lo_x, hi_x, lo_y, split));
+                        stack.push((2 * node + 2, level + 1, lo_x, hi_x, split, hi_y));
+                    }
+                }
+            }
+        }
+
+        Self::from_splits_for(g, KdLocator { splits, levels })
+    }
+
+    /// Materializes the node assignment and per-region lists of `g` under
+    /// `locator` — the shared tail of every construction path, so
+    /// assignment and `locate()` can never diverge between them.
+    fn from_splits_for(g: &RoadNetwork, locator: KdLocator) -> Self {
         let mut assignment = vec![0 as RegionId; g.num_nodes()];
-        let mut by_region = vec![Vec::new(); num_regions];
+        let mut by_region = vec![Vec::new(); locator.num_regions()];
         for v in g.node_ids() {
             let r = locator.locate(g.point(v));
             assignment[v as usize] = r;
@@ -312,6 +378,46 @@ mod tests {
         assert_eq!(sorted, vec![0, 1, 2, 3]);
         assert!(regions[0] < regions[2]);
         assert!(regions[1] < regions[3]);
+    }
+
+    #[test]
+    fn uniform_build_covers_every_node_and_agrees_with_locate() {
+        let g = small_grid(11, 13, 4);
+        for &n in &[2usize, 4, 8, 16] {
+            let part = KdTreePartition::build_uniform(&g, n);
+            let mut seen = vec![false; g.num_nodes()];
+            for (r, nodes) in part.nodes_by_region().iter().enumerate() {
+                for &v in nodes {
+                    assert!(!seen[v as usize]);
+                    seen[v as usize] = true;
+                    assert_eq!(part.region_of(v), r as RegionId);
+                    assert_eq!(part.locate(g.point(v)), r as RegionId);
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+            assert_eq!(part.splits().len(), n - 1);
+        }
+    }
+
+    #[test]
+    fn uniform_splits_form_a_regular_grid() {
+        // 4 regions over a square extent: the root bisects y at the
+        // midpoint, both children bisect x at the *same* midpoint — a
+        // regular 2x2 grid, unlike median splits.
+        let g = small_grid(16, 16, 9);
+        let part = KdTreePartition::build_uniform(&g, 4);
+        let s = part.splits();
+        assert!((s[1] - s[2]).abs() < 1e-12, "x-splits differ: {s:?}");
+    }
+
+    #[test]
+    fn uniform_locator_round_trips_through_splits() {
+        let g = small_grid(10, 10, 2);
+        let part = KdTreePartition::build_uniform(&g, 8);
+        let rebuilt = KdLocator::from_splits(part.splits().to_vec());
+        for v in g.node_ids() {
+            assert_eq!(rebuilt.locate(g.point(v)), part.region_of(v));
+        }
     }
 
     #[test]

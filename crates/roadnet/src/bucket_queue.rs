@@ -13,7 +13,10 @@
 //!
 //! [`QueuePolicy`] selects between the two queues; `Auto` picks buckets
 //! whenever the graph's maximum edge weight is small enough for the
-//! bucket array to stay cache-friendly.
+//! bucket array to stay cache-friendly *and* the expected search depth is
+//! large enough for the cursor scan to amortize (early-terminating
+//! point-to-point searches over large-weight graphs stay on the heap —
+//! see [`QueuePolicy::resolve_for`]).
 
 use crate::graph::{NodeId, RoadNetwork, Weight};
 use crate::heap::MinHeap;
@@ -38,14 +41,53 @@ pub enum QueuePolicy {
 }
 
 impl QueuePolicy {
-    /// Resolves `Auto` against a concrete graph.
+    /// Resolves `Auto` against a concrete graph for a full (exhaustive)
+    /// search.
     pub fn resolve(self, g: &RoadNetwork) -> QueuePolicy {
+        self.resolve_for(g.max_weight(), None)
+    }
+
+    /// Resolves `Auto` against a concrete graph for a search expected to
+    /// settle about `expected_settled` nodes (`None` = exhaustive).
+    pub fn resolve_for_search(
+        self,
+        g: &RoadNetwork,
+        expected_settled: Option<usize>,
+    ) -> QueuePolicy {
+        self.resolve_for(g.max_weight(), expected_settled)
+    }
+
+    /// Resolves `Auto` from a maximum edge weight and an expected settle
+    /// count, without needing a [`RoadNetwork`] (client-side stores track
+    /// their own maximum received weight).
+    ///
+    /// The bucket queue's pop cost is a cursor scan over the settled
+    /// distance range, which amortizes beautifully on exhaustive searches
+    /// but loses to the heap on early-terminating point-to-point queries
+    /// over large-weight graphs: the scan still walks the whole distance
+    /// range while the heap only pays `settled × log(settled)` sift work.
+    /// `Auto` therefore models the scan as `sqrt(settled) × max_weight`
+    /// (≈ hop count on planar road networks times the per-hop range
+    /// growth envelope) and picks buckets only when that does not exceed
+    /// the heap's `settled × log2(settled)`.
+    pub fn resolve_for(self, max_weight: Weight, expected_settled: Option<usize>) -> QueuePolicy {
         match self {
             QueuePolicy::Auto => {
-                if g.max_weight() <= AUTO_BUCKET_MAX_WEIGHT {
-                    QueuePolicy::Bucket
-                } else {
-                    QueuePolicy::Heap
+                if max_weight > AUTO_BUCKET_MAX_WEIGHT {
+                    return QueuePolicy::Heap;
+                }
+                match expected_settled {
+                    None => QueuePolicy::Bucket,
+                    Some(s) => {
+                        let s = s.max(2) as u64;
+                        let heap_work = s * u64::from(s.ilog2());
+                        let scan_work = ((s as f64).sqrt() as u64).max(1) * u64::from(max_weight);
+                        if scan_work <= heap_work {
+                            QueuePolicy::Bucket
+                        } else {
+                            QueuePolicy::Heap
+                        }
+                    }
                 }
             }
             other => other,
@@ -232,6 +274,49 @@ mod tests {
         // Cursor was at 2; a fresh push below span must still work.
         q.push(100, 7);
         assert_eq!(q.pop(), Some((100, 7)));
+    }
+
+    #[test]
+    fn auto_resolves_by_weight_for_full_searches() {
+        assert_eq!(
+            QueuePolicy::Auto.resolve_for(100, None),
+            QueuePolicy::Bucket
+        );
+        assert_eq!(
+            QueuePolicy::Auto.resolve_for(AUTO_BUCKET_MAX_WEIGHT + 1, None),
+            QueuePolicy::Heap
+        );
+    }
+
+    #[test]
+    fn auto_considers_expected_search_depth() {
+        // Early-terminating search over large weights: the cursor scan
+        // (~sqrt(s) * max_weight) dwarfs the heap work -> Heap.
+        assert_eq!(
+            QueuePolicy::Auto.resolve_for(30_000, Some(2_500)),
+            QueuePolicy::Heap
+        );
+        // Same depth over unit-ish weights: scan is trivial -> Bucket.
+        assert_eq!(
+            QueuePolicy::Auto.resolve_for(16, Some(2_500)),
+            QueuePolicy::Bucket
+        );
+        // Deep searches amortize the scan even at moderate weights.
+        assert_eq!(
+            QueuePolicy::Auto.resolve_for(200, Some(1_000_000)),
+            QueuePolicy::Bucket
+        );
+    }
+
+    #[test]
+    fn explicit_policies_never_change() {
+        for s in [None, Some(10), Some(1_000_000)] {
+            assert_eq!(QueuePolicy::Heap.resolve_for(1, s), QueuePolicy::Heap);
+            assert_eq!(
+                QueuePolicy::Bucket.resolve_for(u32::MAX, s),
+                QueuePolicy::Bucket
+            );
+        }
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //!   bounds);
 //! * [`dijkstra_to_target`] / [`dijkstra_distance`] — early-terminating
 //!   point-to-point queries, as run by the simulated clients;
-//! * [`dijkstra_filtered`] — search restricted to a node predicate, used by
-//!   the clients that only downloaded a subset of regions and by ArcFlag's
-//!   flag-pruned search (via an edge predicate variant);
+//! * [`dijkstra_filtered`] / [`dijkstra_filtered_with`] — search restricted
+//!   to a node predicate, used by the clients that only downloaded a subset
+//!   of regions and by ArcFlag's flag-pruned search (via an edge predicate
+//!   variant); the `_with` form chooses the queue via [`QueuePolicy`];
 //! * [`DijkstraWorkspace`] — allocation-free repeated searches for
 //!   server-side precomputation, with version-stamped visited marks.
 
@@ -148,7 +149,11 @@ pub fn dijkstra_with_options(
     source: NodeId,
     opts: DijkstraOptions,
 ) -> (ShortestPathTree, SearchStats) {
-    match opts.queue.resolve(g) {
+    // Targeted searches terminate early; feed `Auto` the expected settle
+    // count (~half the nodes for a uniformly random pair) so it can keep
+    // the heap where the bucket cursor scan would not amortize.
+    let expected = opts.target.map(|_| g.num_nodes().div_ceil(2));
+    match opts.queue.resolve_for_search(g, expected) {
         QueuePolicy::Bucket => options_loop(g, source, opts, &mut BucketQueue::for_graph(g)),
         _ => options_loop(g, source, opts, &mut MinHeap::with_capacity(64)),
     }
@@ -196,24 +201,52 @@ fn options_loop<Q: DijkstraQueue>(
 
 /// Point-to-point Dijkstra restricted to nodes for which `allowed` returns
 /// true (source and target are always allowed). This is the search the
-/// simulated clients run over the union of downloaded regions.
+/// simulated clients run over the union of downloaded regions. Runs on the
+/// default queue policy; see [`dijkstra_filtered_with`] to choose.
 pub fn dijkstra_filtered(
     g: &RoadNetwork,
     source: NodeId,
     target: NodeId,
     allowed: impl Fn(NodeId) -> bool,
 ) -> (Option<(Distance, Vec<NodeId>)>, SearchStats) {
+    dijkstra_filtered_with(g, source, target, allowed, QueuePolicy::default())
+}
+
+/// [`dijkstra_filtered`] driven by an explicit [`QueuePolicy`]. Distances
+/// are identical under every policy; only the settle order of
+/// equal-distance nodes may differ.
+pub fn dijkstra_filtered_with(
+    g: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    allowed: impl Fn(NodeId) -> bool,
+    queue: QueuePolicy,
+) -> (Option<(Distance, Vec<NodeId>)>, SearchStats) {
+    let expected = Some(g.num_nodes().div_ceil(2));
+    match queue.resolve_for_search(g, expected) {
+        QueuePolicy::Bucket => {
+            filtered_loop(g, source, target, allowed, &mut BucketQueue::for_graph(g))
+        }
+        _ => filtered_loop(g, source, target, allowed, &mut MinHeap::with_capacity(64)),
+    }
+}
+
+fn filtered_loop<Q: DijkstraQueue>(
+    g: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    allowed: impl Fn(NodeId) -> bool,
+    queue: &mut Q,
+) -> (Option<(Distance, Vec<NodeId>)>, SearchStats) {
     let n = g.num_nodes();
     let mut dist = vec![DIST_INF; n];
     let mut parent = vec![NO_PARENT; n];
-    let mut heap = MinHeap::with_capacity(64);
     let mut stats = SearchStats::default();
     dist[source as usize] = 0;
-    heap.push(0, source);
+    queue.push(0, source);
     let mut found = false;
-    while let Some(e) = heap.pop() {
-        let v = e.item;
-        if e.key != dist[v as usize] {
+    while let Some((key, v)) = queue.pop() {
+        if key != dist[v as usize] {
             continue;
         }
         stats.settled += 1;
@@ -226,11 +259,11 @@ pub fn dijkstra_filtered(
                 continue;
             }
             stats.relaxed += 1;
-            let cand = e.key + w as Distance;
+            let cand = key + w as Distance;
             if cand < dist[u as usize] {
                 dist[u as usize] = cand;
                 parent[u as usize] = v;
-                heap.push(cand, u);
+                queue.push(cand, u);
             }
         }
     }
@@ -541,6 +574,21 @@ mod tests {
         let plain = dijkstra_distance(&g, 3, 60);
         let (filtered, _) = dijkstra_filtered(&g, 3, 60, |_| true);
         assert_eq!(plain, filtered.map(|(d, _)| d));
+    }
+
+    #[test]
+    fn filtered_search_same_distances_under_every_queue_policy() {
+        let g = random_graph(13, 80, 60);
+        for s in [0u32, 11, 37] {
+            for t in [5u32, 42, 79] {
+                let (heap, _) = dijkstra_filtered_with(&g, s, t, |v| v % 7 != 3, QueuePolicy::Heap);
+                let (bucket, _) =
+                    dijkstra_filtered_with(&g, s, t, |v| v % 7 != 3, QueuePolicy::Bucket);
+                let (auto, _) = dijkstra_filtered_with(&g, s, t, |v| v % 7 != 3, QueuePolicy::Auto);
+                assert_eq!(heap.as_ref().map(|(d, _)| *d), bucket.map(|(d, _)| d));
+                assert_eq!(heap.map(|(d, _)| d), auto.map(|(d, _)| d));
+            }
+        }
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub use astar::{astar_distance, ZeroBound};
 pub use bidirectional::{bidirectional_distance, bidirectional_search};
 pub use bucket_queue::{BucketQueue, DijkstraQueue, QueuePolicy};
 pub use dijkstra::{
-    dijkstra_distance, dijkstra_full, dijkstra_to_target, DijkstraOptions, SearchStats,
+    dijkstra_distance, dijkstra_filtered, dijkstra_filtered_with, dijkstra_full,
+    dijkstra_to_target, DijkstraOptions, SearchStats,
 };
 pub use generators::{GeneratorConfig, NetworkPreset};
 pub use graph::{EdgeId, GraphBuilder, NodeId, Point, RoadNetwork, Weight};

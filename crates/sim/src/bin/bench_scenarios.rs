@@ -1,0 +1,152 @@
+//! Conformance-matrix runner and `BENCH_scenarios.json` emitter — the
+//! scenario-coverage trajectory point.
+//!
+//! ```text
+//! cargo run --release -p spair-sim --bin bench_scenarios -- \
+//!     [--smoke] [--threads N] [--out BENCH_scenarios.json]
+//! ```
+//!
+//! Runs the default matrix (or the small `--smoke` gate) over every
+//! client method, verifies each answer against the serial Dijkstra
+//! oracle, re-runs the matrix serially to certify the parallel fan-out is
+//! bit-identical, and writes the measurements as JSON. **Exits non-zero
+//! on any conformance mismatch or determinism break**, so CI can use it
+//! as a gate.
+
+use spair_roadnet::parallel;
+use spair_sim::{default_matrix, run_matrix, smoke_matrix, MethodKind};
+use std::time::Instant;
+
+struct Opts {
+    smoke: bool,
+    threads: usize,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        threads: parallel::num_threads(),
+        out: "BENCH_scenarios.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--threads" => {
+                opts.threads = value().parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threads expects a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => opts.out = value(),
+            other => {
+                eprintln!(
+                    "error: unknown flag {other}\n\
+                     usage: bench_scenarios [--smoke] [--threads N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.threads == 0 {
+        eprintln!("error: --threads must be >= 1");
+        std::process::exit(2);
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    let specs = if opts.smoke {
+        smoke_matrix()
+    } else {
+        default_matrix()
+    };
+    let methods = MethodKind::ALL;
+    eprintln!(
+        "# bench_scenarios — {} scenarios x {} methods, {} threads{}",
+        specs.len(),
+        methods.len(),
+        opts.threads,
+        if opts.smoke { " (smoke)" } else { "" }
+    );
+
+    let start = Instant::now();
+    let matrix = run_matrix(&specs, &methods, opts.threads);
+    let parallel_secs = start.elapsed().as_secs_f64();
+    eprint!("{}", matrix.render_table());
+
+    // Determinism certificate: a serial rerun must be byte-identical.
+    // With --threads 1 the first run already *is* the serial reference,
+    // so the rerun would be a tautology — skip it.
+    let digest = matrix.digest();
+    let (serial_secs, bit_identical) = if opts.threads == 1 {
+        (parallel_secs, true)
+    } else {
+        let start = Instant::now();
+        let serial = run_matrix(&specs, &methods, 1);
+        (
+            start.elapsed().as_secs_f64(),
+            serial.to_json(false) == matrix.to_json(false),
+        )
+    };
+
+    let conformant = matrix.all_exact();
+    eprintln!(
+        "cells: {}  mismatches: {}  digest: {digest:016x}  bit_identical: {bit_identical}",
+        matrix.cells.len(),
+        matrix.total_mismatches(),
+    );
+
+    let json = format!(
+        "{{\n  \
+         \"benchmark\": \"scenario_conformance_matrix\",\n  \
+         \"smoke\": {},\n  \
+         \"scenarios\": {},\n  \
+         \"methods\": {},\n  \
+         \"cells\": {},\n  \
+         \"mismatches\": {},\n  \
+         \"all_exact\": {},\n  \
+         \"digest\": \"{digest:016x}\",\n  \
+         \"bit_identical_across_threads\": {bit_identical},\n  \
+         \"host\": {{ \"available_parallelism\": {}, \"worker_threads\": {} }},\n  \
+         \"parallel_secs\": {parallel_secs:.6},\n  \
+         \"serial_secs\": {serial_secs:.6},\n  \
+         \"matrix\": {}\n\
+         }}\n",
+        opts.smoke,
+        specs.len(),
+        methods.len(),
+        matrix.cells.len(),
+        matrix.total_mismatches(),
+        conformant,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        opts.threads,
+        matrix.to_json(true),
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {}", opts.out);
+
+    if !conformant {
+        eprintln!(
+            "CONFORMANCE FAILURE: {} mismatches",
+            matrix.total_mismatches()
+        );
+        std::process::exit(1);
+    }
+    if !bit_identical {
+        eprintln!("DETERMINISM FAILURE: parallel run diverged from serial");
+        std::process::exit(1);
+    }
+}

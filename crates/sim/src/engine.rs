@@ -1,0 +1,787 @@
+//! The deterministic scenario engine.
+//!
+//! [`ScenarioContext::build`] expands a [`ScenarioSpec`] into a concrete
+//! world: the generated network, its partition and border precomputation,
+//! one broadcast program per requested method, the decoded region store
+//! (for the §6.1 memory-bound runner) and the seeded workload with its
+//! serial-Dijkstra oracle answers. [`run_cell`] then drives one method
+//! through the whole workload — every channel session gets a loss model
+//! and tune-in offset derived from the scenario seed alone — and
+//! differentially verifies each answer against the oracle.
+//!
+//! [`run_matrix`] fans the independent (scenario × method) cells across
+//! threads with [`spair_roadnet::parallel::map_reduce_chunked`], whose
+//! chunk-ordered merge makes the resulting
+//! [`ConformanceMatrix`] bit-identical to a serial run for every thread
+//! count.
+
+use crate::report::{CellReport, ConformanceMatrix};
+use crate::spec::{MethodKind, PartitionerKind, ScenarioSpec, TuneInSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spair_baselines::arcflag::ArcFlagIndex;
+use spair_baselines::landmark::LandmarkIndex;
+use spair_baselines::{
+    ArcFlagClient, ArcFlagProgram, ArcFlagServer, DjClient, DjProgram, DjServer, HiTiAirClient,
+    HiTiAirServer, HiTiIndex, HiTiProgram, LandmarkClient, LandmarkProgram, LandmarkServer,
+    SpqAirServer, SpqClient, SpqIndex, SpqProgram,
+};
+use spair_broadcast::{BroadcastChannel, BroadcastCycle, EnergyModel, QueryStats};
+use spair_core::netcodec::{decode_payload, encode_nodes_with_borders, ReceivedGraph};
+use spair_core::query::AirClient;
+use spair_core::{
+    on_edge_query, BorderPrecomputation, EbClient, EbProgram, EbServer, KnnClient, KnnProgram,
+    KnnServer, MemoryBoundProcessor, NrClient, NrProgram, NrServer, OnEdgePoint, Query, QueryError,
+    QueryOutcome,
+};
+use spair_partition::{KdTreePartition, Partitioning};
+use spair_roadnet::{
+    dijkstra_distance, dijkstra_full, insert_positions, parallel, Distance, EdgePosition, NodeId,
+    Point, RoadNetwork, Weight,
+};
+
+/// SplitMix64 — the seed-derivation PRNG. Every channel session's seed is
+/// a pure function of (scenario seed, method ordinal, query index,
+/// sub-query index), so runs are reproducible for any thread schedule.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn session_seed(scenario_seed: u64, method: MethodKind, query: usize, sub: usize) -> u64 {
+    let ordinal = MethodKind::ALL
+        .iter()
+        .position(|m| *m == method)
+        .expect("method in ALL") as u64;
+    splitmix64(
+        scenario_seed
+            ^ splitmix64(ordinal.wrapping_add(1))
+            ^ splitmix64(((query as u64) << 8) | sub as u64),
+    )
+}
+
+/// One verified unit of workload, with its oracle answer.
+#[derive(Debug, Clone)]
+pub enum WorkItem {
+    /// Node-to-node shortest-path query.
+    P2p {
+        /// The query.
+        query: Query,
+        /// Serial-Dijkstra distance.
+        oracle: Distance,
+    },
+    /// Arbitrary on-edge positions (§5 closing remark).
+    OnEdge {
+        /// Source position.
+        src: OnEdgePoint,
+        /// Destination position.
+        dst: OnEdgePoint,
+        /// Distance on the physically split reference graph.
+        oracle: Distance,
+    },
+    /// kNN over the scenario's POI set (§8).
+    Knn {
+        /// Query node.
+        source: NodeId,
+        /// Query coordinates.
+        source_pt: Point,
+        /// Neighbors requested.
+        k: usize,
+        /// The k smallest POI distances, ascending.
+        oracle: Vec<Distance>,
+    },
+}
+
+/// Broadcast programs for the methods one scenario drives.
+#[derive(Default)]
+struct MethodPrograms {
+    nr: Option<NrProgram>,
+    eb: Option<EbProgram>,
+    dj: Option<DjProgram>,
+    ld: Option<LandmarkProgram>,
+    af: Option<ArcFlagProgram>,
+    spq: Option<SpqProgram>,
+    hiti: Option<HiTiProgram>,
+    knn: Option<KnnProgram>,
+}
+
+/// A fully expanded scenario: immutable once built, shared read-only by
+/// every cell that runs against it.
+pub struct ScenarioContext {
+    /// The spec this context expands.
+    pub spec: ScenarioSpec,
+    /// Generated network.
+    pub g: RoadNetwork,
+    /// Partition (median or uniform splits per the spec).
+    pub part: KdTreePartition,
+    /// Border-pair precomputation shared by EB/NR/kNN/mem-bound.
+    pub pre: BorderPrecomputation,
+    /// Seeded workload with oracle answers.
+    pub workload: Vec<WorkItem>,
+    programs: MethodPrograms,
+    /// Fully decoded region data with border flags — what a lossless NR
+    /// client would hold; input of the memory-bound runner.
+    store: ReceivedGraph,
+}
+
+impl ScenarioContext {
+    /// Expands `spec`, building programs only for `methods`.
+    pub fn build(spec: &ScenarioSpec, methods: &[MethodKind]) -> Self {
+        let g = spec.graph.build(spec.seed);
+        let part = match spec.partitioner {
+            PartitionerKind::KdMedian => KdTreePartition::build(&g, spec.regions),
+            PartitionerKind::UniformGrid => KdTreePartition::build_uniform(&g, spec.regions),
+        };
+        let pre = BorderPrecomputation::run(&g, &part);
+
+        let mut programs = MethodPrograms::default();
+        let wants = |m: MethodKind| methods.contains(&m);
+        // NrMemBound reports against NR's cycle length, so it needs the
+        // NR program even when `nr` itself is not in the method list.
+        if wants(MethodKind::Nr) || wants(MethodKind::NrMemBound) {
+            programs.nr = Some(NrServer::new(&g, &part, &pre).build_program());
+        }
+        if wants(MethodKind::Eb) {
+            programs.eb = Some(EbServer::new(&g, &part, &pre).build_program());
+        }
+        if wants(MethodKind::Dj) {
+            programs.dj = Some(DjServer::new(&g).build_program());
+        }
+        if wants(MethodKind::Ld) {
+            let idx = LandmarkIndex::build(&g, 4);
+            programs.ld = Some(LandmarkServer::new(&g, &idx).build_program());
+        }
+        if wants(MethodKind::Af) {
+            let idx = ArcFlagIndex::build(&g, &part);
+            programs.af = Some(ArcFlagServer::new(&g, &part, &idx).build_program());
+        }
+        if wants(MethodKind::SpqAir) {
+            let idx = SpqIndex::build(&g);
+            programs.spq = Some(SpqAirServer::new(&g, &idx).build_program());
+        }
+        if wants(MethodKind::HiTiAir) {
+            let idx = HiTiIndex::build(&g, 8, 3);
+            programs.hiti = Some(HiTiAirServer::new(&g, &idx).build_program());
+        }
+
+        let (workload, pois) = generate_workload(spec, &g);
+        if wants(MethodKind::KnnAir) && spec.workload.knn > 0 {
+            programs.knn = Some(KnnServer::new(&g, &part, &pre, &pois).build_program());
+        }
+
+        // Decode every region's broadcast payloads into one store — the
+        // §6.1 runner contracts regions straight from this data.
+        let mut store = ReceivedGraph::new();
+        if wants(MethodKind::NrMemBound) {
+            for r in 0..part.num_regions() {
+                let nodes = &part.nodes_by_region()[r];
+                for payload in encode_nodes_with_borders(&g, nodes, |v| pre.borders().is_border(v))
+                {
+                    for rec in decode_payload(&payload).expect("server-encoded payload") {
+                        store.ingest(rec);
+                    }
+                }
+            }
+        }
+
+        Self {
+            spec: spec.clone(),
+            g,
+            part,
+            pre,
+            workload,
+            programs,
+            store,
+        }
+    }
+
+    fn cycle(&self, method: MethodKind) -> &BroadcastCycle {
+        match method {
+            MethodKind::Nr => self.programs.nr.as_ref().expect("nr program").cycle(),
+            MethodKind::Eb => self.programs.eb.as_ref().expect("eb program").cycle(),
+            MethodKind::Dj => self.programs.dj.as_ref().expect("dj program").cycle(),
+            MethodKind::Ld => self.programs.ld.as_ref().expect("ld program").cycle(),
+            MethodKind::Af => self.programs.af.as_ref().expect("af program").cycle(),
+            MethodKind::SpqAir => self.programs.spq.as_ref().expect("spq program").cycle(),
+            MethodKind::HiTiAir => self.programs.hiti.as_ref().expect("hiti program").cycle(),
+            MethodKind::KnnAir => self.programs.knn.as_ref().expect("knn program").cycle(),
+            MethodKind::NrMemBound => {
+                // No channel of its own; report NR's cycle length when
+                // available, else an empty marker length of 0 is wrong —
+                // use the raw region data packet count via the store.
+                self.programs
+                    .nr
+                    .as_ref()
+                    .map(|p| p.cycle())
+                    .expect("nr_mem_bound needs the nr program")
+            }
+        }
+    }
+
+    fn client(&self, method: MethodKind) -> Box<dyn AirClient> {
+        let q = self.spec.queue;
+        match method {
+            MethodKind::Nr => Box::new(
+                NrClient::new(self.programs.nr.as_ref().expect("nr").summary())
+                    .with_queue_policy(q),
+            ),
+            MethodKind::Eb => Box::new(
+                EbClient::new(self.programs.eb.as_ref().expect("eb").summary())
+                    .with_queue_policy(q),
+            ),
+            MethodKind::Dj => Box::new(DjClient::new().with_queue_policy(q)),
+            MethodKind::Ld => Box::new(LandmarkClient::new()),
+            MethodKind::Af => Box::new(ArcFlagClient::new(self.part.num_regions())),
+            MethodKind::SpqAir => Box::new(SpqClient::new(
+                self.programs.spq.as_ref().expect("spq").bbox(),
+            )),
+            MethodKind::HiTiAir => Box::new(HiTiAirClient::new()),
+            MethodKind::NrMemBound | MethodKind::KnnAir => {
+                unreachable!("not driven through the AirClient interface")
+            }
+        }
+    }
+}
+
+/// Generates the seeded workload and the POI set for a spec.
+fn generate_workload(spec: &ScenarioSpec, g: &RoadNetwork) -> (Vec<WorkItem>, Vec<NodeId>) {
+    let n = g.num_nodes();
+    let mut rng = StdRng::seed_from_u64(splitmix64(spec.seed ^ 0x574F_524B));
+    let mut items = Vec::new();
+
+    for _ in 0..spec.workload.point_to_point {
+        // Reachable pair (generated networks are connected, but a guard
+        // keeps degenerate specs from spinning).
+        let mut found = None;
+        for _ in 0..64 {
+            let s = rng.gen_range(0..n) as NodeId;
+            let mut t = rng.gen_range(0..n) as NodeId;
+            while t == s {
+                t = rng.gen_range(0..n) as NodeId;
+            }
+            if let Some(d) = dijkstra_distance(g, s, t) {
+                found = Some((Query::for_nodes(g, s, t), d));
+                break;
+            }
+        }
+        let (query, oracle) = found.expect("no reachable query pair in 64 draws");
+        items.push(WorkItem::P2p { query, oracle });
+    }
+
+    if spec.workload.on_edge > 0 {
+        // Symmetric arcs wide enough to hold an interior position.
+        let mut arcs: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+        for v in g.node_ids() {
+            for (u, w) in g.out_edges(v) {
+                if v < u && w >= 2 && g.weight_between(u, v) == Some(w) {
+                    arcs.push((v, u, w));
+                }
+            }
+        }
+        assert!(
+            arcs.len() >= 2,
+            "on-edge workload needs >= 2 splittable undirected arcs"
+        );
+        for _ in 0..spec.workload.on_edge {
+            let mut found = None;
+            for _ in 0..64 {
+                let i = rng.gen_range(0..arcs.len());
+                let mut j = rng.gen_range(0..arcs.len());
+                while j == i {
+                    j = rng.gen_range(0..arcs.len());
+                }
+                let (a1, b1, w1) = arcs[i];
+                let (a2, b2, w2) = arcs[j];
+                let o1 = rng.gen_range(1..w1);
+                let o2 = rng.gen_range(1..w2);
+                let (g2, ids) = insert_positions(
+                    g,
+                    &[
+                        EdgePosition {
+                            from: a1,
+                            to: b1,
+                            along: o1,
+                        },
+                        EdgePosition {
+                            from: a2,
+                            to: b2,
+                            along: o2,
+                        },
+                    ],
+                );
+                if let Some(d) = dijkstra_distance(&g2, ids[0], ids[1]) {
+                    found = Some((
+                        OnEdgePoint::on_undirected(g, a1, b1, o1),
+                        OnEdgePoint::on_undirected(g, a2, b2, o2),
+                        d,
+                    ));
+                    break;
+                }
+            }
+            let (src, dst, oracle) = found.expect("no reachable on-edge pair in 64 draws");
+            items.push(WorkItem::OnEdge { src, dst, oracle });
+        }
+    }
+
+    let mut pois: Vec<NodeId> = Vec::new();
+    if spec.workload.knn > 0 {
+        let want = (n / 20).max(spec.workload.k + 2).min(n);
+        while pois.len() < want {
+            let v = rng.gen_range(0..n) as NodeId;
+            if !pois.contains(&v) {
+                pois.push(v);
+            }
+        }
+        pois.sort_unstable();
+        for _ in 0..spec.workload.knn {
+            let source = rng.gen_range(0..n) as NodeId;
+            let tree = dijkstra_full(g, source);
+            let mut dists: Vec<Distance> = pois
+                .iter()
+                .copied()
+                .filter(|&p| tree.reachable(p))
+                .map(|p| tree.distance(p))
+                .collect();
+            dists.sort_unstable();
+            dists.truncate(spec.workload.k);
+            items.push(WorkItem::Knn {
+                source,
+                source_pt: g.point(source),
+                k: spec.workload.k,
+                oracle: dists,
+            });
+        }
+    }
+    (items, pois)
+}
+
+/// True iff `path` is a real `source -> target` walk in `g` whose weights
+/// sum to `distance` — the conformance check behind "exact shortest
+/// paths", not just matching lengths.
+fn path_is_valid(
+    g: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    distance: Distance,
+    path: &[NodeId],
+) -> bool {
+    if path.first() != Some(&source) || path.last() != Some(&target) {
+        return false;
+    }
+    let mut acc: Distance = 0;
+    for w in path.windows(2) {
+        match g.weight_between(w[0], w[1]) {
+            Some(wt) => acc += wt as Distance,
+            None => return false,
+        }
+    }
+    acc == distance
+}
+
+/// Per-cell accumulation state.
+struct CellAcc {
+    queries: usize,
+    air_queries: usize,
+    mismatches: usize,
+    total: QueryStats,
+    max_p2p: u64,
+    max_onedge: u64,
+    max_knn: u64,
+}
+
+impl CellAcc {
+    fn new() -> Self {
+        Self {
+            queries: 0,
+            air_queries: 0,
+            mismatches: 0,
+            total: QueryStats::default(),
+            max_p2p: 0,
+            max_onedge: 0,
+            max_knn: 0,
+        }
+    }
+
+    fn into_report(self, ctx: &ScenarioContext, method: MethodKind) -> CellReport {
+        let (rx, sleep, cpu) = EnergyModel::WAVELAN_ARM.breakdown(&self.total, ctx.spec.rate);
+        CellReport {
+            scenario: ctx.spec.name.clone(),
+            method: method.name(),
+            queries: self.queries,
+            air_queries: self.air_queries,
+            mismatches: self.mismatches,
+            tuning_packets: self.total.tuning_packets,
+            latency_packets: self.total.latency_packets,
+            sleep_packets: self.total.sleep_packets,
+            max_p2p_latency_packets: self.max_p2p,
+            max_onedge_latency_packets: self.max_onedge,
+            max_knn_latency_packets: self.max_knn,
+            cycle_packets: ctx.cycle(method).len(),
+            peak_memory_bytes: self.total.peak_memory_bytes,
+            within_memory_budget: self.total.peak_memory_bytes <= ctx.spec.heap_budget_bytes,
+            settled_nodes: self.total.settled_nodes,
+            radio_energy_joules: rx + sleep,
+            cpu_ms: cpu / EnergyModel::WAVELAN_ARM.cpu_watts * 1000.0,
+        }
+    }
+}
+
+/// Runs one (scenario × method) cell: the full workload, differentially
+/// verified against the oracle.
+pub fn run_cell(ctx: &ScenarioContext, method: MethodKind) -> CellReport {
+    match method {
+        MethodKind::KnnAir => run_knn_cell(ctx),
+        MethodKind::NrMemBound => run_mem_bound_cell(ctx),
+        _ => run_air_cell(ctx, method),
+    }
+}
+
+fn open_channel<'a>(
+    ctx: &'a ScenarioContext,
+    cycle: &'a BroadcastCycle,
+    seed: u64,
+) -> BroadcastChannel<'a> {
+    let offset = match ctx.spec.tune_in {
+        TuneInSpec::Start => 0,
+        TuneInSpec::Uniform => (splitmix64(seed) % cycle.len() as u64) as usize,
+    };
+    BroadcastChannel::tune_in(
+        cycle,
+        offset,
+        ctx.spec.loss.model(splitmix64(seed ^ 0x10C5)),
+    )
+}
+
+fn run_air_cell(ctx: &ScenarioContext, method: MethodKind) -> CellReport {
+    let cycle = ctx.cycle(method);
+    let mut client = ctx.client(method);
+    let mut acc = CellAcc::new();
+    for (qi, item) in ctx.workload.iter().enumerate() {
+        match item {
+            WorkItem::P2p { query, oracle } => {
+                let seed = session_seed(ctx.spec.seed, method, qi, 0);
+                let mut ch = open_channel(ctx, cycle, seed);
+                acc.queries += 1;
+                acc.air_queries += 1;
+                match client.query(&mut ch, query) {
+                    Ok(out) => {
+                        let ok = out.distance == *oracle
+                            && path_is_valid(
+                                &ctx.g,
+                                query.source,
+                                query.target,
+                                out.distance,
+                                &out.path,
+                            );
+                        if !ok {
+                            acc.mismatches += 1;
+                        }
+                        acc.max_p2p = acc.max_p2p.max(out.stats.latency_packets);
+                        acc.total.add(&out.stats);
+                    }
+                    Err(_) => acc.mismatches += 1,
+                }
+            }
+            WorkItem::OnEdge { src, dst, oracle } => {
+                acc.queries += 1;
+                let mut sub = 0usize;
+                let mut item_latency = 0u64;
+                let result = on_edge_query(src, dst, |q| {
+                    sub += 1;
+                    let seed = session_seed(ctx.spec.seed, method, qi, sub);
+                    let mut ch = open_channel(ctx, cycle, seed);
+                    let out = client.query(&mut ch, q);
+                    if let Ok(out) = &out {
+                        item_latency += out.stats.latency_packets;
+                    }
+                    out
+                });
+                acc.air_queries += sub;
+                match result {
+                    Ok(out) => {
+                        if out.distance != *oracle {
+                            acc.mismatches += 1;
+                        }
+                        acc.max_onedge = acc.max_onedge.max(item_latency);
+                        acc.total.add(&out.stats);
+                    }
+                    Err(_) => acc.mismatches += 1,
+                }
+            }
+            WorkItem::Knn { .. } => {} // the KnnAir cell's portion
+        }
+    }
+    acc.into_report(ctx, method)
+}
+
+fn run_knn_cell(ctx: &ScenarioContext) -> CellReport {
+    let method = MethodKind::KnnAir;
+    let cycle = ctx.cycle(method);
+    let mut client = KnnClient::new(ctx.part.num_regions());
+    let mut acc = CellAcc::new();
+    for (qi, item) in ctx.workload.iter().enumerate() {
+        let WorkItem::Knn {
+            source,
+            source_pt,
+            k,
+            oracle,
+        } = item
+        else {
+            continue;
+        };
+        let seed = session_seed(ctx.spec.seed, method, qi, 0);
+        let mut ch = open_channel(ctx, cycle, seed);
+        acc.queries += 1;
+        acc.air_queries += 1;
+        match client.query(&mut ch, *source, *source_pt, *k) {
+            Ok(out) => {
+                let got: Vec<Distance> = out.neighbors.iter().map(|nb| nb.distance).collect();
+                // Ties may swap POI identities; distances must agree
+                // exactly (ascending on both sides).
+                if got != *oracle {
+                    acc.mismatches += 1;
+                }
+                acc.max_knn = acc.max_knn.max(out.stats.latency_packets);
+                acc.total.add(&out.stats);
+            }
+            Err(_) => acc.mismatches += 1,
+        }
+    }
+    acc.into_report(ctx, method)
+}
+
+/// Answers one query through the §6.1 pipeline: contract NR's needed
+/// regions into super-edges, search `G'`, expand. Channel costs are not
+/// simulated (the data is NR's own region set); the stats carry the
+/// contraction memory/CPU, which is the quantity §6.1 is about.
+fn mem_bound_answer(ctx: &ScenarioContext, q: &Query) -> Result<QueryOutcome, QueryError> {
+    let rs = ctx.part.region_of(q.source);
+    let rt = ctx.part.region_of(q.target);
+    let mut proc = MemoryBoundProcessor::with_paths().with_queue_policy(ctx.spec.queue);
+    for r in ctx.pre.needed_regions(rs, rt).iter() {
+        let nodes = &ctx.part.nodes_by_region()[r as usize];
+        let terminals: Vec<NodeId> = [q.source, q.target]
+            .iter()
+            .copied()
+            .filter(|v| nodes.contains(v))
+            .collect();
+        proc.add_region(&ctx.store, nodes, &terminals);
+    }
+    match proc.shortest_path(q.source, q.target) {
+        Some((distance, path)) => Ok(QueryOutcome {
+            distance,
+            path,
+            stats: QueryStats {
+                peak_memory_bytes: proc.mem.peak(),
+                cpu: proc.cpu.total(),
+                ..QueryStats::default()
+            },
+        }),
+        None => Err(QueryError::Unreachable),
+    }
+}
+
+fn run_mem_bound_cell(ctx: &ScenarioContext) -> CellReport {
+    let method = MethodKind::NrMemBound;
+    let mut acc = CellAcc::new();
+    for item in ctx.workload.iter() {
+        match item {
+            WorkItem::P2p { query, oracle } => {
+                acc.queries += 1;
+                acc.air_queries += 1;
+                match mem_bound_answer(ctx, query) {
+                    Ok(out) => {
+                        let ok = out.distance == *oracle
+                            && path_is_valid(
+                                &ctx.g,
+                                query.source,
+                                query.target,
+                                out.distance,
+                                &out.path,
+                            );
+                        if !ok {
+                            acc.mismatches += 1;
+                        }
+                        acc.total.add(&out.stats);
+                    }
+                    Err(_) => acc.mismatches += 1,
+                }
+            }
+            WorkItem::OnEdge { src, dst, oracle } => {
+                acc.queries += 1;
+                let mut subs = 0usize;
+                let result = on_edge_query(src, dst, |q| {
+                    subs += 1;
+                    mem_bound_answer(ctx, q)
+                });
+                acc.air_queries += subs;
+                match result {
+                    Ok(out) => {
+                        if out.distance != *oracle {
+                            acc.mismatches += 1;
+                        }
+                        acc.total.add(&out.stats);
+                    }
+                    Err(_) => acc.mismatches += 1,
+                }
+            }
+            WorkItem::Knn { .. } => {}
+        }
+    }
+    acc.into_report(ctx, method)
+}
+
+/// Builds every scenario context, then fans the independent
+/// (scenario × method) cells across `threads` workers. The chunk-ordered
+/// merge of [`parallel::map_reduce_chunked`] keeps the cell order — and
+/// therefore the report bytes and digest — identical for every thread
+/// count.
+pub fn run_matrix(
+    specs: &[ScenarioSpec],
+    methods: &[MethodKind],
+    threads: usize,
+) -> ConformanceMatrix {
+    let contexts: Vec<ScenarioContext> = specs
+        .iter()
+        .map(|s| ScenarioContext::build(s, methods))
+        .collect();
+    let mut cells: Vec<(usize, MethodKind)> = Vec::new();
+    for (si, ctx) in contexts.iter().enumerate() {
+        for &m in methods {
+            let has_work = if m.runs_paths() {
+                ctx.spec.workload.point_to_point + ctx.spec.workload.on_edge > 0
+            } else {
+                ctx.spec.workload.knn > 0
+            };
+            if has_work {
+                cells.push((si, m));
+            }
+        }
+    }
+    let reports = parallel::map_reduce_chunked(
+        &cells,
+        threads,
+        2,
+        || (),
+        Vec::new,
+        |_, partial: &mut Vec<CellReport>, chunk, _| {
+            for &(si, m) in chunk {
+                partial.push(run_cell(&contexts[si], m));
+            }
+        },
+        |a, b| a.extend(b),
+    )
+    .unwrap_or_default();
+    ConformanceMatrix { cells: reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LossSpec, WorkloadMix};
+
+    #[test]
+    fn session_seeds_are_distinct_per_coordinate() {
+        let a = session_seed(1, MethodKind::Nr, 0, 0);
+        let b = session_seed(1, MethodKind::Eb, 0, 0);
+        let c = session_seed(1, MethodKind::Nr, 1, 0);
+        let d = session_seed(1, MethodKind::Nr, 0, 1);
+        let e = session_seed(2, MethodKind::Nr, 0, 0);
+        let all = [a, b, c, d, e];
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_reproducible_and_oracle_backed() {
+        let spec = ScenarioSpec::small("w", 7);
+        let g = spec.graph.build(spec.seed);
+        let (a, pa) = generate_workload(&spec, &g);
+        let (b, pb) = generate_workload(&spec, &g);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(pa, pb);
+        assert_eq!(
+            a.len(),
+            spec.workload.point_to_point + spec.workload.on_edge + spec.workload.knn
+        );
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (
+                    WorkItem::P2p {
+                        query: qx,
+                        oracle: ox,
+                    },
+                    WorkItem::P2p {
+                        query: qy,
+                        oracle: oy,
+                    },
+                ) => {
+                    assert_eq!(qx, qy);
+                    assert_eq!(ox, oy);
+                    assert_eq!(dijkstra_distance(&g, qx.source, qx.target), Some(*ox));
+                }
+                (WorkItem::OnEdge { oracle: ox, .. }, WorkItem::OnEdge { oracle: oy, .. }) => {
+                    assert_eq!(ox, oy)
+                }
+                (WorkItem::Knn { oracle: ox, k, .. }, WorkItem::Knn { oracle: oy, .. }) => {
+                    assert_eq!(ox, oy);
+                    assert!(ox.len() <= *k);
+                    assert!(ox.windows(2).all(|w| w[0] <= w[1]));
+                }
+                _ => panic!("workload kind order diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_runs_exact_on_lossless_nr() {
+        let spec = ScenarioSpec::small("cell", 11);
+        let ctx = ScenarioContext::build(&spec, &[MethodKind::Nr]);
+        let report = run_cell(&ctx, MethodKind::Nr);
+        assert!(report.exact(), "mismatches: {}", report.mismatches);
+        assert_eq!(
+            report.queries,
+            spec.workload.point_to_point + spec.workload.on_edge
+        );
+        assert!(report.tuning_packets > 0);
+        assert!(report.radio_energy_joules > 0.0);
+    }
+
+    #[test]
+    fn mem_bound_cell_is_exact_and_channel_free() {
+        let mut spec = ScenarioSpec::small("mb", 5);
+        spec.loss = LossSpec::Bernoulli { rate: 0.05 };
+        let ctx = ScenarioContext::build(&spec, &[MethodKind::Nr, MethodKind::NrMemBound]);
+        let report = run_cell(&ctx, MethodKind::NrMemBound);
+        assert!(report.exact(), "mismatches: {}", report.mismatches);
+        assert_eq!(report.tuning_packets, 0, "no channel is simulated");
+        assert!(report.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn mem_bound_runs_without_nr_in_the_method_list() {
+        // NrMemBound reports against NR's cycle, which must be built even
+        // when `nr` itself is not requested.
+        let spec = ScenarioSpec::small("mb-alone", 9);
+        let m = run_matrix(&[spec], &[MethodKind::NrMemBound], 1);
+        assert_eq!(m.cells.len(), 1);
+        assert!(m.all_exact());
+        assert!(m.cells[0].cycle_packets > 0);
+    }
+
+    #[test]
+    fn matrix_skips_cells_without_work() {
+        let mut spec = ScenarioSpec::small("skip", 3);
+        spec.workload = WorkloadMix::p2p(2);
+        let m = run_matrix(&[spec], &[MethodKind::Dj, MethodKind::KnnAir], 1);
+        assert_eq!(m.cells.len(), 1, "knn cell has no work and is skipped");
+        assert_eq!(m.cells[0].method, "dj");
+        assert!(m.all_exact());
+    }
+}

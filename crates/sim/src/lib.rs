@@ -1,0 +1,41 @@
+//! Deterministic scenario simulation harness and cross-method conformance
+//! matrix.
+//!
+//! The paper's central claim is that the air-index methods compute *exact*
+//! shortest paths while trading tuning time, latency and energy. This
+//! crate turns that claim into an executable artifact: a seeded
+//! [`ScenarioSpec`] describes one simulated world — graph, partitioner
+//! (kd-median or uniform-grid splits), loss model (lossless / Bernoulli /
+//! Gilbert–Elliott bursty), tune-in distribution, channel rate, device
+//! heap budget, queue policy and a query workload mixing point-to-point,
+//! on-edge and kNN queries — and the engine drives **every client method**
+//! (`nr`, `eb`, `dj`, `ld`, `af`, `spq_air`, `hiti_air`, the §6.1
+//! memory-bound variant and the §8 kNN client) through it, differentially
+//! verifying each answer against a serial Dijkstra oracle.
+//!
+//! Results aggregate into a [`ConformanceMatrix`] of (scenario × method)
+//! cells carrying the §3.1 cost factors plus a radio energy figure. The
+//! independent cells fan out across threads via the deterministic
+//! chunk-ordered map-reduce of `spair_roadnet::parallel`, so a matrix is
+//! **bit-identical for every thread count** — certified by
+//! [`ConformanceMatrix::digest`].
+//!
+//! ```text
+//! cargo run --release -p spair-sim --bin bench_scenarios
+//! ```
+//! runs the default matrix and emits `BENCH_scenarios.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod matrix;
+pub mod report;
+pub mod spec;
+
+pub use engine::{run_cell, run_matrix, ScenarioContext, WorkItem};
+pub use matrix::{default_matrix, smoke_matrix};
+pub use report::{CellReport, ConformanceMatrix};
+pub use spec::{
+    GraphSpec, LossSpec, MethodKind, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix,
+};

@@ -1,0 +1,172 @@
+//! Canned scenario matrices: the default trajectory matrix behind
+//! `BENCH_scenarios.json` and the small CI smoke gate.
+
+use crate::spec::{GraphSpec, LossSpec, PartitionerKind, ScenarioSpec, WorkloadMix};
+use spair_roadnet::{NetworkPreset, QueuePolicy};
+
+/// The default conformance matrix: eight scenarios covering all three
+/// loss models, both partitioners, three query kinds and all three queue
+/// policies, over grid-topology networks plus a scaled Milan preset
+/// (realistic weight distribution, which exercises the depth-aware
+/// `QueuePolicy::Auto` split).
+pub fn default_matrix() -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+
+    let mut s = ScenarioSpec::small("grid12-kd-lossless", 101);
+    specs.push(s);
+
+    s = ScenarioSpec::small("grid12-grid-lossless", 102);
+    s.partitioner = PartitionerKind::UniformGrid;
+    specs.push(s);
+
+    s = ScenarioSpec::small("grid14-kd-bernoulli1", 103);
+    s.graph = GraphSpec::Grid {
+        width: 14,
+        height: 14,
+    };
+    s.loss = LossSpec::Bernoulli { rate: 0.01 };
+    specs.push(s);
+
+    s = ScenarioSpec::small("grid14-grid-bernoulli5", 104);
+    s.graph = GraphSpec::Grid {
+        width: 14,
+        height: 14,
+    };
+    s.partitioner = PartitionerKind::UniformGrid;
+    s.loss = LossSpec::Bernoulli { rate: 0.05 };
+    specs.push(s);
+
+    s = ScenarioSpec::small("grid16-kd-bursty5", 105);
+    s.graph = GraphSpec::Grid {
+        width: 16,
+        height: 16,
+    };
+    s.loss = LossSpec::Bursty {
+        rate: 0.05,
+        burst: 8.0,
+    };
+    specs.push(s);
+
+    s = ScenarioSpec::small("milan04-kd-lossless", 106);
+    s.graph = GraphSpec::Preset {
+        preset: NetworkPreset::Milan,
+        scale: 0.04,
+    };
+    s.workload = WorkloadMix {
+        point_to_point: 6,
+        on_edge: 2,
+        knn: 2,
+        k: 3,
+    };
+    specs.push(s);
+
+    s = ScenarioSpec::small("grid10-kd-bursty10-heap", 107);
+    s.graph = GraphSpec::Grid {
+        width: 10,
+        height: 10,
+    };
+    s.loss = LossSpec::Bursty {
+        rate: 0.10,
+        burst: 4.0,
+    };
+    s.queue = QueuePolicy::Heap;
+    specs.push(s);
+
+    s = ScenarioSpec::small("grid10-grid-bernoulli10-bucket", 108);
+    s.graph = GraphSpec::Grid {
+        width: 10,
+        height: 10,
+    };
+    s.partitioner = PartitionerKind::UniformGrid;
+    s.loss = LossSpec::Bernoulli { rate: 0.10 };
+    s.queue = QueuePolicy::Bucket;
+    specs.push(s);
+
+    specs
+}
+
+/// The CI smoke gate: three fast scenarios, one per loss model, both
+/// partitioners represented.
+pub fn smoke_matrix() -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+
+    let mut s = ScenarioSpec::small("smoke-kd-lossless", 201);
+    s.graph = GraphSpec::Grid {
+        width: 10,
+        height: 10,
+    };
+    s.workload = WorkloadMix {
+        point_to_point: 4,
+        on_edge: 2,
+        knn: 2,
+        k: 2,
+    };
+    specs.push(s.clone());
+
+    s.name = "smoke-grid-bernoulli5".into();
+    s.seed = 202;
+    s.partitioner = PartitionerKind::UniformGrid;
+    s.loss = LossSpec::Bernoulli { rate: 0.05 };
+    specs.push(s.clone());
+
+    s.name = "smoke-kd-bursty5".into();
+    s.seed = 203;
+    s.partitioner = PartitionerKind::KdMedian;
+    s.loss = LossSpec::Bursty {
+        rate: 0.05,
+        burst: 6.0,
+    };
+    specs.push(s);
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matrix_covers_the_acceptance_axes() {
+        let specs = default_matrix();
+        assert!(specs.len() >= 6);
+        assert!(specs.iter().any(|s| matches!(s.loss, LossSpec::Lossless)));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.loss, LossSpec::Bernoulli { .. })));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.loss, LossSpec::Bursty { .. })));
+        assert!(specs
+            .iter()
+            .any(|s| s.partitioner == PartitionerKind::KdMedian));
+        assert!(specs
+            .iter()
+            .any(|s| s.partitioner == PartitionerKind::UniformGrid));
+        // >= 2 query kinds in every scenario.
+        for s in &specs {
+            assert!(
+                s.workload.point_to_point > 0 && s.workload.on_edge > 0,
+                "{}",
+                s.name
+            );
+        }
+        // Unique names and seeds.
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn smoke_matrix_covers_all_loss_models() {
+        let specs = smoke_matrix();
+        assert!(specs.len() >= 3);
+        assert!(specs.iter().any(|s| !s.loss.is_lossy()));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.loss, LossSpec::Bernoulli { .. })));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.loss, LossSpec::Bursty { .. })));
+    }
+}

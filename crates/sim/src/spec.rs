@@ -1,0 +1,320 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] names everything one simulated world varies: the
+//! graph, the partitioner, the channel noise, how clients tune in, the
+//! channel rate and device heap, the query workload mix, and the queue
+//! policy driving every client-side Dijkstra. Specs are plain data — the
+//! engine ([`crate::engine`]) turns a spec plus its seed into a fully
+//! deterministic run, so two runs of the same spec are byte-identical
+//! regardless of thread count.
+
+use spair_broadcast::{ChannelRate, DeviceProfile, LossModel};
+use spair_roadnet::generators::small_grid;
+use spair_roadnet::{NetworkPreset, QueuePolicy, RoadNetwork};
+
+/// Which road network a scenario simulates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphSpec {
+    /// A `width × height` grid-topology network (fast; used by the
+    /// conformance tests).
+    Grid {
+        /// Grid columns.
+        width: usize,
+        /// Grid rows.
+        height: usize,
+    },
+    /// One of the paper's five evaluation networks, scaled by `scale`
+    /// (realistic degree/weight distributions).
+    Preset {
+        /// The evaluation network.
+        preset: NetworkPreset,
+        /// Scale factor in `(0, 1]`.
+        scale: f64,
+    },
+}
+
+impl GraphSpec {
+    /// Generates the network for `seed`.
+    pub fn build(&self, seed: u64) -> RoadNetwork {
+        match *self {
+            GraphSpec::Grid { width, height } => small_grid(width, height, seed),
+            GraphSpec::Preset { preset, scale } => preset.scaled_config(seed, scale).generate(),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            GraphSpec::Grid { width, height } => format!("grid{width}x{height}"),
+            GraphSpec::Preset { preset, scale } => {
+                format!("{}@{scale:.2}", preset.name().replace(' ', ""))
+            }
+        }
+    }
+}
+
+/// How the network is split into regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionerKind {
+    /// Kd-tree median splits (the paper's partitioner; balances node
+    /// counts per region).
+    KdMedian,
+    /// Uniform midpoint splits — a regular spatial grid expressed through
+    /// the same broadcastable splitting values (§4.1's "regular grid"
+    /// alternative).
+    UniformGrid,
+}
+
+impl PartitionerKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionerKind::KdMedian => "kd",
+            PartitionerKind::UniformGrid => "grid",
+        }
+    }
+}
+
+/// Channel noise, as reproducible spec data (the concrete [`LossModel`]
+/// is instantiated per query from a derived seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossSpec {
+    /// Every packet arrives.
+    Lossless,
+    /// I.i.d. loss at `rate`.
+    Bernoulli {
+        /// Loss probability in `[0, 1)`.
+        rate: f64,
+    },
+    /// Gilbert–Elliott bursty loss at stationary `rate` with mean burst
+    /// length `burst` packets.
+    Bursty {
+        /// Stationary loss probability in `[0, 1)`.
+        rate: f64,
+        /// Mean burst length in packets (`>= 1`).
+        burst: f64,
+    },
+}
+
+impl LossSpec {
+    /// Instantiates the loss model for one channel session.
+    pub fn model(&self, seed: u64) -> LossModel {
+        match *self {
+            LossSpec::Lossless => LossModel::Lossless,
+            LossSpec::Bernoulli { rate } => LossModel::bernoulli(rate, seed),
+            LossSpec::Bursty { rate, burst } => LossModel::bursty(rate, burst, seed),
+        }
+    }
+
+    /// Whether packets can be lost at all.
+    pub fn is_lossy(&self) -> bool {
+        !matches!(self, LossSpec::Lossless)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            LossSpec::Lossless => "lossless".to_string(),
+            LossSpec::Bernoulli { rate } => format!("bernoulli{:.1}%", rate * 100.0),
+            LossSpec::Bursty { rate, burst } => {
+                format!("bursty{:.1}%x{burst:.0}", rate * 100.0)
+            }
+        }
+    }
+}
+
+/// Where in the cycle clients tune in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneInSpec {
+    /// Always at cycle offset 0 (worst-case-free baseline).
+    Start,
+    /// Uniformly random offset per query (the paper's §7 protocol).
+    Uniform,
+}
+
+/// How many queries of each kind a scenario poses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadMix {
+    /// Node-to-node shortest-path queries.
+    pub point_to_point: usize,
+    /// Arbitrary on-edge position queries (§5 closing remark), answered
+    /// by endpoint decomposition over the same air methods.
+    pub on_edge: usize,
+    /// kNN queries over the scenario's POI set (§8 extension).
+    pub knn: usize,
+    /// `k` for the kNN queries.
+    pub k: usize,
+}
+
+impl WorkloadMix {
+    /// A point-to-point-only mix.
+    pub fn p2p(n: usize) -> Self {
+        Self {
+            point_to_point: n,
+            on_edge: 0,
+            knn: 0,
+            k: 0,
+        }
+    }
+}
+
+/// One simulated world: everything a conformance run varies.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Unique scenario name (the matrix row key).
+    pub name: String,
+    /// Road network.
+    pub graph: GraphSpec,
+    /// Partitioner for EB/NR/kNN (and ArcFlag, which reuses it).
+    pub partitioner: PartitionerKind,
+    /// Region count (power of two, >= 2).
+    pub regions: usize,
+    /// Channel noise.
+    pub loss: LossSpec,
+    /// Tune-in offset distribution.
+    pub tune_in: TuneInSpec,
+    /// Channel bit rate (drives latency seconds and radio energy).
+    pub rate: ChannelRate,
+    /// Device heap budget in bytes (the per-cell `within_memory_budget`
+    /// verdict).
+    pub heap_budget_bytes: usize,
+    /// Query workload mix.
+    pub workload: WorkloadMix,
+    /// Queue policy handed to every client-side search.
+    pub queue: QueuePolicy,
+    /// Master seed: graph generation, workload draws, tune-in offsets and
+    /// loss-model streams all derive from it.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A small, fast scenario with sensible defaults — the starting point
+    /// the tests and the default matrix specialize.
+    pub fn small(name: &str, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            graph: GraphSpec::Grid {
+                width: 12,
+                height: 12,
+            },
+            partitioner: PartitionerKind::KdMedian,
+            regions: 8,
+            loss: LossSpec::Lossless,
+            tune_in: TuneInSpec::Uniform,
+            rate: ChannelRate::MOVING_3G,
+            heap_budget_bytes: DeviceProfile::J2ME_PHONE.heap_bytes,
+            workload: WorkloadMix {
+                point_to_point: 8,
+                on_edge: 3,
+                knn: 3,
+                k: 3,
+            },
+            queue: QueuePolicy::Auto,
+            seed,
+        }
+    }
+}
+
+/// The client methods a conformance matrix can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Next Region (§5).
+    Nr,
+    /// Elliptic Boundary (§4).
+    Eb,
+    /// Dijkstra on air (whole-cycle download).
+    Dj,
+    /// Landmark / ALT.
+    Ld,
+    /// ArcFlag.
+    Af,
+    /// SPQ quadtree baseline on air.
+    SpqAir,
+    /// HiTi hierarchy baseline on air.
+    HiTiAir,
+    /// NR's region set processed through the §6.1 memory-bound
+    /// contraction (distances must be unchanged; channel costs are not
+    /// simulated — the cell measures the contraction's memory/CPU).
+    NrMemBound,
+    /// The §8 on-air kNN client (runs the `knn` portion of the workload;
+    /// the others run `point_to_point` + `on_edge`).
+    KnnAir,
+}
+
+impl MethodKind {
+    /// Every method, in matrix column order.
+    pub const ALL: [MethodKind; 9] = [
+        MethodKind::Nr,
+        MethodKind::Eb,
+        MethodKind::Dj,
+        MethodKind::Ld,
+        MethodKind::Af,
+        MethodKind::SpqAir,
+        MethodKind::HiTiAir,
+        MethodKind::NrMemBound,
+        MethodKind::KnnAir,
+    ];
+
+    /// Matrix column key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Nr => "nr",
+            MethodKind::Eb => "eb",
+            MethodKind::Dj => "dj",
+            MethodKind::Ld => "ld",
+            MethodKind::Af => "af",
+            MethodKind::SpqAir => "spq_air",
+            MethodKind::HiTiAir => "hiti_air",
+            MethodKind::NrMemBound => "nr_mem_bound",
+            MethodKind::KnnAir => "knn_air",
+        }
+    }
+
+    /// Whether this method answers the point-to-point / on-edge portion
+    /// of a workload (everything except the kNN client).
+    pub fn runs_paths(&self) -> bool {
+        !matches!(self, MethodKind::KnnAir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_spec_builds_deterministically() {
+        let spec = GraphSpec::Grid {
+            width: 6,
+            height: 7,
+        };
+        let a = spec.build(3);
+        let b = spec.build(3);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.num_nodes(), 42);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<String> = vec![
+            LossSpec::Lossless.label(),
+            LossSpec::Bernoulli { rate: 0.05 }.label(),
+            LossSpec::Bursty {
+                rate: 0.05,
+                burst: 8.0,
+            }
+            .label(),
+        ];
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn method_names_are_unique() {
+        let mut names: Vec<&str> = MethodKind::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MethodKind::ALL.len());
+    }
+}
