@@ -49,7 +49,11 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 const MAGIC: u8 = 0xA7;
-const HEADER_LEN: usize = 5;
+// magic (u8) + seq (u32) + total (u32). The counters are u32 because a
+// paper-scale hierarchy's index spans far more than 65 535 packets —
+// the u16 header wrapped and made every client abort, found by the load
+// harness's 100k-node population cell.
+const HEADER_LEN: usize = 9;
 
 const TAG_GEOM: u8 = 1;
 const TAG_CELL: u8 = 2;
@@ -97,7 +101,7 @@ impl<'a> HiTiAirServer<'a> {
     fn encode_index(&self, cells: &[(u32, u16)]) -> Vec<Bytes> {
         let side = self.index.base_side();
         let loc = self.index.locator();
-        let body = |total: u16| -> Vec<Bytes> {
+        let body = |total: u32| -> Vec<Bytes> {
             let mut w = RecordWriter::with_capacity(PAYLOAD_CAPACITY - HEADER_LEN);
             let mut rec = RecordBuf::new();
 
@@ -167,14 +171,14 @@ impl<'a> HiTiAirServer<'a> {
                 .enumerate()
                 .map(|(seq, body)| {
                     let mut h = RecordBuf::new();
-                    h.put_u8(MAGIC).put_u16(seq as u16).put_u16(total);
+                    h.put_u8(MAGIC).put_u32(seq as u32).put_u32(total);
                     let mut v = h.as_slice().to_vec();
                     v.extend_from_slice(&body);
                     Bytes::from(v)
                 })
                 .collect()
         };
-        let count = body(0).len() as u16;
+        let count = body(0).len() as u32;
         body(count)
     }
 
@@ -258,7 +262,7 @@ impl DecodedIndex {
         let Some(MAGIC) = r.read_u8() else {
             return false;
         };
-        let (Some(_seq), Some(_total)) = (r.read_u16(), r.read_u16()) else {
+        let (Some(_seq), Some(_total)) = (r.read_u32(), r.read_u32()) else {
             return false;
         };
         while let Some(tag) = r.read_u8() {
@@ -437,7 +441,7 @@ impl HiTiAirClient {
                         if r.read_u8() != Some(MAGIC) {
                             return Err(QueryError::Aborted("channel does not carry a HiTi index"));
                         }
-                        let (Some(seq), Some(tot)) = (r.read_u16(), r.read_u16()) else {
+                        let (Some(seq), Some(tot)) = (r.read_u32(), r.read_u32()) else {
                             return Err(QueryError::Aborted("malformed HiTi index header"));
                         };
                         let tot = tot as usize;

@@ -34,10 +34,14 @@ fn parse_opts() -> Opts {
     let mut opts = Opts {
         side: 71,
         regions: 32,
-        threads: parallel::num_threads(),
+        threads: 0,
         repeat: 3,
         out: "BENCH_precompute.json".to_string(),
     };
+    // Worker-count precedence (shared by every bench binary): an explicit
+    // `--threads` flag wins over `SPAIR_THREADS`, which wins over the
+    // detected parallelism.
+    let mut threads_flag: Option<usize> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -56,7 +60,14 @@ fn parse_opts() -> Opts {
         match flag.as_str() {
             "--side" => opts.side = parse(flag, value()),
             "--regions" => opts.regions = parse(flag, value()),
-            "--threads" => opts.threads = parse(flag, value()),
+            "--threads" => {
+                let n = parse(flag, value());
+                if n == 0 {
+                    eprintln!("error: --threads must be >= 1");
+                    std::process::exit(2);
+                }
+                threads_flag = Some(n);
+            }
             "--repeat" => opts.repeat = parse(flag, value()),
             "--out" => opts.out = value(),
             other => {
@@ -72,6 +83,7 @@ fn parse_opts() -> Opts {
         eprintln!("error: --side, --regions and --repeat must be >= 1");
         std::process::exit(2);
     }
+    opts.threads = parallel::resolve_threads(threads_flag);
     opts
 }
 

@@ -6,7 +6,8 @@ use crate::eb::index::EbIndexDecoder;
 use crate::eb::server::EbSummary;
 use crate::netcodec::{decode_payload, ReceivedGraph};
 use crate::query::{AirClient, Query, QueryError, QueryOutcome};
-use spair_broadcast::{BroadcastChannel, CpuMeter, MemoryMeter, QueryStats};
+use spair_broadcast::packet::PacketKind;
+use spair_broadcast::{BroadcastChannel, CpuMeter, MemoryMeter, QueryStats, Received};
 use spair_partition::{KdLocator, RegionId};
 use spair_roadnet::{QueuePolicy, DIST_INF};
 
@@ -45,7 +46,13 @@ impl EbClient {
     ) -> Option<usize> {
         ch.sleep_to_offset(index_offset);
         // Length is learned from the first successfully received packet's
-        // header; until then, receive packet by packet.
+        // header; until then, receive packet by packet. Only packets the
+        // channel marks as index packets are ingested: when every header
+        // packet of the copy is lost (a burst can wipe the whole copy),
+        // reception overruns into region data, and a data payload whose
+        // first byte aliases the index magic would otherwise poison the
+        // decoder's region count — found by the load harness's bursty
+        // populations as sporadic wrong-region locates.
         let mut received = 0usize;
         let mut total: Option<usize> = dec.total_packets.map(|t| t as usize);
         loop {
@@ -54,13 +61,23 @@ impl EbClient {
                     return Some(t);
                 }
             }
-            if let Some(p) = ch.receive().ok() {
-                dec.ingest(p.payload());
-                total = dec.total_packets.map(|t| t as usize);
-            } else if total.is_none() && received > 8 {
-                // Pathological: many leading losses and length unknown.
-                // Give up on this copy; the caller retries at the next.
-                return None;
+            match ch.receive() {
+                Received::Packet(p) if p.kind() == PacketKind::Index => {
+                    dec.ingest(p.payload());
+                    total = dec.total_packets.map(|t| t as usize);
+                }
+                Received::Packet(_) => {
+                    // Ran past the copy's end without ever learning its
+                    // length: give up; the caller retries at the next copy.
+                    return None;
+                }
+                Received::Lost => {
+                    if total.is_none() && received > 8 {
+                        // Pathological: many leading losses and length
+                        // unknown. Give up on this copy as well.
+                        return None;
+                    }
+                }
             }
             received += 1;
         }

@@ -290,8 +290,14 @@ impl EbIndexDecoder {
         true
     }
 
-    /// All splitting values, if complete.
+    /// All splitting values, if complete. `None` until the region count
+    /// is known: before any packet decodes, the split store is an empty
+    /// vector, and treating that as "complete" would locate every
+    /// coordinate in region 0 — a wrong-pruning bug the load harness's
+    /// bursty populations exposed (a burst can wipe an entire index
+    /// copy, leaving the first reception attempt with nothing ingested).
     pub fn splits(&self) -> Option<Vec<f64>> {
+        self.num_regions?;
         self.splits.iter().copied().collect()
     }
 
@@ -319,6 +325,16 @@ impl EbIndexDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fresh_decoder_reports_nothing_complete() {
+        // Regression: before any packet decodes, the empty split store
+        // must not read as "all splits received" (it located every
+        // coordinate in region 0 under burst loss).
+        let dec = EbIndexDecoder::new();
+        assert_eq!(dec.splits(), None);
+        assert_eq!(dec.num_regions(), None);
+    }
 
     fn sample_index(n: usize) -> EbIndex {
         let mut minmax = Vec::with_capacity(n * n);

@@ -1,0 +1,218 @@
+//! Population-scale load runner and `BENCH_load.json` emitter — the
+//! million-tune-in trajectory point.
+//!
+//! ```text
+//! cargo run --release -p spair-load --bin bench_load -- \
+//!     [--smoke] [--threads N] [--population N] [--scale F] [--out BENCH_load.json]
+//! ```
+//!
+//! Serves the default load matrix (or the small `--smoke` gate): for
+//! every (scenario × method) cell, N clients tune in at seeded random
+//! offsets against one shared air cycle, and streaming histograms
+//! aggregate per-client access latency, tuning time and radio energy
+//! into p50/p95/p99/max. `--scale` resizes the paper-scale germany-class
+//! network (1.0 → 100k nodes); `--population` overrides the per-cell
+//! client count (lossless cells exactly, lossy cells capped). Worker
+//! precedence: `--threads` beats `SPAIR_THREADS` beats detection.
+//!
+//! The serving phase re-runs single-threaded to certify the parallel
+//! fan-out is bit-identical. **Exits non-zero on any oracle mismatch,
+//! session failure or determinism break**, so CI can use it as a gate.
+
+use spair_load::spec::override_population;
+use spair_load::{default_load_matrix, prepare, run, smoke_load_matrix};
+use spair_roadnet::parallel;
+use std::time::Instant;
+
+struct Opts {
+    smoke: bool,
+    threads: usize,
+    scale: f64,
+    population: Option<usize>,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        threads: 0,
+        scale: 1.0,
+        population: None,
+        out: "BENCH_load.json".to_string(),
+    };
+    // Worker-count precedence (shared by every bench binary): an explicit
+    // `--threads` flag wins over `SPAIR_THREADS`, which wins over the
+    // detected parallelism.
+    let mut threads_flag: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--threads" => {
+                let n: usize = value().parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threads expects a positive integer");
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("error: --threads must be >= 1");
+                    std::process::exit(2);
+                }
+                threads_flag = Some(n);
+            }
+            "--scale" => {
+                opts.scale = value().parse().unwrap_or_else(|_| {
+                    eprintln!("error: --scale expects a positive number");
+                    std::process::exit(2);
+                });
+                if !opts.scale.is_finite() || opts.scale <= 0.0 {
+                    eprintln!("error: --scale must be > 0");
+                    std::process::exit(2);
+                }
+            }
+            "--population" => {
+                let n: usize = value().parse().unwrap_or_else(|_| {
+                    eprintln!("error: --population expects a positive integer");
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("error: --population must be >= 1");
+                    std::process::exit(2);
+                }
+                opts.population = Some(n);
+            }
+            "--out" => opts.out = value(),
+            other => {
+                eprintln!(
+                    "error: unknown flag {other}\n\
+                     usage: bench_load [--smoke] [--threads N] [--population N] \
+                     [--scale F] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opts.threads = parallel::resolve_threads(threads_flag);
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut specs = if opts.smoke {
+        smoke_load_matrix()
+    } else {
+        default_load_matrix(opts.scale)
+    };
+    if let Some(n) = opts.population {
+        override_population(&mut specs, n);
+    }
+    let cells: usize = specs.iter().map(|s| s.methods.len()).sum();
+    eprintln!(
+        "# bench_load — {} scenarios, {} cells, {} threads{}",
+        specs.len(),
+        cells,
+        opts.threads,
+        if opts.smoke { " (smoke)" } else { "" }
+    );
+
+    let start = Instant::now();
+    let prep = prepare(&specs, opts.threads);
+    let prepare_secs = start.elapsed().as_secs_f64();
+    eprintln!(
+        "prepared {} cells ({} profile sessions) in {prepare_secs:.2}s",
+        prep.cells().len(),
+        prep.profile_sessions()
+    );
+    for (i, cell) in prep.cells().iter().enumerate() {
+        if cell.profile_sessions() > 0 {
+            eprintln!(
+                "  {:<38} {:>5} profile sessions in {:.2}s",
+                prep.cell_label(i),
+                cell.profile_sessions(),
+                cell.profile_secs()
+            );
+        }
+    }
+
+    let start = Instant::now();
+    let report = run(&prep, opts.threads);
+    let serve_secs = start.elapsed().as_secs_f64();
+    eprint!("{}", report.render_table());
+
+    // Determinism certificate: a single-threaded serve over the same
+    // prepared state must be byte-identical. With --threads 1 the first
+    // serve already is the serial reference — skip the tautology.
+    let digest = report.digest();
+    let (serial_secs, bit_identical) = if opts.threads == 1 {
+        (serve_secs, true)
+    } else {
+        let start = Instant::now();
+        let serial = run(&prep, 1);
+        (
+            start.elapsed().as_secs_f64(),
+            serial.to_json(false) == report.to_json(false),
+        )
+    };
+
+    let conformant = report.all_exact();
+    eprintln!(
+        "population: {}  mismatches: {}  digest: {digest:016x}  bit_identical: {bit_identical}",
+        report.total_population(),
+        report.total_mismatches(),
+    );
+
+    let json = format!(
+        "{{\n  \
+         \"benchmark\": \"broadcast_load_population\",\n  \
+         \"smoke\": {},\n  \
+         \"scale\": {:.3},\n  \
+         \"scenarios\": {},\n  \
+         \"cells\": {},\n  \
+         \"population_total\": {},\n  \
+         \"profile_sessions\": {},\n  \
+         \"mismatches\": {},\n  \
+         \"all_exact\": {},\n  \
+         \"digest\": \"{digest:016x}\",\n  \
+         \"bit_identical_across_threads\": {bit_identical},\n  \
+         \"host\": {{ \"available_parallelism\": {}, \"worker_threads\": {} }},\n  \
+         \"prepare_secs\": {prepare_secs:.6},\n  \
+         \"serve_secs\": {serve_secs:.6},\n  \
+         \"serial_serve_secs\": {serial_secs:.6},\n  \
+         \"cells_detail\": {}\n\
+         }}\n",
+        opts.smoke,
+        opts.scale,
+        specs.len(),
+        report.cells.len(),
+        report.total_population(),
+        prep.profile_sessions(),
+        report.total_mismatches(),
+        conformant,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        opts.threads,
+        report.to_json(true),
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {}", opts.out);
+
+    if !conformant {
+        eprintln!(
+            "LOAD CONFORMANCE FAILURE: {} mismatched/failed sessions",
+            report.total_mismatches()
+        );
+        std::process::exit(1);
+    }
+    if !bit_identical {
+        eprintln!("DETERMINISM FAILURE: parallel serve diverged from serial");
+        std::process::exit(1);
+    }
+}

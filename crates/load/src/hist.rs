@@ -1,0 +1,253 @@
+//! Streaming, mergeable fixed-bucket histograms.
+//!
+//! A [`StreamingHistogram`] accumulates one cost dimension (latency
+//! packets, tuning packets, energy micro-joules) over an arbitrarily
+//! large client population in O(buckets) memory: values land in
+//! fixed-width buckets, exact `count`/`sum`/`min`/`max` ride along, and
+//! two histograms over the same layout merge by element-wise addition —
+//! the merge is associative and commutative, so the chunk-ordered
+//! map-reduce fan-out produces bit-identical aggregates for every thread
+//! count.
+//!
+//! Percentile queries return the inclusive upper edge of the bucket
+//! holding the requested rank (clamped to the observed `min`/`max`), so a
+//! streaming percentile is always within one bucket width of the exact
+//! order statistic as long as the value fell below the configured bound;
+//! values at or above the bound land in a dedicated overflow bucket whose
+//! percentile answer is the exact maximum.
+
+/// A fixed-bucket streaming histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingHistogram {
+    width: u64,
+    /// `buckets` regular buckets plus one trailing overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl StreamingHistogram {
+    /// A histogram expecting values in `[0, upper_bound)`, split into
+    /// `buckets` equal-width buckets (width at least 1). Values at or
+    /// above the bound still record exactly into `count`/`sum`/`max` but
+    /// fall into the overflow bucket, widening that tail percentile's
+    /// error to the distance between the bound and the maximum.
+    pub fn with_bound(upper_bound: u64, buckets: usize) -> Self {
+        assert!(buckets >= 1, "need at least one bucket");
+        let width = upper_bound.max(1).div_ceil(buckets as u64).max(1);
+        Self {
+            width,
+            counts: vec![0; buckets + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let b = ((v / self.width) as usize).min(self.counts.len() - 1);
+        self.counts[b] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self`. Panics if the layouts (bucket width or
+    /// count) differ — merging is only defined over identical layouts.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width, "bucket width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "layout mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) under the nearest-rank
+    /// definition: the estimate for the `ceil(q * count)`-th smallest
+    /// value. Returns the inclusive upper edge of the rank's bucket,
+    /// clamped to the observed `[min, max]`; 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if b + 1 == self.counts.len() {
+                    return self.max; // overflow bucket: exact max
+                }
+                let edge = (b as u64 + 1) * self.width - 1;
+                return edge.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean as a float (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket width (the percentile error bound for non-overflowed
+    /// values).
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Values that fell at or beyond the configured bound.
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().expect("at least one bucket")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn records_and_reports_exact_extremes() {
+        let mut h = StreamingHistogram::with_bound(1000, 10);
+        for v in [3u64, 997, 42, 42, 500] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 3 + 997 + 42 + 42 + 500);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 997);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = StreamingHistogram::with_bound(100, 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_within_one_bucket_width() {
+        let values: Vec<u64> = (0..500u64).map(|i| (i * 37) % 4000).collect();
+        let mut h = StreamingHistogram::with_bound(4000, 64);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            let exact = exact_percentile(&sorted, q);
+            let est = h.percentile(q);
+            assert!(
+                est.abs_diff(exact) < h.width(),
+                "q={q}: exact {exact}, streaming {est}, width {}",
+                h.width()
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_reports_exact_max() {
+        let mut h = StreamingHistogram::with_bound(100, 10);
+        h.record(5);
+        h.record(7_000);
+        h.record(9_000);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.percentile(1.0), 9_000);
+        assert_eq!(h.max(), 9_000);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let mk = || StreamingHistogram::with_bound(1 << 20, 128);
+        let values: Vec<u64> = (0..999u64).map(|i| i * i % (1 << 20)).collect();
+        let mut whole = mk();
+        for &v in &values {
+            whole.record(v);
+        }
+        let (lo, hi) = values.split_at(333);
+        let mut a = mk();
+        let mut b = mk();
+        for &v in lo {
+            a.record(v);
+        }
+        for &v in hi {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let mut h = StreamingHistogram::with_bound(10_000, 32);
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[1, 500, 9999]), mk(&[42, 42]), mk(&[7_777, 0]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn merge_rejects_different_layouts() {
+        let mut a = StreamingHistogram::with_bound(100, 10);
+        let b = StreamingHistogram::with_bound(200, 10);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,267 @@
+//! Load-harness reports: streaming percentile summaries per
+//! (scenario × method) cell, digest-certified like the conformance
+//! matrix.
+
+/// Percentiles and exact extremes of one cost dimension over a client
+/// population, read off a streaming histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileSummary {
+    /// Median (nearest-rank, within one bucket width).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Values beyond the histogram bound (tail percentiles degrade to
+    /// the exact max when nonzero).
+    pub overflow: u64,
+    /// Bucket width — the percentile error bound.
+    pub bucket_width: u64,
+}
+
+impl PercentileSummary {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.3}, \
+             \"overflow\": {}, \"bucket_width\": {} }}",
+            self.p50, self.p95, self.p99, self.max, self.mean, self.overflow, self.bucket_width
+        )
+    }
+}
+
+/// Aggregated result of serving one (scenario × method) population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadCellReport {
+    /// Scenario name (matrix row).
+    pub scenario: String,
+    /// Method name (matrix column).
+    pub method: &'static str,
+    /// Clients served.
+    pub population: usize,
+    /// Distinct oracle-backed queries the population drew from.
+    pub query_pool: usize,
+    /// Whether the population replayed from session profiles (lossless)
+    /// or ran full per-client sessions (lossy).
+    pub replayed: bool,
+    /// Real sessions run to build the profile table (0 when not
+    /// replayed).
+    pub profile_sessions: usize,
+    /// Sessions whose distance diverged from the oracle. Green iff 0.
+    pub mismatches: u64,
+    /// Sessions that returned an error (never expected).
+    pub failures: u64,
+    /// Shared broadcast cycle length, in packets.
+    pub cycle_packets: usize,
+    /// Worst client heap across the population.
+    pub peak_memory_bytes: usize,
+    /// Access latency (packets) over the population.
+    pub latency: PercentileSummary,
+    /// Tuning time (packets) over the population.
+    pub tuning: PercentileSummary,
+    /// Radio energy (micro-joules) over the population.
+    pub energy_uj: PercentileSummary,
+    /// Total radio energy across the whole population, in joules.
+    pub radio_energy_joules_total: f64,
+    /// Wall-clock serving time for the cell (excluded from the digest).
+    pub cpu_ms: f64,
+}
+
+impl LoadCellReport {
+    /// Whether every served session matched the oracle and none failed.
+    pub fn exact(&self) -> bool {
+        self.mismatches == 0 && self.failures == 0
+    }
+
+    fn json_fields(&self, include_timings: bool) -> String {
+        let mut s = format!(
+            "\"scenario\": \"{}\", \"method\": \"{}\", \"population\": {}, \
+             \"query_pool\": {}, \"replayed\": {}, \"profile_sessions\": {}, \
+             \"mismatches\": {}, \"failures\": {}, \"exact\": {}, \
+             \"cycle_packets\": {}, \"peak_memory_bytes\": {}, \
+             \"latency_packets\": {}, \"tuning_packets\": {}, \"energy_uj\": {}, \
+             \"radio_energy_joules_total\": {:.6}",
+            self.scenario,
+            self.method,
+            self.population,
+            self.query_pool,
+            self.replayed,
+            self.profile_sessions,
+            self.mismatches,
+            self.failures,
+            self.exact(),
+            self.cycle_packets,
+            self.peak_memory_bytes,
+            self.latency.json(),
+            self.tuning.json(),
+            self.energy_uj.json(),
+            self.radio_energy_joules_total,
+        );
+        if include_timings {
+            s.push_str(&format!(", \"cpu_ms\": {:.3}", self.cpu_ms));
+        }
+        s
+    }
+}
+
+/// The full report of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Every (scenario × method) cell, in scenario-major order.
+    pub cells: Vec<LoadCellReport>,
+}
+
+impl LoadReport {
+    /// Whether every cell is exact — the load conformance gate.
+    pub fn all_exact(&self) -> bool {
+        self.cells.iter().all(LoadCellReport::exact)
+    }
+
+    /// Total oracle mismatches plus failed sessions.
+    pub fn total_mismatches(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| (c.mismatches + c.failures) as usize)
+            .sum()
+    }
+
+    /// Clients served across all cells.
+    pub fn total_population(&self) -> usize {
+        self.cells.iter().map(|c| c.population).sum()
+    }
+
+    /// FNV-1a digest over the deterministic fields. Equal digests across
+    /// thread counts / reruns certify reproducibility.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json(false).bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Serializes the cells. With `include_timings = false` the output
+    /// contains only deterministic fields and is byte-for-byte
+    /// reproducible from the specs' seeds.
+    pub fn to_json(&self, include_timings: bool) -> String {
+        let mut out = String::from("[\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    { ");
+            out.push_str(&c.json_fields(include_timings));
+            out.push_str(" }");
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]");
+        out
+    }
+
+    /// A fixed-width text table (one row per cell) for terminal output.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:<26} {:<9} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}\n",
+            "Scenario",
+            "Method",
+            "Clients",
+            "OK",
+            "Lat p50",
+            "Lat p99",
+            "Tune p50",
+            "Tune p99",
+            "Cycle",
+            "Joules"
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<26} {:<9} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8.1}\n",
+                c.scenario,
+                c.method,
+                c.population,
+                if c.exact() { "yes" } else { "NO" },
+                c.latency.p50,
+                c.latency.p99,
+                c.tuning.p50,
+                c.tuning.p99,
+                c.cycle_packets,
+                c.radio_energy_joules_total,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> PercentileSummary {
+        PercentileSummary {
+            p50: 10,
+            p95: 20,
+            p99: 30,
+            max: 40,
+            mean: 12.5,
+            overflow: 0,
+            bucket_width: 4,
+        }
+    }
+
+    fn cell(mismatches: u64) -> LoadCellReport {
+        LoadCellReport {
+            scenario: "s".to_string(),
+            method: "nr",
+            population: 100,
+            query_pool: 4,
+            replayed: true,
+            profile_sessions: 8,
+            mismatches,
+            failures: 0,
+            cycle_packets: 200,
+            peak_memory_bytes: 1000,
+            latency: summary(),
+            tuning: summary(),
+            energy_uj: summary(),
+            radio_energy_joules_total: 1.5,
+            cpu_ms: 3.0,
+        }
+    }
+
+    #[test]
+    fn exactness_gates_on_mismatches_and_failures() {
+        let mut r = LoadReport {
+            cells: vec![cell(0)],
+        };
+        assert!(r.all_exact());
+        r.cells[0].failures = 1;
+        assert!(!r.all_exact());
+        assert_eq!(r.total_mismatches(), 1);
+    }
+
+    #[test]
+    fn digest_ignores_cpu_time_only() {
+        let mut r = LoadReport {
+            cells: vec![cell(0)],
+        };
+        let d0 = r.digest();
+        r.cells[0].cpu_ms = 999.0;
+        assert_eq!(r.digest(), d0, "cpu time must not affect the digest");
+        r.cells[0].latency.p99 += 1;
+        assert_ne!(r.digest(), d0, "deterministic fields must");
+    }
+
+    #[test]
+    fn json_with_timings_is_a_superset() {
+        let r = LoadReport {
+            cells: vec![cell(0)],
+        };
+        assert!(!r.to_json(false).contains("cpu_ms"));
+        assert!(r.to_json(true).contains("cpu_ms"));
+        assert!(r.to_json(false).contains("latency_packets"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Load-harness specifications and canned matrices.
+//!
+//! A [`LoadSpec`] is a [`ScenarioSpec`] (graph, partitioner, loss model,
+//! channel rate, queue policy, seed — everything one simulated world
+//! varies) plus the two load-specific knobs: how many clients tune in to
+//! the shared air cycle, and which client methods serve them. The
+//! scenario's `point_to_point` workload count doubles as the size of the
+//! distinct-query pool the population draws from (each query still gets a
+//! serial-Dijkstra oracle for conformance).
+
+use spair_broadcast::{ChannelRate, DeviceProfile};
+use spair_roadnet::{NetworkPreset, QueuePolicy};
+use spair_sim::{
+    GraphSpec, LossSpec, MethodKind, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix,
+};
+
+/// Node count of the paper-scale load network at `--scale 1.0`: a
+/// "germany-class" topology (Germany's edge/node ratio from Table 2)
+/// generated at 100k nodes — past the largest network the conformance
+/// matrix exercises.
+pub const PAPER_SCALE_BASE_NODES: usize = 100_000;
+
+/// One load cell row: a scenario, its client population per method, and
+/// the methods serving it.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// The simulated world. `workload.point_to_point` is the distinct
+    /// query pool size; `on_edge`/`knn` must be 0.
+    pub scenario: ScenarioSpec,
+    /// Clients tuning in per (scenario × method) cell.
+    pub population: usize,
+    /// Client methods serving this population. Only methods driven
+    /// through the `AirClient` interface are allowed (no `NrMemBound`,
+    /// no `KnnAir`).
+    pub methods: Vec<MethodKind>,
+}
+
+impl LoadSpec {
+    /// Panics if the spec cannot be served (empty population/pool/method
+    /// list, non-path workload, or a non-air method).
+    pub fn validate(&self) {
+        assert!(
+            self.population > 0,
+            "{}: empty population",
+            self.scenario.name
+        );
+        assert!(
+            self.scenario.workload.point_to_point > 0,
+            "{}: empty query pool",
+            self.scenario.name
+        );
+        assert_eq!(
+            (self.scenario.workload.on_edge, self.scenario.workload.knn),
+            (0, 0),
+            "{}: load populations pose point-to-point queries only",
+            self.scenario.name
+        );
+        assert!(
+            !self.methods.is_empty(),
+            "{}: no methods",
+            self.scenario.name
+        );
+        for m in &self.methods {
+            assert!(
+                m.runs_paths() && *m != MethodKind::NrMemBound,
+                "{}: {} is not an air client method",
+                self.scenario.name,
+                m.name()
+            );
+        }
+    }
+}
+
+/// The paper-scale "germany-class" graph at `scale` (1.0 → 100k nodes).
+pub fn paper_scale_graph(scale: f64) -> GraphSpec {
+    assert!(scale > 0.0, "--scale must be positive");
+    let nodes = ((PAPER_SCALE_BASE_NODES as f64 * scale).round() as usize).max(1_000);
+    GraphSpec::PresetNodes {
+        preset: NetworkPreset::Germany,
+        nodes,
+    }
+}
+
+fn base_scenario(name: &str, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        graph: GraphSpec::Grid {
+            width: 16,
+            height: 16,
+        },
+        partitioner: PartitionerKind::KdMedian,
+        regions: 16,
+        loss: LossSpec::Lossless,
+        tune_in: TuneInSpec::Uniform,
+        rate: ChannelRate::MOVING_3G,
+        heap_budget_bytes: DeviceProfile::J2ME_PHONE.heap_bytes,
+        workload: WorkloadMix::p2p(12),
+        queue: QueuePolicy::Auto,
+        seed,
+    }
+}
+
+/// The default load matrix behind `BENCH_load.json`:
+///
+/// 1. the **paper-scale cell** — a germany-class network at
+///    `scale × 100k` nodes serving a six-figure population per method
+///    over one shared cycle (lossless, so the population replays exactly
+///    from per-anchor session profiles);
+/// 2. a mid-scale lossless cell including the whole-cycle baselines;
+/// 3. two lossy cells (Bernoulli and bursty Gilbert–Elliott) whose
+///    clients each run a full per-client session, exercising the §6.2
+///    recovery paths at population scale.
+pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
+    let graph = paper_scale_graph(scale);
+    let nodes = match graph {
+        GraphSpec::PresetNodes { nodes, .. } => nodes,
+        _ => unreachable!(),
+    };
+    let mut specs = Vec::new();
+
+    // SPQ precomputes a full Dijkstra (and a quadtree) per node — an
+    // all-pairs method the paper itself only evaluates on small
+    // networks — so the paper-scale cell's hierarchical representative
+    // is HiTi; SPQ joins the mid-scale cell below instead.
+    let mut s = base_scenario(&format!("germany{}k-kd-lossless", nodes / 1000), 9001);
+    s.graph = graph;
+    s.regions = 64;
+    s.workload = WorkloadMix::p2p(8);
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 120_000,
+        methods: vec![
+            MethodKind::Nr,
+            MethodKind::Eb,
+            MethodKind::Dj,
+            MethodKind::HiTiAir,
+        ],
+    });
+
+    let mut s = base_scenario("grid24-kd-lossless", 9002);
+    s.graph = GraphSpec::Grid {
+        width: 24,
+        height: 24,
+    };
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 50_000,
+        methods: vec![
+            MethodKind::Nr,
+            MethodKind::Eb,
+            MethodKind::Dj,
+            MethodKind::Ld,
+            MethodKind::Af,
+            MethodKind::SpqAir,
+            MethodKind::HiTiAir,
+        ],
+    });
+
+    let mut s = base_scenario("grid16-kd-bernoulli2", 9003);
+    s.loss = LossSpec::Bernoulli { rate: 0.02 };
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 12_000,
+        methods: vec![MethodKind::Nr, MethodKind::Eb, MethodKind::Dj],
+    });
+
+    let mut s = base_scenario("grid16-grid-bursty5", 9004);
+    s.partitioner = PartitionerKind::UniformGrid;
+    s.loss = LossSpec::Bursty {
+        rate: 0.05,
+        burst: 6.0,
+    };
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 8_000,
+        methods: vec![MethodKind::Nr, MethodKind::Eb],
+    });
+
+    specs
+}
+
+/// Applies a `--population N` override: lossless cells — replayed in
+/// O(1) per client — take exactly `n`; lossy cells, whose clients each
+/// run a full session, are capped at `n` but never raised above their
+/// spec'd population.
+pub fn override_population(specs: &mut [LoadSpec], n: usize) {
+    assert!(n > 0, "--population must be >= 1");
+    for s in specs {
+        if s.scenario.loss.is_lossy() {
+            s.population = s.population.min(n);
+        } else {
+            s.population = n;
+        }
+    }
+}
+
+/// The CI smoke gate: two fast cells (one replayed lossless, one exact
+/// lossy) that keep the harness from rotting between nightlies.
+pub fn smoke_load_matrix() -> Vec<LoadSpec> {
+    let mut specs = Vec::new();
+
+    let mut s = base_scenario("smoke-grid10-kd-lossless", 9101);
+    s.graph = GraphSpec::Grid {
+        width: 10,
+        height: 10,
+    };
+    s.regions = 8;
+    s.workload = WorkloadMix::p2p(6);
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 3_000,
+        methods: vec![
+            MethodKind::Nr,
+            MethodKind::Eb,
+            MethodKind::Dj,
+            MethodKind::HiTiAir,
+        ],
+    });
+
+    let mut s = base_scenario("smoke-grid8-kd-bernoulli5", 9102);
+    s.graph = GraphSpec::Grid {
+        width: 8,
+        height: 8,
+    };
+    s.regions = 8;
+    s.loss = LossSpec::Bernoulli { rate: 0.05 };
+    s.workload = WorkloadMix::p2p(4);
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 1_200,
+        methods: vec![MethodKind::Nr, MethodKind::Dj],
+    });
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrices_validate_and_cover_the_acceptance_axes() {
+        for spec in default_load_matrix(1.0).iter().chain(&smoke_load_matrix()) {
+            spec.validate();
+        }
+        let default = default_load_matrix(1.0);
+        // The paper-scale cell: >= 100k clients per method, covering NR,
+        // EB, DJ and a hierarchical method.
+        let paper = &default[0];
+        assert!(paper.population >= 100_000);
+        assert!(matches!(
+            paper.scenario.graph,
+            GraphSpec::PresetNodes { nodes, .. } if nodes >= PAPER_SCALE_BASE_NODES
+        ));
+        for m in [
+            MethodKind::Nr,
+            MethodKind::Eb,
+            MethodKind::Dj,
+            MethodKind::HiTiAir,
+        ] {
+            assert!(paper.methods.contains(&m));
+        }
+        // Both lossy channel families are represented.
+        assert!(default
+            .iter()
+            .any(|s| matches!(s.scenario.loss, LossSpec::Bernoulli { .. })));
+        assert!(default
+            .iter()
+            .any(|s| matches!(s.scenario.loss, LossSpec::Bursty { .. })));
+        // Unique names and seeds.
+        let mut names: Vec<&str> = default.iter().map(|s| s.scenario.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), default.len());
+    }
+
+    #[test]
+    fn paper_scale_graph_tracks_the_scale_knob() {
+        assert!(matches!(
+            paper_scale_graph(1.0),
+            GraphSpec::PresetNodes { nodes: 100_000, .. }
+        ));
+        assert!(matches!(
+            paper_scale_graph(0.1),
+            GraphSpec::PresetNodes { nodes: 10_000, .. }
+        ));
+        // Tiny scales clamp to a generatable floor.
+        assert!(matches!(
+            paper_scale_graph(0.001),
+            GraphSpec::PresetNodes { nodes: 1_000, .. }
+        ));
+    }
+
+    #[test]
+    fn population_override_scales_lossless_and_caps_lossy() {
+        let mut specs = default_load_matrix(1.0);
+        override_population(&mut specs, 500_000);
+        for s in &specs {
+            if s.scenario.loss.is_lossy() {
+                assert!(s.population <= 12_000, "{}", s.scenario.name);
+            } else {
+                assert_eq!(s.population, 500_000, "{}", s.scenario.name);
+            }
+        }
+        let mut specs = default_load_matrix(1.0);
+        override_population(&mut specs, 100);
+        for s in &specs {
+            assert_eq!(s.population, 100, "{}", s.scenario.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "point-to-point")]
+    fn validate_rejects_non_path_workloads() {
+        let mut spec = smoke_load_matrix().remove(0);
+        spec.scenario.workload.knn = 2;
+        spec.validate();
+    }
+}

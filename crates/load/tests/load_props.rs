@@ -1,0 +1,223 @@
+//! Load-harness properties:
+//!
+//! 1. **Replay exactness** — the O(1)-per-client replay model (session
+//!    profiles per anchor class) predicts a real client session
+//!    packet-for-packet, for every air method and arbitrary tune-in
+//!    offsets;
+//! 2. **streaming percentiles** agree with the exact order statistics
+//!    within one bucket width, and histogram merging is associative and
+//!    split-invariant (proptest);
+//! 3. **thread-count reproducibility** — prepare + serve is byte-for-byte
+//!    identical for 1, 2 and 4 workers, lossy exact-mode cells included;
+//! 4. lossy populations stay conformant and cost strictly more latency
+//!    than their lossless twin.
+
+use proptest::prelude::*;
+use spair_broadcast::{BroadcastChannel, LossModel};
+use spair_load::spec::override_population;
+use spair_load::{prepare, run, smoke_load_matrix, LoadSpec, StreamingHistogram};
+use spair_sim::{
+    GraphSpec, LossSpec, MethodKind, ScenarioContext, ScenarioSpec, WorkItem, WorkloadMix,
+};
+
+/// All methods the load harness serves.
+const AIR_METHODS: [MethodKind; 7] = [
+    MethodKind::Nr,
+    MethodKind::Eb,
+    MethodKind::Dj,
+    MethodKind::Ld,
+    MethodKind::Af,
+    MethodKind::SpqAir,
+    MethodKind::HiTiAir,
+];
+
+fn tiny_load_spec(seed: u64, methods: &[MethodKind]) -> LoadSpec {
+    let mut s = ScenarioSpec::small("tiny-load", seed);
+    s.graph = GraphSpec::Grid {
+        width: 10,
+        height: 10,
+    };
+    s.workload = WorkloadMix::p2p(4);
+    LoadSpec {
+        scenario: s,
+        population: 300,
+        methods: methods.to_vec(),
+    }
+}
+
+/// The crux of the harness: for every method and a spread of tune-in
+/// offsets, the replayed (tuning, latency, sleep) triple and the oracle
+/// verdict must equal a real client session run at that offset.
+#[test]
+fn replay_matches_real_sessions() {
+    let spec = tiny_load_spec(41, &AIR_METHODS);
+    let prep = prepare(std::slice::from_ref(&spec), 2);
+    // An independently built context is the same deterministic world.
+    let ctx = ScenarioContext::build(&spec.scenario, &spec.methods);
+    let pool: Vec<_> = ctx
+        .workload
+        .iter()
+        .filter_map(|w| match w {
+            WorkItem::P2p { query, oracle } => Some((*query, *oracle)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(pool.len(), 4);
+    for &method in &AIR_METHODS {
+        let cell = prep.cell_index("tiny-load", method).expect("cell prepared");
+        let cycle = ctx.cycle(method);
+        let len = cycle.len();
+        let step = (len / 7).max(1);
+        let offsets: Vec<usize> = (0..len).step_by(step).chain([len - 1]).collect();
+        for (qi, &(query, oracle)) in pool.iter().enumerate() {
+            for &off in &offsets {
+                let predicted = prep
+                    .predicted_session(cell, qi, off)
+                    .expect("lossless profile");
+                let mut ch = BroadcastChannel::tune_in(cycle, off, LossModel::Lossless);
+                let mut client = ctx.client(method);
+                let out = client.query(&mut ch, &query).expect("lossless session");
+                assert_eq!(
+                    predicted,
+                    (
+                        out.stats.tuning_packets,
+                        out.stats.latency_packets,
+                        out.stats.sleep_packets
+                    ),
+                    "{} query {qi} offset {off}: replay diverged from the real session",
+                    method.name(),
+                );
+                assert_eq!(out.distance, oracle, "{} query {qi}", method.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_pipeline_is_bit_identical_across_thread_counts() {
+    let mut specs = smoke_load_matrix();
+    override_population(&mut specs, 400);
+    let r1 = run(&prepare(&specs, 1), 1);
+    let prep4 = prepare(&specs, 4);
+    let r4 = run(&prep4, 4);
+    let r2 = run(&prep4, 2);
+    assert_eq!(r1.to_json(false), r4.to_json(false), "prepare+serve 1 vs 4");
+    assert_eq!(r2.to_json(false), r4.to_json(false), "serve 2 vs 4");
+    assert_eq!(r1.digest(), r4.digest());
+}
+
+#[test]
+fn smoke_matrix_serves_exactly_and_reports_percentiles() {
+    let mut specs = smoke_load_matrix();
+    override_population(&mut specs, 600);
+    let report = run(&prepare(&specs, 2), 2);
+    assert!(
+        report.all_exact(),
+        "{} mismatches",
+        report.total_mismatches()
+    );
+    assert_eq!(report.total_population(), 600 * report.cells.len());
+    for c in &report.cells {
+        assert!(c.latency.p50 > 0, "{} {}", c.scenario, c.method);
+        assert!(c.latency.p50 <= c.latency.p95);
+        assert!(c.latency.p95 <= c.latency.p99);
+        assert!(c.latency.p99 <= c.latency.max);
+        assert!(c.tuning.max <= c.latency.max);
+        assert!(c.energy_uj.p50 > 0);
+        assert!(c.radio_energy_joules_total > 0.0);
+        assert!(c.peak_memory_bytes > 0);
+    }
+}
+
+#[test]
+fn lossy_population_costs_more_latency_than_lossless() {
+    let mut lossless = tiny_load_spec(77, &[MethodKind::Dj]);
+    lossless.population = 500;
+    let mut lossy = lossless.clone();
+    lossy.scenario.name = "tiny-load-lossy".to_string();
+    lossy.scenario.loss = LossSpec::Bernoulli { rate: 0.10 };
+    let report = run(&prepare(&[lossless, lossy], 2), 2);
+    assert!(report.all_exact());
+    let (a, b) = (&report.cells[0], &report.cells[1]);
+    assert!(a.replayed && !b.replayed);
+    // A 10% loss rate forces retry packets on most whole-cycle clients.
+    assert!(
+        b.latency.mean > a.latency.mean,
+        "lossy mean {} vs lossless {}",
+        b.latency.mean,
+        a.latency.mean
+    );
+    assert!(b.tuning.max > a.tuning.max);
+}
+
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_percentiles_agree_with_exact(
+        values in prop::collection::vec(0u64..50_000, 1..300),
+        buckets in 8usize..200,
+    ) {
+        let mut h = StreamingHistogram::with_bound(50_000, buckets);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.95, 0.99, 1.0] {
+            let exact = exact_percentile(&sorted, q);
+            let est = h.percentile(q);
+            prop_assert!(
+                est.abs_diff(exact) < h.width(),
+                "q={}: exact {}, streaming {}, width {}",
+                q, exact, est, h.width()
+            );
+        }
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_split_invariant(
+        values in prop::collection::vec(0u64..10_000, 3..200),
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let n = values.len();
+        let mut cuts = [
+            ((cut_a * n as f64) as usize).min(n),
+            ((cut_b * n as f64) as usize).min(n),
+        ];
+        cuts.sort_unstable();
+        let mk = |vals: &[u64]| {
+            let mut h = StreamingHistogram::with_bound(10_000, 32);
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let whole = mk(&values);
+        let (a, b, c) = (
+            mk(&values[..cuts[0]]),
+            mk(&values[cuts[0]..cuts[1]]),
+            mk(&values[cuts[1]..]),
+        );
+        // ((a + b) + c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // (a + (b + c))
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &whole);
+    }
+}

@@ -97,6 +97,24 @@ impl NetworkPreset {
         }
     }
 
+    /// Generator configuration for this preset's topology class at an
+    /// explicit node count, preserving the edge/node ratio. Unlike
+    /// [`NetworkPreset::scaled_config`] the count may exceed the paper's
+    /// Table 2 size — the load harness uses this for its paper-scale
+    /// "germany-class" networks (~100k+ nodes).
+    pub fn config_for_nodes(&self, seed: u64, nodes: usize) -> GeneratorConfig {
+        assert!(nodes >= 16, "need at least 16 nodes");
+        let (pn, pe) = self.size();
+        let ratio = pe as f64 / pn as f64;
+        let e = ((nodes as f64 * ratio) as usize).max(nodes - 1);
+        GeneratorConfig {
+            nodes,
+            undirected_edges: e,
+            seed,
+            ..GeneratorConfig::default()
+        }
+    }
+
     /// Generates the network at full scale.
     pub fn generate(&self, seed: u64) -> RoadNetwork {
         self.config(seed).generate()
@@ -417,6 +435,21 @@ mod tests {
         let cfg = NetworkPreset::Milan.config(7);
         assert_eq!(cfg.nodes, 14_021);
         assert_eq!(cfg.undirected_edges, 26_849);
+    }
+
+    #[test]
+    fn config_for_nodes_scales_past_table2() {
+        let cfg = NetworkPreset::Germany.config_for_nodes(1, 100_000);
+        assert_eq!(cfg.nodes, 100_000);
+        let (pn, pe) = NetworkPreset::Germany.size();
+        let want_ratio = pe as f64 / pn as f64;
+        let got_ratio = cfg.undirected_edges as f64 / cfg.nodes as f64;
+        assert!((want_ratio - got_ratio).abs() < 0.01);
+        // Small explicit counts stay connected-generatable.
+        let g = NetworkPreset::Germany.config_for_nodes(3, 400).generate();
+        assert_eq!(g.num_nodes(), 400);
+        let t = dijkstra_full(&g, 0);
+        assert!(g.node_ids().all(|v| t.reachable(v)));
     }
 
     #[test]

@@ -34,16 +34,43 @@ use std::sync::Mutex;
 /// environment variable if set to a positive integer, otherwise the
 /// detected available parallelism (1 if detection fails).
 pub fn num_threads() -> usize {
-    if let Ok(s) = std::env::var("SPAIR_THREADS") {
+    resolve_threads(None)
+}
+
+/// Resolves a worker count under the precedence rule shared by every
+/// bench binary (`bench_precompute`, `bench_scenarios`, `bench_load`):
+/// an explicit `--threads` flag wins over `SPAIR_THREADS`, which wins
+/// over the detected available parallelism. A flag value of 0 counts as
+/// "not given" — binaries reject it at parse time.
+pub fn resolve_threads(flag: Option<usize>) -> usize {
+    resolve_threads_from(
+        flag,
+        std::env::var("SPAIR_THREADS").ok().as_deref(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+/// Pure core of [`resolve_threads`], separated so the precedence rule is
+/// unit-testable without touching the process environment: a positive
+/// `flag` beats a positive-integer `env` string, which beats `detected`
+/// (clamped to at least 1). Non-numeric or non-positive `env` values are
+/// ignored.
+pub fn resolve_threads_from(flag: Option<usize>, env: Option<&str>, detected: usize) -> usize {
+    if let Some(n) = flag {
+        if n >= 1 {
+            return n;
+        }
+    }
+    if let Some(s) = env {
         if let Ok(n) = s.trim().parse::<usize>() {
             if n >= 1 {
                 return n;
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    detected.max(1)
 }
 
 /// Runs two closures concurrently and returns both results.
@@ -251,5 +278,24 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_precedence_flag_beats_env_beats_detected() {
+        assert_eq!(resolve_threads_from(Some(3), Some("8"), 16), 3);
+        assert_eq!(resolve_threads_from(None, Some("8"), 16), 8);
+        assert_eq!(resolve_threads_from(None, None, 16), 16);
+    }
+
+    #[test]
+    fn thread_precedence_ignores_invalid_values() {
+        // A zero flag counts as "not given" (binaries reject it earlier).
+        assert_eq!(resolve_threads_from(Some(0), Some("8"), 16), 8);
+        // Garbage / non-positive env values fall through to detection.
+        assert_eq!(resolve_threads_from(None, Some("zero"), 4), 4);
+        assert_eq!(resolve_threads_from(None, Some("0"), 4), 4);
+        assert_eq!(resolve_threads_from(None, Some(" 2 "), 4), 2);
+        // Detection failure clamps to one worker.
+        assert_eq!(resolve_threads_from(None, None, 0), 1);
     }
 }

@@ -14,11 +14,12 @@
 //! as a gate.
 
 use spair_roadnet::parallel;
-use spair_sim::{default_matrix, run_matrix, smoke_matrix, MethodKind};
+use spair_sim::{default_matrix, nightly_matrix, run_matrix, smoke_matrix, MethodKind};
 use std::time::Instant;
 
 struct Opts {
     smoke: bool,
+    nightly: bool,
     threads: usize,
     out: String,
 }
@@ -26,9 +27,14 @@ struct Opts {
 fn parse_opts() -> Opts {
     let mut opts = Opts {
         smoke: false,
-        threads: parallel::num_threads(),
+        nightly: false,
+        threads: 0,
         out: "BENCH_scenarios.json".to_string(),
     };
+    // Worker-count precedence (shared by every bench binary): an explicit
+    // `--threads` flag wins over `SPAIR_THREADS`, which wins over the
+    // detected parallelism.
+    let mut threads_flag: Option<usize> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -40,26 +46,33 @@ fn parse_opts() -> Opts {
         };
         match flag.as_str() {
             "--smoke" => opts.smoke = true,
+            "--nightly" => opts.nightly = true,
             "--threads" => {
-                opts.threads = value().parse().unwrap_or_else(|_| {
+                let n: usize = value().parse().unwrap_or_else(|_| {
                     eprintln!("error: --threads expects a positive integer");
                     std::process::exit(2);
-                })
+                });
+                if n == 0 {
+                    eprintln!("error: --threads must be >= 1");
+                    std::process::exit(2);
+                }
+                threads_flag = Some(n);
             }
             "--out" => opts.out = value(),
             other => {
                 eprintln!(
                     "error: unknown flag {other}\n\
-                     usage: bench_scenarios [--smoke] [--threads N] [--out PATH]"
+                     usage: bench_scenarios [--smoke | --nightly] [--threads N] [--out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if opts.threads == 0 {
-        eprintln!("error: --threads must be >= 1");
+    if opts.smoke && opts.nightly {
+        eprintln!("error: --smoke and --nightly are mutually exclusive");
         std::process::exit(2);
     }
+    opts.threads = parallel::resolve_threads(threads_flag);
     opts
 }
 
@@ -67,6 +80,8 @@ fn main() {
     let opts = parse_opts();
     let specs = if opts.smoke {
         smoke_matrix()
+    } else if opts.nightly {
+        nightly_matrix()
     } else {
         default_matrix()
     };
@@ -76,7 +91,13 @@ fn main() {
         specs.len(),
         methods.len(),
         opts.threads,
-        if opts.smoke { " (smoke)" } else { "" }
+        if opts.smoke {
+            " (smoke)"
+        } else if opts.nightly {
+            " (nightly)"
+        } else {
+            ""
+        }
     );
 
     let start = Instant::now();
@@ -110,6 +131,7 @@ fn main() {
         "{{\n  \
          \"benchmark\": \"scenario_conformance_matrix\",\n  \
          \"smoke\": {},\n  \
+         \"nightly\": {},\n  \
          \"scenarios\": {},\n  \
          \"methods\": {},\n  \
          \"cells\": {},\n  \
@@ -123,6 +145,7 @@ fn main() {
          \"matrix\": {}\n\
          }}\n",
         opts.smoke,
+        opts.nightly,
         specs.len(),
         methods.len(),
         matrix.cells.len(),

@@ -198,7 +198,9 @@ impl ScenarioContext {
         }
     }
 
-    fn cycle(&self, method: MethodKind) -> &BroadcastCycle {
+    /// The broadcast cycle the given method's clients tune in to. Also
+    /// the shared air cycle the load harness serves its populations from.
+    pub fn cycle(&self, method: MethodKind) -> &BroadcastCycle {
         match method {
             MethodKind::Nr => self.programs.nr.as_ref().expect("nr program").cycle(),
             MethodKind::Eb => self.programs.eb.as_ref().expect("eb program").cycle(),
@@ -221,7 +223,11 @@ impl ScenarioContext {
         }
     }
 
-    fn client(&self, method: MethodKind) -> Box<dyn AirClient> {
+    /// A fresh client device for the given method (every session models
+    /// an independent mobile client). Panics for the two methods that are
+    /// not driven through the [`AirClient`] interface (`NrMemBound`,
+    /// `KnnAir`).
+    pub fn client(&self, method: MethodKind) -> Box<dyn AirClient> {
         let q = self.spec.queue;
         match method {
             MethodKind::Nr => Box::new(

@@ -34,7 +34,7 @@ pub mod report;
 pub mod spec;
 
 pub use engine::{run_cell, run_matrix, ScenarioContext, WorkItem};
-pub use matrix::{default_matrix, smoke_matrix};
+pub use matrix::{default_matrix, nightly_matrix, smoke_matrix};
 pub use report::{CellReport, ConformanceMatrix};
 pub use spec::{
     GraphSpec, LossSpec, MethodKind, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix,

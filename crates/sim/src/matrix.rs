@@ -85,6 +85,47 @@ pub fn default_matrix() -> Vec<ScenarioSpec> {
     specs
 }
 
+/// The nightly matrix: everything in [`default_matrix`] plus paper-scale
+/// scenarios — the full Germany network of Table 2 ("Germany @ 1.0",
+/// closing the ROADMAP nightly open item) under both a lossless and a
+/// lossy channel. Too slow for the per-push smoke gate; the
+/// `nightly.yml` workflow runs it on a cron schedule.
+pub fn nightly_matrix() -> Vec<ScenarioSpec> {
+    let mut specs = default_matrix();
+
+    let mut s = ScenarioSpec::small("germany10-kd-lossless", 301);
+    s.graph = GraphSpec::Preset {
+        preset: NetworkPreset::Germany,
+        scale: 1.0,
+    };
+    s.regions = 64;
+    s.workload = WorkloadMix {
+        point_to_point: 4,
+        on_edge: 2,
+        knn: 2,
+        k: 3,
+    };
+    specs.push(s);
+
+    s = ScenarioSpec::small("germany10-grid-bernoulli1", 302);
+    s.graph = GraphSpec::Preset {
+        preset: NetworkPreset::Germany,
+        scale: 1.0,
+    };
+    s.partitioner = PartitionerKind::UniformGrid;
+    s.regions = 64;
+    s.loss = LossSpec::Bernoulli { rate: 0.01 };
+    s.workload = WorkloadMix {
+        point_to_point: 3,
+        on_edge: 1,
+        knn: 1,
+        k: 3,
+    };
+    specs.push(s);
+
+    specs
+}
+
 /// The CI smoke gate: three fast scenarios, one per loss model, both
 /// partitioners represented.
 pub fn smoke_matrix() -> Vec<ScenarioSpec> {
@@ -155,6 +196,34 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn nightly_matrix_extends_default_with_paper_scale() {
+        let nightly = nightly_matrix();
+        let default = default_matrix();
+        assert!(nightly.len() > default.len());
+        // The paper-scale Germany scenarios close the ROADMAP open item.
+        let at_scale: Vec<&ScenarioSpec> = nightly
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.graph,
+                    GraphSpec::Preset {
+                        preset: NetworkPreset::Germany,
+                        scale,
+                    } if scale == 1.0
+                )
+            })
+            .collect();
+        assert!(at_scale.len() >= 2);
+        assert!(at_scale.iter().any(|s| s.loss.is_lossy()));
+        assert!(at_scale.iter().any(|s| !s.loss.is_lossy()));
+        // Unique names and seeds across the whole nightly set.
+        let mut names: Vec<&str> = nightly.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), nightly.len());
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub enum GraphSpec {
         /// Scale factor in `(0, 1]`.
         scale: f64,
     },
+    /// A preset's topology class generated at an explicit node count —
+    /// including counts beyond the paper's Table 2 sizes. The load
+    /// harness's paper-scale "germany-class" networks (~100k+ nodes) are
+    /// expressed through this variant.
+    PresetNodes {
+        /// The topology class (edge/node ratio source).
+        preset: NetworkPreset,
+        /// Exact node count to generate.
+        nodes: usize,
+    },
 }
 
 impl GraphSpec {
@@ -39,6 +49,9 @@ impl GraphSpec {
         match *self {
             GraphSpec::Grid { width, height } => small_grid(width, height, seed),
             GraphSpec::Preset { preset, scale } => preset.scaled_config(seed, scale).generate(),
+            GraphSpec::PresetNodes { preset, nodes } => {
+                preset.config_for_nodes(seed, nodes).generate()
+            }
         }
     }
 
@@ -48,6 +61,9 @@ impl GraphSpec {
             GraphSpec::Grid { width, height } => format!("grid{width}x{height}"),
             GraphSpec::Preset { preset, scale } => {
                 format!("{}@{scale:.2}", preset.name().replace(' ', ""))
+            }
+            GraphSpec::PresetNodes { preset, nodes } => {
+                format!("{}@{nodes}n", preset.name().replace(' ', ""))
             }
         }
     }
