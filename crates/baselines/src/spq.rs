@@ -11,27 +11,45 @@
 //! experiments: storing one quadtree per node multiplies the cycle length
 //! (Table 1: 52 337 packets versus Dijkstra's 14 019 on Germany) and the
 //! client would have to hold all trees on the path. Building is also the
-//! costliest of all methods (one full Dijkstra per node), so full-scale
-//! builds are reserved for `--full` experiment runs.
+//! costliest of all methods (one full Dijkstra per node), which used to
+//! lock SPQ out of the paper-scale load cell entirely. The production
+//! build ([`SpqIndex::build_with_threads`]) makes it tractable with three
+//! ingredients, each differentially tested against a slow oracle:
+//!
+//! * colors come from [`spair_roadnet::first_hop`]'s one-sweep DP over a
+//!   reusable [`DijkstraWorkspace`] (no per-root allocation, no per-target
+//!   path reconstruction);
+//! * per-root quadtrees are built by walking a [`QuadTemplate`] — the
+//!   node coordinates are quadrant-sorted **once per graph**, so a root's
+//!   tree costs one color scan over the shared order instead of
+//!   re-bucketing every point at every recursion level;
+//! * roots fan out across worker threads through
+//!   [`parallel::map_reduce_chunked`] with a chunk-ordered merge, so the
+//!   index is bit-identical ([`SpqIndex::same_trees`]) for every thread
+//!   count — and identical to [`SpqIndex::build_reference`], the naive
+//!   per-root recursive builder retained as the differential oracle.
 
-use spair_roadnet::dijkstra::dijkstra_full;
-use spair_roadnet::{NodeId, Point, RoadNetwork};
+use spair_roadnet::dijkstra::{DijkstraWorkspace, Direction};
+use spair_roadnet::first_hop::{first_hops_from_tree, first_hops_from_workspace};
+use spair_roadnet::{dijkstra_full, parallel, NodeId, Point, RoadNetwork};
 use std::time::Instant;
 
 /// Color = index of the first edge out of the root node (255 = none).
 pub type Color = u8;
 
-/// No-path marker.
+/// No-path marker (also [`spair_roadnet::first_hop::NO_FIRST_HOP`], which
+/// the first-hop sweep shares).
 pub const NO_COLOR: Color = u8::MAX;
 
 /// A region quadtree over node coordinates with per-leaf colors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Quadtree {
     /// All points below share one color.
     Leaf(Color),
     /// Four children (quadrant order: SW, SE, NW, NE).
     Internal(Box<[Quadtree; 4]>),
-    /// Depth-capped mixed leaf: explicit `(point, color)` list.
+    /// Depth-capped or duplicate-coordinate mixed leaf: explicit
+    /// `(point, color)` list.
     Mixed(Vec<(Point, Color)>),
 }
 
@@ -94,6 +112,14 @@ fn build_tree(points: &[(Point, Color)], bbox: (Point, Point), depth: usize) -> 
     if depth >= MAX_DEPTH {
         return Quadtree::Mixed(points.to_vec());
     }
+    // Degenerate: every point shares one coordinate, so no split can ever
+    // separate them. (Only this case may bail: distinct coordinates that
+    // happen to land in one quadrant of a non-tight bbox still separate
+    // under further splits, and the depth cap bounds the recursion.)
+    let p0 = points[0].0;
+    if points.iter().all(|&(p, _)| p == p0) {
+        return Quadtree::Mixed(points.to_vec());
+    }
     let (min, max) = bbox;
     let mid = Point::new((min.x + max.x) / 2.0, (min.y + max.y) / 2.0);
     let mut buckets: [Vec<(Point, Color)>; 4] = Default::default();
@@ -102,10 +128,6 @@ fn build_tree(points: &[(Point, Color)], bbox: (Point, Point), depth: usize) -> 
         let (qi, sub) = quadrant(p, min, mid, max);
         buckets[qi].push((p, c));
         boxes[qi] = sub;
-    }
-    // Degenerate: all points landed in one child without progress.
-    if buckets.iter().filter(|b| !b.is_empty()).count() == 1 {
-        return Quadtree::Mixed(points.to_vec());
     }
     let children: Vec<Quadtree> = buckets
         .iter()
@@ -117,6 +139,146 @@ fn build_tree(points: &[(Point, Color)], bbox: (Point, Point), depth: usize) -> 
     ))
 }
 
+/// A root-independent quadrant subdivision of the node coordinates.
+///
+/// Every per-root quadtree recurses over the *same* spatial structure —
+/// only the colors differ — so the template sorts the nodes into
+/// quadrant-recursive order **once per graph** (each template cell covers
+/// a contiguous range of `order`, stably preserving ascending node-id
+/// order within the range). A root's colored tree is then a single walk:
+/// scan a cell's color range; uniform → `Leaf`, terminal or
+/// duplicate-coordinate → `Mixed`, otherwise recurse into the four child
+/// cells. No per-root re-bucketing, no allocation besides the output.
+///
+/// [`QuadTemplate::colored_tree`] reproduces [`build_tree`] over the
+/// root-excluded point set exactly; the `template_build_matches_*` tests
+/// hold the two builders bit-identical.
+#[derive(Debug)]
+pub(crate) struct QuadTemplate {
+    /// Node ids in quadrant-recursive order.
+    order: Vec<NodeId>,
+    /// Cells, preorder; cell 0 covers the whole `order`.
+    cells: Vec<TemplateCell>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TemplateCell {
+    lo: u32,
+    hi: u32,
+    /// SW/SE/NW/NE child cells; `None` for terminal cells (singleton,
+    /// shared-coordinate, or depth-capped ranges).
+    children: Option<[u32; 4]>,
+}
+
+impl QuadTemplate {
+    pub(crate) fn build(g: &RoadNetwork) -> Self {
+        let mut order: Vec<NodeId> = g.node_ids().collect();
+        let mut cells = Vec::new();
+        let n = order.len();
+        subdivide(g, &mut order, 0, n, g.bounding_box(), 0, &mut cells);
+        Self { order, cells }
+    }
+
+    /// Builds `root`'s colored quadtree from per-node colors (indexed by
+    /// node id; the root itself is skipped, matching the per-root point
+    /// sets of the recursive builder).
+    pub(crate) fn colored_tree(&self, g: &RoadNetwork, colors: &[Color], root: NodeId) -> Quadtree {
+        self.walk(g, 0, colors, root)
+    }
+
+    fn walk(&self, g: &RoadNetwork, cell: u32, colors: &[Color], root: NodeId) -> Quadtree {
+        let c = self.cells[cell as usize];
+        let range = &self.order[c.lo as usize..c.hi as usize];
+        let mut it = range.iter().copied().filter(|&v| v != root);
+        let Some(first) = it.next() else {
+            return Quadtree::Leaf(NO_COLOR);
+        };
+        let first_color = colors[first as usize];
+        let first_point = g.point(first);
+        let mut uniform = true;
+        let mut shared_coord = true;
+        for v in it {
+            uniform &= colors[v as usize] == first_color;
+            shared_coord &= g.point(v) == first_point;
+            if !uniform && !shared_coord {
+                break;
+            }
+        }
+        if uniform {
+            return Quadtree::Leaf(first_color);
+        }
+        match c.children {
+            Some(ch) if !shared_coord => Quadtree::Internal(Box::new([
+                self.walk(g, ch[0], colors, root),
+                self.walk(g, ch[1], colors, root),
+                self.walk(g, ch[2], colors, root),
+                self.walk(g, ch[3], colors, root),
+            ])),
+            // Terminal cell (depth cap) or all remaining points at one
+            // coordinate — build_tree's Mixed cases.
+            _ => Quadtree::Mixed(
+                range
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != root)
+                    .map(|v| (g.point(v), colors[v as usize]))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Recursive quadrant sort behind [`QuadTemplate::build`]. Mirrors
+/// [`build_tree`]'s geometry exactly: same midpoints, same quadrant
+/// assignment, same depth cap, same shared-coordinate bail.
+fn subdivide(
+    g: &RoadNetwork,
+    order: &mut [NodeId],
+    lo: usize,
+    hi: usize,
+    bbox: (Point, Point),
+    depth: usize,
+    cells: &mut Vec<TemplateCell>,
+) -> u32 {
+    let idx = cells.len() as u32;
+    cells.push(TemplateCell {
+        lo: lo as u32,
+        hi: hi as u32,
+        children: None,
+    });
+    if hi - lo <= 1 || depth >= MAX_DEPTH {
+        return idx;
+    }
+    let p0 = g.point(order[lo]);
+    if order[lo..hi].iter().all(|&v| g.point(v) == p0) {
+        return idx;
+    }
+    let (min, max) = bbox;
+    let mid = Point::new((min.x + max.x) / 2.0, (min.y + max.y) / 2.0);
+    let mut buckets: [Vec<NodeId>; 4] = Default::default();
+    let mut boxes = [bbox; 4];
+    for &v in order[lo..hi].iter() {
+        let (qi, sub) = quadrant(g.point(v), min, mid, max);
+        buckets[qi].push(v);
+        boxes[qi] = sub;
+    }
+    // Write the stable 4-way partition back, then recurse per quadrant.
+    let mut cursor = lo;
+    let mut ranges = [(0usize, 0usize); 4];
+    for (qi, bucket) in buckets.iter().enumerate() {
+        order[cursor..cursor + bucket.len()].copy_from_slice(bucket);
+        ranges[qi] = (cursor, cursor + bucket.len());
+        cursor += bucket.len();
+    }
+    let mut children = [0u32; 4];
+    for qi in 0..4 {
+        let (clo, chi) = ranges[qi];
+        children[qi] = subdivide(g, order, clo, chi, boxes[qi], depth + 1, cells);
+    }
+    cells[idx as usize].children = Some(children);
+    idx
+}
+
 /// The SPQ index: one colored quadtree per node.
 #[derive(Debug, Clone)]
 pub struct SpqIndex {
@@ -126,49 +288,101 @@ pub struct SpqIndex {
     pub precompute_secs: f64,
 }
 
+/// Per-worker scratch of the fan-out build: one reusable Dijkstra
+/// workspace plus one color buffer, shared across every root the worker
+/// claims.
+struct RootScratch {
+    ws: DijkstraWorkspace,
+    colors: Vec<Color>,
+}
+
 impl SpqIndex {
-    /// Builds all quadtrees (one full Dijkstra per node — expensive by
-    /// design; this is the method's documented weakness).
+    /// Builds all quadtrees with the detected worker count (one full
+    /// Dijkstra per node — still the method's documented weakness, but
+    /// parallel, allocation-free per root, and template-driven).
     pub fn build(g: &RoadNetwork) -> Self {
+        Self::build_with_threads(g, parallel::num_threads())
+    }
+
+    /// Single-threaded [`SpqIndex::build_with_threads`] — the reference
+    /// order the chunk-ordered parallel merge reproduces.
+    pub fn build_serial(g: &RoadNetwork) -> Self {
+        Self::build_with_threads(g, 1)
+    }
+
+    /// Builds the index with an explicit worker count. Bit-identical to
+    /// [`SpqIndex::build_serial`] for every `threads` (chunk-ordered
+    /// merge) and to [`SpqIndex::build_reference`] (shared tie rule and
+    /// template/recursive tree equivalence).
+    ///
+    /// The per-worker workspace is heap-driven on purpose: its settle
+    /// order — and therefore its shortest-path-tie parents, which the
+    /// colors inherit — is identical to `dijkstra_full`'s, the tie rule
+    /// documented in [`spair_roadnet::first_hop`].
+    pub fn build_with_threads(g: &RoadNetwork, threads: usize) -> Self {
+        let start = Instant::now();
+        let bbox = g.bounding_box();
+        let template = QuadTemplate::build(g);
+        let roots: Vec<NodeId> = g.node_ids().collect();
+        let trees = parallel::map_reduce_chunked(
+            &roots,
+            threads,
+            2,
+            || RootScratch {
+                ws: DijkstraWorkspace::new(g.num_nodes()),
+                colors: vec![NO_COLOR; g.num_nodes()],
+            },
+            Vec::new,
+            |scratch, partial: &mut Vec<Quadtree>, chunk, _| {
+                for &v in chunk {
+                    scratch.ws.run(g, v, Direction::Forward);
+                    first_hops_from_workspace(g, &scratch.ws, &mut scratch.colors);
+                    partial.push(template.colored_tree(g, &scratch.colors, v));
+                }
+            },
+            |a, b| a.extend(b),
+        )
+        .unwrap_or_default();
+        Self {
+            trees,
+            bbox,
+            precompute_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The naive builder: a fresh full Dijkstra and a recursive
+    /// [`build_tree`] per root. Quadratic allocations and re-bucketing —
+    /// kept (and exercised by the test battery) as the differential
+    /// oracle the fast path must match tree-for-tree.
+    pub fn build_reference(g: &RoadNetwork) -> Self {
         let start = Instant::now();
         let bbox = g.bounding_box();
         let mut trees = Vec::with_capacity(g.num_nodes());
         let mut colors = vec![NO_COLOR; g.num_nodes()];
+        let mut points = Vec::with_capacity(g.num_nodes().saturating_sub(1));
         for v in g.node_ids() {
             let tree = dijkstra_full(g, v);
-            // First-hop DP over the settle order.
-            let first_edges: Vec<NodeId> = g.out_edges(v).map(|(u, _)| u).collect();
-            for &u in tree.settle_order() {
-                colors[u as usize] = if u == v {
-                    NO_COLOR
-                } else {
-                    match tree.parent(u) {
-                        Some(p) if p == v => first_edges
-                            .iter()
-                            .position(|&x| x == u)
-                            .map(|i| i as Color)
-                            .unwrap_or(NO_COLOR),
-                        Some(p) => colors[p as usize],
-                        None => NO_COLOR,
-                    }
-                };
-            }
-            let points: Vec<(Point, Color)> = g
-                .node_ids()
-                .filter(|&u| u != v)
-                .map(|u| (g.point(u), colors[u as usize]))
-                .collect();
+            first_hops_from_tree(g, &tree, &mut colors);
+            points.clear();
+            points.extend(
+                g.node_ids()
+                    .filter(|&u| u != v)
+                    .map(|u| (g.point(u), colors[u as usize])),
+            );
             trees.push(build_tree(&points, bbox, 0));
-            // Reset colors for unreached nodes next round.
-            for c in colors.iter_mut() {
-                *c = NO_COLOR;
-            }
         }
         Self {
             trees,
             bbox,
             precompute_secs: start.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Whether two indexes hold bit-identical trees over the same
+    /// bounding box (the `same_tables` of the SPQ build: the parallel
+    /// fan-out and the template walk must not change a single block).
+    pub fn same_trees(&self, other: &Self) -> bool {
+        self.bbox == other.bbox && self.trees == other.trees
     }
 
     /// The colored quadtree of node `v`.
@@ -219,7 +433,7 @@ mod tests {
     use super::*;
     use spair_roadnet::dijkstra_to_target;
     use spair_roadnet::generators::small_grid;
-    use spair_roadnet::Distance;
+    use spair_roadnet::{Distance, GraphBuilder};
 
     #[test]
     fn query_paths_are_shortest() {
@@ -263,11 +477,141 @@ mod tests {
 
     #[test]
     fn unreachable_target_returns_none() {
-        let mut b = spair_roadnet::GraphBuilder::new();
+        let mut b = GraphBuilder::new();
         b.add_node(Point::new(0.0, 0.0));
         b.add_node(Point::new(1.0, 0.0));
         let g = b.finish();
         let idx = SpqIndex::build(&g);
         assert_eq!(idx.query(&g, 0, 1), None);
+    }
+
+    #[test]
+    fn template_build_matches_reference_on_grids() {
+        for seed in [1u64, 7, 23] {
+            let g = small_grid(7, 7, seed);
+            let fast = SpqIndex::build_serial(&g);
+            let slow = SpqIndex::build_reference(&g);
+            assert!(fast.same_trees(&slow), "seed {seed}");
+            assert_eq!(fast.total_blocks(), slow.total_blocks());
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let g = small_grid(8, 8, 11);
+        let serial = SpqIndex::build_serial(&g);
+        for threads in [2usize, 3, 4] {
+            let par = SpqIndex::build_with_threads(&g, threads);
+            assert!(serial.same_trees(&par), "threads {threads}");
+        }
+    }
+
+    // ---- quadtree shape battery -----------------------------------------
+
+    /// True if any node of the tree is a `Mixed` leaf.
+    fn has_mixed(t: &Quadtree) -> bool {
+        match t {
+            Quadtree::Leaf(_) => false,
+            Quadtree::Mixed(_) => true,
+            Quadtree::Internal(ch) => ch.iter().any(has_mixed),
+        }
+    }
+
+    /// Brute-force comparator: every listed point must resolve to the
+    /// color of the first list entry at its exact coordinate.
+    fn assert_colors_match_scan(tree: &Quadtree, points: &[(Point, Color)], bbox: (Point, Point)) {
+        for &(p, _) in points {
+            let want = points
+                .iter()
+                .find(|(q, _)| q.x == p.x && q.y == p.y)
+                .map(|&(_, c)| c)
+                .unwrap();
+            assert_eq!(tree.color_at(p, bbox), want, "point ({}, {})", p.x, p.y);
+        }
+    }
+
+    #[test]
+    fn depth_cap_produces_mixed_leaf() {
+        // Two points 1e-7 apart inside a unit bbox stay in one quadrant
+        // for > MAX_DEPTH halvings: the cap must bail to Mixed, and the
+        // lookup must still resolve both exactly.
+        let bbox = (Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let points = vec![(Point::new(0.0, 0.0), 1), (Point::new(1e-7, 0.0), 2)];
+        let tree = build_tree(&points, bbox, 0);
+        assert!(has_mixed(&tree), "depth cap must produce a Mixed leaf");
+        assert_colors_match_scan(&tree, &points, bbox);
+    }
+
+    #[test]
+    fn degenerate_single_quadrant_recurses_on_distinct_coordinates() {
+        // Regression for the over-eager degenerate-split bail: both
+        // points land in the SW quadrant of the (non-tight) unit bbox,
+        // but they are distinct and two further splits separate them.
+        // The old check returned Mixed immediately.
+        let bbox = (Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let points = vec![(Point::new(0.1, 0.1), 3), (Point::new(0.2, 0.2), 4)];
+        let tree = build_tree(&points, bbox, 0);
+        assert!(
+            !has_mixed(&tree),
+            "distinct coordinates must separate into leaves, got {tree:?}"
+        );
+        assert_colors_match_scan(&tree, &points, bbox);
+    }
+
+    #[test]
+    fn duplicate_coordinates_bail_to_mixed_with_first_match_lookup() {
+        let bbox = (Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let points = vec![
+            (Point::new(0.5, 0.5), 1),
+            (Point::new(0.5, 0.5), 2),
+            (Point::new(0.5, 0.5), 3),
+        ];
+        let tree = build_tree(&points, bbox, 0);
+        assert_eq!(tree, Quadtree::Mixed(points.clone()));
+        // First-match semantics of the Mixed scan.
+        assert_eq!(tree.color_at(Point::new(0.5, 0.5), bbox), 1);
+        assert_eq!(tree.color_at(Point::new(0.4, 0.5), bbox), NO_COLOR);
+    }
+
+    #[test]
+    fn collinear_points_separate_into_leaves() {
+        let bbox = (Point::new(0.0, 0.0), Point::new(7.0, 0.0));
+        let points: Vec<(Point, Color)> = (0..8)
+            .map(|i| (Point::new(i as f64, 0.0), (i % 3) as Color))
+            .collect();
+        let tree = build_tree(&points, bbox, 0);
+        assert!(!has_mixed(&tree), "collinear distinct points separate");
+        assert_colors_match_scan(&tree, &points, bbox);
+    }
+
+    #[test]
+    fn template_matches_reference_with_duplicate_coordinates() {
+        // Two nodes at the same coordinate (and a third elsewhere): both
+        // builders must agree on the Mixed bail and the root exclusion.
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(1.0, 1.0));
+        b.add_undirected_edge(0, 2, 1);
+        b.add_undirected_edge(1, 2, 3);
+        b.add_undirected_edge(0, 1, 5);
+        let g = b.finish();
+        let fast = SpqIndex::build_serial(&g);
+        let slow = SpqIndex::build_reference(&g);
+        assert!(fast.same_trees(&slow));
+        for (s, t) in [(0u32, 2u32), (2, 0), (1, 2)] {
+            let path = fast.query(&g, s, t).unwrap();
+            assert_eq!(path.first(), Some(&s));
+            assert_eq!(path.last(), Some(&t));
+        }
+    }
+
+    #[test]
+    fn single_node_graph_has_an_empty_leaf() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        let g = b.finish();
+        let idx = SpqIndex::build(&g);
+        assert_eq!(idx.tree(0), &Quadtree::Leaf(NO_COLOR));
     }
 }

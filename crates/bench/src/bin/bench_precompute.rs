@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p spair-bench --bin bench_precompute -- \
-//!     [--side 71] [--regions 32] [--threads N] [--repeat 3] [--out BENCH_precompute.json]
+//!     [--side 71] [--regions 32] [--spq-side 45] [--threads N] [--repeat 3] \
+//!     [--out BENCH_precompute.json]
 //! ```
 //!
 //! Builds a generated road network (`side × side` grid topology, ~5k
@@ -12,10 +13,17 @@
 //! 1. runs `BorderPrecomputation::run_serial` and the parallel
 //!    `run_with_threads` (best of `--repeat` runs each),
 //! 2. verifies the parallel tables are **bit-identical** to serial,
-//! 3. writes the measurements as JSON.
+//! 3. repeats the exercise for the SPQ all-pairs build on a
+//!    `--spq-side`-sized grid (`SpqIndex::build_serial` vs
+//!    `build_with_threads`, gated on `same_trees`) — the per-node
+//!    quadtree construction is the costliest precompute stage the
+//!    framework has, so its speedup is tracked as its own trajectory
+//!    point,
+//! 4. writes the measurements as JSON.
 //!
 //! The JSON schema is documented in ROADMAP.md's Performance section.
 
+use spair_baselines::spq::SpqIndex;
 use spair_core::BorderPrecomputation;
 use spair_partition::KdTreePartition;
 use spair_roadnet::generators::small_grid;
@@ -25,6 +33,7 @@ use std::time::Instant;
 struct Opts {
     side: usize,
     regions: usize,
+    spq_side: usize,
     threads: usize,
     repeat: usize,
     out: String,
@@ -34,6 +43,7 @@ fn parse_opts() -> Opts {
     let mut opts = Opts {
         side: 71,
         regions: 32,
+        spq_side: 45,
         threads: 0,
         repeat: 3,
         out: "BENCH_precompute.json".to_string(),
@@ -60,6 +70,7 @@ fn parse_opts() -> Opts {
         match flag.as_str() {
             "--side" => opts.side = parse(flag, value()),
             "--regions" => opts.regions = parse(flag, value()),
+            "--spq-side" => opts.spq_side = parse(flag, value()),
             "--threads" => {
                 let n = parse(flag, value());
                 if n == 0 {
@@ -73,14 +84,15 @@ fn parse_opts() -> Opts {
             other => {
                 eprintln!(
                     "error: unknown flag {other}\nusage: bench_precompute \
-                     [--side N] [--regions N] [--threads N] [--repeat N] [--out PATH]"
+                     [--side N] [--regions N] [--spq-side N] [--threads N] [--repeat N] \
+                     [--out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if opts.repeat == 0 || opts.side == 0 || opts.regions == 0 {
-        eprintln!("error: --side, --regions and --repeat must be >= 1");
+    if opts.repeat == 0 || opts.side == 0 || opts.regions == 0 || opts.spq_side == 0 {
+        eprintln!("error: --side, --regions, --spq-side and --repeat must be >= 1");
         std::process::exit(2);
     }
     opts.threads = parallel::resolve_threads(threads_flag);
@@ -125,6 +137,32 @@ fn main() {
     let speedup = serial_secs / parallel_secs;
     eprintln!("speedup:  {speedup:.2}x (bit-identical: {identical})");
 
+    // SPQ all-pairs build: one full Dijkstra + one quadtree per node. Its
+    // own (smaller) network keeps the quadratic stage within a bench
+    // budget while still dominating the border measurements above.
+    let sg = small_grid(opts.spq_side, opts.spq_side, 42);
+    eprintln!(
+        "spq graph: {} nodes, {} edges",
+        sg.num_nodes(),
+        sg.num_edges()
+    );
+    let (spq_serial_secs, spq_serial) = best_of(opts.repeat, || SpqIndex::build_serial(&sg));
+    eprintln!(
+        "spq serial:   {spq_serial_secs:.3}s (best of {})",
+        opts.repeat
+    );
+    let (spq_parallel_secs, spq_par) = best_of(opts.repeat, || {
+        SpqIndex::build_with_threads(&sg, opts.threads)
+    });
+    eprintln!(
+        "spq parallel: {spq_parallel_secs:.3}s (best of {})",
+        opts.repeat
+    );
+    let spq_identical = spq_serial.same_trees(&spq_par);
+    assert!(spq_identical, "parallel SPQ build diverged from serial");
+    let spq_speedup = spq_serial_secs / spq_parallel_secs;
+    eprintln!("spq speedup:  {spq_speedup:.2}x (bit-identical: {spq_identical})");
+
     let json = format!(
         "{{\n  \
          \"benchmark\": \"border_precompute_serial_vs_parallel\",\n  \
@@ -134,7 +172,10 @@ fn main() {
          \"serial_secs\": {:.6},\n  \
          \"parallel_secs\": {:.6},\n  \
          \"speedup\": {:.4},\n  \
-         \"bit_identical\": {}\n\
+         \"bit_identical\": {},\n  \
+         \"spq\": {{ \"nodes\": {}, \"edges\": {}, \"total_blocks\": {}, \
+         \"index_packets\": {}, \"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+         \"speedup\": {:.4}, \"bit_identical\": {} }}\n\
          }}\n",
         g.num_nodes(),
         g.num_edges(),
@@ -148,7 +189,15 @@ fn main() {
         serial_secs,
         parallel_secs,
         speedup,
-        identical
+        identical,
+        sg.num_nodes(),
+        sg.num_edges(),
+        spq_serial.total_blocks(),
+        spq_serial.index_packets(),
+        spq_serial_secs,
+        spq_parallel_secs,
+        spq_speedup,
+        spq_identical
     );
     std::fs::write(&opts.out, &json).expect("write BENCH json");
     println!("{json}");

@@ -118,10 +118,11 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
     };
     let mut specs = Vec::new();
 
-    // SPQ precomputes a full Dijkstra (and a quadtree) per node — an
-    // all-pairs method the paper itself only evaluates on small
-    // networks — so the paper-scale cell's hierarchical representative
-    // is HiTi; SPQ joins the mid-scale cell below instead.
+    // SPQ precomputes a full Dijkstra (and a quadtree) per node — the
+    // costliest build of all methods — but the template-driven parallel
+    // build (`SpqIndex::build_with_threads`) keeps the all-pairs pass
+    // tractable at 100k nodes, so the paper-scale cell serves both
+    // whole-cycle-index representatives: SPQ next to HiTi.
     let mut s = base_scenario(&format!("germany{}k-kd-lossless", nodes / 1000), 9001);
     s.graph = graph;
     s.regions = 64;
@@ -133,6 +134,7 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
             MethodKind::Nr,
             MethodKind::Eb,
             MethodKind::Dj,
+            MethodKind::SpqAir,
             MethodKind::HiTiAir,
         ],
     });
@@ -256,6 +258,7 @@ mod tests {
             MethodKind::Nr,
             MethodKind::Eb,
             MethodKind::Dj,
+            MethodKind::SpqAir,
             MethodKind::HiTiAir,
         ] {
             assert!(paper.methods.contains(&m));

@@ -23,6 +23,7 @@ pub mod astar;
 pub mod bidirectional;
 pub mod bucket_queue;
 pub mod dijkstra;
+pub mod first_hop;
 pub mod generators;
 pub mod graph;
 pub mod heap;
@@ -39,6 +40,7 @@ pub use dijkstra::{
     dijkstra_distance, dijkstra_filtered, dijkstra_filtered_with, dijkstra_full,
     dijkstra_to_target, DijkstraOptions, SearchStats,
 };
+pub use first_hop::{first_hops_from_tree, first_hops_from_workspace, NO_FIRST_HOP};
 pub use generators::{GeneratorConfig, NetworkPreset};
 pub use graph::{EdgeId, GraphBuilder, NodeId, Point, RoadNetwork, Weight};
 pub use heap::MinHeap;

@@ -1,7 +1,7 @@
-//! Property tests for the PR-1 kernels: bucket-queue Dijkstra, the
-//! queue-generic workspace, and the parallel precomputation pipeline
-//! must all agree exactly with their serial / heap-driven references on
-//! random generated networks.
+//! Property tests for the parallel kernels: bucket-queue Dijkstra, the
+//! queue-generic workspace, the parallel precomputation pipeline and the
+//! SPQ first-hop/quadtree fast path must all agree exactly with their
+//! serial / naive references on random generated networks.
 
 use proptest::prelude::*;
 use spair::prelude::*;
@@ -9,8 +9,9 @@ use spair_core::BorderPrecomputation;
 use spair_roadnet::dijkstra::{
     dijkstra_with_options, DijkstraOptions, DijkstraWorkspace, Direction,
 };
+use spair_roadnet::first_hop::{first_hops_from_tree, first_hops_from_workspace, NO_FIRST_HOP};
 use spair_roadnet::generators::GeneratorConfig;
-use spair_roadnet::{dijkstra_full, NodeId, QueuePolicy};
+use spair_roadnet::{dijkstra_full, NodeId, QueuePolicy, Weight};
 
 fn arb_network() -> impl Strategy<Value = RoadNetwork> {
     (30usize..160, 0u64..1000, 0.05f64..0.6).prop_map(|(nodes, seed, extra)| {
@@ -22,6 +23,37 @@ fn arb_network() -> impl Strategy<Value = RoadNetwork> {
         }
         .generate()
     })
+}
+
+/// A random connected graph with tiny weights drawn from `{0, 1, 2}` —
+/// zero-weight edges and massed shortest-path ties, the adversarial
+/// input for the first-hop sweep's tie rule.
+fn arb_tie_network() -> impl Strategy<Value = RoadNetwork> {
+    (
+        10usize..70,
+        0u64..1000,
+        proptest::collection::vec(0u32..3, 512),
+    )
+        .prop_map(|(nodes, seed, weights)| {
+            let mut w = weights.into_iter().cycle();
+            let mut next_w = move || w.next().expect("cycled") as Weight;
+            let mut b = GraphBuilder::new();
+            for i in 0..nodes {
+                b.add_node(Point::new((i % 8) as f64, (i / 8) as f64));
+            }
+            // Deterministic spanning chain + seed-spread chords.
+            for i in 1..nodes {
+                b.add_undirected_edge((i - 1) as NodeId, i as NodeId, next_w());
+            }
+            for k in 0..nodes {
+                let a = (seed as usize + k * 7) % nodes;
+                let c = (seed as usize / 3 + k * 13) % nodes;
+                if a != c {
+                    b.add_edge(a as NodeId, c as NodeId, next_w());
+                }
+            }
+            b.finish()
+        })
 }
 
 proptest! {
@@ -103,6 +135,71 @@ proptest! {
         prop_assert!(serial.same_tables(&par), "threads {} diverged", threads);
     }
 
+    /// Differential first-hop test: the one-sweep DP over the settle
+    /// order must color every node exactly as per-target path
+    /// reconstruction from a fresh full Dijkstra does — including across
+    /// zero-weight edges and shortest-path ties, where both sides must
+    /// commit to `dijkstra_full`'s parents (strict-improvement rule;
+    /// first matching out-edge position of the root).
+    #[test]
+    fn first_hop_dp_matches_full_dijkstra_colors(
+        g in arb_tie_network(),
+        root_pick in 0usize..10_000,
+    ) {
+        let root = (root_pick % g.num_nodes()) as NodeId;
+        let tree = dijkstra_full(&g, root);
+        let mut dp = vec![0u8; g.num_nodes()];
+        first_hops_from_tree(&g, &tree, &mut dp);
+
+        // The workspace-driven sweep (the SPQ build's production path)
+        // must agree with the tree-driven one.
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        ws.run(&g, root, Direction::Forward);
+        let mut dp_ws = vec![0u8; g.num_nodes()];
+        first_hops_from_workspace(&g, &ws, &mut dp_ws);
+        prop_assert_eq!(&dp, &dp_ws, "workspace sweep diverged from tree sweep");
+
+        let first_edges: Vec<NodeId> = g.out_edges(root).map(|(u, _)| u).collect();
+        for t in g.node_ids() {
+            let want = if t == root {
+                NO_FIRST_HOP
+            } else {
+                match tree.path_to(t) {
+                    Some(path) => {
+                        let i = first_edges
+                            .iter()
+                            .position(|&x| x == path[1])
+                            .expect("path's first hop is a root out-edge");
+                        // Same >= 255 guard as the production seed_color.
+                        if i < NO_FIRST_HOP as usize {
+                            i as u8
+                        } else {
+                            NO_FIRST_HOP
+                        }
+                    }
+                    None => NO_FIRST_HOP,
+                }
+            };
+            prop_assert_eq!(dp[t as usize], want, "root {} target {}", root, t);
+        }
+    }
+
+    /// The SPQ fast path (workspace + first-hop sweep + quadtree
+    /// template) must reproduce the naive per-root builder tree-for-tree
+    /// on random networks, and the parallel fan-out must stay
+    /// bit-identical to serial.
+    #[test]
+    fn spq_fast_build_matches_reference(
+        g in arb_network(),
+        threads in 2usize..6,
+    ) {
+        let fast = SpqIndex::build_serial(&g);
+        let slow = SpqIndex::build_reference(&g);
+        prop_assert!(fast.same_trees(&slow), "template build diverged from reference");
+        let par = SpqIndex::build_with_threads(&g, threads);
+        prop_assert!(fast.same_trees(&par), "threads {} diverged", threads);
+    }
+
     /// The parallel pipeline feeds EB/NR unchanged: a client query over
     /// a parallel-built program still matches plain Dijkstra.
     #[test]
@@ -123,5 +220,28 @@ proptest! {
             out.ok().map(|o| o.distance),
             spair_roadnet::dijkstra_distance(&g, s, t)
         );
+    }
+}
+
+/// The CI determinism gate for the SPQ build: byte-identical indexes for
+/// worker counts 1, 2 and 4, on a grid-topology network and on a
+/// germany-class preset topology (the paper-scale cell's graph family).
+#[test]
+fn spq_build_is_thread_deterministic_on_grid_and_preset() {
+    let graphs = [
+        spair_roadnet::generators::small_grid(9, 9, 7),
+        NetworkPreset::Germany
+            .config_for_nodes(9001, 500)
+            .generate(),
+    ];
+    for (gi, g) in graphs.iter().enumerate() {
+        let serial = SpqIndex::build_with_threads(g, 1);
+        for threads in [2usize, 4] {
+            let par = SpqIndex::build_with_threads(g, threads);
+            assert!(
+                serial.same_trees(&par),
+                "graph {gi}: threads {threads} diverged from serial"
+            );
+        }
     }
 }
