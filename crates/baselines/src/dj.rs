@@ -55,10 +55,12 @@ impl<'a> DjServer<'a> {
     }
 }
 
-/// Receives every packet of one full cycle starting now, ingesting data
-/// payloads; lost packets are re-received in later cycles (§6.2). Returns
-/// the store, or `None` if the retry budget is exhausted.
-pub(crate) fn receive_whole_cycle(
+/// Receives every packet of one full cycle starting now, handing each
+/// payload to `on_payload`; lost packets are re-received in later cycles
+/// (§6.2). Errors if the retry budget is exhausted. Shared by every
+/// whole-cycle client (DJ here; the A*/bidirectional air methods reuse
+/// it through `spair-methods`).
+pub fn receive_whole_cycle(
     ch: &mut BroadcastChannel<'_>,
     mem: &mut MemoryMeter,
     mut on_payload: impl FnMut(PacketKind, &[u8], &mut MemoryMeter),

@@ -6,7 +6,7 @@
 //! the individual building blocks so regressions are visible in isolation.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use spair_bench::{random_queries, Method, Programs, World};
+use spair_bench::{random_queries, Method, Programs, World, PER_QUERY_METHODS};
 use spair_broadcast::{BroadcastChannel, LossModel};
 use spair_partition::{KdTreePartition, Partitioning};
 use spair_roadnet::{dijkstra_full, dijkstra_to_target, NetworkPreset};
@@ -36,16 +36,20 @@ fn bench_precompute(c: &mut Criterion) {
 
 fn bench_program_builds(c: &mut Criterion) {
     let world = bench_world();
-    c.bench_function("server/eb_program", |b| b.iter(|| world.eb()));
-    c.bench_function("server/nr_program", |b| b.iter(|| world.nr()));
+    c.bench_function("server/eb_program", |b| {
+        b.iter(|| spair_core::EbServer::new(&world.g, &world.part, &world.pre).build_program())
+    });
+    c.bench_function("server/nr_program", |b| {
+        b.iter(|| spair_core::NrServer::new(&world.g, &world.part, &world.pre).build_program())
+    });
 }
 
 fn bench_clients(c: &mut Criterion) {
     let world = bench_world();
     let programs = Programs::build_tuned(&world, 8, 4);
     let queries = random_queries(&world.g, 16, 7);
-    for m in Method::ALL {
-        c.bench_function(&format!("client/{}", m.name()), |b| {
+    for m in PER_QUERY_METHODS {
+        c.bench_function(&format!("client/{}", m.label()), |b| {
             let cycle = programs.cycle(m);
             let mut i = 0usize;
             b.iter_batched(
@@ -69,13 +73,13 @@ fn bench_lossy_client(c: &mut Criterion) {
     let programs = Programs::build_tuned(&world, 8, 4);
     let q = random_queries(&world.g, 1, 11)[0];
     c.bench_function("client/NR_loss_5pct", |b| {
-        let cycle = programs.cycle(Method::Nr);
+        let cycle = programs.cycle(Method::NR);
         let mut seed = 0u64;
         b.iter_batched(
             || {
                 seed += 1;
                 (
-                    programs.client(Method::Nr),
+                    programs.client(Method::NR),
                     LossModel::bernoulli(0.05, seed),
                 )
             },
@@ -162,9 +166,9 @@ fn bench_extensions(c: &mut Criterion) {
     let dst = OnEdgePoint::at_node(&world.g, q.target);
     c.bench_function("client/on_edge_via_nr", |b| {
         b.iter(|| {
-            let mut client = programs.client(Method::Nr);
+            let mut client = programs.client(Method::NR);
             on_edge_query(&src, &dst, |q| {
-                let mut ch = BroadcastChannel::lossless(programs.cycle(Method::Nr));
+                let mut ch = BroadcastChannel::lossless(programs.cycle(Method::NR));
                 client.query(&mut ch, q)
             })
             .unwrap()

@@ -17,10 +17,6 @@
 //! the networks are synthetic with the paper's sizes, and the host is not
 //! a 2010 J2ME handset. See EXPERIMENTS.md for the recorded comparison.
 
-use spair_baselines::hiti::HiTiIndex;
-use spair_baselines::hiti_air::HiTiAirServer;
-use spair_baselines::spq::SpqIndex;
-use spair_baselines::spq_air::SpqAirServer;
 use spair_bench::*;
 use spair_broadcast::{ChannelRate, DeviceProfile, EnergyModel};
 use spair_core::memory_bound::MemoryBoundProcessor;
@@ -118,22 +114,23 @@ fn table1(opts: &Opts) {
     );
     let world = default_world(opts);
     let programs = Programs::build(&world);
+    let registry = MethodRegistry::standard();
     eprintln!("  building HiTi hierarchy...");
-    let hiti = HiTiIndex::build(&world.g, 8, 3);
-    let hiti_program = HiTiAirServer::new(&world.g, &hiti).build_program();
+    let hiti = registry.get("hiti_air").expect("registered");
+    let hiti_len = programs.cycle(hiti).len();
     eprintln!("  building SPQ quadtrees (one Dijkstra per node)...");
-    let spq = SpqIndex::build(&world.g);
-    let spq_program = SpqAirServer::new(&world.g, &spq).build_program();
-    let dj_len = programs.cycle(Method::Dj).len();
+    let spq = registry.get("spq_air").expect("registered");
+    let spq_len = programs.cycle(spq).len();
+    let dj_len = programs.cycle(Method::DJ).len();
 
     let rows: Vec<(&str, usize)> = vec![
         ("Dijkstra (DJ)", dj_len),
-        ("NR", programs.cycle(Method::Nr).len()),
-        ("EB", programs.cycle(Method::Eb).len()),
-        ("Landmark (LD)", programs.cycle(Method::Ld).len()),
-        ("ArcFlag (AF)", programs.cycle(Method::Af).len()),
-        ("SPQ", spq_program.cycle().len()),
-        ("HiTi", hiti_program.cycle().len()),
+        ("NR", programs.cycle(Method::NR).len()),
+        ("EB", programs.cycle(Method::EB).len()),
+        ("Landmark (LD)", programs.cycle(Method::LD).len()),
+        ("ArcFlag (AF)", programs.cycle(Method::AF).len()),
+        ("SPQ", spq_len),
+        ("HiTi", hiti_len),
     ];
     println!(
         "{:<16} {:>10} {:>14} {:>16}",
@@ -168,7 +165,7 @@ fn table2(opts: &Opts) {
         let programs = Programs::build(&world);
         let queries = random_queries(&world.g, n_queries, opts.seed + 1);
         let mut marks = Vec::new();
-        for m in [Method::Af, Method::Ld, Method::Dj, Method::Eb, Method::Nr] {
+        for m in [Method::AF, Method::LD, Method::DJ, Method::EB, Method::NR] {
             let results = run_method(&programs, m, &queries, 0.0, opts.seed + 2);
             let peak = results
                 .iter()
@@ -196,29 +193,17 @@ fn table2(opts: &Opts) {
     // the smallest network instead of asserting it.
     println!("\n-- extension: measured HiTi/SPQ peak memory on Milan --");
     let world = World::build(NetworkPreset::Milan, opts.scale, EB_REGIONS, opts.seed);
+    let programs = Programs::build(&world);
     let queries = random_queries(&world.g, 5, opts.seed + 3);
-    let hiti = HiTiIndex::build(&world.g, 8, 3);
-    let hiti_program = HiTiAirServer::new(&world.g, &hiti).build_program();
-    let spq = SpqIndex::build(&world.g);
-    let spq_program = SpqAirServer::new(&world.g, &spq).build_program();
-    for (name, peak) in [
-        (
-            "HiTi",
-            run_air_client(
-                &mut spair_baselines::HiTiAirClient::new(),
-                hiti_program.cycle(),
-                &queries,
-            ),
-        ),
-        (
-            "SPQ",
-            run_air_client(
-                &mut spair_baselines::SpqClient::new(spq_program.bbox()),
-                spq_program.cycle(),
-                &queries,
-            ),
-        ),
-    ] {
+    let registry = MethodRegistry::standard();
+    let mut rows = Vec::new();
+    for (name, method) in [("HiTi", "hiti_air"), ("SPQ", "spq_air")] {
+        let m = registry.get(method).expect("registered");
+        let cycle = programs.cycle(m);
+        let mut client = programs.client(m);
+        rows.push((name, run_air_client(client.as_mut(), cycle, &queries)));
+    }
+    for (name, peak) in rows {
         println!(
             "{:<6} peak {:>8.3} MB vs heap {:>8.3} MB  -> {}",
             name,
@@ -265,8 +250,8 @@ fn table3(opts: &Opts) {
             "{:<14} {:>10.3} {:>10.3} {:>10.3}",
             preset.name(),
             world.pre.precompute_secs,
-            programs.af_secs,
-            programs.ld_secs,
+            programs.precompute_secs(Method::AF),
+            programs.precompute_secs(Method::LD),
         );
     }
 }
@@ -292,7 +277,7 @@ fn fig10(opts: &Opts) {
     let bucket_of = |d: u64| -> usize { ((4 * d) / (diameter + 1)).min(3) as usize };
     let mut per_method: Vec<[Averages; 4]> = Vec::new();
     let mut energy: Vec<f64> = Vec::new();
-    for m in Method::ALL {
+    for m in PER_QUERY_METHODS {
         let results = run_method(&programs, m, &queries, 0.0, opts.seed + 11);
         let mut buckets = [Averages::default(); 4];
         let mut joules = 0.0;
@@ -324,14 +309,14 @@ fn fig10(opts: &Opts) {
             "{:<10} {:>10} {:>10} {:>10} {:>10}",
             "Method", "Q1", "Q2", "Q3", "Q4"
         );
-        for (mi, m) in Method::ALL.iter().enumerate() {
+        for (mi, m) in PER_QUERY_METHODS.iter().enumerate() {
             let row: Vec<String> = per_method[mi].iter().map(f).collect();
-            println!("{:<10} {}", m.name(), row.join(" "));
+            println!("{:<10} {}", m.label(), row.join(" "));
         }
     }
     println!("\n-- extension: mean energy per query (J, 384Kbps, WaveLAN/ARM) --");
-    for (mi, m) in Method::ALL.iter().enumerate() {
-        println!("{:<10} {:>10.3}", m.name(), energy[mi]);
+    for (mi, m) in PER_QUERY_METHODS.iter().enumerate() {
+        println!("{:<10} {:>10.3}", m.label(), energy[mi]);
     }
 }
 
@@ -350,8 +335,8 @@ fn fig11(opts: &Opts) {
         // everywhere but it simply shows its (growing) cost.
         let programs = Programs::build_tuned(&world, regions.min(64), landmarks);
         let queries = random_queries(&world.g, n_queries, opts.seed + 20);
-        for m in Method::ALL {
-            if m == Method::Af && regions > 16 {
+        for m in PER_QUERY_METHODS {
+            if m == Method::AF && regions > 16 {
                 continue; // paper: heap-infeasible beyond 16
             }
             let results = run_method(&programs, m, &queries, 0.0, opts.seed + 21);
@@ -359,10 +344,12 @@ fn fig11(opts: &Opts) {
             for (_, s) in &results {
                 avg.push(s);
             }
-            let label = match m {
-                Method::Ld => format!("{}@{}", m.name(), landmarks),
-                Method::Dj => m.name().to_string(),
-                _ => format!("{}@{}", m.name(), regions),
+            let label = if m == Method::LD {
+                format!("{}@{}", m.label(), landmarks)
+            } else if m == Method::DJ {
+                m.label().to_string()
+            } else {
+                format!("{}@{}", m.label(), regions)
             };
             println!(
                 "{:<22} {:>10.0} {:>12.3} {:>10.0} {:>10.3}",
@@ -389,7 +376,7 @@ fn fig12(opts: &Opts) {
         let world = World::build(preset, opts.scale, EB_REGIONS, opts.seed);
         let programs = Programs::build(&world);
         let queries = random_queries(&world.g, n_queries, opts.seed + 30);
-        for m in Method::ALL {
+        for m in PER_QUERY_METHODS {
             let results = run_method(&programs, m, &queries, 0.0, opts.seed + 31);
             let mut avg = Averages::default();
             for (_, s) in &results {
@@ -403,7 +390,7 @@ fn fig12(opts: &Opts) {
             println!(
                 "{:<14} {:<10} {:>10.0} {:>12.3} {:>10.0} {:>10.3}{}",
                 preset.name(),
-                m.name(),
+                m.label(),
                 avg.tuning,
                 avg.peak_memory as f64 / (1024.0 * 1024.0),
                 avg.latency,
@@ -526,7 +513,7 @@ fn ablations(opts: &Opts) {
     // (a) cross-border split: actual EB tuning vs tuning had the client
     // received the local segments of non-terminal regions too.
     let programs = Programs::build(&world);
-    let results = run_method(&programs, Method::Eb, &queries, 0.0, opts.seed + 61);
+    let results = run_method(&programs, Method::EB, &queries, 0.0, opts.seed + 61);
     let mut with_split = 0f64;
     let mut without_split = 0f64;
     for (q, (_, s)) in queries.iter().zip(&results) {
@@ -563,8 +550,8 @@ fn ablations(opts: &Opts) {
 
     // (b) (1,m) replication sweep for EB-style cycles.
     println!("b) (1,m) sweep: cycle length grows with m, wait-for-index shrinks");
-    let eb_index = programs.eb.index_packets();
-    let data = programs.cycle(Method::Eb).len() - programs.eb.replication() * eb_index;
+    let eb_index = programs.eb().index_packets();
+    let data = programs.cycle(Method::EB).len() - programs.eb().replication() * eb_index;
     for m in [1usize, 2, 4, 8, 16, 32] {
         let cycle = data + m * eb_index;
         let mean_wait = cycle as f64 / (2.0 * m as f64);
@@ -572,7 +559,7 @@ fn ablations(opts: &Opts) {
             "   m={m:>2}: cycle {:>7} packets, mean wait for index {:>8.0} packets{}",
             fmt_thousands(cycle),
             mean_wait,
-            if m == programs.eb.replication() {
+            if m == programs.eb().replication() {
                 "   <- optimal m used"
             } else {
                 ""
@@ -703,8 +690,8 @@ fn fig14(opts: &Opts) {
             print!(" {:>9.1}%", r * 100.0);
         }
         println!();
-        for m in Method::ALL {
-            print!("{:<10}", m.name());
+        for m in PER_QUERY_METHODS {
+            print!("{:<10}", m.label());
             for rate in rates {
                 let results = run_method(&programs, m, &queries, rate, opts.seed + 51);
                 let mut avg = Averages::default();
@@ -728,8 +715,8 @@ fn fig14(opts: &Opts) {
         print!(" {:>9.1}%", r * 100.0);
     }
     println!();
-    for m in Method::ALL {
-        print!("{:<10}", m.name());
+    for m in PER_QUERY_METHODS {
+        print!("{:<10}", m.label());
         for rate in rates {
             let seed = opts.seed + 52;
             let results = run_method_with_loss(&programs, m, &queries, seed, |i| {

@@ -8,21 +8,26 @@
 //! EB 32, NR 32 regions; LD 4 landmarks on the default network), and N
 //! shortest-path queries between uniformly random node pairs, each posed
 //! at a uniformly random tune-in instant.
+//!
+//! Methods come from `spair_methods::MethodRegistry`: [`Programs`] is a
+//! thin wrapper over a registry [`ProgramSet`] (lazy per-method
+//! programs), and the old five-variant `Method` enum is gone — a method
+//! handle is a registry [`MethodId`], and [`PER_QUERY_METHODS`] names
+//! the paper's per-query chart set.
 
 #![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spair_baselines::arcflag::{ArcFlagClient, ArcFlagIndex, ArcFlagProgram, ArcFlagServer};
-use spair_baselines::dj::{DjClient, DjProgram, DjServer};
-use spair_baselines::landmark::{LandmarkClient, LandmarkIndex, LandmarkProgram, LandmarkServer};
 use spair_broadcast::{BroadcastChannel, BroadcastCycle, LossModel, QueryStats};
 use spair_core::query::AirClient;
-use spair_core::{
-    BorderPrecomputation, EbClient, EbProgram, EbServer, NrClient, NrProgram, NrServer, Query,
-};
-use spair_partition::KdTreePartition;
-use spair_roadnet::{dijkstra_full, Distance, NetworkPreset, NodeId, RoadNetwork};
+use spair_core::Query;
+use spair_methods::eb::EbMethodProgram;
+use spair_methods::ProgramSet;
+use spair_roadnet::{dijkstra_full, Distance, NodeId, QueuePolicy, RoadNetwork};
+
+pub use spair_core::EbProgram;
+pub use spair_methods::{MethodId as Method, MethodRegistry, Tuning, World};
 
 /// Default scale factor for experiment networks (the evaluation host is a
 /// single core; `--full` restores 1.0).
@@ -39,36 +44,9 @@ pub const LD_LANDMARKS: usize = 4;
 /// Queries per experiment in the paper.
 pub const PAPER_QUERIES: usize = 400;
 
-/// A generated network with its partitioning and precomputation products.
-pub struct World {
-    /// The road network.
-    pub g: RoadNetwork,
-    /// Kd partitioning for EB/NR.
-    pub part: KdTreePartition,
-    /// Border-pair precomputation shared by EB and NR.
-    pub pre: BorderPrecomputation,
-}
-
-impl World {
-    /// Builds the world for a preset at `scale`, partitioned into
-    /// `regions` kd regions.
-    pub fn build(preset: NetworkPreset, scale: f64, regions: usize, seed: u64) -> Self {
-        let g = preset.scaled_config(seed, scale).generate();
-        let part = KdTreePartition::build(&g, regions);
-        let pre = BorderPrecomputation::run(&g, &part);
-        Self { g, part, pre }
-    }
-
-    /// EB broadcast program.
-    pub fn eb(&self) -> EbProgram {
-        EbServer::new(&self.g, &self.part, &self.pre).build_program()
-    }
-
-    /// NR broadcast program.
-    pub fn nr(&self) -> NrProgram {
-        NrServer::new(&self.g, &self.part, &self.pre).build_program()
-    }
-}
+/// The methods of the paper's per-query experiments, in chart order.
+pub const PER_QUERY_METHODS: [Method; 5] =
+    [Method::NR, Method::EB, Method::DJ, Method::LD, Method::AF];
 
 /// `n` random distinct-source/target queries.
 pub fn random_queries(g: &RoadNetwork, n: usize, seed: u64) -> Vec<Query> {
@@ -102,104 +80,66 @@ pub fn approx_diameter(g: &RoadNetwork) -> Distance {
         .unwrap_or(0)
 }
 
-/// The methods that run per-query experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// Next Region (the paper's best method).
-    Nr,
-    /// Elliptic Boundary.
-    Eb,
-    /// Dijkstra on air.
-    Dj,
-    /// Landmark / ALT.
-    Ld,
-    /// ArcFlag.
-    Af,
-}
-
-impl Method {
-    /// All per-query methods, in the paper's chart order.
-    pub const ALL: [Method; 5] = [Method::Nr, Method::Eb, Method::Dj, Method::Ld, Method::Af];
-
-    /// Chart label.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Method::Nr => "NR",
-            Method::Eb => "EB",
-            Method::Dj => "Dijkstra",
-            Method::Ld => "Landmark",
-            Method::Af => "ArcFlag",
-        }
-    }
-}
-
-/// All five broadcast programs for one network (kept together so
-/// experiments can iterate methods uniformly).
+/// Registry-backed broadcast programs for one world (kept together so
+/// experiments can iterate methods uniformly). Programs build lazily on
+/// first use; [`Programs::build`]/[`Programs::build_tuned`] pre-build
+/// the paper's five per-query methods.
 pub struct Programs {
-    /// NR program.
-    pub nr: NrProgram,
-    /// EB program.
-    pub eb: EbProgram,
-    /// DJ program.
-    pub dj: DjProgram,
-    /// Landmark program.
-    pub ld: LandmarkProgram,
-    /// Landmark precompute seconds.
-    pub ld_secs: f64,
-    /// ArcFlag program.
-    pub af: ArcFlagProgram,
-    /// ArcFlag precompute seconds.
-    pub af_secs: f64,
-    af_regions: usize,
+    set: ProgramSet,
 }
 
 impl Programs {
-    /// Builds all five programs with the paper's fine-tuned parameters.
+    /// Builds the per-query programs with the paper's fine-tuned
+    /// parameters.
     pub fn build(world: &World) -> Self {
         Self::build_tuned(world, AF_REGIONS, LD_LANDMARKS)
     }
 
     /// Builds with explicit AF region / LD landmark counts (Figure 11).
     pub fn build_tuned(world: &World, af_regions: usize, landmarks: usize) -> Self {
-        let ld_index = LandmarkIndex::build(&world.g, landmarks);
-        let ld_secs = ld_index.precompute_secs;
-        let ld = LandmarkServer::new(&world.g, &ld_index).build_program();
-        let af_part = KdTreePartition::build(&world.g, af_regions);
-        let af_index = ArcFlagIndex::build(&world.g, &af_part);
-        let af_secs = af_index.precompute_secs;
-        let af = ArcFlagServer::new(&world.g, &af_part, &af_index).build_program();
-        Self {
-            nr: world.nr(),
-            eb: world.eb(),
-            dj: DjServer::new(&world.g).build_program(),
-            ld,
-            ld_secs,
-            af,
-            af_secs,
-            af_regions,
+        let set = ProgramSet::new(world.clone().with_tuning(Tuning {
+            af_regions: Some(af_regions),
+            ld_landmarks: landmarks,
+            ..Tuning::default()
+        }));
+        for m in PER_QUERY_METHODS {
+            set.ensure(m);
         }
+        Self { set }
     }
 
-    /// Cycle of a method.
+    /// The underlying registry program set (any registered method can be
+    /// built against this world through it).
+    pub fn set(&self) -> &ProgramSet {
+        &self.set
+    }
+
+    /// Cycle of a method (building its program on first use).
     pub fn cycle(&self, m: Method) -> &BroadcastCycle {
-        match m {
-            Method::Nr => self.nr.cycle(),
-            Method::Eb => self.eb.cycle(),
-            Method::Dj => self.dj.cycle(),
-            Method::Ld => self.ld.cycle(),
-            Method::Af => self.af.cycle(),
-        }
+        self.set.ensure(m).cycle().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fresh client for a method.
     pub fn client(&self, m: Method) -> Box<dyn AirClient> {
-        match m {
-            Method::Nr => Box::new(NrClient::new(self.nr.summary())),
-            Method::Eb => Box::new(EbClient::new(self.eb.summary())),
-            Method::Dj => Box::new(DjClient::new()),
-            Method::Ld => Box::new(LandmarkClient::new()),
-            Method::Af => Box::new(ArcFlagClient::new(self.af_regions)),
-        }
+        self.set
+            .ensure(m)
+            .make_client(QueuePolicy::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Server precompute seconds of a method's index build (Table 3).
+    pub fn precompute_secs(&self, m: Method) -> f64 {
+        self.set.ensure(m).precompute_secs()
+    }
+
+    /// The concrete EB program (replication / index-packet ablations).
+    pub fn eb(&self) -> &EbProgram {
+        self.set
+            .ensure(Method::EB)
+            .as_any()
+            .downcast_ref::<EbMethodProgram>()
+            .expect("EB slot holds the EB program")
+            .program()
     }
 }
 
@@ -269,7 +209,7 @@ pub fn run_method_with_loss(
             let mut ch = BroadcastChannel::tune_in(cycle, offset, loss_for(i));
             let out = client
                 .query(&mut ch, q)
-                .unwrap_or_else(|e| panic!("{} failed on query {i}: {e}", method.name()));
+                .unwrap_or_else(|e| panic!("{} failed on query {i}: {e}", method.label()));
             (out.distance, out.stats)
         })
         .collect()
@@ -291,13 +231,15 @@ pub fn fmt_thousands(v: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spair_core::BorderPrecomputation;
+    use spair_partition::KdTreePartition;
     use spair_roadnet::dijkstra_distance;
 
     fn tiny_world() -> World {
         let g = spair_roadnet::generators::small_grid(10, 10, 7);
         let part = KdTreePartition::build(&g, 8);
         let pre = BorderPrecomputation::run(&g, &part);
-        World { g, part, pre }
+        World::from_parts(g, part, pre)
     }
 
     #[test]
@@ -309,10 +251,10 @@ mod tests {
             .iter()
             .map(|q| dijkstra_distance(&world.g, q.source, q.target).unwrap())
             .collect();
-        for m in Method::ALL {
+        for m in PER_QUERY_METHODS {
             let results = run_method(&programs, m, &queries, 0.0, 1);
             for (i, (d, _)) in results.iter().enumerate() {
-                assert_eq!(*d, reference[i], "{} query {i}", m.name());
+                assert_eq!(*d, reference[i], "{} query {i}", m.label());
             }
         }
     }
@@ -326,12 +268,42 @@ mod tests {
             .iter()
             .map(|q| dijkstra_distance(&world.g, q.source, q.target).unwrap())
             .collect();
-        for m in Method::ALL {
+        for m in PER_QUERY_METHODS {
             let results = run_method(&programs, m, &queries, 0.05, 2);
             for (i, (d, _)) in results.iter().enumerate() {
-                assert_eq!(*d, reference[i], "{} query {i}", m.name());
+                assert_eq!(*d, reference[i], "{} query {i}", m.label());
             }
         }
+    }
+
+    #[test]
+    fn any_registered_method_runs_through_the_same_harness() {
+        // The paper's chart set is a *subset*: every registered air
+        // method — including ones added after this harness was written —
+        // drives through the identical run_method path.
+        let world = tiny_world();
+        let programs = Programs::build_tuned(&world, 4, 2);
+        let queries = random_queries(&world.g, 3, 5);
+        let reference: Vec<_> = queries
+            .iter()
+            .map(|q| dijkstra_distance(&world.g, q.source, q.target).unwrap())
+            .collect();
+        for m in MethodRegistry::standard().air_methods() {
+            let results = run_method(&programs, m, &queries, 0.0, 4);
+            for (i, (d, _)) in results.iter().enumerate() {
+                assert_eq!(*d, reference[i], "{} query {i}", m.label());
+            }
+        }
+    }
+
+    #[test]
+    fn eb_downcast_exposes_the_concrete_program() {
+        let world = tiny_world();
+        let programs = Programs::build_tuned(&world, 4, 2);
+        let eb = programs.eb();
+        assert!(eb.replication() >= 1);
+        assert!(eb.index_packets() > 0);
+        assert_eq!(eb.cycle().len(), programs.cycle(Method::EB).len());
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! either
 //!
 //! * downloads the whole cycle from wherever it tuned in (DJ, LD, AF,
-//!   SPQ) — its §3.1 stats are independent of the tune-in offset — or
+//!   SPQ, and the registry-registered A*/bidirectional clients) — its
+//!   §3.1 stats are independent of the tune-in offset — or
 //! * listens to exactly one packet, follows that packet's next-index
 //!   pointer, and sleeps to the pointed-at index copy (NR, EB, HiTi via
 //!   `find_next_index`) — from that *anchor* on, the session is a pure
@@ -43,8 +44,9 @@ use spair_broadcast::{
     BroadcastChannel, BroadcastCycle, ChannelRate, EnergyModel, LossModel, QueryStats,
 };
 use spair_core::query::Query;
+use spair_methods::{MethodId, SessionShape};
 use spair_roadnet::{parallel, Distance};
-use spair_sim::{MethodKind, ScenarioContext, WorkItem};
+use spair_sim::{ScenarioContext, WorkItem};
 use std::time::Instant;
 
 /// SplitMix64 — the same seed-derivation PRNG the scenario engine uses.
@@ -59,40 +61,27 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn method_ordinal(method: MethodKind) -> u64 {
-    MethodKind::ALL
-        .iter()
-        .position(|m| *m == method)
-        .expect("method in ALL") as u64
+fn cell_seed(scenario_seed: u64, method: MethodId) -> u64 {
+    splitmix64(scenario_seed ^ splitmix64(u64::from(method.ordinal()).wrapping_add(0x10AD)))
 }
 
-fn cell_seed(scenario_seed: u64, method: MethodKind) -> u64 {
-    splitmix64(scenario_seed ^ splitmix64(method_ordinal(method).wrapping_add(0x10AD)))
+/// The consumption shape of an air client method — read straight off its
+/// registry descriptor (the old per-method `match` with its
+/// `unreachable!` arm is gone; `LoadSpec::validate` rejects shapeless
+/// methods with a typed error before any cell is prepared).
+pub fn session_shape(method: MethodId) -> SessionShape {
+    method.descriptor().shape.unwrap_or_else(|| {
+        panic!(
+            "{}: no session shape; rejected by LoadSpec::validate",
+            method
+        )
+    })
 }
 
-/// How a method's client consumes the cycle — which decides how a
-/// lossless session replays across tune-in offsets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SessionShape {
-    /// Downloads one full cycle from the tune-in offset; stats are
-    /// offset-independent (DJ, LD, AF, SPQ).
-    WholeCycle,
-    /// Listens to one packet, then sleeps to the pointed-at index copy;
-    /// the continuation depends only on (query, anchor) (NR, EB, HiTi).
-    Anchored,
-}
-
-/// The consumption shape of an air client method.
-pub fn session_shape(method: MethodKind) -> SessionShape {
-    match method {
-        MethodKind::Dj | MethodKind::Ld | MethodKind::Af | MethodKind::SpqAir => {
-            SessionShape::WholeCycle
-        }
-        MethodKind::Nr | MethodKind::Eb | MethodKind::HiTiAir => SessionShape::Anchored,
-        MethodKind::NrMemBound | MethodKind::KnnAir => {
-            unreachable!("not an air client method; rejected by LoadSpec::validate")
-        }
-    }
+/// The air cycle of a validated cell's method.
+fn air_cycle(ctx: &ScenarioContext, method: MethodId) -> &BroadcastCycle {
+    ctx.cycle(method)
+        .unwrap_or_else(|e| panic!("LoadSpec::validate admits only air methods: {e}"))
 }
 
 /// One real client session's measurements, recorded at a class
@@ -160,7 +149,7 @@ fn class_count(shape: SessionShape, anchors: &[usize]) -> usize {
 /// One (scenario × method) cell, ready to serve its population.
 pub struct PreparedCell {
     scenario_idx: usize,
-    method: MethodKind,
+    method: MethodId,
     population: usize,
     mode: CellMode,
     profile_secs: f64,
@@ -168,7 +157,7 @@ pub struct PreparedCell {
 
 impl PreparedCell {
     /// The method serving this cell.
-    pub fn method(&self) -> MethodKind {
+    pub fn method(&self) -> MethodId {
         self.method
     }
 
@@ -208,8 +197,8 @@ fn query_pool(ctx: &ScenarioContext) -> Vec<(Query, Distance)> {
 
 /// Ascending start offsets of the cycle's index copies — the anchor set
 /// of [`SessionShape::Anchored`] clients.
-fn index_starts(ctx: &ScenarioContext, method: MethodKind) -> Vec<usize> {
-    ctx.cycle(method)
+fn index_starts(ctx: &ScenarioContext, method: MethodId) -> Vec<usize> {
+    air_cycle(ctx, method)
         .segments()
         .iter()
         .filter(|s| {
@@ -226,14 +215,16 @@ fn index_starts(ctx: &ScenarioContext, method: MethodKind) -> Vec<usize> {
 /// Runs one real lossless session and records its profile.
 fn probe_session(
     ctx: &ScenarioContext,
-    method: MethodKind,
+    method: MethodId,
     query: &Query,
     oracle: Distance,
     offset: usize,
 ) -> SessionProfile {
-    let cycle = ctx.cycle(method);
+    let cycle = air_cycle(ctx, method);
     let mut ch = BroadcastChannel::tune_in(cycle, offset, LossModel::Lossless);
-    let mut client = ctx.client(method);
+    let mut client = ctx
+        .client(method)
+        .unwrap_or_else(|e| panic!("LoadSpec::validate admits only air methods: {e}"));
     match client.query(&mut ch, query) {
         Ok(out) => SessionProfile {
             tuning: out.stats.tuning_packets,
@@ -254,10 +245,10 @@ fn probe_session(
 
 /// Builds the profile table for a lossless cell: one real session per
 /// (query × anchor class), fanned out deterministically across threads.
-fn build_profiles(ctx: &ScenarioContext, method: MethodKind, threads: usize) -> CellMode {
+fn build_profiles(ctx: &ScenarioContext, method: MethodId, threads: usize) -> CellMode {
     let shape = session_shape(method);
     let pool = query_pool(ctx);
-    let len = ctx.cycle(method).len();
+    let len = air_cycle(ctx, method).len();
     let anchors = match shape {
         SessionShape::WholeCycle => Vec::new(),
         SessionShape::Anchored => index_starts(ctx, method),
@@ -308,7 +299,9 @@ fn build_profiles(ctx: &ScenarioContext, method: MethodKind, threads: usize) -> 
 /// the cheap, replayable part.
 pub fn prepare(specs: &[LoadSpec], threads: usize) -> PreparedLoad {
     for spec in specs {
-        spec.validate();
+        if let Err(e) = spec.validate() {
+            panic!("invalid load spec: {e}");
+        }
     }
     let contexts: Vec<ScenarioContext> = specs
         .iter()
@@ -361,7 +354,7 @@ impl PreparedLoad {
     }
 
     /// Index of the (scenario name × method) cell, if prepared.
-    pub fn cell_index(&self, scenario: &str, method: MethodKind) -> Option<usize> {
+    pub fn cell_index(&self, scenario: &str, method: MethodId) -> Option<usize> {
         self.cells.iter().position(|c| {
             self.specs[c.scenario_idx].scenario.name == scenario && c.method == method
         })
@@ -380,7 +373,7 @@ impl PreparedLoad {
     ) -> Option<(u64, u64, u64)> {
         let cell = &self.cells[cell];
         let ctx = &self.contexts[cell.scenario_idx];
-        let cycle = ctx.cycle(cell.method);
+        let cycle = air_cycle(ctx, cell.method);
         let CellMode::Replay {
             shape,
             anchors,
@@ -481,7 +474,7 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
     let start = Instant::now();
     let spec = &prep.specs[cell.scenario_idx];
     let ctx = &prep.contexts[cell.scenario_idx];
-    let cycle = ctx.cycle(cell.method);
+    let cycle = air_cycle(ctx, cell.method);
     let cycle_len = cycle.len();
     let pool = query_pool(ctx);
     let lossy = spec.scenario.loss.is_lossy();
@@ -496,7 +489,10 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
         // Exact-mode workers reuse one client device's buffers across
         // their sessions (each session still opens a fresh channel).
         || match &cell.mode {
-            CellMode::Exact => Some(ctx.client(cell.method)),
+            CellMode::Exact => Some(
+                ctx.client(cell.method)
+                    .unwrap_or_else(|e| panic!("LoadSpec::validate admits only air methods: {e}")),
+            ),
             CellMode::Replay { .. } => None,
         },
         || CellMetrics::new(cycle_len, lossy, rate),
@@ -595,9 +591,9 @@ mod tests {
 
     #[test]
     fn cell_seeds_differ_per_method_and_seed() {
-        let a = cell_seed(1, MethodKind::Nr);
-        let b = cell_seed(1, MethodKind::Eb);
-        let c = cell_seed(2, MethodKind::Nr);
+        let a = cell_seed(1, MethodId::NR);
+        let b = cell_seed(1, MethodId::EB);
+        let c = cell_seed(2, MethodId::NR);
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(b, c);
@@ -605,10 +601,10 @@ mod tests {
 
     #[test]
     fn shapes_cover_all_air_methods() {
-        for m in MethodKind::ALL {
-            if m.runs_paths() && m != MethodKind::NrMemBound {
-                let _ = session_shape(m); // must not panic
-            }
+        // Every servable method declares its shape on the descriptor;
+        // the registry's air set is exactly the servable set.
+        for m in spair_methods::MethodRegistry::standard().air_methods() {
+            let _ = session_shape(m); // must not panic
         }
     }
 

@@ -33,9 +33,11 @@ pub mod hist;
 pub mod report;
 pub mod spec;
 
-pub use harness::{prepare, run, session_shape, PreparedCell, PreparedLoad, SessionShape};
+pub use harness::{prepare, run, session_shape, PreparedCell, PreparedLoad};
 pub use hist::StreamingHistogram;
 pub use report::{LoadCellReport, LoadReport, PercentileSummary};
+pub use spair_methods::SessionShape;
 pub use spec::{
-    default_load_matrix, paper_scale_graph, smoke_load_matrix, LoadSpec, PAPER_SCALE_BASE_NODES,
+    default_load_matrix, paper_scale_graph, smoke_load_matrix, LoadSpec, LoadSpecError,
+    PAPER_SCALE_BASE_NODES,
 };

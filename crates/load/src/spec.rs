@@ -9,10 +9,9 @@
 //! serial-Dijkstra oracle for conformance).
 
 use spair_broadcast::{ChannelRate, DeviceProfile};
+use spair_methods::{MethodId, MethodRegistry, MethodUnavailable};
 use spair_roadnet::{NetworkPreset, QueuePolicy};
-use spair_sim::{
-    GraphSpec, LossSpec, MethodKind, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix,
-};
+use spair_sim::{GraphSpec, LossSpec, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix};
 
 /// Node count of the paper-scale load network at `--scale 1.0`: a
 /// "germany-class" topology (Germany's edge/node ratio from Table 2)
@@ -29,45 +28,89 @@ pub struct LoadSpec {
     pub scenario: ScenarioSpec,
     /// Clients tuning in per (scenario × method) cell.
     pub population: usize,
-    /// Client methods serving this population. Only methods driven
-    /// through the `AirClient` interface are allowed (no `NrMemBound`,
-    /// no `KnnAir`).
-    pub methods: Vec<MethodKind>,
+    /// Client methods serving this population. Only methods whose
+    /// descriptor declares `air_client` with a cycle of its own can be
+    /// served (the §6.1 runner and the kNN client cannot).
+    pub methods: Vec<MethodId>,
 }
 
-impl LoadSpec {
-    /// Panics if the spec cannot be served (empty population/pool/method
-    /// list, non-path workload, or a non-air method).
-    pub fn validate(&self) {
-        assert!(
-            self.population > 0,
-            "{}: empty population",
-            self.scenario.name
-        );
-        assert!(
-            self.scenario.workload.point_to_point > 0,
-            "{}: empty query pool",
-            self.scenario.name
-        );
-        assert_eq!(
-            (self.scenario.workload.on_edge, self.scenario.workload.knn),
-            (0, 0),
-            "{}: load populations pose point-to-point queries only",
-            self.scenario.name
-        );
-        assert!(
-            !self.methods.is_empty(),
-            "{}: no methods",
-            self.scenario.name
-        );
-        for m in &self.methods {
-            assert!(
-                m.runs_paths() && *m != MethodKind::NrMemBound,
-                "{}: {} is not an air client method",
-                self.scenario.name,
-                m.name()
-            );
+/// Why a [`LoadSpec`] cannot be served — surfaced by
+/// [`LoadSpec::validate`] instead of the old `assert!`/`unreachable!`
+/// dispatch panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadSpecError {
+    /// Zero clients.
+    EmptyPopulation(String),
+    /// Zero point-to-point queries to draw from.
+    EmptyQueryPool(String),
+    /// The workload poses on-edge or kNN queries.
+    NonPathWorkload(String),
+    /// No methods to serve.
+    NoMethods(String),
+    /// A method the harness cannot serve (per its descriptor).
+    Method {
+        /// Scenario name.
+        scenario: String,
+        /// The typed capability error.
+        err: MethodUnavailable,
+    },
+}
+
+impl std::fmt::Display for LoadSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadSpecError::EmptyPopulation(s) => write!(f, "{s}: empty population"),
+            LoadSpecError::EmptyQueryPool(s) => write!(f, "{s}: empty query pool"),
+            LoadSpecError::NonPathWorkload(s) => {
+                write!(f, "{s}: load populations pose point-to-point queries only")
+            }
+            LoadSpecError::NoMethods(s) => write!(f, "{s}: no methods"),
+            LoadSpecError::Method { scenario, err } => write!(f, "{scenario}: {err}"),
         }
+    }
+}
+
+impl std::error::Error for LoadSpecError {}
+
+impl LoadSpec {
+    /// Checks that the spec can be served: non-empty population, query
+    /// pool and method list, a point-to-point-only workload, and —
+    /// descriptor-driven — only air-client methods with a channel and a
+    /// declared session shape.
+    pub fn validate(&self) -> Result<(), LoadSpecError> {
+        let name = || self.scenario.name.clone();
+        if self.population == 0 {
+            return Err(LoadSpecError::EmptyPopulation(name()));
+        }
+        if self.scenario.workload.point_to_point == 0 {
+            return Err(LoadSpecError::EmptyQueryPool(name()));
+        }
+        if (self.scenario.workload.on_edge, self.scenario.workload.knn) != (0, 0) {
+            return Err(LoadSpecError::NonPathWorkload(name()));
+        }
+        if self.methods.is_empty() {
+            return Err(LoadSpecError::NoMethods(name()));
+        }
+        for m in &self.methods {
+            let d = m.descriptor();
+            let err = if !d.air_client || d.shape.is_none() {
+                Some(MethodUnavailable::NotAirClient(d.name))
+            } else if !d.own_channel {
+                Some(MethodUnavailable::NoOwnChannel {
+                    method: d.name,
+                    reference: d.reference_cycle.unwrap_or(d.name),
+                })
+            } else {
+                None
+            };
+            if let Some(err) = err {
+                return Err(LoadSpecError::Method {
+                    scenario: name(),
+                    err,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -131,14 +174,19 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
         scenario: s,
         population: 120_000,
         methods: vec![
-            MethodKind::Nr,
-            MethodKind::Eb,
-            MethodKind::Dj,
-            MethodKind::SpqAir,
-            MethodKind::HiTiAir,
+            MethodId::NR,
+            MethodId::EB,
+            MethodId::DJ,
+            MethodId::SPQ_AIR,
+            MethodId::HITI_AIR,
         ],
     });
 
+    // The mid-scale lossless cell serves every air method the registry
+    // knows — including registry-registered newcomers like `astar_air`
+    // and `bidi_air`, which the column set picks up by name with no
+    // further edits here beyond these two lookups.
+    let registry = MethodRegistry::standard();
     let mut s = base_scenario("grid24-kd-lossless", 9002);
     s.graph = GraphSpec::Grid {
         width: 24,
@@ -148,13 +196,15 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
         scenario: s,
         population: 50_000,
         methods: vec![
-            MethodKind::Nr,
-            MethodKind::Eb,
-            MethodKind::Dj,
-            MethodKind::Ld,
-            MethodKind::Af,
-            MethodKind::SpqAir,
-            MethodKind::HiTiAir,
+            MethodId::NR,
+            MethodId::EB,
+            MethodId::DJ,
+            MethodId::LD,
+            MethodId::AF,
+            MethodId::SPQ_AIR,
+            MethodId::HITI_AIR,
+            registry.get("astar_air").expect("registered"),
+            registry.get("bidi_air").expect("registered"),
         ],
     });
 
@@ -163,7 +213,7 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
     specs.push(LoadSpec {
         scenario: s,
         population: 12_000,
-        methods: vec![MethodKind::Nr, MethodKind::Eb, MethodKind::Dj],
+        methods: vec![MethodId::NR, MethodId::EB, MethodId::DJ],
     });
 
     let mut s = base_scenario("grid16-grid-bursty5", 9004);
@@ -175,7 +225,7 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
     specs.push(LoadSpec {
         scenario: s,
         population: 8_000,
-        methods: vec![MethodKind::Nr, MethodKind::Eb],
+        methods: vec![MethodId::NR, MethodId::EB],
     });
 
     specs
@@ -211,12 +261,7 @@ pub fn smoke_load_matrix() -> Vec<LoadSpec> {
     specs.push(LoadSpec {
         scenario: s,
         population: 3_000,
-        methods: vec![
-            MethodKind::Nr,
-            MethodKind::Eb,
-            MethodKind::Dj,
-            MethodKind::HiTiAir,
-        ],
+        methods: vec![MethodId::NR, MethodId::EB, MethodId::DJ, MethodId::HITI_AIR],
     });
 
     let mut s = base_scenario("smoke-grid8-kd-bernoulli5", 9102);
@@ -230,7 +275,7 @@ pub fn smoke_load_matrix() -> Vec<LoadSpec> {
     specs.push(LoadSpec {
         scenario: s,
         population: 1_200,
-        methods: vec![MethodKind::Nr, MethodKind::Dj],
+        methods: vec![MethodId::NR, MethodId::DJ],
     });
 
     specs
@@ -243,7 +288,7 @@ mod tests {
     #[test]
     fn matrices_validate_and_cover_the_acceptance_axes() {
         for spec in default_load_matrix(1.0).iter().chain(&smoke_load_matrix()) {
-            spec.validate();
+            spec.validate().unwrap();
         }
         let default = default_load_matrix(1.0);
         // The paper-scale cell: >= 100k clients per method, covering NR,
@@ -255,13 +300,23 @@ mod tests {
             GraphSpec::PresetNodes { nodes, .. } if nodes >= PAPER_SCALE_BASE_NODES
         ));
         for m in [
-            MethodKind::Nr,
-            MethodKind::Eb,
-            MethodKind::Dj,
-            MethodKind::SpqAir,
-            MethodKind::HiTiAir,
+            MethodId::NR,
+            MethodId::EB,
+            MethodId::DJ,
+            MethodId::SPQ_AIR,
+            MethodId::HITI_AIR,
         ] {
             assert!(paper.methods.contains(&m));
+        }
+        // The registry-proving methods serve the mid-scale cell.
+        let mid = &default[1];
+        for name in ["astar_air", "bidi_air"] {
+            let m = MethodRegistry::standard().get(name).unwrap();
+            assert!(
+                mid.methods.contains(&m),
+                "{name} missing from {}",
+                mid.scenario.name
+            );
         }
         // Both lossy channel families are represented.
         assert!(default
@@ -313,10 +368,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "point-to-point")]
-    fn validate_rejects_non_path_workloads() {
+    fn validate_rejects_non_path_workloads_and_non_air_methods() {
         let mut spec = smoke_load_matrix().remove(0);
         spec.scenario.workload.knn = 2;
-        spec.validate();
+        let err = spec.validate().unwrap_err();
+        assert!(matches!(err, LoadSpecError::NonPathWorkload(_)));
+        assert!(err.to_string().contains("point-to-point"));
+
+        // The old `unreachable!` dispatch arms are now typed errors.
+        let mut spec = smoke_load_matrix().remove(0);
+        spec.methods.push(MethodId::NR_MEM_BOUND);
+        let err = spec.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            LoadSpecError::Method {
+                err: MethodUnavailable::NotAirClient("nr_mem_bound"),
+                ..
+            }
+        ));
+        let mut spec = smoke_load_matrix().remove(0);
+        spec.methods = vec![MethodId::KNN_AIR];
+        assert!(spec.validate().is_err());
     }
 }

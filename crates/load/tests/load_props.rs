@@ -17,21 +17,21 @@ use spair_broadcast::{BroadcastChannel, LossModel};
 use spair_load::spec::override_population;
 use spair_load::{prepare, run, smoke_load_matrix, LoadSpec, StreamingHistogram};
 use spair_sim::{
-    GraphSpec, LossSpec, MethodKind, ScenarioContext, ScenarioSpec, WorkItem, WorkloadMix,
+    GraphSpec, LossSpec, MethodId, MethodRegistry, ScenarioContext, ScenarioSpec, WorkItem,
+    WorkloadMix,
 };
 
-/// All methods the load harness serves.
-const AIR_METHODS: [MethodKind; 7] = [
-    MethodKind::Nr,
-    MethodKind::Eb,
-    MethodKind::Dj,
-    MethodKind::Ld,
-    MethodKind::Af,
-    MethodKind::SpqAir,
-    MethodKind::HiTiAir,
-];
+/// All methods the load harness serves — straight from the registry, so
+/// a newly registered air method is replay-certified with zero edits
+/// here. This is the descriptor-vs-replay certification: each method's
+/// *declared* `SessionShape` drives the anchor-class replay below, and
+/// `replay_matches_real_sessions` proves that replay packet-for-packet
+/// against real client sessions.
+fn air_methods() -> Vec<MethodId> {
+    MethodRegistry::standard().air_methods()
+}
 
-fn tiny_load_spec(seed: u64, methods: &[MethodKind]) -> LoadSpec {
+fn tiny_load_spec(seed: u64, methods: &[MethodId]) -> LoadSpec {
     let mut s = ScenarioSpec::small("tiny-load", seed);
     s.graph = GraphSpec::Grid {
         width: 10,
@@ -50,7 +50,8 @@ fn tiny_load_spec(seed: u64, methods: &[MethodKind]) -> LoadSpec {
 /// verdict must equal a real client session run at that offset.
 #[test]
 fn replay_matches_real_sessions() {
-    let spec = tiny_load_spec(41, &AIR_METHODS);
+    let methods = air_methods();
+    let spec = tiny_load_spec(41, &methods);
     let prep = prepare(std::slice::from_ref(&spec), 2);
     // An independently built context is the same deterministic world.
     let ctx = ScenarioContext::build(&spec.scenario, &spec.methods);
@@ -63,9 +64,9 @@ fn replay_matches_real_sessions() {
         })
         .collect();
     assert_eq!(pool.len(), 4);
-    for &method in &AIR_METHODS {
+    for &method in &methods {
         let cell = prep.cell_index("tiny-load", method).expect("cell prepared");
-        let cycle = ctx.cycle(method);
+        let cycle = ctx.cycle(method).expect("air program built");
         let len = cycle.len();
         let step = (len / 7).max(1);
         let offsets: Vec<usize> = (0..len).step_by(step).chain([len - 1]).collect();
@@ -75,7 +76,7 @@ fn replay_matches_real_sessions() {
                     .predicted_session(cell, qi, off)
                     .expect("lossless profile");
                 let mut ch = BroadcastChannel::tune_in(cycle, off, LossModel::Lossless);
-                let mut client = ctx.client(method);
+                let mut client = ctx.client(method).expect("air client");
                 let out = client.query(&mut ch, &query).expect("lossless session");
                 assert_eq!(
                     predicted,
@@ -131,7 +132,7 @@ fn smoke_matrix_serves_exactly_and_reports_percentiles() {
 
 #[test]
 fn lossy_population_costs_more_latency_than_lossless() {
-    let mut lossless = tiny_load_spec(77, &[MethodKind::Dj]);
+    let mut lossless = tiny_load_spec(77, &[MethodId::DJ]);
     lossless.population = 500;
     let mut lossy = lossless.clone();
     lossy.scenario.name = "tiny-load-lossy".to_string();

@@ -1,0 +1,93 @@
+//! ArcFlag (§2.1, §3.2) behind the [`BroadcastMethod`] trait.
+
+use crate::{
+    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+};
+use spair_baselines::arcflag::ArcFlagIndex;
+use spair_baselines::{ArcFlagClient, ArcFlagProgram, ArcFlagServer};
+use spair_broadcast::BroadcastCycle;
+use spair_core::query::AirClient;
+use spair_partition::{KdTreePartition, Partitioning};
+use spair_roadnet::QueuePolicy;
+
+/// AF's descriptor.
+pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
+    name: "af",
+    label: "ArcFlag",
+    ordinal: 4,
+    shape: Some(SessionShape::WholeCycle),
+    air_client: true,
+    knn: false,
+    on_edge: true,
+    own_channel: true,
+    population_replayable: true,
+    reference_cycle: None,
+};
+
+/// The ArcFlag method.
+pub struct ArcFlag;
+
+/// AF's built program.
+pub struct ArcFlagMethodProgram {
+    program: ArcFlagProgram,
+    num_regions: usize,
+    precompute_secs: f64,
+}
+
+impl ArcFlagMethodProgram {
+    /// The inner server program.
+    pub fn program(&self) -> &ArcFlagProgram {
+        &self.program
+    }
+}
+
+impl MethodProgram for ArcFlagMethodProgram {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn cycle(&self) -> Result<&BroadcastCycle, MethodUnavailable> {
+        Ok(self.program.cycle())
+    }
+
+    fn make_client(&self, _queue: QueuePolicy) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(ArcFlagClient::new(self.num_regions)))
+    }
+
+    fn precompute_secs(&self) -> f64 {
+        self.precompute_secs
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BroadcastMethod for ArcFlag {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
+        // The scenario engine reuses the world's partition; the bench
+        // harness fine-tunes AF its own region count (paper: 16).
+        let (index, num_regions, program) = match world.tuning.af_regions {
+            None => {
+                let index = ArcFlagIndex::build(&world.g, &world.part);
+                let program = ArcFlagServer::new(&world.g, &world.part, &index).build_program();
+                (index, world.part.num_regions(), program)
+            }
+            Some(regions) => {
+                let part = KdTreePartition::build(&world.g, regions);
+                let index = ArcFlagIndex::build(&world.g, &part);
+                let program = ArcFlagServer::new(&world.g, &part, &index).build_program();
+                (index, part.num_regions(), program)
+            }
+        };
+        Box::new(ArcFlagMethodProgram {
+            precompute_secs: index.precompute_secs,
+            num_regions,
+            program,
+        })
+    }
+}

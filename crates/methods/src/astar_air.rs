@@ -1,0 +1,175 @@
+//! A* on air: goal-directed search over the received network.
+//!
+//! Same broadcast program as DJ — the raw network data, the shortest
+//! possible cycle — but the client runs `spair_roadnet::astar` instead
+//! of Dijkstra, with a geometric lower bound derived **from the received
+//! data itself**: the paper dismisses a-priori A* bounds for road
+//! networks (§2.1), yet once the whole network is on the device the
+//! client can *measure* the tightest admissible scale factor
+//!
+//! ```text
+//! c = min over received edges e with |e| > 0 of (w(e) - 1) / |e|
+//! ```
+//!
+//! and use `h(v) = floor(c · |v, target|)`. Using `w - 1` (not `w`)
+//! absorbs the integer floor: `h(v) - h(u) ≤ c·|v,u| + 1 ≤ w(v,u)`, so
+//! the bound is *consistent* — A* settles each node once and stays
+//! exact — and admissible (`h(v) ≤ Σ (w-1) ≤ d(v, t)` along any path).
+//! On metric-ish networks (the paper's presets) this prunes the search
+//! toward the target; on adversarial weights `c` degrades to 0 and the
+//! search degenerates to plain Dijkstra, still exact.
+//!
+//! Tuning time and latency are DJ's (the whole cycle either way); the
+//! win is client CPU — fewer settled nodes per query.
+
+use crate::received::receive_network;
+use crate::{
+    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+};
+use spair_baselines::{DjProgram, DjServer};
+use spair_broadcast::{BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats};
+use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
+use spair_roadnet::astar::{astar_search, LowerBound};
+use spair_roadnet::{Distance, NodeId, Point, QueuePolicy, RoadNetwork};
+
+/// The A*-on-air descriptor.
+pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
+    name: "astar_air",
+    label: "A*",
+    ordinal: 9,
+    shape: Some(SessionShape::WholeCycle),
+    air_client: true,
+    knn: false,
+    on_edge: true,
+    own_channel: true,
+    population_replayable: true,
+    reference_cycle: None,
+};
+
+/// The A*-on-air method.
+pub struct AstarAir;
+
+/// A*'s built program (DJ's data-only cycle).
+pub struct AstarMethodProgram {
+    program: DjProgram,
+}
+
+impl MethodProgram for AstarMethodProgram {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn cycle(&self) -> Result<&BroadcastCycle, MethodUnavailable> {
+        Ok(self.program.cycle())
+    }
+
+    fn make_client(&self, _queue: QueuePolicy) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(AstarAirClient))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BroadcastMethod for AstarAir {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
+        Box::new(AstarMethodProgram {
+            program: DjServer::new(&world.g).build_program(),
+        })
+    }
+}
+
+/// The measured geometric bound: `floor(c · euclid(v, target))`.
+struct MeasuredBound {
+    c: f64,
+    points: Vec<Point>,
+    target_pt: Point,
+}
+
+impl MeasuredBound {
+    /// Measures the scale factor over the received edges. The safety
+    /// shrink counters f64 round-off in the ratio computation; `w - 1`
+    /// in the numerator is what makes the floored bound consistent.
+    fn measure(g: &RoadNetwork) -> f64 {
+        let mut c = f64::INFINITY;
+        for v in g.node_ids() {
+            let pv = g.point(v);
+            for (u, w) in g.out_edges(v) {
+                let d = pv.euclidean(&g.point(u));
+                if d > 1e-12 {
+                    c = c.min((w.saturating_sub(1)) as f64 / d);
+                }
+            }
+        }
+        if c.is_finite() {
+            (c * (1.0 - 1e-9)).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl LowerBound for MeasuredBound {
+    fn lower_bound(&self, v: NodeId, _target: NodeId) -> Distance {
+        (self.c * self.points[v as usize].euclidean(&self.target_pt)).floor() as Distance
+    }
+}
+
+/// The A*-on-air client.
+struct AstarAirClient;
+
+impl AirClient for AstarAirClient {
+    fn method_name(&self) -> &'static str {
+        "A*-air"
+    }
+
+    fn query(
+        &mut self,
+        ch: &mut BroadcastChannel<'_>,
+        q: &Query,
+    ) -> Result<QueryOutcome, QueryError> {
+        let mut mem = MemoryMeter::new();
+        let mut cpu = CpuMeter::new();
+        if q.source == q.target {
+            return Ok(QueryOutcome {
+                distance: 0,
+                path: vec![q.source],
+                stats: QueryStats::default(),
+            });
+        }
+        let net = receive_network(ch, &mut mem)?;
+        let (Some(&s), Some(&t)) = (net.to_dense.get(&q.source), net.to_dense.get(&q.target))
+        else {
+            return Err(QueryError::Unreachable);
+        };
+        let (res, stats) = cpu.time(|| {
+            let bound = MeasuredBound {
+                c: MeasuredBound::measure(&net.g),
+                points: net.g.node_ids().map(|v| net.g.point(v)).collect(),
+                target_pt: net.g.point(t),
+            };
+            astar_search(&net.g, s, t, &bound)
+        });
+        let stats_out = QueryStats {
+            tuning_packets: ch.tuned(),
+            latency_packets: ch.elapsed(),
+            sleep_packets: ch.slept(),
+            peak_memory_bytes: mem.peak(),
+            cpu: cpu.total(),
+            settled_nodes: stats.settled as u64,
+        };
+        match res {
+            Some((distance, path)) => Ok(QueryOutcome {
+                distance,
+                path: net.path_to_orig(&path),
+                stats: stats_out,
+            }),
+            None => Err(QueryError::Unreachable),
+        }
+    }
+}

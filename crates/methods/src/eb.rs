@@ -1,0 +1,71 @@
+//! Elliptic Boundary (§4) behind the [`BroadcastMethod`] trait.
+
+use crate::{
+    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+};
+use spair_broadcast::BroadcastCycle;
+use spair_core::query::AirClient;
+use spair_core::{EbClient, EbProgram, EbServer};
+use spair_roadnet::QueuePolicy;
+
+/// EB's descriptor.
+pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
+    name: "eb",
+    label: "EB",
+    ordinal: 1,
+    shape: Some(SessionShape::Anchored),
+    air_client: true,
+    knn: false,
+    on_edge: true,
+    own_channel: true,
+    population_replayable: true,
+    reference_cycle: None,
+};
+
+/// The EB method.
+pub struct Eb;
+
+/// EB's built program.
+pub struct EbMethodProgram {
+    program: EbProgram,
+}
+
+impl EbMethodProgram {
+    /// The inner server program (exposes `index_packets`/`replication`
+    /// for the bench harness's replication ablation).
+    pub fn program(&self) -> &EbProgram {
+        &self.program
+    }
+}
+
+impl MethodProgram for EbMethodProgram {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn cycle(&self) -> Result<&BroadcastCycle, MethodUnavailable> {
+        Ok(self.program.cycle())
+    }
+
+    fn make_client(&self, queue: QueuePolicy) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(
+            EbClient::new(self.program.summary()).with_queue_policy(queue),
+        ))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BroadcastMethod for Eb {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
+        Box::new(EbMethodProgram {
+            program: EbServer::new(&world.g, &world.part, &world.pre).build_program(),
+        })
+    }
+}

@@ -1,0 +1,76 @@
+//! The HiTi hierarchy baseline on air behind the [`BroadcastMethod`]
+//! trait.
+
+use crate::{
+    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+};
+use spair_baselines::{HiTiAirClient, HiTiAirServer, HiTiIndex, HiTiProgram};
+use spair_broadcast::BroadcastCycle;
+use spair_core::query::AirClient;
+use spair_roadnet::QueuePolicy;
+
+/// HiTi's descriptor.
+pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
+    name: "hiti_air",
+    label: "HiTi",
+    ordinal: 6,
+    shape: Some(SessionShape::Anchored),
+    air_client: true,
+    knn: false,
+    on_edge: true,
+    own_channel: true,
+    population_replayable: true,
+    reference_cycle: None,
+};
+
+/// The HiTi method.
+pub struct HiTiAir;
+
+/// HiTi's built program.
+pub struct HiTiMethodProgram {
+    program: HiTiProgram,
+    precompute_secs: f64,
+}
+
+impl HiTiMethodProgram {
+    /// The inner server program.
+    pub fn program(&self) -> &HiTiProgram {
+        &self.program
+    }
+}
+
+impl MethodProgram for HiTiMethodProgram {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn cycle(&self) -> Result<&BroadcastCycle, MethodUnavailable> {
+        Ok(self.program.cycle())
+    }
+
+    fn make_client(&self, _queue: QueuePolicy) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(HiTiAirClient::new()))
+    }
+
+    fn precompute_secs(&self) -> f64 {
+        self.precompute_secs
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BroadcastMethod for HiTiAir {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
+        let index = HiTiIndex::build(&world.g, world.tuning.hiti_side, world.tuning.hiti_levels);
+        Box::new(HiTiMethodProgram {
+            precompute_secs: index.precompute_secs,
+            program: HiTiAirServer::new(&world.g, &index).build_program(),
+        })
+    }
+}

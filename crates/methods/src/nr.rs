@@ -1,0 +1,70 @@
+//! Next Region (§5) behind the [`BroadcastMethod`] trait.
+
+use crate::{
+    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+};
+use spair_broadcast::BroadcastCycle;
+use spair_core::query::AirClient;
+use spair_core::{NrClient, NrProgram, NrServer};
+use spair_roadnet::QueuePolicy;
+
+/// NR's descriptor.
+pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
+    name: "nr",
+    label: "NR",
+    ordinal: 0,
+    shape: Some(SessionShape::Anchored),
+    air_client: true,
+    knn: false,
+    on_edge: true,
+    own_channel: true,
+    population_replayable: true,
+    reference_cycle: None,
+};
+
+/// The NR method.
+pub struct Nr;
+
+/// NR's built program.
+pub struct NrMethodProgram {
+    program: NrProgram,
+}
+
+impl NrMethodProgram {
+    /// The inner server program.
+    pub fn program(&self) -> &NrProgram {
+        &self.program
+    }
+}
+
+impl MethodProgram for NrMethodProgram {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn cycle(&self) -> Result<&BroadcastCycle, MethodUnavailable> {
+        Ok(self.program.cycle())
+    }
+
+    fn make_client(&self, queue: QueuePolicy) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(
+            NrClient::new(self.program.summary()).with_queue_policy(queue),
+        ))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BroadcastMethod for Nr {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
+        Box::new(NrMethodProgram {
+            program: NrServer::new(&world.g, &world.part, &world.pre).build_program(),
+        })
+    }
+}

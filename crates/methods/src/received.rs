@@ -1,0 +1,79 @@
+//! Shared client-side plumbing for whole-cycle methods that search the
+//! *received* network with a `spair_roadnet` algorithm: receive the
+//! data-only cycle into a [`ReceivedGraph`], then rebuild a dense
+//! [`RoadNetwork`] the library searches run on, with an id mapping back
+//! to the broadcast node ids.
+
+use spair_baselines::dj::receive_whole_cycle;
+use spair_broadcast::packet::PacketKind;
+use spair_broadcast::{BroadcastChannel, MemoryMeter};
+use spair_core::netcodec::{decode_payload, ReceivedGraph};
+use spair_core::query::QueryError;
+use spair_roadnet::{GraphBuilder, NodeId, RoadNetwork};
+use std::collections::HashMap;
+
+/// The rebuilt search graph of one session.
+pub(crate) struct ReceivedNetwork {
+    /// Dense rebuild of the received adjacency data.
+    pub g: RoadNetwork,
+    /// Dense id -> broadcast id.
+    pub to_orig: Vec<NodeId>,
+    /// Broadcast id -> dense id.
+    pub to_dense: HashMap<NodeId, NodeId>,
+}
+
+/// Receives one whole cycle of data packets (with §6.2 re-reception of
+/// lost offsets) and rebuilds the network, charging the memory meter the
+/// same decoded-node costs the DJ client pays plus the dense rebuild.
+pub(crate) fn receive_network(
+    ch: &mut BroadcastChannel<'_>,
+    mem: &mut MemoryMeter,
+) -> Result<ReceivedNetwork, QueryError> {
+    let mut store = ReceivedGraph::new();
+    receive_whole_cycle(ch, mem, |kind, payload, mem| {
+        if kind == PacketKind::Data {
+            if let Some(records) = decode_payload(payload) {
+                for rec in records {
+                    mem.alloc(store.ingest(rec));
+                }
+            }
+        }
+    })?;
+
+    let mut to_orig: Vec<NodeId> = store.node_ids().collect();
+    to_orig.sort_unstable();
+    let to_dense: HashMap<NodeId, NodeId> = to_orig
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as NodeId))
+        .collect();
+    let mut b = GraphBuilder::new();
+    for &v in &to_orig {
+        b.add_node(store.point(v).expect("listed node"));
+    }
+    let mut edges = 0usize;
+    for &v in &to_orig {
+        for &(u, w) in store.out_edges(v) {
+            // A target absent from the store can only mean a server-side
+            // encoding bug; dropping the edge keeps the client total.
+            if let Some(&du) = to_dense.get(&u) {
+                b.add_edge(to_dense[&v], du, w);
+                edges += 1;
+            }
+        }
+    }
+    // The dense rebuild doubles the adjacency (id map + CSR arrays).
+    mem.alloc(to_orig.len() * 24 + edges * 8);
+    Ok(ReceivedNetwork {
+        g: b.finish(),
+        to_orig,
+        to_dense,
+    })
+}
+
+impl ReceivedNetwork {
+    /// Maps a dense path back to broadcast node ids.
+    pub fn path_to_orig(&self, path: &[NodeId]) -> Vec<NodeId> {
+        path.iter().map(|&v| self.to_orig[v as usize]).collect()
+    }
+}

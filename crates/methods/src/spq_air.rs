@@ -1,0 +1,78 @@
+//! The SPQ shortest-path-quadtree baseline on air behind the
+//! [`BroadcastMethod`] trait.
+
+use crate::{
+    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+};
+use spair_baselines::{SpqAirServer, SpqClient, SpqIndex, SpqProgram};
+use spair_broadcast::BroadcastCycle;
+use spair_core::query::AirClient;
+use spair_roadnet::QueuePolicy;
+
+/// SPQ's descriptor.
+pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
+    name: "spq_air",
+    label: "SPQ",
+    ordinal: 5,
+    shape: Some(SessionShape::WholeCycle),
+    air_client: true,
+    knn: false,
+    on_edge: true,
+    own_channel: true,
+    population_replayable: true,
+    reference_cycle: None,
+};
+
+/// The SPQ method.
+pub struct SpqAir;
+
+/// SPQ's built program.
+pub struct SpqMethodProgram {
+    program: SpqProgram,
+    precompute_secs: f64,
+}
+
+impl SpqMethodProgram {
+    /// The inner server program.
+    pub fn program(&self) -> &SpqProgram {
+        &self.program
+    }
+}
+
+impl MethodProgram for SpqMethodProgram {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn cycle(&self) -> Result<&BroadcastCycle, MethodUnavailable> {
+        Ok(self.program.cycle())
+    }
+
+    fn make_client(&self, _queue: QueuePolicy) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(SpqClient::new(self.program.bbox())))
+    }
+
+    fn precompute_secs(&self) -> f64 {
+        self.precompute_secs
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl BroadcastMethod for SpqAir {
+    fn descriptor(&self) -> &'static MethodDescriptor {
+        &DESCRIPTOR
+    }
+
+    fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
+        // One full Dijkstra per node: the template-driven parallel build
+        // (bit-identical to serial) keeps paper-scale worlds tractable.
+        let index = SpqIndex::build(&world.g);
+        Box::new(SpqMethodProgram {
+            precompute_secs: index.precompute_secs,
+            program: SpqAirServer::new(&world.g, &index).build_program(),
+        })
+    }
+}

@@ -34,7 +34,7 @@ pub mod split;
 pub mod sptree;
 
 pub use astar::{astar_distance, ZeroBound};
-pub use bidirectional::{bidirectional_distance, bidirectional_search};
+pub use bidirectional::{bidirectional_distance, bidirectional_search, bidirectional_search_paths};
 pub use bucket_queue::{BucketQueue, DijkstraQueue, QueuePolicy};
 pub use dijkstra::{
     dijkstra_distance, dijkstra_filtered, dijkstra_filtered_with, dijkstra_full,

@@ -3,25 +3,69 @@
 //!
 //! ```text
 //! cargo run --release -p spair-sim --bin bench_scenarios -- \
-//!     [--smoke] [--threads N] [--out BENCH_scenarios.json]
+//!     [--smoke | --nightly] [--threads N] [--methods a,b,c] \
+//!     [--list-methods] [--out BENCH_scenarios.json]
 //! ```
 //!
-//! Runs the default matrix (or the small `--smoke` gate) over every
-//! client method, verifies each answer against the serial Dijkstra
+//! Runs the default matrix (or the small `--smoke` gate) over **every
+//! registered client method** — the column set comes from
+//! `spair_methods::MethodRegistry`, so newly registered methods appear
+//! without edits here — verifies each answer against the serial Dijkstra
 //! oracle, re-runs the matrix serially to certify the parallel fan-out is
-//! bit-identical, and writes the measurements as JSON. **Exits non-zero
-//! on any conformance mismatch or determinism break**, so CI can use it
-//! as a gate.
+//! bit-identical, and writes the measurements as JSON. `--methods`
+//! restricts the columns to a comma-separated name list (CI uses it to
+//! pin the nine legacy methods' digest across refactors);
+//! `--list-methods` prints the registry and exits. **Exits non-zero on
+//! any conformance mismatch or determinism break**, so CI can use it as
+//! a gate.
 
 use spair_roadnet::parallel;
-use spair_sim::{default_matrix, nightly_matrix, run_matrix, smoke_matrix, MethodKind};
+use spair_sim::{
+    default_matrix, nightly_matrix, run_matrix, smoke_matrix, MethodId, MethodRegistry,
+};
 use std::time::Instant;
 
 struct Opts {
     smoke: bool,
     nightly: bool,
     threads: usize,
+    methods: Vec<MethodId>,
     out: String,
+}
+
+fn list_methods(methods: &[MethodId]) -> String {
+    let mut out = format!(
+        "{:<3} {:<14} {:<12} {:<11} {}\n",
+        "#", "name", "label", "shape", "capabilities"
+    );
+    for &m in methods {
+        let d = m.descriptor();
+        let mut caps: Vec<&str> = Vec::new();
+        if d.air_client {
+            caps.push("air_client");
+        }
+        if d.knn {
+            caps.push("knn");
+        }
+        if d.on_edge {
+            caps.push("on_edge");
+        }
+        if d.population_replayable {
+            caps.push("replayable");
+        }
+        if !d.own_channel {
+            caps.push("no_own_channel");
+        }
+        out.push_str(&format!(
+            "{:<3} {:<14} {:<12} {:<11} {}\n",
+            d.ordinal,
+            d.name,
+            d.label,
+            d.shape.map(|s| format!("{s:?}")).unwrap_or_default(),
+            caps.join(","),
+        ));
+    }
+    out
 }
 
 fn parse_opts() -> Opts {
@@ -29,6 +73,7 @@ fn parse_opts() -> Opts {
         smoke: false,
         nightly: false,
         threads: 0,
+        methods: MethodRegistry::standard().all(),
         out: "BENCH_scenarios.json".to_string(),
     };
     // Worker-count precedence (shared by every bench binary): an explicit
@@ -47,6 +92,10 @@ fn parse_opts() -> Opts {
         match flag.as_str() {
             "--smoke" => opts.smoke = true,
             "--nightly" => opts.nightly = true,
+            "--list-methods" => {
+                print!("{}", list_methods(&MethodRegistry::standard().all()));
+                std::process::exit(0);
+            }
             "--threads" => {
                 let n: usize = value().parse().unwrap_or_else(|_| {
                     eprintln!("error: --threads expects a positive integer");
@@ -58,11 +107,34 @@ fn parse_opts() -> Opts {
                 }
                 threads_flag = Some(n);
             }
+            "--methods" => {
+                let list = value();
+                opts.methods = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|name| {
+                        MethodRegistry::standard()
+                            .get(name.trim())
+                            .unwrap_or_else(|e| {
+                                eprintln!(
+                                    "error: {e}\n{}",
+                                    list_methods(&MethodRegistry::standard().all())
+                                );
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+                if opts.methods.is_empty() {
+                    eprintln!("error: --methods expects a non-empty name list");
+                    std::process::exit(2);
+                }
+            }
             "--out" => opts.out = value(),
             other => {
                 eprintln!(
                     "error: unknown flag {other}\n\
-                     usage: bench_scenarios [--smoke | --nightly] [--threads N] [--out PATH]"
+                     usage: bench_scenarios [--smoke | --nightly] [--threads N] \
+                     [--methods a,b,c] [--list-methods] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -85,7 +157,7 @@ fn main() {
     } else {
         default_matrix()
     };
-    let methods = MethodKind::ALL;
+    let methods = &opts.methods;
     eprintln!(
         "# bench_scenarios — {} scenarios x {} methods, {} threads{}",
         specs.len(),
@@ -99,9 +171,12 @@ fn main() {
             ""
         }
     );
+    // The run's own column set (not the whole registry) — so restricted
+    // runs (`--methods`) stay self-documenting in the logs.
+    eprint!("{}", list_methods(methods));
 
     let start = Instant::now();
-    let matrix = run_matrix(&specs, &methods, opts.threads);
+    let matrix = run_matrix(&specs, methods, opts.threads);
     let parallel_secs = start.elapsed().as_secs_f64();
     eprint!("{}", matrix.render_table());
 
@@ -113,7 +188,7 @@ fn main() {
         (parallel_secs, true)
     } else {
         let start = Instant::now();
-        let serial = run_matrix(&specs, &methods, 1);
+        let serial = run_matrix(&specs, methods, 1);
         (
             start.elapsed().as_secs_f64(),
             serial.to_json(false) == matrix.to_json(false),

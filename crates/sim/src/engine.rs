@@ -2,12 +2,20 @@
 //!
 //! [`ScenarioContext::build`] expands a [`ScenarioSpec`] into a concrete
 //! world: the generated network, its partition and border precomputation,
-//! one broadcast program per requested method, the decoded region store
-//! (for the §6.1 memory-bound runner) and the seeded workload with its
-//! serial-Dijkstra oracle answers. [`run_cell`] then drives one method
-//! through the whole workload — every channel session gets a loss model
-//! and tune-in offset derived from the scenario seed alone — and
-//! differentially verifies each answer against the oracle.
+//! the seeded workload with its serial-Dijkstra oracle answers, and —
+//! through the method registry's [`ProgramSet`] — one broadcast program
+//! per requested method. [`run_cell`] then drives one method through the
+//! whole workload — every channel session gets a loss model and tune-in
+//! offset derived from the scenario seed alone — and differentially
+//! verifies each answer against the oracle.
+//!
+//! Methods are dispatched by **capability**, not by name: the engine
+//! never matches on a method enum. A method whose descriptor says
+//! `air_client` runs the generic p2p/on-edge session loop; `knn` runs
+//! the kNN portion; everything else answers locally through
+//! [`spair_methods::MethodProgram::local_answer`] (the §6.1 memory-bound
+//! contraction). Missing programs surface as typed
+//! [`MethodUnavailable`] cell failures instead of `expect` panics.
 //!
 //! [`run_matrix`] fans the independent (scenario × method) cells across
 //! threads with [`spair_roadnet::parallel::map_reduce_chunked`], whose
@@ -16,25 +24,16 @@
 //! count.
 
 use crate::report::{CellReport, ConformanceMatrix};
-use crate::spec::{MethodKind, PartitionerKind, ScenarioSpec, TuneInSpec};
+use crate::spec::{PartitionerKind, ScenarioSpec, TuneInSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spair_baselines::arcflag::ArcFlagIndex;
-use spair_baselines::landmark::LandmarkIndex;
-use spair_baselines::{
-    ArcFlagClient, ArcFlagProgram, ArcFlagServer, DjClient, DjProgram, DjServer, HiTiAirClient,
-    HiTiAirServer, HiTiIndex, HiTiProgram, LandmarkClient, LandmarkProgram, LandmarkServer,
-    SpqAirServer, SpqClient, SpqIndex, SpqProgram,
-};
 use spair_broadcast::{BroadcastChannel, BroadcastCycle, EnergyModel, QueryStats};
-use spair_core::netcodec::{decode_payload, encode_nodes_with_borders, ReceivedGraph};
 use spair_core::query::AirClient;
-use spair_core::{
-    on_edge_query, BorderPrecomputation, EbClient, EbProgram, EbServer, KnnClient, KnnProgram,
-    KnnServer, MemoryBoundProcessor, NrClient, NrProgram, NrServer, OnEdgePoint, Query, QueryError,
-    QueryOutcome,
+use spair_core::{on_edge_query, BorderPrecomputation, OnEdgePoint, Query, QueryError};
+use spair_methods::{
+    MethodId, MethodProgram, MethodRegistry, MethodUnavailable, ProgramSet, World,
 };
-use spair_partition::{KdTreePartition, Partitioning};
+use spair_partition::KdTreePartition;
 use spair_roadnet::{
     dijkstra_distance, dijkstra_full, insert_positions, parallel, Distance, EdgePosition, NodeId,
     Point, RoadNetwork, Weight,
@@ -51,11 +50,8 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn session_seed(scenario_seed: u64, method: MethodKind, query: usize, sub: usize) -> u64 {
-    let ordinal = MethodKind::ALL
-        .iter()
-        .position(|m| *m == method)
-        .expect("method in ALL") as u64;
+fn session_seed(scenario_seed: u64, method: MethodId, query: usize, sub: usize) -> u64 {
+    let ordinal = u64::from(method.ordinal());
     splitmix64(
         scenario_seed
             ^ splitmix64(ordinal.wrapping_add(1))
@@ -95,159 +91,102 @@ pub enum WorkItem {
     },
 }
 
-/// Broadcast programs for the methods one scenario drives.
-#[derive(Default)]
-struct MethodPrograms {
-    nr: Option<NrProgram>,
-    eb: Option<EbProgram>,
-    dj: Option<DjProgram>,
-    ld: Option<LandmarkProgram>,
-    af: Option<ArcFlagProgram>,
-    spq: Option<SpqProgram>,
-    hiti: Option<HiTiProgram>,
-    knn: Option<KnnProgram>,
-}
-
 /// A fully expanded scenario: immutable once built, shared read-only by
 /// every cell that runs against it.
 pub struct ScenarioContext {
     /// The spec this context expands.
     pub spec: ScenarioSpec,
-    /// Generated network.
-    pub g: RoadNetwork,
-    /// Partition (median or uniform splits per the spec).
-    pub part: KdTreePartition,
-    /// Border-pair precomputation shared by EB/NR/kNN/mem-bound.
-    pub pre: BorderPrecomputation,
     /// Seeded workload with oracle answers.
     pub workload: Vec<WorkItem>,
-    programs: MethodPrograms,
-    /// Fully decoded region data with border flags — what a lossless NR
-    /// client would hold; input of the memory-bound runner.
-    store: ReceivedGraph,
+    /// Lazy per-method programs over the expanded world.
+    programs: ProgramSet,
 }
 
 impl ScenarioContext {
-    /// Expands `spec`, building programs only for `methods`.
-    pub fn build(spec: &ScenarioSpec, methods: &[MethodKind]) -> Self {
+    /// Expands `spec`, building programs only for `methods` (and only
+    /// where the spec's workload gives them work to do).
+    pub fn build(spec: &ScenarioSpec, methods: &[MethodId]) -> Self {
         let g = spec.graph.build(spec.seed);
         let part = match spec.partitioner {
             PartitionerKind::KdMedian => KdTreePartition::build(&g, spec.regions),
             PartitionerKind::UniformGrid => KdTreePartition::build_uniform(&g, spec.regions),
         };
         let pre = BorderPrecomputation::run(&g, &part);
-
-        let mut programs = MethodPrograms::default();
-        let wants = |m: MethodKind| methods.contains(&m);
-        // NrMemBound reports against NR's cycle length, so it needs the
-        // NR program even when `nr` itself is not in the method list.
-        if wants(MethodKind::Nr) || wants(MethodKind::NrMemBound) {
-            programs.nr = Some(NrServer::new(&g, &part, &pre).build_program());
-        }
-        if wants(MethodKind::Eb) {
-            programs.eb = Some(EbServer::new(&g, &part, &pre).build_program());
-        }
-        if wants(MethodKind::Dj) {
-            programs.dj = Some(DjServer::new(&g).build_program());
-        }
-        if wants(MethodKind::Ld) {
-            let idx = LandmarkIndex::build(&g, 4);
-            programs.ld = Some(LandmarkServer::new(&g, &idx).build_program());
-        }
-        if wants(MethodKind::Af) {
-            let idx = ArcFlagIndex::build(&g, &part);
-            programs.af = Some(ArcFlagServer::new(&g, &part, &idx).build_program());
-        }
-        if wants(MethodKind::SpqAir) {
-            let idx = SpqIndex::build(&g);
-            programs.spq = Some(SpqAirServer::new(&g, &idx).build_program());
-        }
-        if wants(MethodKind::HiTiAir) {
-            let idx = HiTiIndex::build(&g, 8, 3);
-            programs.hiti = Some(HiTiAirServer::new(&g, &idx).build_program());
-        }
-
         let (workload, pois) = generate_workload(spec, &g);
-        if wants(MethodKind::KnnAir) && spec.workload.knn > 0 {
-            programs.knn = Some(KnnServer::new(&g, &part, &pre, &pois).build_program());
-        }
-
-        // Decode every region's broadcast payloads into one store — the
-        // §6.1 runner contracts regions straight from this data.
-        let mut store = ReceivedGraph::new();
-        if wants(MethodKind::NrMemBound) {
-            for r in 0..part.num_regions() {
-                let nodes = &part.nodes_by_region()[r];
-                for payload in encode_nodes_with_borders(&g, nodes, |v| pre.borders().is_border(v))
-                {
-                    for rec in decode_payload(&payload).expect("server-encoded payload") {
-                        store.ingest(rec);
-                    }
-                }
-            }
-        }
-
-        Self {
+        let programs = ProgramSet::new(World::from_parts(g, part, pre).with_pois(pois));
+        let ctx = Self {
             spec: spec.clone(),
-            g,
-            part,
-            pre,
             workload,
             programs,
-            store,
+        };
+        for &m in methods {
+            if ctx.has_work(m) {
+                ctx.programs.ensure(m);
+            }
         }
+        ctx
+    }
+
+    /// Whether the spec's workload gives the method anything to run.
+    pub fn has_work(&self, method: MethodId) -> bool {
+        if method.descriptor().knn {
+            self.spec.workload.knn > 0
+        } else {
+            self.spec.workload.point_to_point + self.spec.workload.on_edge > 0
+        }
+    }
+
+    /// The expanded world (network, partition, precomputation, POIs).
+    pub fn world(&self) -> &World {
+        self.programs.world()
+    }
+
+    /// The generated network.
+    pub fn g(&self) -> &RoadNetwork {
+        &self.programs.world().g
+    }
+
+    /// The method's built program, or a typed error if it was not
+    /// requested at build time.
+    pub fn program(&self, method: MethodId) -> Result<&dyn MethodProgram, MethodUnavailable> {
+        self.programs.get(method)
     }
 
     /// The broadcast cycle the given method's clients tune in to. Also
-    /// the shared air cycle the load harness serves its populations from.
-    pub fn cycle(&self, method: MethodKind) -> &BroadcastCycle {
-        match method {
-            MethodKind::Nr => self.programs.nr.as_ref().expect("nr program").cycle(),
-            MethodKind::Eb => self.programs.eb.as_ref().expect("eb program").cycle(),
-            MethodKind::Dj => self.programs.dj.as_ref().expect("dj program").cycle(),
-            MethodKind::Ld => self.programs.ld.as_ref().expect("ld program").cycle(),
-            MethodKind::Af => self.programs.af.as_ref().expect("af program").cycle(),
-            MethodKind::SpqAir => self.programs.spq.as_ref().expect("spq program").cycle(),
-            MethodKind::HiTiAir => self.programs.hiti.as_ref().expect("hiti program").cycle(),
-            MethodKind::KnnAir => self.programs.knn.as_ref().expect("knn program").cycle(),
-            MethodKind::NrMemBound => {
-                // No channel of its own; report NR's cycle length when
-                // available, else an empty marker length of 0 is wrong —
-                // use the raw region data packet count via the store.
-                self.programs
-                    .nr
-                    .as_ref()
-                    .map(|p| p.cycle())
-                    .expect("nr_mem_bound needs the nr program")
-            }
-        }
+    /// the shared air cycle the load harness serves its populations
+    /// from. Typed errors replace the old `expect("… program")` panics:
+    /// `NotBuilt` if the method was not requested, `NoOwnChannel` for
+    /// the §6.1 runner (whose *reports* quote NR's cycle — see
+    /// [`ScenarioContext::reported_cycle_packets`] — but which has no
+    /// channel to tune in to).
+    pub fn cycle(&self, method: MethodId) -> Result<&BroadcastCycle, MethodUnavailable> {
+        self.programs.get(method)?.cycle()
     }
 
     /// A fresh client device for the given method (every session models
-    /// an independent mobile client). Panics for the two methods that are
-    /// not driven through the [`AirClient`] interface (`NrMemBound`,
-    /// `KnnAir`).
-    pub fn client(&self, method: MethodKind) -> Box<dyn AirClient> {
-        let q = self.spec.queue;
-        match method {
-            MethodKind::Nr => Box::new(
-                NrClient::new(self.programs.nr.as_ref().expect("nr").summary())
-                    .with_queue_policy(q),
-            ),
-            MethodKind::Eb => Box::new(
-                EbClient::new(self.programs.eb.as_ref().expect("eb").summary())
-                    .with_queue_policy(q),
-            ),
-            MethodKind::Dj => Box::new(DjClient::new().with_queue_policy(q)),
-            MethodKind::Ld => Box::new(LandmarkClient::new()),
-            MethodKind::Af => Box::new(ArcFlagClient::new(self.part.num_regions())),
-            MethodKind::SpqAir => Box::new(SpqClient::new(
-                self.programs.spq.as_ref().expect("spq").bbox(),
-            )),
-            MethodKind::HiTiAir => Box::new(HiTiAirClient::new()),
-            MethodKind::NrMemBound | MethodKind::KnnAir => {
-                unreachable!("not driven through the AirClient interface")
+    /// an independent mobile client), or a typed error where the old
+    /// dispatch had an `unreachable!` arm.
+    pub fn client(&self, method: MethodId) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        self.programs.get(method)?.make_client(self.spec.queue)
+    }
+
+    /// Cycle length quoted in the method's cell reports (its own, or —
+    /// explicitly, per the descriptor's `reference_cycle` — NR's for the
+    /// channel-less §6.1 runner, built on demand through the program set
+    /// and shared with the `nr` column when both run). 0 if no program
+    /// was built.
+    pub fn reported_cycle_packets(&self, method: MethodId) -> usize {
+        match self.programs.get(method).map(|p| p.cycle()) {
+            Ok(Ok(cycle)) => cycle.len(),
+            Ok(Err(MethodUnavailable::NoOwnChannel { reference, .. })) => {
+                MethodRegistry::standard()
+                    .get(reference)
+                    .ok()
+                    .and_then(|r| self.programs.ensure(r).cycle().ok())
+                    .map(|c| c.len())
+                    .unwrap_or(0)
             }
+            _ => 0,
         }
     }
 }
@@ -411,7 +350,7 @@ impl CellAcc {
         }
     }
 
-    fn into_report(self, ctx: &ScenarioContext, method: MethodKind) -> CellReport {
+    fn into_report(self, ctx: &ScenarioContext, method: MethodId) -> CellReport {
         let (rx, sleep, cpu) = EnergyModel::WAVELAN_ARM.breakdown(&self.total, ctx.spec.rate);
         CellReport {
             scenario: ctx.spec.name.clone(),
@@ -425,7 +364,7 @@ impl CellAcc {
             max_p2p_latency_packets: self.max_p2p,
             max_onedge_latency_packets: self.max_onedge,
             max_knn_latency_packets: self.max_knn,
-            cycle_packets: ctx.cycle(method).len(),
+            cycle_packets: ctx.reported_cycle_packets(method),
             peak_memory_bytes: self.total.peak_memory_bytes,
             within_memory_budget: self.total.peak_memory_bytes <= ctx.spec.heap_budget_bytes,
             settled_nodes: self.total.settled_nodes,
@@ -436,13 +375,37 @@ impl CellAcc {
 }
 
 /// Runs one (scenario × method) cell: the full workload, differentially
-/// verified against the oracle.
-pub fn run_cell(ctx: &ScenarioContext, method: MethodKind) -> CellReport {
-    match method {
-        MethodKind::KnnAir => run_knn_cell(ctx),
-        MethodKind::NrMemBound => run_mem_bound_cell(ctx),
-        _ => run_air_cell(ctx, method),
+/// verified against the oracle. Dispatch is capability-driven (no
+/// per-method `match`): kNN methods run the kNN portion, air clients the
+/// session loop, channel-less methods the local §6.1 pipeline. A method
+/// whose program is unavailable yields a fully failed cell (every work
+/// item of its portion counted as a mismatch) — surfacing the error in
+/// the matrix instead of panicking.
+pub fn run_cell(ctx: &ScenarioContext, method: MethodId) -> CellReport {
+    let d = method.descriptor();
+    match ctx.program(method) {
+        Err(_) => unavailable_cell(ctx, method),
+        Ok(_) if d.knn => run_knn_cell(ctx, method),
+        Ok(program) if !d.air_client => run_local_cell(ctx, method, program),
+        Ok(_) => run_air_cell(ctx, method),
     }
+}
+
+/// The all-failed report of a method whose program is unavailable.
+fn unavailable_cell(ctx: &ScenarioContext, method: MethodId) -> CellReport {
+    let mut acc = CellAcc::new();
+    for item in ctx.workload.iter() {
+        let counts = if method.descriptor().knn {
+            matches!(item, WorkItem::Knn { .. })
+        } else {
+            !matches!(item, WorkItem::Knn { .. })
+        };
+        if counts {
+            acc.queries += 1;
+            acc.mismatches += 1;
+        }
+    }
+    acc.into_report(ctx, method)
 }
 
 fn open_channel<'a>(
@@ -461,9 +424,10 @@ fn open_channel<'a>(
     )
 }
 
-fn run_air_cell(ctx: &ScenarioContext, method: MethodKind) -> CellReport {
-    let cycle = ctx.cycle(method);
-    let mut client = ctx.client(method);
+fn run_air_cell(ctx: &ScenarioContext, method: MethodId) -> CellReport {
+    let cycle = ctx.cycle(method).expect("air program built");
+    let mut client = ctx.client(method).expect("air client");
+    let g = ctx.g();
     let mut acc = CellAcc::new();
     for (qi, item) in ctx.workload.iter().enumerate() {
         match item {
@@ -476,7 +440,7 @@ fn run_air_cell(ctx: &ScenarioContext, method: MethodKind) -> CellReport {
                     Ok(out) => {
                         let ok = out.distance == *oracle
                             && path_is_valid(
-                                &ctx.g,
+                                g,
                                 query.source,
                                 query.target,
                                 out.distance,
@@ -517,16 +481,16 @@ fn run_air_cell(ctx: &ScenarioContext, method: MethodKind) -> CellReport {
                     Err(_) => acc.mismatches += 1,
                 }
             }
-            WorkItem::Knn { .. } => {} // the KnnAir cell's portion
+            WorkItem::Knn { .. } => {} // the kNN method's portion
         }
     }
     acc.into_report(ctx, method)
 }
 
-fn run_knn_cell(ctx: &ScenarioContext) -> CellReport {
-    let method = MethodKind::KnnAir;
-    let cycle = ctx.cycle(method);
-    let mut client = KnnClient::new(ctx.part.num_regions());
+fn run_knn_cell(ctx: &ScenarioContext, method: MethodId) -> CellReport {
+    let program = ctx.program(method).expect("knn program built");
+    let cycle = program.cycle().expect("knn methods broadcast a cycle");
+    let mut client = program.make_knn_client().expect("knn client");
     let mut acc = CellAcc::new();
     for (qi, item) in ctx.workload.iter().enumerate() {
         let WorkItem::Knn {
@@ -559,50 +523,34 @@ fn run_knn_cell(ctx: &ScenarioContext) -> CellReport {
     acc.into_report(ctx, method)
 }
 
-/// Answers one query through the §6.1 pipeline: contract NR's needed
-/// regions into super-edges, search `G'`, expand. Channel costs are not
-/// simulated (the data is NR's own region set); the stats carry the
-/// contraction memory/CPU, which is the quantity §6.1 is about.
-fn mem_bound_answer(ctx: &ScenarioContext, q: &Query) -> Result<QueryOutcome, QueryError> {
-    let rs = ctx.part.region_of(q.source);
-    let rt = ctx.part.region_of(q.target);
-    let mut proc = MemoryBoundProcessor::with_paths().with_queue_policy(ctx.spec.queue);
-    for r in ctx.pre.needed_regions(rs, rt).iter() {
-        let nodes = &ctx.part.nodes_by_region()[r as usize];
-        let terminals: Vec<NodeId> = [q.source, q.target]
-            .iter()
-            .copied()
-            .filter(|v| nodes.contains(v))
-            .collect();
-        proc.add_region(&ctx.store, nodes, &terminals);
-    }
-    match proc.shortest_path(q.source, q.target) {
-        Some((distance, path)) => Ok(QueryOutcome {
-            distance,
-            path,
-            stats: QueryStats {
-                peak_memory_bytes: proc.mem.peak(),
-                cpu: proc.cpu.total(),
-                ..QueryStats::default()
-            },
-        }),
-        None => Err(QueryError::Unreachable),
-    }
-}
-
-fn run_mem_bound_cell(ctx: &ScenarioContext) -> CellReport {
-    let method = MethodKind::NrMemBound;
+/// Channel-less methods (§6.1 memory-bound contraction): every p2p and
+/// on-edge item is answered through the program's
+/// [`MethodProgram::local_answer`]. Channel costs are not simulated (the
+/// data is the reference method's own region set); the stats carry the
+/// contraction's memory/CPU, which is the quantity §6.1 is about.
+fn run_local_cell(
+    ctx: &ScenarioContext,
+    method: MethodId,
+    program: &dyn MethodProgram,
+) -> CellReport {
+    let g = ctx.g();
+    let queue = ctx.spec.queue;
+    let answer = |q: &Query| {
+        program
+            .local_answer(q, queue)
+            .unwrap_or(Err(QueryError::Aborted("method answers no local queries")))
+    };
     let mut acc = CellAcc::new();
     for item in ctx.workload.iter() {
         match item {
             WorkItem::P2p { query, oracle } => {
                 acc.queries += 1;
                 acc.air_queries += 1;
-                match mem_bound_answer(ctx, query) {
+                match answer(query) {
                     Ok(out) => {
                         let ok = out.distance == *oracle
                             && path_is_valid(
-                                &ctx.g,
+                                g,
                                 query.source,
                                 query.target,
                                 out.distance,
@@ -621,7 +569,7 @@ fn run_mem_bound_cell(ctx: &ScenarioContext) -> CellReport {
                 let mut subs = 0usize;
                 let result = on_edge_query(src, dst, |q| {
                     subs += 1;
-                    mem_bound_answer(ctx, q)
+                    answer(q)
                 });
                 acc.air_queries += subs;
                 match result {
@@ -647,22 +595,17 @@ fn run_mem_bound_cell(ctx: &ScenarioContext) -> CellReport {
 /// count.
 pub fn run_matrix(
     specs: &[ScenarioSpec],
-    methods: &[MethodKind],
+    methods: &[MethodId],
     threads: usize,
 ) -> ConformanceMatrix {
     let contexts: Vec<ScenarioContext> = specs
         .iter()
         .map(|s| ScenarioContext::build(s, methods))
         .collect();
-    let mut cells: Vec<(usize, MethodKind)> = Vec::new();
+    let mut cells: Vec<(usize, MethodId)> = Vec::new();
     for (si, ctx) in contexts.iter().enumerate() {
         for &m in methods {
-            let has_work = if m.runs_paths() {
-                ctx.spec.workload.point_to_point + ctx.spec.workload.on_edge > 0
-            } else {
-                ctx.spec.workload.knn > 0
-            };
-            if has_work {
+            if ctx.has_work(m) {
                 cells.push((si, m));
             }
         }
@@ -691,11 +634,11 @@ mod tests {
 
     #[test]
     fn session_seeds_are_distinct_per_coordinate() {
-        let a = session_seed(1, MethodKind::Nr, 0, 0);
-        let b = session_seed(1, MethodKind::Eb, 0, 0);
-        let c = session_seed(1, MethodKind::Nr, 1, 0);
-        let d = session_seed(1, MethodKind::Nr, 0, 1);
-        let e = session_seed(2, MethodKind::Nr, 0, 0);
+        let a = session_seed(1, MethodId::NR, 0, 0);
+        let b = session_seed(1, MethodId::EB, 0, 0);
+        let c = session_seed(1, MethodId::NR, 1, 0);
+        let d = session_seed(1, MethodId::NR, 0, 1);
+        let e = session_seed(2, MethodId::NR, 0, 0);
         let all = [a, b, c, d, e];
         for (i, x) in all.iter().enumerate() {
             for y in &all[i + 1..] {
@@ -748,8 +691,8 @@ mod tests {
     #[test]
     fn single_cell_runs_exact_on_lossless_nr() {
         let spec = ScenarioSpec::small("cell", 11);
-        let ctx = ScenarioContext::build(&spec, &[MethodKind::Nr]);
-        let report = run_cell(&ctx, MethodKind::Nr);
+        let ctx = ScenarioContext::build(&spec, &[MethodId::NR]);
+        let report = run_cell(&ctx, MethodId::NR);
         assert!(report.exact(), "mismatches: {}", report.mismatches);
         assert_eq!(
             report.queries,
@@ -763,8 +706,8 @@ mod tests {
     fn mem_bound_cell_is_exact_and_channel_free() {
         let mut spec = ScenarioSpec::small("mb", 5);
         spec.loss = LossSpec::Bernoulli { rate: 0.05 };
-        let ctx = ScenarioContext::build(&spec, &[MethodKind::Nr, MethodKind::NrMemBound]);
-        let report = run_cell(&ctx, MethodKind::NrMemBound);
+        let ctx = ScenarioContext::build(&spec, &[MethodId::NR, MethodId::NR_MEM_BOUND]);
+        let report = run_cell(&ctx, MethodId::NR_MEM_BOUND);
         assert!(report.exact(), "mismatches: {}", report.mismatches);
         assert_eq!(report.tuning_packets, 0, "no channel is simulated");
         assert!(report.peak_memory_bytes > 0);
@@ -772,20 +715,62 @@ mod tests {
 
     #[test]
     fn mem_bound_runs_without_nr_in_the_method_list() {
-        // NrMemBound reports against NR's cycle, which must be built even
-        // when `nr` itself is not requested.
+        // The §6.1 runner's program embeds its own reference NR build, so
+        // its cell reports NR's cycle length even when `nr` itself is not
+        // requested — no hidden cross-method dependency.
         let spec = ScenarioSpec::small("mb-alone", 9);
-        let m = run_matrix(&[spec], &[MethodKind::NrMemBound], 1);
+        let m = run_matrix(&[spec], &[MethodId::NR_MEM_BOUND], 1);
         assert_eq!(m.cells.len(), 1);
         assert!(m.all_exact());
         assert!(m.cells[0].cycle_packets > 0);
     }
 
     #[test]
+    fn mem_bound_has_no_air_cycle_but_reports_nrs() {
+        // The "no own channel" capability is explicit: `cycle()` is a
+        // typed error (no silent aliasing to NR), while the *report*
+        // quotes NR's cycle length per the descriptor's reference_cycle.
+        let spec = ScenarioSpec::small("mb-explicit", 13);
+        let ctx = ScenarioContext::build(&spec, &[MethodId::NR, MethodId::NR_MEM_BOUND]);
+        assert!(matches!(
+            ctx.cycle(MethodId::NR_MEM_BOUND),
+            Err(MethodUnavailable::NoOwnChannel {
+                method: "nr_mem_bound",
+                reference: "nr",
+            })
+        ));
+        assert!(matches!(
+            ctx.client(MethodId::NR_MEM_BOUND),
+            Err(MethodUnavailable::NotAirClient("nr_mem_bound"))
+        ));
+        assert_eq!(
+            ctx.reported_cycle_packets(MethodId::NR_MEM_BOUND),
+            ctx.cycle(MethodId::NR).unwrap().len(),
+        );
+    }
+
+    #[test]
+    fn unavailable_programs_surface_as_failed_cells_not_panics() {
+        let spec = ScenarioSpec::small("missing", 17);
+        let ctx = ScenarioContext::build(&spec, &[MethodId::NR]);
+        assert!(matches!(
+            ctx.cycle(MethodId::DJ),
+            Err(MethodUnavailable::NotBuilt("dj"))
+        ));
+        let report = run_cell(&ctx, MethodId::DJ);
+        assert!(!report.exact());
+        assert_eq!(
+            report.queries,
+            spec.workload.point_to_point + spec.workload.on_edge
+        );
+        assert_eq!(report.mismatches, report.queries);
+    }
+
+    #[test]
     fn matrix_skips_cells_without_work() {
         let mut spec = ScenarioSpec::small("skip", 3);
         spec.workload = WorkloadMix::p2p(2);
-        let m = run_matrix(&[spec], &[MethodKind::Dj, MethodKind::KnnAir], 1);
+        let m = run_matrix(&[spec], &[MethodId::DJ, MethodId::KNN_AIR], 1);
         assert_eq!(m.cells.len(), 1, "knn cell has no work and is skipped");
         assert_eq!(m.cells[0].method, "dj");
         assert!(m.all_exact());

@@ -13,6 +13,12 @@
 //! memory-bound variant and the §8 kNN client) through it, differentially
 //! verifying each answer against a serial Dijkstra oracle.
 //!
+//! Which methods exist is no longer this crate's business: the engine
+//! iterates `spair_methods::MethodRegistry` and dispatches every cell by
+//! the method's declared capabilities, so registering a new
+//! `BroadcastMethod` (one file + one registry line) adds a conformance
+//! matrix column with zero edits here.
+//!
 //! Results aggregate into a [`ConformanceMatrix`] of (scenario × method)
 //! cells carrying the §3.1 cost factors plus a radio energy figure. The
 //! independent cells fan out across threads via the deterministic
@@ -36,6 +42,7 @@ pub mod spec;
 pub use engine::{run_cell, run_matrix, ScenarioContext, WorkItem};
 pub use matrix::{default_matrix, nightly_matrix, smoke_matrix};
 pub use report::{CellReport, ConformanceMatrix};
-pub use spec::{
-    GraphSpec, LossSpec, MethodKind, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix,
+pub use spair_methods::{
+    MethodDescriptor, MethodId, MethodRegistry, MethodUnavailable, SessionShape,
 };
+pub use spec::{GraphSpec, LossSpec, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix};

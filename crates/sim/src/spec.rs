@@ -231,68 +231,6 @@ impl ScenarioSpec {
     }
 }
 
-/// The client methods a conformance matrix can drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MethodKind {
-    /// Next Region (§5).
-    Nr,
-    /// Elliptic Boundary (§4).
-    Eb,
-    /// Dijkstra on air (whole-cycle download).
-    Dj,
-    /// Landmark / ALT.
-    Ld,
-    /// ArcFlag.
-    Af,
-    /// SPQ quadtree baseline on air.
-    SpqAir,
-    /// HiTi hierarchy baseline on air.
-    HiTiAir,
-    /// NR's region set processed through the §6.1 memory-bound
-    /// contraction (distances must be unchanged; channel costs are not
-    /// simulated — the cell measures the contraction's memory/CPU).
-    NrMemBound,
-    /// The §8 on-air kNN client (runs the `knn` portion of the workload;
-    /// the others run `point_to_point` + `on_edge`).
-    KnnAir,
-}
-
-impl MethodKind {
-    /// Every method, in matrix column order.
-    pub const ALL: [MethodKind; 9] = [
-        MethodKind::Nr,
-        MethodKind::Eb,
-        MethodKind::Dj,
-        MethodKind::Ld,
-        MethodKind::Af,
-        MethodKind::SpqAir,
-        MethodKind::HiTiAir,
-        MethodKind::NrMemBound,
-        MethodKind::KnnAir,
-    ];
-
-    /// Matrix column key.
-    pub fn name(&self) -> &'static str {
-        match self {
-            MethodKind::Nr => "nr",
-            MethodKind::Eb => "eb",
-            MethodKind::Dj => "dj",
-            MethodKind::Ld => "ld",
-            MethodKind::Af => "af",
-            MethodKind::SpqAir => "spq_air",
-            MethodKind::HiTiAir => "hiti_air",
-            MethodKind::NrMemBound => "nr_mem_bound",
-            MethodKind::KnnAir => "knn_air",
-        }
-    }
-
-    /// Whether this method answers the point-to-point / on-edge portion
-    /// of a workload (everything except the kNN client).
-    pub fn runs_paths(&self) -> bool {
-        !matches!(self, MethodKind::KnnAir)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,13 +262,5 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), 3);
-    }
-
-    #[test]
-    fn method_names_are_unique() {
-        let mut names: Vec<&str> = MethodKind::ALL.iter().map(|m| m.name()).collect();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), MethodKind::ALL.len());
     }
 }

@@ -10,9 +10,16 @@
 
 use proptest::prelude::*;
 use spair_sim::{
-    run_matrix, ConformanceMatrix, GraphSpec, LossSpec, MethodKind, PartitionerKind, ScenarioSpec,
-    WorkloadMix,
+    run_matrix, ConformanceMatrix, GraphSpec, LossSpec, MethodId, MethodRegistry, PartitionerKind,
+    ScenarioSpec, WorkloadMix,
 };
+
+/// Every registered method — the matrix column set now comes from the
+/// registry, so newly registered methods are conformance-tested with
+/// zero edits here.
+fn all_methods() -> Vec<MethodId> {
+    MethodRegistry::standard().all()
+}
 
 /// Retry-cycle budgets: generous multiples of the observed worst cases,
 /// yet far below `MAX_RETRY_CYCLES` (100) — a regression here means a
@@ -78,8 +85,9 @@ proptest! {
         } else {
             PartitionerKind::UniformGrid
         };
-        let m = run_matrix(&[spec], &MethodKind::ALL, 1);
-        prop_assert_eq!(m.cells.len(), MethodKind::ALL.len());
+        let methods = all_methods();
+        let m = run_matrix(&[spec], &methods, 1);
+        prop_assert_eq!(m.cells.len(), methods.len());
         prop_assert!(m.all_exact(), "mismatches: {}", m.total_mismatches());
     }
 
@@ -95,7 +103,7 @@ proptest! {
         } else {
             LossSpec::Bernoulli { rate: 0.08 }
         };
-        let m = run_matrix(&[spec], &MethodKind::ALL, 1);
+        let m = run_matrix(&[spec], &all_methods(), 1);
         prop_assert!(m.all_exact(), "mismatches: {}", m.total_mismatches());
         assert_latency_bounded(&m);
     }
@@ -115,9 +123,10 @@ fn runs_are_reproducible_byte_for_byte_across_thread_counts() {
         s.partitioner = PartitionerKind::UniformGrid;
         s
     }];
-    let serial = run_matrix(&specs, &MethodKind::ALL, 1);
-    let serial_again = run_matrix(&specs, &MethodKind::ALL, 1);
-    let parallel = run_matrix(&specs, &MethodKind::ALL, 4);
+    let methods = all_methods();
+    let serial = run_matrix(&specs, &methods, 1);
+    let serial_again = run_matrix(&specs, &methods, 1);
+    let parallel = run_matrix(&specs, &methods, 4);
     assert_eq!(
         serial.to_json(false),
         serial_again.to_json(false),
@@ -136,9 +145,53 @@ fn runs_are_reproducible_byte_for_byte_across_thread_counts() {
 /// vacuously constant).
 #[test]
 fn digest_depends_on_the_seed() {
-    let a = run_matrix(&[tiny_spec("s", 1)], &[MethodKind::Nr, MethodKind::Dj], 1);
-    let b = run_matrix(&[tiny_spec("s", 2)], &[MethodKind::Nr, MethodKind::Dj], 1);
+    let a = run_matrix(&[tiny_spec("s", 1)], &[MethodId::NR, MethodId::DJ], 1);
+    let b = run_matrix(&[tiny_spec("s", 2)], &[MethodId::NR, MethodId::DJ], 1);
     assert_ne!(a.digest(), b.digest());
+}
+
+/// Trait-vs-old-enum behavior neutrality: the registry refactor must not
+/// move a single byte of the nine legacy methods' cells. The default
+/// matrix restricted to them reproduces the digest committed in
+/// `BENCH_scenarios.json` *before* the refactor (when those nine were
+/// the whole column set). Slow in debug builds, so the full check runs
+/// in release (CI's sim-conformance lane); debug runs the smoke matrix
+/// against its own frozen pre-refactor digest.
+#[test]
+fn legacy_nine_method_digests_are_unchanged_by_the_registry() {
+    let legacy: Vec<MethodId> = [
+        "nr",
+        "eb",
+        "dj",
+        "ld",
+        "af",
+        "spq_air",
+        "hiti_air",
+        "nr_mem_bound",
+        "knn_air",
+    ]
+    .iter()
+    .map(|n| MethodRegistry::standard().get(n).unwrap())
+    .collect();
+    // Smoke matrix: digest recorded from the pre-refactor enum engine.
+    let smoke = run_matrix(&spair_sim::smoke_matrix(), &legacy, 2);
+    assert!(smoke.all_exact());
+    assert_eq!(
+        smoke.digest(),
+        0x67be_06b5_041d_e670,
+        "smoke-matrix legacy digest drifted"
+    );
+    // Default matrix: the digest committed in BENCH_scenarios.json for
+    // PR 4, whose column set was exactly these nine methods.
+    if !cfg!(debug_assertions) {
+        let default = run_matrix(&spair_sim::default_matrix(), &legacy, 2);
+        assert!(default.all_exact());
+        assert_eq!(
+            default.digest(),
+            0x8a6f_7c37_dd62_0807,
+            "default-matrix legacy digest drifted"
+        );
+    }
 }
 
 /// The queue policy must not change any answer: the same scenario run
@@ -150,7 +203,7 @@ fn queue_policy_never_changes_answers() {
     for policy in [QueuePolicy::Heap, QueuePolicy::Bucket, QueuePolicy::Auto] {
         let mut spec = tiny_spec("queue", 77);
         spec.queue = policy;
-        let m = run_matrix(&[spec], &MethodKind::ALL, 1);
+        let m = run_matrix(&[spec], &all_methods(), 1);
         assert!(
             m.all_exact(),
             "{policy:?}: mismatches {}",
