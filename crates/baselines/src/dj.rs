@@ -71,7 +71,7 @@ pub fn receive_whole_cycle(
         let off = ch.offset();
         match ch.receive() {
             Received::Packet(p) => on_payload(p.kind(), p.payload(), mem),
-            Received::Lost => missing.push(off),
+            Received::Lost | Received::Corrupted => missing.push(off),
         }
     }
     let mut rounds = 0;
@@ -86,7 +86,7 @@ pub fn receive_whole_cycle(
             ch.sleep_to_offset(off);
             match ch.receive() {
                 Received::Packet(p) => on_payload(p.kind(), p.payload(), mem),
-                Received::Lost => still.push(off),
+                Received::Lost | Received::Corrupted => still.push(off),
             }
         }
         missing = still;

@@ -455,7 +455,7 @@ impl HiTiAirClient {
                         }
                         pos = seq as usize + 1;
                     }
-                    Received::Lost => pos += 1,
+                    Received::Lost | Received::Corrupted => pos += 1,
                 }
             }
             let Some(t) = total else {
@@ -479,7 +479,7 @@ impl HiTiAirClient {
                             }
                             received[i] = true;
                         }
-                        Received::Lost => still.push(i),
+                        Received::Lost | Received::Corrupted => still.push(i),
                     }
                 }
                 missing = still;

@@ -10,6 +10,10 @@
 //!        --queries <n>   queries per experiment (default: paper's 400,
 //!                        reduced for the multi-network experiments)
 //!        --seed <s>      workload seed (default 42)
+//!        --methods <a,b> per-query chart set by registry name (default:
+//!                        the paper's nr,eb,dj,ld,af) — any registered
+//!                        air method joins the charts with no code edits
+//!        --list-methods  print the registry's air methods and exit
 //! ```
 //!
 //! Numbers are expected to reproduce the paper's *shape* (who wins, by
@@ -30,6 +34,11 @@ struct Opts {
     scale: f64,
     queries: usize,
     seed: u64,
+    /// The per-query chart set (Figures 10–12, 14). Defaults to the
+    /// paper's five; `--methods` swaps in any registered air methods —
+    /// e.g. `--methods nr,eb,dj,astar_air,bidi_air` — with no code
+    /// edits.
+    methods: Vec<Method>,
 }
 
 fn parse_opts() -> Opts {
@@ -38,6 +47,7 @@ fn parse_opts() -> Opts {
     let mut scale = DEFAULT_SCALE;
     let mut queries = 0usize; // 0 = per-experiment default
     let mut seed = 42u64;
+    let mut methods: Vec<Method> = PER_QUERY_METHODS.to_vec();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -45,6 +55,28 @@ fn parse_opts() -> Opts {
             "--scale" => scale = it.next().expect("--scale <f>").parse().expect("scale"),
             "--queries" => queries = it.next().expect("--queries <n>").parse().expect("n"),
             "--seed" => seed = it.next().expect("--seed <s>").parse().expect("seed"),
+            "--methods" => {
+                let registry = MethodRegistry::standard();
+                methods = it
+                    .next()
+                    .expect("--methods <a,b,c>")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|name| {
+                        registry
+                            .get(name.trim())
+                            .unwrap_or_else(|e| panic!("--methods: {e}"))
+                    })
+                    .collect();
+                assert!(!methods.is_empty(), "--methods expects at least one name");
+            }
+            "--list-methods" => {
+                println!("registered air methods (usable with --methods):");
+                for m in MethodRegistry::standard().air_methods() {
+                    println!("  {:<14} chart label: {}", m.name(), m.label());
+                }
+                std::process::exit(0);
+            }
             c if !c.starts_with('-') => cmd = c.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -54,6 +86,7 @@ fn parse_opts() -> Opts {
         scale,
         queries,
         seed,
+        methods,
     }
 }
 
@@ -277,7 +310,7 @@ fn fig10(opts: &Opts) {
     let bucket_of = |d: u64| -> usize { ((4 * d) / (diameter + 1)).min(3) as usize };
     let mut per_method: Vec<[Averages; 4]> = Vec::new();
     let mut energy: Vec<f64> = Vec::new();
-    for m in PER_QUERY_METHODS {
+    for &m in &opts.methods {
         let results = run_method(&programs, m, &queries, 0.0, opts.seed + 11);
         let mut buckets = [Averages::default(); 4];
         let mut joules = 0.0;
@@ -309,13 +342,13 @@ fn fig10(opts: &Opts) {
             "{:<10} {:>10} {:>10} {:>10} {:>10}",
             "Method", "Q1", "Q2", "Q3", "Q4"
         );
-        for (mi, m) in PER_QUERY_METHODS.iter().enumerate() {
+        for (mi, m) in opts.methods.iter().enumerate() {
             let row: Vec<String> = per_method[mi].iter().map(f).collect();
             println!("{:<10} {}", m.label(), row.join(" "));
         }
     }
     println!("\n-- extension: mean energy per query (J, 384Kbps, WaveLAN/ARM) --");
-    for (mi, m) in PER_QUERY_METHODS.iter().enumerate() {
+    for (mi, m) in opts.methods.iter().enumerate() {
         println!("{:<10} {:>10.3}", m.label(), energy[mi]);
     }
 }
@@ -335,7 +368,7 @@ fn fig11(opts: &Opts) {
         // everywhere but it simply shows its (growing) cost.
         let programs = Programs::build_tuned(&world, regions.min(64), landmarks);
         let queries = random_queries(&world.g, n_queries, opts.seed + 20);
-        for m in PER_QUERY_METHODS {
+        for &m in &opts.methods {
             if m == Method::AF && regions > 16 {
                 continue; // paper: heap-infeasible beyond 16
             }
@@ -344,12 +377,15 @@ fn fig11(opts: &Opts) {
             for (_, s) in &results {
                 avg.push(s);
             }
+            // Only the region-partitioned methods vary with the region
+            // count; LD varies with landmarks; everything else (DJ and
+            // any registry extra) shows its flat baseline.
             let label = if m == Method::LD {
                 format!("{}@{}", m.label(), landmarks)
-            } else if m == Method::DJ {
-                m.label().to_string()
-            } else {
+            } else if m == Method::NR || m == Method::EB || m == Method::AF {
                 format!("{}@{}", m.label(), regions)
+            } else {
+                m.label().to_string()
             };
             println!(
                 "{:<22} {:>10.0} {:>12.3} {:>10.0} {:>10.3}",
@@ -376,7 +412,7 @@ fn fig12(opts: &Opts) {
         let world = World::build(preset, opts.scale, EB_REGIONS, opts.seed);
         let programs = Programs::build(&world);
         let queries = random_queries(&world.g, n_queries, opts.seed + 30);
-        for m in PER_QUERY_METHODS {
+        for &m in &opts.methods {
             let results = run_method(&programs, m, &queries, 0.0, opts.seed + 31);
             let mut avg = Averages::default();
             for (_, s) in &results {
@@ -690,7 +726,7 @@ fn fig14(opts: &Opts) {
             print!(" {:>9.1}%", r * 100.0);
         }
         println!();
-        for m in PER_QUERY_METHODS {
+        for &m in &opts.methods {
             print!("{:<10}", m.label());
             for rate in rates {
                 let results = run_method(&programs, m, &queries, rate, opts.seed + 51);
@@ -715,7 +751,7 @@ fn fig14(opts: &Opts) {
         print!(" {:>9.1}%", r * 100.0);
     }
     println!();
-    for m in PER_QUERY_METHODS {
+    for &m in &opts.methods {
         print!("{:<10}", m.label());
         for rate in rates {
             let seed = opts.seed + 52;

@@ -16,6 +16,10 @@
 //!   optimal `m = sqrt(data/index)`;
 //! * [`channel`] — the client's view: tune in at an arbitrary instant,
 //!   receive or sleep, optionally under Bernoulli packet loss;
+//! * [`fault`] — seeded deterministic fault injection beyond loss:
+//!   CRC-detectable bit corruption, truncated cycles with server
+//!   restarts, duplicated and stale-version frames, correlated window
+//!   loss — all advancing on the packet clock;
 //! * [`metrics`] — tuning time, access latency, peak client memory, CPU
 //!   time (the performance factors of §3.1);
 //! * [`energy`] / [`device`] — WaveLAN/ARM power constants and the J2ME
@@ -29,6 +33,7 @@ pub mod codec;
 pub mod cycle;
 pub mod device;
 pub mod energy;
+pub mod fault;
 pub mod interleave;
 pub mod metrics;
 pub mod packet;
@@ -38,6 +43,7 @@ pub use codec::{PayloadReader, RecordWriter};
 pub use cycle::{BroadcastCycle, CycleBuilder, SegmentKind};
 pub use device::{ChannelRate, DeviceProfile};
 pub use energy::EnergyModel;
+pub use fault::{FaultPlan, FaultTelemetry};
 pub use interleave::{interleave_1m, optimal_m};
 pub use metrics::{CpuMeter, MemoryMeter, QueryStats};
-pub use packet::{Packet, PacketKind, PACKET_SIZE, PAYLOAD_CAPACITY};
+pub use packet::{crc32, Packet, PacketKind, PACKET_SIZE, PAYLOAD_CAPACITY};

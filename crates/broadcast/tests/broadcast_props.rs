@@ -121,7 +121,9 @@ proptest! {
             if recv {
                 match ch.receive() {
                     Received::Packet(p) => prop_assert_eq!(p.payload()[0] as usize, before % 256),
-                    Received::Lost => prop_assert!(false, "lossless channel lost a packet"),
+                    Received::Lost | Received::Corrupted => {
+                        prop_assert!(false, "lossless channel lost a packet")
+                    }
                 }
                 prop_assert_eq!(ch.offset(), (before + 1) % n);
             } else {

@@ -71,7 +71,7 @@ impl EbClient {
                     // length: give up; the caller retries at the next copy.
                     return None;
                 }
-                Received::Lost => {
+                Received::Lost | Received::Corrupted => {
                     if total.is_none() && received > 8 {
                         // Pathological: many leading losses and length
                         // unknown. Give up on this copy as well.
@@ -132,7 +132,7 @@ impl AirClient for EbClient {
         let mut dec = EbIndexDecoder::new();
         let mut rs_rt: Option<(RegionId, RegionId)> = None;
         let mut attempts = 0;
-        loop {
+        let (rs, rt) = loop {
             attempts += 1;
             if attempts > MAX_RETRY_CYCLES {
                 return Err(QueryError::Aborted("EB index never completed"));
@@ -150,18 +150,23 @@ impl AirClient for EbClient {
             }
             if let Some((rs, rt)) = rs_rt {
                 if Self::index_complete(&dec, rs, rt) {
-                    break;
+                    break (rs, rt);
                 }
             }
-        }
-        let (rs, rt) = rs_rt.expect("set above");
-        let n = dec.num_regions().expect("decoded") as RegionId;
+        };
+        let n = dec
+            .num_regions()
+            .ok_or(QueryError::Aborted("EB index lost its region count"))?
+            as RegionId;
         debug_assert_eq!(n as usize, self.summary.num_regions);
         mem.alloc(dec.retained_bytes());
 
         // Phase 2: prune (§4.2). UB = max(Rs,Rt); keep R iff
         // min(Rs,R) + min(R,Rt) <= UB, plus the terminal regions.
-        let ub = dec.minmax(rs, rt).expect("checked").max;
+        let ub = dec
+            .minmax(rs, rt)
+            .ok_or(QueryError::Aborted("EB minmax row incomplete"))?
+            .max;
         let mut needed: Vec<RegionId> = cpu.time(|| {
             let mut v = Vec::new();
             for r in 0..n {
@@ -169,14 +174,16 @@ impl AirClient for EbClient {
                     v.push(r);
                     continue;
                 }
-                let a = dec.minmax(rs, r).expect("checked").min;
-                let b = dec.minmax(r, rt).expect("checked").min;
+                let (Some(row), Some(col)) = (dec.minmax(rs, r), dec.minmax(r, rt)) else {
+                    return Err(QueryError::Aborted("EB minmax row incomplete"));
+                };
+                let (a, b) = (row.min, col.min);
                 if a != DIST_INF && b != DIST_INF && a + b <= ub {
                     v.push(r);
                 }
             }
-            v
-        });
+            Ok(v)
+        })?;
         // Degenerate pair (no border connectivity recorded): fall back to
         // receiving everything — correctness over pruning.
         if ub == 0 && rs != rt {
@@ -187,15 +194,18 @@ impl AirClient for EbClient {
         // current position (Algorithm 1's "next region to be broadcast").
         let here = ch.offset();
         let len = ch.cycle_len();
-        needed.sort_by_key(|&r| {
-            let off = dec.region_entry(r).expect("checked").data_offset as usize;
-            (off + len - here) % len
-        });
+        let mut entries = Vec::with_capacity(needed.len());
+        for &r in &needed {
+            let e = dec
+                .region_entry(r)
+                .ok_or(QueryError::Aborted("EB region entry missing"))?;
+            entries.push((r, e));
+        }
+        entries.sort_by_key(|&(_, e)| (e.data_offset as usize + len - here) % len);
 
         let mut store = ReceivedGraph::new();
         let mut missing: Vec<usize> = Vec::new(); // absolute offsets lost
-        for &r in &needed {
-            let e = dec.region_entry(r).expect("checked");
+        for &(r, e) in &entries {
             let take = if r == rs || r == rt {
                 e.cross_packets as usize + e.local_packets as usize
             } else {

@@ -275,7 +275,9 @@ impl KnnClient {
                     ingest_index(p.payload(), &mut dec, &mut poi_ids);
                 }
                 spair_broadcast::Received::Packet(_) => break, // data started
-                spair_broadcast::Received::Lost => lost.push(off),
+                spair_broadcast::Received::Lost | spair_broadcast::Received::Corrupted => {
+                    lost.push(off)
+                }
             }
         }
         let mut rounds = 0;
@@ -294,7 +296,9 @@ impl KnnClient {
                         ingest_index(p.payload(), &mut dec, &mut poi_ids);
                     }
                     spair_broadcast::Received::Packet(_) => {} // was a data packet
-                    spair_broadcast::Received::Lost => still.push(off),
+                    spair_broadcast::Received::Lost | spair_broadcast::Received::Corrupted => {
+                        still.push(off)
+                    }
                 }
             }
             lost = still;
@@ -304,22 +308,27 @@ impl KnnClient {
         };
         let locator = cpu.time(|| KdLocator::from_splits(splits));
         let rs = locator.locate(source_pt);
-        let n = dec.num_regions().expect("splits imply region count") as RegionId;
+        let n = dec.num_regions().ok_or(crate::query::QueryError::Aborted(
+            "kNN index lost its region count",
+        ))? as RegionId;
         debug_assert_eq!(n as usize, self.num_regions);
         mem.alloc(dec.retained_bytes() + poi_ids.len() * 4);
         let is_poi: std::collections::HashSet<NodeId> = poi_ids.iter().copied().collect();
 
         // Regions ascending by min(Rs, ·) — the reception schedule.
-        let mut order: Vec<(Distance, RegionId)> = (0..n)
-            .map(|r| {
-                let b = if r == rs {
-                    0
-                } else {
-                    dec.minmax(rs, r).expect("row checked").min
-                };
-                (b, r)
-            })
-            .collect();
+        let mut order: Vec<(Distance, RegionId)> = Vec::with_capacity(n as usize);
+        for r in 0..n {
+            let b = if r == rs {
+                0
+            } else {
+                dec.minmax(rs, r)
+                    .ok_or(crate::query::QueryError::Aborted(
+                        "kNN minmax row incomplete",
+                    ))?
+                    .min
+            };
+            order.push((b, r));
+        }
         order.sort_unstable();
 
         // Incremental expansion: receive regions in bound order; after
@@ -347,7 +356,11 @@ impl KnnClient {
                 consumed += 1;
             }
             for r in batch {
-                let e = dec.region_entry(r).expect("checked");
+                let e = dec
+                    .region_entry(r)
+                    .ok_or(crate::query::QueryError::Aborted(
+                        "kNN region entry missing",
+                    ))?;
                 let got = receive_segment(ch, e.data_offset as usize, e.cross_packets as usize);
                 for (i, slot) in got.into_iter().enumerate() {
                     match slot.and_then(|p| decode_payload(&p)) {

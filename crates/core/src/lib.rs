@@ -41,6 +41,7 @@ pub mod onedge;
 pub mod precompute;
 pub mod query;
 pub mod regionset;
+pub mod session;
 
 pub use eb::{EbClient, EbProgram, EbServer, EbSummary};
 pub use knn::{KnnClient, KnnProgram, KnnServer};
@@ -50,3 +51,7 @@ pub use onedge::{on_edge_query, OnEdgeOutcome, OnEdgePoint};
 pub use precompute::{BorderPrecomputation, MinMax};
 pub use query::{Query, QueryError, QueryOutcome};
 pub use regionset::RegionSet;
+pub use session::{
+    supervise, supervise_query, AttemptReport, RecoveryBudget, SessionError, SessionOutcome,
+    SupervisedSession,
+};

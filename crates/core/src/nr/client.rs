@@ -74,7 +74,7 @@ impl NrClient {
                     // Ran past the index into region data.
                     return (dec, Overrun::DataPacket(off, Some(p.payload().clone())));
                 }
-                Received::Lost => {
+                Received::Lost | Received::Corrupted => {
                     match remaining.as_mut() {
                         Some(r) => *r -= 1,
                         None => {
@@ -140,7 +140,7 @@ impl NrClient {
                         }
                     }
                 }
-                Received::Lost => missing.push(off),
+                Received::Lost | Received::Corrupted => missing.push(off),
                 _ => {}
             }
         }
@@ -353,12 +353,16 @@ impl AirClient for NrClient {
                     // Cell lost / splits incomplete / sentinel: §6.2 —
                     // receive the current index's own region anyway and
                     // continue with the following index.
-                    let fallback_region = cur_region;
-                    match fallback_region
-                        .and_then(|m| shared.offsets.get(m as usize).copied().flatten())
-                    {
-                        Some(e) => {
-                            let m = fallback_region.expect("matched above");
+                    let fallback = cur_region.and_then(|m| {
+                        shared
+                            .offsets
+                            .get(m as usize)
+                            .copied()
+                            .flatten()
+                            .map(|e| (m, e))
+                    });
+                    match fallback {
+                        Some((m, e)) => {
                             let pre =
                                 drain_overrun(&mut overrun, &mut store, &mut mem, &mut missing);
                             // Conservative under loss: take the local
@@ -421,7 +425,7 @@ impl AirClient for NrClient {
                     }
                     // Turned out to be an index packet: nothing to recover.
                     Received::Packet(_) => {}
-                    Received::Lost => still.push(off),
+                    Received::Lost | Received::Corrupted => still.push(off),
                 }
             }
             missing = still;

@@ -20,7 +20,7 @@
 //! session failure or determinism break**, so CI can use it as a gate.
 
 use spair_load::spec::override_population;
-use spair_load::{default_load_matrix, prepare, run, smoke_load_matrix};
+use spair_load::{default_load_matrix, override_flash_population, prepare, run, smoke_load_matrix};
 use spair_roadnet::parallel;
 use std::time::Instant;
 
@@ -29,6 +29,7 @@ struct Opts {
     threads: usize,
     scale: f64,
     population: Option<usize>,
+    flash_population: Option<usize>,
     out: String,
 }
 
@@ -38,6 +39,7 @@ fn parse_opts() -> Opts {
         threads: 0,
         scale: 1.0,
         population: None,
+        flash_population: None,
         out: "BENCH_load.json".to_string(),
     };
     // Worker-count precedence (shared by every bench binary): an explicit
@@ -87,12 +89,23 @@ fn parse_opts() -> Opts {
                 }
                 opts.population = Some(n);
             }
+            "--flash-population" => {
+                let n: usize = value().parse().unwrap_or_else(|_| {
+                    eprintln!("error: --flash-population expects a positive integer");
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("error: --flash-population must be >= 1");
+                    std::process::exit(2);
+                }
+                opts.flash_population = Some(n);
+            }
             "--out" => opts.out = value(),
             other => {
                 eprintln!(
                     "error: unknown flag {other}\n\
                      usage: bench_load [--smoke] [--threads N] [--population N] \
-                     [--scale F] [--out PATH]"
+                     [--flash-population N] [--scale F] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -111,6 +124,10 @@ fn main() {
     };
     if let Some(n) = opts.population {
         override_population(&mut specs, n);
+    }
+    // After --population, so an explicit flash override wins the cap.
+    if let Some(n) = opts.flash_population {
+        override_flash_population(&mut specs, n);
     }
     let cells: usize = specs.iter().map(|s| s.methods.len()).sum();
     eprintln!(
@@ -177,6 +194,7 @@ fn main() {
          \"population_total\": {},\n  \
          \"profile_sessions\": {},\n  \
          \"mismatches\": {},\n  \
+         \"typed_failures\": {},\n  \
          \"all_exact\": {},\n  \
          \"digest\": \"{digest:016x}\",\n  \
          \"bit_identical_across_threads\": {bit_identical},\n  \
@@ -193,6 +211,7 @@ fn main() {
         report.total_population(),
         prep.profile_sessions(),
         report.total_mismatches(),
+        report.total_typed_failures(),
         conformant,
         std::thread::available_parallelism()
             .map(|n| n.get())

@@ -37,17 +37,23 @@
 //! is bit-identical for every thread count.
 
 use crate::hist::StreamingHistogram;
-use crate::report::{LoadCellReport, LoadReport, PercentileSummary};
+use crate::report::{LoadCellReport, LoadFaultSummary, LoadReport, PercentileSummary};
 use crate::spec::LoadSpec;
 use spair_broadcast::cycle::SegmentKind;
 use spair_broadcast::{
-    BroadcastChannel, BroadcastCycle, ChannelRate, EnergyModel, LossModel, QueryStats,
+    BroadcastChannel, BroadcastCycle, ChannelRate, EnergyModel, FaultPlan, LossModel, QueryStats,
 };
 use spair_core::query::Query;
+use spair_core::{supervise, AttemptReport, RecoveryBudget, SessionOutcome};
 use spair_methods::{MethodId, SessionShape};
 use spair_roadnet::{parallel, Distance};
 use spair_sim::{ScenarioContext, WorkItem};
+use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// The recovery budget every flash-crowd client session runs under —
+/// the same chaos budget the fault matrix certifies.
+const FLASH_BUDGET: RecoveryBudget = RecoveryBudget::standard();
 
 /// SplitMix64 — the same seed-derivation PRNG the scenario engine uses.
 /// Every client's (query, offset, loss seed) is a pure function of
@@ -63,6 +69,18 @@ fn splitmix64(mut x: u64) -> u64 {
 
 fn cell_seed(scenario_seed: u64, method: MethodId) -> u64 {
     splitmix64(scenario_seed ^ splitmix64(u64::from(method.ordinal()).wrapping_add(0x10AD)))
+}
+
+/// Salts a client's base seed per supervised re-tune attempt. Attempt 0
+/// uses the base unchanged, so a fault-free supervised session draws
+/// exactly the streams an unsupervised client would (same convention as
+/// the fault matrix).
+fn attempt_seed(base: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        base
+    } else {
+        splitmix64(base ^ u64::from(attempt))
+    }
 }
 
 /// The consumption shape of an air client method — read straight off its
@@ -110,6 +128,15 @@ enum CellMode {
     },
     /// Lossy: every client runs a full session over its own loss stream.
     Exact,
+    /// Flash crowd: every client runs a full bounded-recovery supervised
+    /// session against this **shared** fault plan — one faulty server,
+    /// the whole population tuned in within one cycle, correlated bursts
+    /// hitting neighbouring clients at the same wall-clock slots.
+    Supervised {
+        /// The population-wide fault plan (seeded off the cell, not the
+        /// client, so fault draws correlate across clients).
+        plan: FaultPlan,
+    },
 }
 
 /// Resolves a tune-in offset to `(class index, initial pointer
@@ -166,7 +193,7 @@ impl PreparedCell {
     pub fn profile_sessions(&self) -> usize {
         match &self.mode {
             CellMode::Replay { profiles, .. } => profiles.len(),
-            CellMode::Exact => 0,
+            CellMode::Exact | CellMode::Supervised { .. } => 0,
         }
     }
 
@@ -311,7 +338,18 @@ pub fn prepare(specs: &[LoadSpec], threads: usize) -> PreparedLoad {
     for (si, spec) in specs.iter().enumerate() {
         for &method in &spec.methods {
             let start = Instant::now();
-            let mode = if spec.scenario.loss.is_lossy() {
+            let mode = if spec.flash {
+                // One plan for the whole population: seeded off the
+                // cell, so every client shares the fault stream.
+                let cycle_len = air_cycle(&contexts[si], method).len();
+                let seed = cell_seed(spec.scenario.seed, method);
+                CellMode::Supervised {
+                    plan: spec
+                        .scenario
+                        .fault
+                        .plan(splitmix64(seed ^ 0xFA17), cycle_len),
+                }
+            } else if spec.scenario.loss.is_lossy() {
                 CellMode::Exact
             } else {
                 build_profiles(&contexts[si], method, threads)
@@ -392,6 +430,64 @@ impl PreparedLoad {
     }
 }
 
+/// Fault/recovery aggregate of a supervised flash-crowd cell — the
+/// streaming counterpart of the fault matrix's per-cell accumulator.
+struct FaultAgg {
+    typed_failures: u64,
+    budget_violations: u64,
+    attempts: u64,
+    max_attempts: u32,
+    retried: u64,
+    recovery: StreamingHistogram,
+    classes: BTreeMap<&'static str, u64>,
+}
+
+impl FaultAgg {
+    fn new(cycle_len: usize) -> Self {
+        Self {
+            typed_failures: 0,
+            budget_violations: 0,
+            attempts: 0,
+            max_attempts: 0,
+            retried: 0,
+            recovery: StreamingHistogram::with_bound((cycle_len as u64).max(1) * 64, HIST_BUCKETS),
+            classes: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one supervised session's cost in. The budget ceiling allows
+    /// the supervisor's one-attempt overshoot (each attempt is bounded
+    /// by the client's own retry budget), same as the fault matrix.
+    fn session(&mut self, attempts: u32, recovery: u64, cycle_len: usize) {
+        self.attempts += u64::from(attempts);
+        self.max_attempts = self.max_attempts.max(attempts);
+        self.retried += u64::from(attempts > 1);
+        self.recovery.record(recovery);
+        if attempts > FLASH_BUDGET.max_attempts
+            || recovery > FLASH_BUDGET.packet_budget(cycle_len).saturating_mul(2)
+        {
+            self.budget_violations += 1;
+        }
+    }
+
+    fn failed(&mut self, class: &'static str) {
+        self.typed_failures += 1;
+        *self.classes.entry(class).or_insert(0) += 1;
+    }
+
+    fn absorb(&mut self, other: FaultAgg) {
+        self.typed_failures += other.typed_failures;
+        self.budget_violations += other.budget_violations;
+        self.attempts += other.attempts;
+        self.max_attempts = self.max_attempts.max(other.max_attempts);
+        self.retried += other.retried;
+        self.recovery.merge(&other.recovery);
+        for (class, n) in other.classes {
+            *self.classes.entry(class).or_insert(0) += n;
+        }
+    }
+}
+
 /// Streaming per-cell aggregate — the map-reduce partial. O(buckets)
 /// memory regardless of population.
 struct CellMetrics {
@@ -401,18 +497,20 @@ struct CellMetrics {
     mismatches: u64,
     failures: u64,
     peak_memory_bytes: usize,
+    fault: Option<FaultAgg>,
 }
 
 const HIST_BUCKETS: usize = 1024;
 
 impl CellMetrics {
-    fn new(cycle_len: usize, lossy: bool, rate: ChannelRate) -> Self {
-        // Lossless sessions finish within a couple of cycles; lossy ones
-        // stretch by retry cycles. Values beyond the bound stay exact in
-        // count/sum/max and fall into the overflow bucket.
-        let factor = if lossy { 24 } else { 4 };
+    fn new(cycle_len: usize, full_sessions: bool, supervised: bool, rate: ChannelRate) -> Self {
+        // Lossless sessions finish within a couple of cycles; lossy and
+        // supervised ones stretch by retry cycles and re-tunes. Values
+        // beyond the bound stay exact in count/sum/max and fall into the
+        // overflow bucket.
+        let factor = if full_sessions { 24 } else { 4 };
         let latency_bound = (cycle_len as u64).max(1) * factor;
-        let tuning_bound = (cycle_len as u64).max(1) * if lossy { 24 } else { 2 };
+        let tuning_bound = (cycle_len as u64).max(1) * if full_sessions { 24 } else { 2 };
         let energy_bound = radio_uj(rate, tuning_bound, latency_bound);
         Self {
             latency: StreamingHistogram::with_bound(latency_bound, HIST_BUCKETS),
@@ -421,6 +519,7 @@ impl CellMetrics {
             mismatches: 0,
             failures: 0,
             peak_memory_bytes: 0,
+            fault: supervised.then(|| FaultAgg::new(cycle_len)),
         }
     }
 
@@ -442,6 +541,9 @@ impl CellMetrics {
         self.mismatches += other.mismatches;
         self.failures += other.failures;
         self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
+        if let (Some(a), Some(b)) = (self.fault.as_mut(), other.fault) {
+            a.absorb(b);
+        }
     }
 }
 
@@ -477,7 +579,10 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
     let cycle = air_cycle(ctx, cell.method);
     let cycle_len = cycle.len();
     let pool = query_pool(ctx);
-    let lossy = spec.scenario.loss.is_lossy();
+    let supervised = matches!(cell.mode, CellMode::Supervised { .. });
+    // Cells whose clients each run a real session (lossy or supervised
+    // flash), as opposed to O(1) profile replay.
+    let full_sessions = spec.scenario.loss.is_lossy() || supervised;
     let rate = spec.scenario.rate;
     let seed = cell_seed(spec.scenario.seed, cell.method);
 
@@ -486,16 +591,16 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
         &clients,
         threads,
         4,
-        // Exact-mode workers reuse one client device's buffers across
+        // Full-session workers reuse one client device's buffers across
         // their sessions (each session still opens a fresh channel).
         || match &cell.mode {
-            CellMode::Exact => Some(
+            CellMode::Exact | CellMode::Supervised { .. } => Some(
                 ctx.client(cell.method)
                     .unwrap_or_else(|e| panic!("LoadSpec::validate admits only air methods: {e}")),
             ),
             CellMode::Replay { .. } => None,
         },
-        || CellMetrics::new(cycle_len, lossy, rate),
+        || CellMetrics::new(cycle_len, full_sessions, supervised, rate),
         |client, partial: &mut CellMetrics, chunk, _| {
             for &i in chunk {
                 let h = splitmix64(seed ^ splitmix64(u64::from(i) + 1));
@@ -532,7 +637,7 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
                             offset,
                             spec.scenario.loss.model(loss_seed),
                         );
-                        let device = client.as_mut().expect("exact-mode scratch");
+                        let device = client.as_mut().expect("full-session scratch");
                         let (query, oracle) = pool[qi];
                         match device.query(&mut ch, &query) {
                             Ok(out) => partial.record(
@@ -545,19 +650,76 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
                             Err(_) => partial.failures += 1,
                         }
                     }
+                    CellMode::Supervised { plan } => {
+                        let device = client.as_mut().expect("full-session scratch");
+                        let (query, oracle) = pool[qi];
+                        let s = supervise(FLASH_BUDGET, cycle_len, |k| {
+                            // Attempt 0 re-derives this client's own
+                            // offset/loss stream; re-tunes draw fresh
+                            // ones. The fault plan stays the shared
+                            // population-wide schedule throughout.
+                            let a = attempt_seed(h, k);
+                            let mut ch = BroadcastChannel::tune_in_with_faults(
+                                cycle,
+                                (splitmix64(a) % cycle_len as u64) as usize,
+                                spec.scenario.loss.model(splitmix64(a ^ 0x10C5)),
+                                *plan,
+                            );
+                            let result = device.query(&mut ch, &query);
+                            (result, AttemptReport::of(&ch, (0, 0)))
+                        });
+                        partial.fault.as_mut().expect("supervised metrics").session(
+                            s.attempts,
+                            s.recovery_packets,
+                            cycle_len,
+                        );
+                        match s.outcome {
+                            SessionOutcome::Answered(out) => partial.record(
+                                rate,
+                                s.tuned_packets,
+                                s.recovery_packets,
+                                out.stats.peak_memory_bytes,
+                                out.distance == oracle,
+                            ),
+                            // The pool is oracle-backed — every query is
+                            // reachable — so a trusted negative is wrong.
+                            SessionOutcome::Unreachable => partial.mismatches += 1,
+                            SessionOutcome::Failed(e) => partial
+                                .fault
+                                .as_mut()
+                                .expect("supervised metrics")
+                                .failed(e.root_class()),
+                        }
+                    }
                 }
             }
         },
         |a, b| a.absorb(b),
     )
-    .unwrap_or_else(|| CellMetrics::new(cycle_len, lossy, rate));
+    .unwrap_or_else(|| CellMetrics::new(cycle_len, full_sessions, supervised, rate));
+
+    let fault = metrics.fault.map(|agg| LoadFaultSummary {
+        fault: spec.scenario.fault.label(),
+        typed_failures: agg.typed_failures,
+        failure_rate: agg.typed_failures as f64 / (cell.population.max(1)) as f64,
+        budget_violations: agg.budget_violations,
+        attempts: agg.attempts,
+        max_attempts: agg.max_attempts,
+        retried: agg.retried,
+        recovery: summarize(&agg.recovery),
+        failure_classes: agg
+            .classes
+            .into_iter()
+            .map(|(c, n)| (c.to_string(), n))
+            .collect(),
+    });
 
     LoadCellReport {
         scenario: spec.scenario.name.clone(),
         method: cell.method.name(),
         population: cell.population,
         query_pool: pool.len(),
-        replayed: !lossy,
+        replayed: !full_sessions,
         profile_sessions: cell.profile_sessions(),
         mismatches: metrics.mismatches,
         failures: metrics.failures,
@@ -567,6 +729,7 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
         tuning: summarize(&metrics.tuning),
         energy_uj: summarize(&metrics.energy_uj),
         radio_energy_joules_total: metrics.energy_uj.sum() as f64 / 1e6,
+        fault,
         cpu_ms: start.elapsed().as_secs_f64() * 1000.0,
     }
 }

@@ -35,9 +35,9 @@ pub mod spec;
 
 pub use harness::{prepare, run, session_shape, PreparedCell, PreparedLoad};
 pub use hist::StreamingHistogram;
-pub use report::{LoadCellReport, LoadReport, PercentileSummary};
+pub use report::{LoadCellReport, LoadFaultSummary, LoadReport, PercentileSummary};
 pub use spair_methods::SessionShape;
 pub use spec::{
-    default_load_matrix, paper_scale_graph, smoke_load_matrix, LoadSpec, LoadSpecError,
-    PAPER_SCALE_BASE_NODES,
+    default_load_matrix, override_flash_population, paper_scale_graph, smoke_load_matrix, LoadSpec,
+    LoadSpecError, PAPER_SCALE_BASE_NODES,
 };

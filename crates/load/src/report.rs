@@ -33,6 +33,62 @@ impl PercentileSummary {
     }
 }
 
+/// Fault and recovery summary of a flash-crowd cell, where every client
+/// runs a full bounded-recovery supervised session against a shared
+/// correlated fault plan. Present only on flash cells — non-flash cells
+/// serialize without it, byte-for-byte as before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadFaultSummary {
+    /// Fault-spec label of the scenario (e.g. `chaos1.0%@16.0c`).
+    pub fault: String,
+    /// Sessions that gave up with a typed `SessionError` (never a wrong
+    /// answer — those count as mismatches and fail the gate).
+    pub typed_failures: u64,
+    /// `typed_failures / population`.
+    pub failure_rate: f64,
+    /// Sessions that blew the attempt budget or the packet ceiling.
+    /// The gate requires 0.
+    pub budget_violations: u64,
+    /// Supervised attempts across the population.
+    pub attempts: u64,
+    /// Worst single session's attempt count.
+    pub max_attempts: u32,
+    /// Sessions that needed more than one attempt (re-tuned after a
+    /// silently-corrupting fault).
+    pub retried: u64,
+    /// Recovery latency (total packets elapsed across every attempt of a
+    /// session — what the user waits) over the whole population,
+    /// answered and failed sessions alike.
+    pub recovery: PercentileSummary,
+    /// Root-cause failure-class breakdown (`class → count`), sorted by
+    /// class label.
+    pub failure_classes: Vec<(String, u64)>,
+}
+
+impl LoadFaultSummary {
+    fn json(&self) -> String {
+        let classes: Vec<String> = self
+            .failure_classes
+            .iter()
+            .map(|(c, n)| format!("\"{c}\": {n}"))
+            .collect();
+        format!(
+            "{{ \"fault\": \"{}\", \"typed_failures\": {}, \"failure_rate\": {:.6}, \
+             \"budget_violations\": {}, \"attempts\": {}, \"max_attempts\": {}, \
+             \"retried\": {}, \"recovery_packets\": {}, \"failure_classes\": {{{}}} }}",
+            self.fault,
+            self.typed_failures,
+            self.failure_rate,
+            self.budget_violations,
+            self.attempts,
+            self.max_attempts,
+            self.retried,
+            self.recovery.json(),
+            classes.join(", "),
+        )
+    }
+}
+
 /// Aggregated result of serving one (scenario × method) population.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadCellReport {
@@ -66,14 +122,22 @@ pub struct LoadCellReport {
     pub energy_uj: PercentileSummary,
     /// Total radio energy across the whole population, in joules.
     pub radio_energy_joules_total: f64,
+    /// Flash-crowd fault/recovery summary — `Some` only for supervised
+    /// flash cells, and only then serialized, so pre-existing cells stay
+    /// byte-identical.
+    pub fault: Option<LoadFaultSummary>,
     /// Wall-clock serving time for the cell (excluded from the digest).
     pub cpu_ms: f64,
 }
 
 impl LoadCellReport {
-    /// Whether every served session matched the oracle and none failed.
+    /// Whether every served session matched the oracle and none failed
+    /// untyped or out of budget. Flash cells may report typed give-ups —
+    /// those are the certified degradation mode, not a gate failure.
     pub fn exact(&self) -> bool {
-        self.mismatches == 0 && self.failures == 0
+        self.mismatches == 0
+            && self.failures == 0
+            && self.fault.as_ref().is_none_or(|f| f.budget_violations == 0)
     }
 
     fn json_fields(&self, include_timings: bool) -> String {
@@ -100,6 +164,9 @@ impl LoadCellReport {
             self.energy_uj.json(),
             self.radio_energy_joules_total,
         );
+        if let Some(fault) = &self.fault {
+            s.push_str(&format!(", \"fault\": {}", fault.json()));
+        }
         if include_timings {
             s.push_str(&format!(", \"cpu_ms\": {:.3}", self.cpu_ms));
         }
@@ -131,6 +198,15 @@ impl LoadReport {
     /// Clients served across all cells.
     pub fn total_population(&self) -> usize {
         self.cells.iter().map(|c| c.population).sum()
+    }
+
+    /// Typed give-ups across every flash-crowd cell.
+    pub fn total_typed_failures(&self) -> u64 {
+        self.cells
+            .iter()
+            .filter_map(|c| c.fault.as_ref())
+            .map(|f| f.typed_failures)
+            .sum()
     }
 
     /// FNV-1a digest over the deterministic fields. Equal digests across
@@ -191,6 +267,19 @@ impl LoadReport {
                 c.cycle_packets,
                 c.radio_energy_joules_total,
             ));
+            if let Some(f) = &c.fault {
+                out.push_str(&format!(
+                    "  └ {}: {} typed failures ({:.3}%), {} retried, \
+                     recovery p99 {} pkts (max {}), {} budget violations\n",
+                    f.fault,
+                    f.typed_failures,
+                    f.failure_rate * 100.0,
+                    f.retried,
+                    f.recovery.p99,
+                    f.recovery.max,
+                    f.budget_violations,
+                ));
+            }
         }
         out
     }
@@ -228,7 +317,22 @@ mod tests {
             tuning: summary(),
             energy_uj: summary(),
             radio_energy_joules_total: 1.5,
+            fault: None,
             cpu_ms: 3.0,
+        }
+    }
+
+    fn fault_summary() -> LoadFaultSummary {
+        LoadFaultSummary {
+            fault: "chaos1.0%@16.0c".to_string(),
+            typed_failures: 3,
+            failure_rate: 0.03,
+            budget_violations: 0,
+            attempts: 110,
+            max_attempts: 3,
+            retried: 7,
+            recovery: summary(),
+            failure_classes: vec![("cycle_aborted".to_string(), 3)],
         }
     }
 
@@ -263,5 +367,32 @@ mod tests {
         assert!(!r.to_json(false).contains("cpu_ms"));
         assert!(r.to_json(true).contains("cpu_ms"));
         assert!(r.to_json(false).contains("latency_packets"));
+    }
+
+    #[test]
+    fn fault_summary_serializes_only_when_present() {
+        let mut r = LoadReport {
+            cells: vec![cell(0)],
+        };
+        let plain = r.to_json(false);
+        assert!(!plain.contains("\"fault\""), "non-flash cells unchanged");
+        let d0 = r.digest();
+        r.cells[0].fault = Some(fault_summary());
+        let with = r.to_json(false);
+        assert!(with.contains("\"fault\": {"));
+        assert!(with.contains("\"failure_rate\": 0.030000"));
+        assert!(with.contains("\"cycle_aborted\": 3"));
+        assert_ne!(r.digest(), d0, "the summary is digest-covered");
+        assert_eq!(r.total_typed_failures(), 3);
+        assert!(r.render_table().contains("recovery p99"));
+    }
+
+    #[test]
+    fn budget_violations_fail_the_gate_but_typed_failures_do_not() {
+        let mut c = cell(0);
+        c.fault = Some(fault_summary());
+        assert!(c.exact(), "typed give-ups are certified degradation");
+        c.fault.as_mut().unwrap().budget_violations = 1;
+        assert!(!c.exact(), "budget violations fail the gate");
     }
 }

@@ -11,7 +11,9 @@
 use spair_broadcast::{ChannelRate, DeviceProfile};
 use spair_methods::{MethodId, MethodRegistry, MethodUnavailable};
 use spair_roadnet::{NetworkPreset, QueuePolicy};
-use spair_sim::{GraphSpec, LossSpec, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix};
+use spair_sim::{
+    FaultSpec, GraphSpec, LossSpec, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix,
+};
 
 /// Node count of the paper-scale load network at `--scale 1.0`: a
 /// "germany-class" topology (Germany's edge/node ratio from Table 2)
@@ -32,6 +34,13 @@ pub struct LoadSpec {
     /// descriptor declares `air_client` with a cycle of its own can be
     /// served (the §6.1 runner and the kNN client cannot).
     pub methods: Vec<MethodId>,
+    /// Flash-crowd mode: the whole population tunes in within one
+    /// broadcast cycle against a **shared** seeded fault plan (the
+    /// scenario's [`FaultSpec`]), so correlated bursts hit neighbouring
+    /// clients at the same wall-clock slots. Every client runs a full
+    /// bounded-recovery supervised session, and the cell reports a
+    /// fault/recovery summary next to the usual cost percentiles.
+    pub flash: bool,
 }
 
 /// Why a [`LoadSpec`] cannot be served — surfaced by
@@ -47,6 +56,10 @@ pub enum LoadSpecError {
     NonPathWorkload(String),
     /// No methods to serve.
     NoMethods(String),
+    /// The scenario injects faults but the cell is not a flash-crowd
+    /// cell — only supervised flash sessions survive a faulty channel,
+    /// so a faulty replay/exact cell would silently under-report.
+    FaultsRequireFlash(String),
     /// A method the harness cannot serve (per its descriptor).
     Method {
         /// Scenario name.
@@ -65,6 +78,9 @@ impl std::fmt::Display for LoadSpecError {
                 write!(f, "{s}: load populations pose point-to-point queries only")
             }
             LoadSpecError::NoMethods(s) => write!(f, "{s}: no methods"),
+            LoadSpecError::FaultsRequireFlash(s) => {
+                write!(f, "{s}: faulty scenarios must be flash-crowd cells")
+            }
             LoadSpecError::Method { scenario, err } => write!(f, "{scenario}: {err}"),
         }
     }
@@ -90,6 +106,9 @@ impl LoadSpec {
         }
         if self.methods.is_empty() {
             return Err(LoadSpecError::NoMethods(name()));
+        }
+        if self.scenario.fault.is_faulty() && !self.flash {
+            return Err(LoadSpecError::FaultsRequireFlash(name()));
         }
         for m in &self.methods {
             let d = m.descriptor();
@@ -134,6 +153,7 @@ fn base_scenario(name: &str, seed: u64) -> ScenarioSpec {
         partitioner: PartitionerKind::KdMedian,
         regions: 16,
         loss: LossSpec::Lossless,
+        fault: FaultSpec::None,
         tune_in: TuneInSpec::Uniform,
         rate: ChannelRate::MOVING_3G,
         heap_budget_bytes: DeviceProfile::J2ME_PHONE.heap_bytes,
@@ -180,6 +200,7 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
             MethodId::SPQ_AIR,
             MethodId::HITI_AIR,
         ],
+        flash: false,
     });
 
     // The mid-scale lossless cell serves every air method the registry
@@ -206,6 +227,7 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
             registry.get("astar_air").expect("registered"),
             registry.get("bidi_air").expect("registered"),
         ],
+        flash: false,
     });
 
     let mut s = base_scenario("grid16-kd-bernoulli2", 9003);
@@ -214,6 +236,7 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
         scenario: s,
         population: 12_000,
         methods: vec![MethodId::NR, MethodId::EB, MethodId::DJ],
+        flash: false,
     });
 
     let mut s = base_scenario("grid16-grid-bursty5", 9004);
@@ -226,21 +249,65 @@ pub fn default_load_matrix(scale: f64) -> Vec<LoadSpec> {
         scenario: s,
         population: 8_000,
         methods: vec![MethodId::NR, MethodId::EB],
+        flash: false,
+    });
+
+    // Flash-crowd cells: the whole population tunes in within one cycle
+    // of a *faulty* server — a shared seeded fault plan, so correlated
+    // bursts hit neighbouring clients at the same wall-clock slots.
+    // Every client runs a full supervised session (no replay), which
+    // bounds the tractable population; the cells report typed-failure
+    // rates and recovery-latency percentiles next to the usual costs.
+    let mut s = base_scenario("flash-grid16-corrloss10", 9005);
+    s.fault = FaultSpec::CorrelatedLoss {
+        rate: 0.10,
+        window: 16,
+    };
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 10_000,
+        methods: vec![MethodId::NR, MethodId::EB, MethodId::DJ],
+        flash: true,
+    });
+
+    let mut s = base_scenario("flash-grid16-chaos1", 9006);
+    s.fault = FaultSpec::Chaos {
+        rate: 0.01,
+        mean_cycles: 16.0,
+    };
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 10_000,
+        methods: vec![MethodId::NR, MethodId::EB],
+        flash: true,
     });
 
     specs
 }
 
 /// Applies a `--population N` override: lossless cells — replayed in
-/// O(1) per client — take exactly `n`; lossy cells, whose clients each
-/// run a full session, are capped at `n` but never raised above their
-/// spec'd population.
+/// O(1) per client — take exactly `n`; lossy and flash-crowd cells,
+/// whose clients each run a full session, are capped at `n` but never
+/// raised above their spec'd population (use
+/// [`override_flash_population`] to raise flash cells deliberately).
 pub fn override_population(specs: &mut [LoadSpec], n: usize) {
     assert!(n > 0, "--population must be >= 1");
     for s in specs {
-        if s.scenario.loss.is_lossy() {
+        if s.scenario.loss.is_lossy() || s.flash {
             s.population = s.population.min(n);
         } else {
+            s.population = n;
+        }
+    }
+}
+
+/// Applies a `--flash-population N` override: sets the population of
+/// every flash-crowd cell to exactly `n` (other cells untouched). The
+/// nightly chaos lane uses this to push one flash cell to 250k clients.
+pub fn override_flash_population(specs: &mut [LoadSpec], n: usize) {
+    assert!(n > 0, "--flash-population must be >= 1");
+    for s in specs {
+        if s.flash {
             s.population = n;
         }
     }
@@ -262,6 +329,7 @@ pub fn smoke_load_matrix() -> Vec<LoadSpec> {
         scenario: s,
         population: 3_000,
         methods: vec![MethodId::NR, MethodId::EB, MethodId::DJ, MethodId::HITI_AIR],
+        flash: false,
     });
 
     let mut s = base_scenario("smoke-grid8-kd-bernoulli5", 9102);
@@ -276,6 +344,27 @@ pub fn smoke_load_matrix() -> Vec<LoadSpec> {
         scenario: s,
         population: 1_200,
         methods: vec![MethodId::NR, MethodId::DJ],
+        flash: false,
+    });
+
+    // A tiny flash-crowd cell keeps the supervised fault path alive
+    // between nightlies.
+    let mut s = base_scenario("smoke-flash-grid8-chaos1", 9103);
+    s.graph = GraphSpec::Grid {
+        width: 8,
+        height: 8,
+    };
+    s.regions = 8;
+    s.workload = WorkloadMix::p2p(4);
+    s.fault = FaultSpec::Chaos {
+        rate: 0.01,
+        mean_cycles: 14.0,
+    };
+    specs.push(LoadSpec {
+        scenario: s,
+        population: 800,
+        methods: vec![MethodId::NR, MethodId::DJ],
+        flash: true,
     });
 
     specs
@@ -325,6 +414,13 @@ mod tests {
         assert!(default
             .iter()
             .any(|s| matches!(s.scenario.loss, LossSpec::Bursty { .. })));
+        // Flash-crowd cells with real fault axes ride both matrices.
+        assert!(default
+            .iter()
+            .any(|s| s.flash && s.scenario.fault.is_faulty()));
+        assert!(smoke_load_matrix()
+            .iter()
+            .any(|s| s.flash && s.scenario.fault.is_faulty()));
         // Unique names and seeds.
         let mut names: Vec<&str> = default.iter().map(|s| s.scenario.name.as_str()).collect();
         names.sort_unstable();
@@ -354,7 +450,7 @@ mod tests {
         let mut specs = default_load_matrix(1.0);
         override_population(&mut specs, 500_000);
         for s in &specs {
-            if s.scenario.loss.is_lossy() {
+            if s.scenario.loss.is_lossy() || s.flash {
                 assert!(s.population <= 12_000, "{}", s.scenario.name);
             } else {
                 assert_eq!(s.population, 500_000, "{}", s.scenario.name);
@@ -365,6 +461,34 @@ mod tests {
         for s in &specs {
             assert_eq!(s.population, 100, "{}", s.scenario.name);
         }
+    }
+
+    #[test]
+    fn flash_population_override_touches_flash_cells_only() {
+        let mut specs = default_load_matrix(1.0);
+        let before: Vec<usize> = specs.iter().map(|s| s.population).collect();
+        override_flash_population(&mut specs, 250_000);
+        for (s, &b) in specs.iter().zip(&before) {
+            if s.flash {
+                assert_eq!(s.population, 250_000, "{}", s.scenario.name);
+            } else {
+                assert_eq!(s.population, b, "{}", s.scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_scenarios_must_be_flash_cells() {
+        let mut spec = smoke_load_matrix()
+            .into_iter()
+            .find(|s| s.flash)
+            .expect("smoke flash cell");
+        spec.validate().unwrap();
+        spec.flash = false;
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            LoadSpecError::FaultsRequireFlash(_)
+        ));
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn tiny_load_spec(seed: u64, methods: &[MethodId]) -> LoadSpec {
         scenario: s,
         population: 300,
         methods: methods.to_vec(),
+        flash: false,
     }
 }
 
@@ -128,6 +129,51 @@ fn smoke_matrix_serves_exactly_and_reports_percentiles() {
         assert!(c.radio_energy_joules_total > 0.0);
         assert!(c.peak_memory_bytes > 0);
     }
+}
+
+/// The flash-crowd certificate at population scale: a whole crowd
+/// tuning in against one chaotic server is **never wrong** — every
+/// answered session matched the oracle, every give-up is typed, every
+/// session stayed within the recovery budget — and the cell reports the
+/// fault/recovery summary the JSON schema promises.
+#[test]
+fn flash_crowd_cells_certify_never_wrong() {
+    let mut specs = smoke_load_matrix();
+    specs.retain(|s| s.flash);
+    assert_eq!(specs.len(), 1, "one smoke flash cell expected");
+    override_population(&mut specs, 400);
+    let report = run(&prepare(&specs, 2), 2);
+    assert!(
+        report.all_exact(),
+        "{} mismatched/out-of-budget sessions",
+        report.total_mismatches()
+    );
+    for c in &report.cells {
+        assert!(!c.replayed, "flash cells run full supervised sessions");
+        let f = c.fault.as_ref().expect("flash cells carry a fault summary");
+        assert_eq!(f.budget_violations, 0, "{}", c.method);
+        assert!(f.attempts >= c.population as u64);
+        assert!(
+            f.recovery.max >= c.latency.max,
+            "{}: recovery covers all sessions, latency only answered ones",
+            c.method
+        );
+        assert_eq!(
+            f.typed_failures,
+            f.failure_classes.iter().map(|(_, n)| n).sum::<u64>(),
+            "every typed failure is classified"
+        );
+    }
+    // The fault stream is shared, so a single method can luck into a
+    // taint-free window — but across the cell set, chaos at this rate
+    // must force some supervised re-tunes.
+    let retried: u64 = report
+        .cells
+        .iter()
+        .filter_map(|c| c.fault.as_ref())
+        .map(|f| f.retried)
+        .sum();
+    assert!(retried > 0, "no client ever re-tuned under chaos");
 }
 
 #[test]

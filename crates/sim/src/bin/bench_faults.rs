@@ -1,0 +1,202 @@
+//! Chaos-matrix runner and `BENCH_faults.json` emitter — the
+//! never-wrong-only-late-or-typed certificate.
+//!
+//! ```text
+//! cargo run --release -p spair-sim --bin bench_faults -- \
+//!     [--smoke | --nightly] [--threads N] [--methods a,b,c] \
+//!     [--out BENCH_faults.json]
+//! ```
+//!
+//! Runs the chaos matrix — every fault class of the broadcast fault
+//! layer, over every registered client method — through bounded-recovery
+//! supervised sessions, and certifies per cell that **no produced answer
+//! ever contradicts the serial Dijkstra oracle**, that every give-up is
+//! a typed `SessionError`, and that every session terminated within the
+//! recovery budget. A serial rerun must reproduce the parallel run
+//! byte-for-byte (same digest for every thread count). **Exits non-zero
+//! on any wrong answer, budget violation or determinism break**, so CI
+//! can use it as a gate.
+
+use spair_roadnet::parallel;
+use spair_sim::{
+    fault_matrix, nightly_fault_matrix, run_fault_matrix, smoke_fault_matrix, MethodId,
+    MethodRegistry,
+};
+use std::time::Instant;
+
+struct Opts {
+    smoke: bool,
+    nightly: bool,
+    threads: usize,
+    methods: Vec<MethodId>,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        nightly: false,
+        threads: 0,
+        methods: MethodRegistry::standard().all(),
+        out: "BENCH_faults.json".to_string(),
+    };
+    let mut threads_flag: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--nightly" => opts.nightly = true,
+            "--threads" => {
+                let n: usize = value().parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threads expects a positive integer");
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("error: --threads must be >= 1");
+                    std::process::exit(2);
+                }
+                threads_flag = Some(n);
+            }
+            "--methods" => {
+                let list = value();
+                opts.methods = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|name| {
+                        MethodRegistry::standard()
+                            .get(name.trim())
+                            .unwrap_or_else(|e| {
+                                eprintln!("error: {e}");
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+                if opts.methods.is_empty() {
+                    eprintln!("error: --methods expects a non-empty name list");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => opts.out = value(),
+            other => {
+                eprintln!(
+                    "error: unknown flag {other}\n\
+                     usage: bench_faults [--smoke | --nightly] [--threads N] \
+                     [--methods a,b,c] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.smoke && opts.nightly {
+        eprintln!("error: --smoke and --nightly are mutually exclusive");
+        std::process::exit(2);
+    }
+    opts.threads = parallel::resolve_threads(threads_flag);
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    let specs = if opts.smoke {
+        smoke_fault_matrix()
+    } else if opts.nightly {
+        nightly_fault_matrix()
+    } else {
+        fault_matrix()
+    };
+    let methods = &opts.methods;
+    eprintln!(
+        "# bench_faults — {} fault scenarios x {} methods, {} threads{}",
+        specs.len(),
+        methods.len(),
+        opts.threads,
+        if opts.smoke {
+            " (smoke)"
+        } else if opts.nightly {
+            " (nightly)"
+        } else {
+            ""
+        }
+    );
+
+    let start = Instant::now();
+    let matrix = run_fault_matrix(&specs, methods, opts.threads);
+    let parallel_secs = start.elapsed().as_secs_f64();
+    eprint!("{}", matrix.render_table());
+
+    // Determinism certificate: a serial rerun must be byte-identical.
+    let digest = matrix.digest();
+    let (serial_secs, bit_identical) = if opts.threads == 1 {
+        (parallel_secs, true)
+    } else {
+        let start = Instant::now();
+        let serial = run_fault_matrix(&specs, methods, 1);
+        (
+            start.elapsed().as_secs_f64(),
+            serial.to_json() == matrix.to_json(),
+        )
+    };
+
+    let certified = matrix.all_certified();
+    eprintln!(
+        "cells: {}  wrong: {}  typed_failures: {}  digest: {digest:016x}  bit_identical: {bit_identical}",
+        matrix.cells.len(),
+        matrix.total_wrong(),
+        matrix.total_typed_failures(),
+    );
+
+    let json = format!(
+        "{{\n  \
+         \"benchmark\": \"fault_chaos_matrix\",\n  \
+         \"smoke\": {},\n  \
+         \"nightly\": {},\n  \
+         \"scenarios\": {},\n  \
+         \"methods\": {},\n  \
+         \"cells\": {},\n  \
+         \"wrong_answers\": {},\n  \
+         \"typed_failures\": {},\n  \
+         \"never_wrong_only_late_or_typed\": {},\n  \
+         \"digest\": \"{digest:016x}\",\n  \
+         \"bit_identical_across_threads\": {bit_identical},\n  \
+         \"host\": {{ \"available_parallelism\": {}, \"worker_threads\": {} }},\n  \
+         \"parallel_secs\": {parallel_secs:.6},\n  \
+         \"serial_secs\": {serial_secs:.6},\n  \
+         \"matrix\": {}\n\
+         }}\n",
+        opts.smoke,
+        opts.nightly,
+        specs.len(),
+        methods.len(),
+        matrix.cells.len(),
+        matrix.total_wrong(),
+        matrix.total_typed_failures(),
+        certified,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        opts.threads,
+        matrix.to_json(),
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!("wrote {}", opts.out);
+
+    if !certified {
+        eprintln!(
+            "CHAOS CERTIFICATE FAILURE: {} wrong answers / budget violations",
+            matrix.total_wrong(),
+        );
+        std::process::exit(1);
+    }
+    if !bit_identical {
+        eprintln!("DETERMINISM FAILURE: parallel run diverged from serial");
+        std::process::exit(1);
+    }
+}

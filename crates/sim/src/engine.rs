@@ -42,7 +42,7 @@ use spair_roadnet::{
 /// SplitMix64 — the seed-derivation PRNG. Every channel session's seed is
 /// a pure function of (scenario seed, method ordinal, query index,
 /// sub-query index), so runs are reproducible for any thread schedule.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -50,7 +50,7 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn session_seed(scenario_seed: u64, method: MethodId, query: usize, sub: usize) -> u64 {
+pub(crate) fn session_seed(scenario_seed: u64, method: MethodId, query: usize, sub: usize) -> u64 {
     let ordinal = u64::from(method.ordinal());
     splitmix64(
         scenario_seed
@@ -306,7 +306,7 @@ fn generate_workload(spec: &ScenarioSpec, g: &RoadNetwork) -> (Vec<WorkItem>, Ve
 /// True iff `path` is a real `source -> target` walk in `g` whose weights
 /// sum to `distance` — the conformance check behind "exact shortest
 /// paths", not just matching lengths.
-fn path_is_valid(
+pub(crate) fn path_is_valid(
     g: &RoadNetwork,
     source: NodeId,
     target: NodeId,

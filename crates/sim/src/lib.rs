@@ -35,14 +35,21 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod matrix;
 pub mod report;
 pub mod spec;
 
 pub use engine::{run_cell, run_matrix, ScenarioContext, WorkItem};
+pub use faults::{
+    fault_matrix, nightly_fault_matrix, run_fault_cell, run_fault_matrix, smoke_fault_matrix,
+    FaultCellReport, FaultMatrix,
+};
 pub use matrix::{default_matrix, nightly_matrix, smoke_matrix};
 pub use report::{CellReport, ConformanceMatrix};
 pub use spair_methods::{
     MethodDescriptor, MethodId, MethodRegistry, MethodUnavailable, SessionShape,
 };
-pub use spec::{GraphSpec, LossSpec, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix};
+pub use spec::{
+    FaultSpec, GraphSpec, LossSpec, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix,
+};

@@ -8,7 +8,7 @@
 //! deterministic run, so two runs of the same spec are byte-identical
 //! regardless of thread count.
 
-use spair_broadcast::{ChannelRate, DeviceProfile, LossModel};
+use spair_broadcast::{ChannelRate, DeviceProfile, FaultPlan, LossModel};
 use spair_roadnet::generators::small_grid;
 use spair_roadnet::{NetworkPreset, QueuePolicy, RoadNetwork};
 
@@ -139,6 +139,115 @@ impl LossSpec {
     }
 }
 
+/// Seeded fault injection beyond plain loss, as reproducible spec data
+/// (the concrete [`FaultPlan`] is instantiated per session from a derived
+/// seed and the serving method's cycle length).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// No faults: channels behave byte-for-byte as without a fault layer.
+    None,
+    /// Per-packet bit corruption at `rate`, caught by the frame CRC and
+    /// surfaced as a detectable (loss-like) event.
+    Corruption {
+        /// Corruption probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Link-layer stutter: the previous slot's frame replaces the
+    /// scheduled one at `rate` — a silently-corrupting fault.
+    Duplication {
+        /// Duplication probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Server restarts (cycle truncation + version bump) roughly every
+    /// `mean_cycles` cycles, with `stale_rate` of post-restart slots
+    /// leaking frames from the pre-restart schedule.
+    Restarts {
+        /// Mean cycles between restarts (`> 0`).
+        mean_cycles: f64,
+        /// Stale-frame leak probability in `[0, 1]`.
+        stale_rate: f64,
+    },
+    /// Correlated window loss: aligned `window`-packet spans of the
+    /// absolute clock are wiped at `rate` for every client sharing the
+    /// session seed (flash-crowd fading).
+    CorrelatedLoss {
+        /// Window wipe probability in `[0, 1)`.
+        rate: f64,
+        /// Window length in packets (`>= 1`).
+        window: u64,
+    },
+    /// Every fault class at once — the chaos cell.
+    Chaos {
+        /// Per-packet rate shared by corruption / duplication / stale
+        /// draws and the correlated windows.
+        rate: f64,
+        /// Mean cycles between restarts (`> 0`).
+        mean_cycles: f64,
+    },
+}
+
+impl FaultSpec {
+    /// Instantiates the fault plan for one channel session over a cycle
+    /// of `cycle_len` packets.
+    pub fn plan(&self, seed: u64, cycle_len: usize) -> FaultPlan {
+        let mean_packets = |cycles: f64| (cycles * cycle_len.max(1) as f64).max(2.0);
+        match *self {
+            FaultSpec::None => FaultPlan::none(),
+            FaultSpec::Corruption { rate } => FaultPlan::corruption(rate, seed),
+            FaultSpec::Duplication { rate } => FaultPlan::duplication(rate, seed),
+            FaultSpec::Restarts {
+                mean_cycles,
+                stale_rate,
+            } => FaultPlan::restarts(mean_packets(mean_cycles), stale_rate, seed),
+            FaultSpec::CorrelatedLoss { rate, window } => {
+                FaultPlan::correlated_loss(rate, window, seed)
+            }
+            FaultSpec::Chaos { rate, mean_cycles } => FaultPlan {
+                seed,
+                corrupt_rate: rate,
+                duplicate_rate: rate,
+                stale_rate: rate,
+                restart_mean_packets: mean_packets(mean_cycles),
+                correlated_loss: Some((rate, 8)),
+            },
+        }
+    }
+
+    /// Whether any fault can occur at all.
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, FaultSpec::None)
+    }
+
+    /// Whether the spec can *silently* misdeliver content (restarts,
+    /// duplicates, stale frames) — the classes that force the supervisor
+    /// to discard and retry rather than trust §6.2 recovery.
+    pub fn is_silently_corrupting(&self) -> bool {
+        matches!(
+            self,
+            FaultSpec::Duplication { .. } | FaultSpec::Restarts { .. } | FaultSpec::Chaos { .. }
+        )
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            FaultSpec::None => "nofault".to_string(),
+            FaultSpec::Corruption { rate } => format!("corrupt{:.1}%", rate * 100.0),
+            FaultSpec::Duplication { rate } => format!("dup{:.1}%", rate * 100.0),
+            FaultSpec::Restarts {
+                mean_cycles,
+                stale_rate,
+            } => format!("restart{mean_cycles:.1}c+stale{:.1}%", stale_rate * 100.0),
+            FaultSpec::CorrelatedLoss { rate, window } => {
+                format!("corrloss{:.1}%x{window}", rate * 100.0)
+            }
+            FaultSpec::Chaos { rate, mean_cycles } => {
+                format!("chaos{:.1}%@{mean_cycles:.1}c", rate * 100.0)
+            }
+        }
+    }
+}
+
 /// Where in the cycle clients tune in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TuneInSpec {
@@ -187,6 +296,10 @@ pub struct ScenarioSpec {
     pub regions: usize,
     /// Channel noise.
     pub loss: LossSpec,
+    /// Fault injection beyond loss (corruption, restarts, duplicates,
+    /// stale frames, correlated windows). [`FaultSpec::None`] keeps every
+    /// channel byte-identical to the pre-fault engine.
+    pub fault: FaultSpec,
     /// Tune-in offset distribution.
     pub tune_in: TuneInSpec,
     /// Channel bit rate (drives latency seconds and radio energy).
@@ -216,6 +329,7 @@ impl ScenarioSpec {
             partitioner: PartitionerKind::KdMedian,
             regions: 8,
             loss: LossSpec::Lossless,
+            fault: FaultSpec::None,
             tune_in: TuneInSpec::Uniform,
             rate: ChannelRate::MOVING_3G,
             heap_budget_bytes: DeviceProfile::J2ME_PHONE.heap_bytes,
