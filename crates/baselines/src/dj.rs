@@ -14,7 +14,7 @@ use spair_broadcast::{
     BroadcastChannel, BroadcastCycle, CpuMeter, CycleBuilder, MemoryMeter, QueryStats, Received,
 };
 use spair_core::client_common::MAX_RETRY_CYCLES;
-use spair_core::netcodec::{decode_payload, encode_nodes, ReceivedGraph};
+use spair_core::netcodec::{encode_nodes, ReceivedGraph};
 use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_roadnet::{NodeId, QueuePolicy, RoadNetwork};
 
@@ -95,9 +95,14 @@ pub fn receive_whole_cycle(
 }
 
 /// The DJ client.
+///
+/// The client owns its received-network store and search scratch, reused
+/// (via [`ReceivedGraph::clear`]) across queries — a long-lived client
+/// serving many sessions allocates its decode/search buffers once.
 #[derive(Debug, Clone, Default)]
 pub struct DjClient {
     queue: QueuePolicy,
+    store: ReceivedGraph,
 }
 
 impl DjClient {
@@ -133,18 +138,18 @@ impl AirClient for DjClient {
                 stats: QueryStats::default(),
             });
         }
-        let mut store = ReceivedGraph::new();
+        let store = &mut self.store;
+        store.clear();
         receive_whole_cycle(ch, &mut mem, |kind, payload, mem| {
             if kind == PacketKind::Data {
-                if let Some(records) = decode_payload(payload) {
-                    for rec in records {
-                        mem.alloc(store.ingest(rec));
-                    }
+                if let Some(charged) = store.ingest_payload(payload) {
+                    mem.alloc(charged);
                 }
             }
         })?;
         mem.alloc(store.num_nodes() * 24);
-        let (res, settled) = cpu.time(|| store.shortest_path_with(q.source, q.target, self.queue));
+        let queue = self.queue;
+        let (res, settled) = cpu.time(|| store.shortest_path_with(q.source, q.target, queue));
         let stats = QueryStats {
             tuning_packets: ch.tuned(),
             latency_packets: ch.elapsed(),

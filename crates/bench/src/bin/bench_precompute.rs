@@ -27,7 +27,7 @@ use spair_baselines::spq::SpqIndex;
 use spair_core::BorderPrecomputation;
 use spair_partition::KdTreePartition;
 use spair_roadnet::generators::small_grid;
-use spair_roadnet::parallel;
+use spair_roadnet::{bench_out, parallel};
 use std::time::Instant;
 
 struct Opts {
@@ -39,15 +39,22 @@ struct Opts {
     out: String,
 }
 
+impl Opts {
+    /// The configuration the committed artifact is generated with.
+    fn default_sizes() -> Opts {
+        Opts {
+            side: 71,
+            regions: 32,
+            spq_side: 45,
+            threads: 0,
+            repeat: 3,
+            out: "BENCH_precompute.json".to_string(),
+        }
+    }
+}
+
 fn parse_opts() -> Opts {
-    let mut opts = Opts {
-        side: 71,
-        regions: 32,
-        spq_side: 45,
-        threads: 0,
-        repeat: 3,
-        out: "BENCH_precompute.json".to_string(),
-    };
+    let mut opts = Opts::default_sizes();
     // Worker-count precedence (shared by every bench binary): an explicit
     // `--threads` flag wins over `SPAIR_THREADS`, which wins over the
     // detected parallelism.
@@ -96,7 +103,23 @@ fn parse_opts() -> Opts {
         std::process::exit(2);
     }
     opts.threads = parallel::resolve_threads(threads_flag);
+    opts.out = bench_out::redirect_partial_out(&opts.out, partial_reason(&opts));
     opts
+}
+
+/// The committed `BENCH_precompute.json` is generated with the default
+/// problem sizes; a run shrunk (or grown) via `--side`/`--regions`/
+/// `--spq-side`/`--repeat` is a partial run redirected to
+/// `*.smoke.json`.
+fn partial_reason(opts: &Opts) -> Option<&'static str> {
+    let d = Opts::default_sizes();
+    if (opts.side, opts.regions, opts.spq_side, opts.repeat)
+        != (d.side, d.regions, d.spq_side, d.repeat)
+    {
+        Some("non-default problem size")
+    } else {
+        None
+    }
 }
 
 fn best_of<T>(repeat: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -202,4 +225,25 @@ fn main() {
     std::fs::write(&opts.out, &json).expect("write BENCH json");
     println!("{json}");
     eprintln!("wrote {}", opts.out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_default_run_may_write_the_committed_artifact() {
+        assert_eq!(partial_reason(&Opts::default_sizes()), None);
+    }
+
+    #[test]
+    fn resized_runs_never_shadow_the_committed_artifact() {
+        let mut o = Opts::default_sizes();
+        o.side = 41;
+        assert_eq!(partial_reason(&o), Some("non-default problem size"));
+        assert_eq!(
+            bench_out::redirect_partial_out(&o.out, partial_reason(&o)),
+            "BENCH_precompute.smoke.json"
+        );
+    }
 }

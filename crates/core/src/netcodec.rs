@@ -116,18 +116,66 @@ pub fn packet_count(g: &RoadNetwork, nodes: &[NodeId]) -> usize {
     encode_nodes(g, nodes).len()
 }
 
-/// Decoded per-node state: coordinates, border flag, adjacency.
-type StoredNode = (Point, bool, Vec<(NodeId, Weight)>);
+/// Slot flag: the slot's node was received as a record (not merely
+/// referenced as an edge target).
+const SLOT_MATERIALIZED: u8 = 1;
+/// Slot flag: the node was flagged as a border node of its region.
+const SLOT_BORDER: u8 = 2;
+
+/// Sentinel for "no slot" in the search scratch parent array and the
+/// direct-index slot table.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Largest broadcast id served by the direct-index slot table (16 MiB of
+/// table at the cap); ids beyond it go to the spill map.
+const DIRECT_ID_CAP: usize = 1 << 22;
 
 /// A client-side store of received adjacency data, with memory accounting
 /// hooks. Nodes may arrive in multiple chunks; the store merges them.
-#[derive(Debug, Default)]
+///
+/// Internally the store is a flat slot arena rather than a per-node map:
+/// every broadcast id ever seen (as a record *or* as an edge target) gets
+/// a dense `u32` slot, per-slot adjacency lives as a contiguous run inside
+/// one shared edge arena, and each edge carries its target's slot next to
+/// the broadcast id. The client-side Dijkstra — the hot loop of every
+/// whole-cycle method — then runs entirely over flat arrays indexed by
+/// slot, with version-stamped scratch that [`Self::clear`] lets sessions
+/// reuse without reallocating. The broadcast-facing API (ids, charges,
+/// edge order, settle order) is byte-identical to the former map-based
+/// store.
+#[derive(Debug, Default, Clone)]
 pub struct ReceivedGraph {
-    /// `(point, border flag, adjacency)` per received node.
-    nodes: std::collections::HashMap<NodeId, StoredNode>,
+    /// Broadcast id -> slot for ids below [`DIRECT_ID_CAP`]: a flat
+    /// direct-index table (`NO_SLOT` = unseen), grown on demand. Road
+    /// networks broadcast dense ids, so in practice every lookup lands
+    /// here — one bounds check and one load, no hashing.
+    slot_table: Vec<u32>,
+    /// Slots of outlandish ids (≥ [`DIRECT_ID_CAP`]), so a hostile id
+    /// space cannot balloon the direct table.
+    slot_spill: std::collections::HashMap<NodeId, u32>,
+    /// Broadcast id per slot.
+    ids: Vec<NodeId>,
+    /// Coordinates per slot (placeholder until the slot materializes).
+    points: Vec<Point>,
+    /// `SLOT_*` flags per slot.
+    flags: Vec<u8>,
+    /// `(start, len)` run of each slot's adjacency inside the arenas.
+    runs: Vec<(u32, u32)>,
+    /// Edge arena: `(target broadcast id, weight)`, the slice
+    /// [`Self::out_edges`] serves.
+    edges: Vec<(NodeId, Weight)>,
+    /// Edge arena, parallel to `edges`: the target's slot.
+    target_slots: Vec<u32>,
+    /// Materialized (received) node count.
+    live: usize,
     /// Largest edge weight received so far (sizes the bucket queue when a
     /// [`QueuePolicy`] resolves to `Bucket`).
     max_weight: Weight,
+    /// Version-stamped search scratch, reused across searches.
+    dist: Vec<u64>,
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    cur_stamp: u32,
 }
 
 impl ReceivedGraph {
@@ -136,21 +184,109 @@ impl ReceivedGraph {
         Self::default()
     }
 
+    /// Resets the store to empty, keeping every allocation — the arena
+    /// reuse hook for clients that serve many sessions.
+    pub fn clear(&mut self) {
+        self.slot_table.fill(NO_SLOT);
+        self.slot_spill.clear();
+        self.ids.clear();
+        self.points.clear();
+        self.flags.clear();
+        self.runs.clear();
+        self.edges.clear();
+        self.target_slots.clear();
+        self.live = 0;
+        self.max_weight = 0;
+    }
+
+    /// Slot of `v`, if seen.
+    #[inline]
+    fn slot_lookup(&self, v: NodeId) -> Option<u32> {
+        if (v as usize) < self.slot_table.len() {
+            let s = self.slot_table[v as usize];
+            if s != NO_SLOT {
+                Some(s)
+            } else {
+                None
+            }
+        } else if (v as usize) < DIRECT_ID_CAP {
+            None
+        } else {
+            self.slot_spill.get(&v).copied()
+        }
+    }
+
+    /// Slot of `v`, creating an unmaterialized one if unseen.
+    fn ensure_slot(&mut self, v: NodeId) -> u32 {
+        if let Some(s) = self.slot_lookup(v) {
+            return s;
+        }
+        let s = self.ids.len() as u32;
+        if (v as usize) < DIRECT_ID_CAP {
+            if (v as usize) >= self.slot_table.len() {
+                let new_len = ((v as usize + 1).next_power_of_two()).min(DIRECT_ID_CAP);
+                self.slot_table.resize(new_len, NO_SLOT);
+            }
+            self.slot_table[v as usize] = s;
+        } else {
+            self.slot_spill.insert(v, s);
+        }
+        self.ids.push(v);
+        self.points.push(Point::new(0.0, 0.0));
+        self.flags.push(0);
+        self.runs.push((self.edges.len() as u32, 0));
+        s
+    }
+
+    /// Slot of `v` if it has materialized (received as a record).
+    #[inline]
+    fn live_slot(&self, v: NodeId) -> Option<u32> {
+        self.slot_lookup(v)
+            .filter(|&s| self.flags[s as usize] & SLOT_MATERIALIZED != 0)
+    }
+
     /// Ingests one record; returns the bytes newly retained (for the
     /// memory meter).
     pub fn ingest(&mut self, rec: NodeRecord) -> usize {
-        let entry = self
-            .nodes
-            .entry(rec.id)
-            .or_insert_with(|| (rec.point, rec.border, Vec::new()));
-        entry.1 |= rec.border;
-        let added = rec.edges.len();
-        for &(_, w) in &rec.edges {
-            self.max_weight = self.max_weight.max(w);
+        let s = self.ensure_slot(rec.id) as usize;
+        if self.flags[s] & SLOT_MATERIALIZED == 0 {
+            self.flags[s] |= SLOT_MATERIALIZED;
+            self.points[s] = rec.point;
+            self.live += 1;
         }
-        entry.2.extend(rec.edges);
-        // Charge per decoded edge plus once per fresh node.
-        let fresh_node = if entry.2.len() == added {
+        if rec.border {
+            self.flags[s] |= SLOT_BORDER;
+        }
+        let added = rec.edges.len();
+        let before = self.runs[s].1 as usize;
+        if added > 0 {
+            let (start, len) = self.runs[s];
+            if len == 0 {
+                self.runs[s].0 = self.edges.len() as u32;
+            } else if start as usize + len as usize != self.edges.len() {
+                // The run is no longer at the arena tail (another node's
+                // chunks landed in between — out-of-order re-reception).
+                // Relocate it to the tail so it stays one contiguous slice.
+                let (lo, hi) = (start as usize, start as usize + len as usize);
+                self.runs[s].0 = self.edges.len() as u32;
+                for i in lo..hi {
+                    let e = self.edges[i];
+                    let t = self.target_slots[i];
+                    self.edges.push(e);
+                    self.target_slots.push(t);
+                }
+            }
+            for &(t, w) in &rec.edges {
+                self.max_weight = self.max_weight.max(w);
+                let ts = self.ensure_slot(t);
+                self.edges.push((t, w));
+                self.target_slots.push(ts);
+            }
+            self.runs[s].1 += added as u32;
+        }
+        // Charge per decoded edge plus once per fresh node (a node whose
+        // adjacency was empty before this record).
+        let fresh_node = if before == 0 {
             decoded_node_bytes(0)
         } else {
             0
@@ -158,52 +294,146 @@ impl ReceivedGraph {
         fresh_node + added * 8
     }
 
+    /// Ingests every record of one payload straight from the wire bytes —
+    /// [`decode_payload`] + [`Self::ingest`] fused, with no intermediate
+    /// record allocations. Returns the total bytes newly retained, or
+    /// `None` on a malformed payload (in which case, like
+    /// [`decode_payload`], nothing is ingested).
+    pub fn ingest_payload(&mut self, payload: &[u8]) -> Option<usize> {
+        // Validation pass: all-or-nothing, mirroring `decode_payload`.
+        let mut r = PayloadReader::new(payload);
+        while !r.is_empty() {
+            r.read_u32()?;
+            r.read_f32()?;
+            r.read_f32()?;
+            let count = r.read_u8()? as usize;
+            r.read_u8()?;
+            if count > MAX_EDGES_PER_RECORD {
+                return None;
+            }
+            for _ in 0..count {
+                r.read_u32()?;
+                r.read_u32()?;
+            }
+        }
+        // Ingest pass: identical to ingesting the decoded records in order.
+        let mut r = PayloadReader::new(payload);
+        let mut charged = 0usize;
+        while !r.is_empty() {
+            let id = r.read_u32()?;
+            let x = r.read_f32()?;
+            let y = r.read_f32()?;
+            let count = r.read_u8()? as usize;
+            let flags = r.read_u8()?;
+            let s = self.ensure_slot(id) as usize;
+            if self.flags[s] & SLOT_MATERIALIZED == 0 {
+                self.flags[s] |= SLOT_MATERIALIZED;
+                self.points[s] = Point::new(x as f64, y as f64);
+                self.live += 1;
+            }
+            if flags & 2 != 0 {
+                self.flags[s] |= SLOT_BORDER;
+            }
+            let before = self.runs[s].1 as usize;
+            if count > 0 {
+                let (start, len) = self.runs[s];
+                if len == 0 {
+                    self.runs[s].0 = self.edges.len() as u32;
+                } else if start as usize + len as usize != self.edges.len() {
+                    let (lo, hi) = (start as usize, start as usize + len as usize);
+                    self.runs[s].0 = self.edges.len() as u32;
+                    for i in lo..hi {
+                        let e = self.edges[i];
+                        let t = self.target_slots[i];
+                        self.edges.push(e);
+                        self.target_slots.push(t);
+                    }
+                }
+                for _ in 0..count {
+                    let t = r.read_u32()?;
+                    let w = r.read_u32()?;
+                    self.max_weight = self.max_weight.max(w);
+                    let ts = self.ensure_slot(t);
+                    self.edges.push((t, w));
+                    self.target_slots.push(ts);
+                }
+                self.runs[s].1 += count as u32;
+            }
+            let fresh_node = if before == 0 {
+                decoded_node_bytes(0)
+            } else {
+                0
+            };
+            charged += fresh_node + count * 8;
+        }
+        Some(charged)
+    }
+
     /// Number of distinct nodes received.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
     /// Whether `v` was received.
     pub fn contains(&self, v: NodeId) -> bool {
-        self.nodes.contains_key(&v)
+        self.live_slot(v).is_some()
     }
 
     /// Out-edges of `v` (empty if unknown).
     pub fn out_edges(&self, v: NodeId) -> &[(NodeId, Weight)] {
-        self.nodes
-            .get(&v)
-            .map(|(_, _, e)| e.as_slice())
-            .unwrap_or(&[])
+        match self.slot_lookup(v) {
+            Some(s) => {
+                let (start, len) = self.runs[s as usize];
+                &self.edges[start as usize..start as usize + len as usize]
+            }
+            None => &[],
+        }
     }
 
     /// Point of `v`, if received.
     pub fn point(&self, v: NodeId) -> Option<Point> {
-        self.nodes.get(&v).map(|(p, _, _)| *p)
+        self.live_slot(v).map(|s| self.points[s as usize])
     }
 
     /// Whether `v` was flagged as a border node of its region.
     pub fn is_border(&self, v: NodeId) -> Option<bool> {
-        self.nodes.get(&v).map(|(_, b, _)| *b)
+        self.live_slot(v)
+            .map(|s| self.flags[s as usize] & SLOT_BORDER != 0)
     }
 
     /// Iterates received node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.keys().copied()
+        self.ids
+            .iter()
+            .zip(&self.flags)
+            .filter(|&(_, f)| f & SLOT_MATERIALIZED != 0)
+            .map(|(&v, _)| v)
     }
 
     /// Total retained bytes (consistent with the per-ingest charges).
     pub fn retained_bytes(&self) -> usize {
-        self.nodes
-            .values()
-            .map(|(_, _, e)| decoded_node_bytes(0) + e.len() * 8)
+        self.runs
+            .iter()
+            .zip(&self.flags)
+            .filter(|&(_, f)| f & SLOT_MATERIALIZED != 0)
+            .map(|(&(_, len), _)| decoded_node_bytes(0) + len as usize * 8)
             .sum()
     }
 
     /// Drops a node's adjacency (memory-bound processing discards region
     /// data after contraction); returns bytes released.
     pub fn discard(&mut self, v: NodeId) -> usize {
-        match self.nodes.remove(&v) {
-            Some((_, _, e)) => decoded_node_bytes(0) + e.len() * 8,
+        match self.live_slot(v) {
+            Some(s) => {
+                let released = decoded_node_bytes(0) + self.runs[s as usize].1 as usize * 8;
+                // The slot survives as an unmaterialized placeholder (its
+                // arena run is abandoned); a later re-ingest charges it as
+                // fresh, exactly like the former map removal did.
+                self.flags[s as usize] &= !(SLOT_MATERIALIZED | SLOT_BORDER);
+                self.runs[s as usize].1 = 0;
+                self.live -= 1;
+                released
+            }
             None => 0,
         }
     }
@@ -217,7 +447,7 @@ impl ReceivedGraph {
     /// the default queue policy. Returns `(distance, path)` if `target`
     /// is reachable, plus settled node count.
     pub fn shortest_path(
-        &self,
+        &mut self,
         source: NodeId,
         target: NodeId,
     ) -> (Option<(u64, Vec<NodeId>)>, usize) {
@@ -229,13 +459,16 @@ impl ReceivedGraph {
     /// store's node count (the search terminates at `target`, so the
     /// expected settle depth is about half the received nodes). Distances
     /// are identical under every policy.
+    ///
+    /// Takes `&mut self` only for the version-stamped scratch arrays the
+    /// search runs on; the received data is untouched.
     pub fn shortest_path_with(
-        &self,
+        &mut self,
         source: NodeId,
         target: NodeId,
         queue: QueuePolicy,
     ) -> (Option<(u64, Vec<NodeId>)>, usize) {
-        let expected = Some(self.nodes.len().div_ceil(2));
+        let expected = Some(self.live.div_ceil(2));
         match queue.resolve_for(self.max_weight, expected) {
             QueuePolicy::Bucket => {
                 self.search(source, target, &mut BucketQueue::new(self.max_weight))
@@ -244,38 +477,67 @@ impl ReceivedGraph {
         }
     }
 
+    /// Bumps the scratch version, sizing the arrays for the current slot
+    /// count (and refilling the stamps on the rare wrap-around).
+    fn fresh_scratch(&mut self) {
+        let n = self.ids.len();
+        if self.stamp.len() < n {
+            self.dist.resize(n, 0);
+            self.parent.resize(n, NO_SLOT);
+            self.stamp.resize(n, self.cur_stamp);
+        }
+        self.cur_stamp = self.cur_stamp.wrapping_add(1);
+        if self.cur_stamp == 0 {
+            self.stamp.fill(0);
+            self.cur_stamp = 1;
+        }
+    }
+
+    /// The slot-indexed Dijkstra. The queue holds slots; keys, relaxation
+    /// order and the lazy stale-pop rule are identical to the former
+    /// map-based search, so settle order and counts are preserved under
+    /// both queues (heap ties are structural — keys only — and bucket
+    /// ties are LIFO).
     fn search<Q: DijkstraQueue>(
-        &self,
+        &mut self,
         source: NodeId,
         target: NodeId,
         queue: &mut Q,
     ) -> (Option<(u64, Vec<NodeId>)>, usize) {
-        use std::collections::HashMap;
-        let mut dist: HashMap<NodeId, u64> = HashMap::new();
-        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+        let s_slot = self.ensure_slot(source);
+        let t_slot = self.slot_lookup(target).unwrap_or(NO_SLOT);
+        self.fresh_scratch();
+        let stamp = self.cur_stamp;
         let mut settled = 0usize;
-        dist.insert(source, 0);
-        queue.push(0, source);
+        self.dist[s_slot as usize] = 0;
+        self.parent[s_slot as usize] = NO_SLOT;
+        self.stamp[s_slot as usize] = stamp;
+        queue.push(0, s_slot);
         while let Some((key, v)) = queue.pop() {
-            if dist.get(&v) != Some(&key) {
+            let vi = v as usize;
+            if self.stamp[vi] != stamp || self.dist[vi] != key {
                 continue;
             }
             settled += 1;
-            if v == target {
-                let mut path = vec![v];
-                let mut cur = v;
-                while let Some(&p) = parent.get(&cur) {
-                    path.push(p);
-                    cur = p;
+            if v == t_slot {
+                let mut path = vec![self.ids[vi]];
+                let mut cur = vi;
+                while self.parent[cur] != NO_SLOT {
+                    cur = self.parent[cur] as usize;
+                    path.push(self.ids[cur]);
                 }
                 path.reverse();
                 return (Some((key, path)), settled);
             }
-            for &(u, w) in self.out_edges(v) {
+            let (start, len) = self.runs[vi];
+            let (lo, hi) = (start as usize, start as usize + len as usize);
+            for (&(_, w), &u) in self.edges[lo..hi].iter().zip(&self.target_slots[lo..hi]) {
                 let cand = key + w as u64;
-                if dist.get(&u).is_none_or(|&d| cand < d) {
-                    dist.insert(u, cand);
-                    parent.insert(u, v);
+                let ui = u as usize;
+                if self.stamp[ui] != stamp || cand < self.dist[ui] {
+                    self.dist[ui] = cand;
+                    self.parent[ui] = v;
+                    self.stamp[ui] = stamp;
                     queue.push(cand, u);
                 }
             }

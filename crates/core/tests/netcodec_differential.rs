@@ -1,0 +1,326 @@
+//! Differential certification of the flat slot-arena [`ReceivedGraph`]
+//! against the original HashMap-per-node store, reimplemented here
+//! verbatim as the test oracle.
+//!
+//! The CSR rewrite claims byte-identical observable behavior: same
+//! per-ingest memory charges, same accessor results, same search results
+//! — distances, **paths** (which pin the settle order through zero-weight
+//! and equal-key ties) and settled-node counts — under every
+//! [`QueuePolicy`]. These tests check that claim on random record
+//! streams (dense and spill-range ids, duplicate chunks, zero weights),
+//! on encoded payload streams from grid and germany-class preset
+//! networks, and on the fused [`ReceivedGraph::ingest_payload`] path
+//! against decode-then-ingest.
+
+use proptest::prelude::*;
+use spair_core::netcodec::{decode_payload, encode_nodes, NodeRecord, ReceivedGraph};
+use spair_core::query::decoded_node_bytes;
+use spair_roadnet::generators::{small_grid, NetworkPreset};
+use spair_roadnet::{
+    BucketQueue, DijkstraQueue, MinHeap, NodeId, Point, QueuePolicy, RoadNetwork, Weight,
+};
+use std::collections::HashMap;
+
+/// The pre-CSR store, copied from the original implementation: one
+/// `HashMap` entry per received node, per-node edge `Vec`s, and a
+/// map-backed Dijkstra. This is the behavioral oracle.
+type LegacyNode = (Point, bool, Vec<(NodeId, Weight)>);
+
+#[derive(Default)]
+struct LegacyStore {
+    nodes: HashMap<NodeId, LegacyNode>,
+    max_weight: Weight,
+}
+
+impl LegacyStore {
+    fn ingest(&mut self, rec: NodeRecord) -> usize {
+        let entry = self
+            .nodes
+            .entry(rec.id)
+            .or_insert_with(|| (rec.point, rec.border, Vec::new()));
+        entry.1 |= rec.border;
+        let added = rec.edges.len();
+        for &(_, w) in &rec.edges {
+            self.max_weight = self.max_weight.max(w);
+        }
+        entry.2.extend(rec.edges);
+        let fresh_node = if entry.2.len() == added {
+            decoded_node_bytes(0)
+        } else {
+            0
+        };
+        fresh_node + added * 8
+    }
+
+    fn out_edges(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        self.nodes
+            .get(&v)
+            .map(|(_, _, e)| e.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|(_, _, e)| decoded_node_bytes(0) + e.len() * 8)
+            .sum()
+    }
+
+    fn discard(&mut self, v: NodeId) -> usize {
+        match self.nodes.remove(&v) {
+            Some((_, _, e)) => decoded_node_bytes(0) + e.len() * 8,
+            None => 0,
+        }
+    }
+
+    fn shortest_path_with(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        queue: QueuePolicy,
+    ) -> (Option<(u64, Vec<NodeId>)>, usize) {
+        let expected = Some(self.nodes.len().div_ceil(2));
+        match queue.resolve_for(self.max_weight, expected) {
+            QueuePolicy::Bucket => {
+                self.search(source, target, &mut BucketQueue::new(self.max_weight))
+            }
+            _ => self.search(source, target, &mut MinHeap::new()),
+        }
+    }
+
+    fn search<Q: DijkstraQueue>(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        queue: &mut Q,
+    ) -> (Option<(u64, Vec<NodeId>)>, usize) {
+        let mut dist: HashMap<NodeId, u64> = HashMap::new();
+        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut settled = 0usize;
+        dist.insert(source, 0);
+        queue.push(0, source);
+        while let Some((key, v)) = queue.pop() {
+            if dist.get(&v) != Some(&key) {
+                continue;
+            }
+            settled += 1;
+            if v == target {
+                let mut path = vec![v];
+                let mut cur = v;
+                while let Some(&p) = parent.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return (Some((key, path)), settled);
+            }
+            for &(u, w) in self.out_edges(v) {
+                let cand = key + w as u64;
+                if dist.get(&u).is_none_or(|&d| cand < d) {
+                    dist.insert(u, cand);
+                    parent.insert(u, v);
+                    queue.push(cand, u);
+                }
+            }
+        }
+        (None, settled)
+    }
+}
+
+const POLICIES: [QueuePolicy; 3] = [QueuePolicy::Auto, QueuePolicy::Heap, QueuePolicy::Bucket];
+
+/// Asserts every observable accessor of the new store matches the oracle.
+fn assert_state_matches(legacy: &LegacyStore, new: &ReceivedGraph) {
+    assert_eq!(legacy.nodes.len(), new.num_nodes(), "num_nodes");
+    assert_eq!(legacy.max_weight, new.max_weight(), "max_weight");
+    assert_eq!(legacy.retained_bytes(), new.retained_bytes(), "retained");
+    let mut legacy_ids: Vec<NodeId> = legacy.nodes.keys().copied().collect();
+    legacy_ids.sort_unstable();
+    let mut new_ids: Vec<NodeId> = new.node_ids().collect();
+    new_ids.sort_unstable();
+    assert_eq!(legacy_ids, new_ids, "node id set");
+    for &v in &legacy_ids {
+        assert!(new.contains(v));
+        let (p, b, e) = &legacy.nodes[&v];
+        assert_eq!(new.point(v), Some(*p), "point of {v}");
+        assert_eq!(new.is_border(v), Some(*b), "border of {v}");
+        assert_eq!(new.out_edges(v), e.as_slice(), "edges of {v}");
+    }
+}
+
+/// Asserts search equality for every policy and (source, target) pair —
+/// distance, full path (the settle-order witness) and settled count.
+fn assert_searches_match(legacy: &LegacyStore, new: &mut ReceivedGraph, pairs: &[(u32, u32)]) {
+    for &(s, t) in pairs {
+        for policy in POLICIES {
+            let want = legacy.shortest_path_with(s, t, policy);
+            let got = new.shortest_path_with(s, t, policy);
+            assert_eq!(want, got, "search {s}->{t} under {policy:?}");
+        }
+    }
+}
+
+/// One proptest-generated record: `(id, point, border, edges)`.
+type RawRecord = (u32, (f32, f32), bool, Vec<(u32, u32)>);
+
+fn to_record(raw: &RawRecord) -> NodeRecord {
+    NodeRecord {
+        id: raw.0,
+        point: Point::new(raw.1 .0 as f64, raw.1 .1 as f64),
+        more: false,
+        border: raw.2,
+        edges: raw
+            .3
+            .iter()
+            .map(|&(t, w)| (t as NodeId, w as Weight))
+            .collect(),
+    }
+}
+
+/// Record streams over a dense id range, with duplicate chunks (the same
+/// node arriving more than once models §6.2 re-reception) and weights
+/// down to zero (tie-heavy searches).
+fn record_stream(max_id: u32, max_weight: u32) -> impl Strategy<Value = Vec<RawRecord>> {
+    let record = (
+        0..max_id,
+        (-100.0f32..100.0, -100.0f32..100.0),
+        any::<bool>(),
+        proptest::collection::vec((0..max_id, 0..=max_weight), 0..6),
+    );
+    proptest::collection::vec(record, 1..40)
+}
+
+fn run_differential(records: &[RawRecord], pairs: &[(u32, u32)]) {
+    let mut legacy = LegacyStore::default();
+    let mut new = ReceivedGraph::new();
+    for raw in records {
+        let rec = to_record(raw);
+        assert_eq!(
+            legacy.ingest(rec.clone()),
+            new.ingest(rec),
+            "ingest charge for node {}",
+            raw.0
+        );
+    }
+    assert_state_matches(&legacy, &new);
+    assert_searches_match(&legacy, &mut new, pairs);
+    // Discards must release identical charges and leave identical state.
+    for &(v, _) in pairs.iter().take(2) {
+        assert_eq!(legacy.discard(v), new.discard(v), "discard charge of {v}");
+    }
+    assert_state_matches(&legacy, &new);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense-id record streams: charges, accessors, searches, discards.
+    #[test]
+    fn dense_record_streams_match_legacy(records in record_stream(24, 50)) {
+        let pairs: Vec<(u32, u32)> = vec![(0, 23), (5, 12), (7, 7), (3, 22)];
+        run_differential(&records, &pairs);
+    }
+
+    /// Zero-weight-heavy streams: equal keys everywhere, so paths and
+    /// settle counts pin the queues' tie-breaking exactly.
+    #[test]
+    fn zero_weight_ties_match_legacy(records in record_stream(12, 1)) {
+        let pairs: Vec<(u32, u32)> = vec![(0, 11), (4, 9), (1, 10)];
+        run_differential(&records, &pairs);
+    }
+
+    /// Spill-range ids (beyond the direct-index table cap) must behave
+    /// identically to dense ids.
+    #[test]
+    fn spill_range_ids_match_legacy(records in record_stream(16, 20)) {
+        const SPILL_BASE: u32 = 1 << 23;
+        let shifted: Vec<RawRecord> = records
+            .iter()
+            .map(|(id, p, b, e)| {
+                (
+                    id + SPILL_BASE,
+                    *p,
+                    *b,
+                    e.iter().map(|&(t, w)| (t + SPILL_BASE, w)).collect(),
+                )
+            })
+            .collect();
+        let pairs: Vec<(u32, u32)> =
+            vec![(SPILL_BASE, SPILL_BASE + 15), (SPILL_BASE + 3, SPILL_BASE + 9)];
+        run_differential(&shifted, &pairs);
+    }
+}
+
+/// Feeds a network's encoded payloads to (a) the oracle via
+/// decode-then-ingest and (b) the new store via the fused
+/// [`ReceivedGraph::ingest_payload`], then cross-checks state, charges
+/// and searches.
+fn run_payload_differential(g: &RoadNetwork, pairs: &[(u32, u32)]) {
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    let mut legacy = LegacyStore::default();
+    let mut fused = ReceivedGraph::new();
+    let mut stepwise = ReceivedGraph::new();
+    for payload in encode_nodes(g, &nodes) {
+        let mut legacy_charge = 0;
+        let mut stepwise_charge = 0;
+        for rec in decode_payload(&payload).expect("well-formed payload") {
+            legacy_charge += legacy.ingest(rec.clone());
+            stepwise_charge += stepwise.ingest(rec);
+        }
+        let fused_charge = fused.ingest_payload(&payload).expect("well-formed payload");
+        assert_eq!(legacy_charge, fused_charge, "per-payload charge");
+        assert_eq!(stepwise_charge, fused_charge, "fused == decode+ingest");
+    }
+    assert_state_matches(&legacy, &fused);
+    assert_state_matches(&legacy, &stepwise);
+    assert_searches_match(&legacy, &mut fused, pairs);
+    assert_searches_match(&legacy, &mut stepwise, pairs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Grid-preset networks through the real encode → payload path.
+    #[test]
+    fn grid_preset_payload_streams_match_legacy(seed in 0u64..500) {
+        let g = small_grid(9, 9, seed);
+        let n = g.num_nodes() as u32;
+        run_payload_differential(&g, &[(0, n - 1), (n / 3, n / 2)]);
+    }
+
+    /// Germany-class topology (the load harness's paper-scale class) at
+    /// test-tractable size, same differential.
+    #[test]
+    fn germany_class_payload_streams_match_legacy(seed in 0u64..500) {
+        let g = NetworkPreset::Germany.config_for_nodes(seed, 320).generate();
+        let n = g.num_nodes() as u32;
+        run_payload_differential(&g, &[(0, n - 1), (n / 4, 3 * n / 4)]);
+    }
+}
+
+#[test]
+fn malformed_payload_is_all_or_nothing() {
+    let g = small_grid(6, 6, 3);
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    let payloads = encode_nodes(&g, &nodes);
+    let mut store = ReceivedGraph::new();
+    let charged = store.ingest_payload(&payloads[0]).expect("well-formed");
+    assert!(charged > 0);
+    let before_nodes: Vec<NodeId> = {
+        let mut ids: Vec<NodeId> = store.node_ids().collect();
+        ids.sort_unstable();
+        ids
+    };
+    let before_bytes = store.retained_bytes();
+    // Truncating mid-record makes the payload malformed; like
+    // decode_payload, the fused path must reject it without any partial
+    // mutation or charge.
+    let cut = payloads[1].clone();
+    let truncated = &cut[..cut.len() - 3];
+    assert_eq!(decode_payload(truncated), None, "oracle rejects");
+    assert_eq!(store.ingest_payload(truncated), None, "fused rejects");
+    let mut after_nodes: Vec<NodeId> = store.node_ids().collect();
+    after_nodes.sort_unstable();
+    assert_eq!(before_nodes, after_nodes, "no partial node ingest");
+    assert_eq!(before_bytes, store.retained_bytes(), "no partial charge");
+}

@@ -1,0 +1,65 @@
+//! Per-client tune-loop micro-benchmark: the cost one DJ client pays for
+//! one full session (whole-cycle reception, decode, store, search) on the
+//! load harness's paper-scale germany-class network.
+//!
+//! This is the loop the ROADMAP's "hot-path raw speed" item targets —
+//! run it before and after layout changes to see the per-client effect
+//! without the harness's population replay around it:
+//!
+//! ```text
+//! cargo run --release -p spair-load --example tune_loop -- [nodes] [clients]
+//! ```
+
+use spair_baselines::{DjClient, DjServer};
+use spair_broadcast::{BroadcastChannel, LossModel};
+use spair_core::query::{AirClient, Query};
+use spair_load::spec::paper_scale_graph;
+use spair_roadnet::NodeId;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args
+        .next()
+        .map(|a| a.parse().expect("nodes"))
+        .unwrap_or(100_000);
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("clients"))
+        .unwrap_or(20);
+
+    let scale = nodes as f64 / 100_000.0;
+    let t0 = Instant::now();
+    let g = paper_scale_graph(scale).build(9001);
+    eprintln!(
+        "graph: {} nodes / {} edges in {:.1}s",
+        g.num_nodes(),
+        g.num_edges(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let t0 = Instant::now();
+    let program = DjServer::new(&g).build_program();
+    eprintln!(
+        "cycle: {} packets in {:.1}s",
+        program.cycle().len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let n = g.num_nodes() as NodeId;
+    let mut client = DjClient::new();
+    let t0 = Instant::now();
+    let mut checksum = 0u64;
+    for i in 0..clients {
+        let s = (i as NodeId * 7919) % n;
+        let t = (i as NodeId * 104_729 + n / 2) % n;
+        let offset = (i * 131) % program.cycle().len();
+        let mut ch = BroadcastChannel::tune_in(program.cycle(), offset, LossModel::Lossless);
+        let out = client
+            .query(&mut ch, &Query::for_nodes(&g, s, t))
+            .expect("connected network");
+        checksum = checksum.wrapping_add(out.distance);
+    }
+    let per_client = t0.elapsed().as_secs_f64() * 1000.0 / clients as f64;
+    println!("per-client session: {per_client:.2} ms  (checksum {checksum})");
+}

@@ -21,7 +21,7 @@
 
 use spair_load::spec::override_population;
 use spair_load::{default_load_matrix, override_flash_population, prepare, run, smoke_load_matrix};
-use spair_roadnet::parallel;
+use spair_roadnet::{bench_out, parallel};
 use std::time::Instant;
 
 struct Opts {
@@ -112,7 +112,27 @@ fn parse_opts() -> Opts {
         }
     }
     opts.threads = parallel::resolve_threads(threads_flag);
+    opts.out = bench_out::redirect_partial_out(&opts.out, partial_reason(&opts));
     opts
+}
+
+/// A run may refresh the committed `BENCH_load.json` only in the full
+/// default configuration: the default matrix at scale 1.0 with the
+/// specs' own populations. Everything else — the smoke matrix, a resized
+/// network, an overridden client count — is a partial run redirected to
+/// `*.smoke.json`.
+fn partial_reason(opts: &Opts) -> Option<&'static str> {
+    if opts.smoke {
+        Some("--smoke")
+    } else if opts.scale != 1.0 {
+        Some("--scale")
+    } else if opts.population.is_some() {
+        Some("--population-override")
+    } else if opts.flash_population.is_some() {
+        Some("--flash-population-override")
+    } else {
+        None
+    }
 }
 
 fn main() {
@@ -233,5 +253,45 @@ fn main() {
     if !bit_identical {
         eprintln!("DETERMINISM FAILURE: parallel serve diverged from serial");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_opts() -> Opts {
+        Opts {
+            smoke: false,
+            threads: 1,
+            scale: 1.0,
+            population: None,
+            flash_population: None,
+            out: "BENCH_load.json".to_string(),
+        }
+    }
+
+    #[test]
+    fn full_default_run_may_write_the_committed_artifact() {
+        assert_eq!(partial_reason(&full_opts()), None);
+    }
+
+    #[test]
+    fn smoke_scaled_and_overridden_runs_are_partial() {
+        let mut o = full_opts();
+        o.smoke = true;
+        assert_eq!(
+            bench_out::redirect_partial_out(&o.out, partial_reason(&o)),
+            "BENCH_load.smoke.json"
+        );
+        let mut o = full_opts();
+        o.scale = 0.25;
+        assert_eq!(partial_reason(&o), Some("--scale"));
+        let mut o = full_opts();
+        o.population = Some(1000);
+        assert_eq!(partial_reason(&o), Some("--population-override"));
+        let mut o = full_opts();
+        o.flash_population = Some(1000);
+        assert_eq!(partial_reason(&o), Some("--flash-population-override"));
     }
 }

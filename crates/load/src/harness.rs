@@ -109,6 +109,9 @@ struct SessionProfile {
     tuning: u64,
     latency: u64,
     peak_memory_bytes: usize,
+    /// Measured CPU milliseconds of this real session (timing-only —
+    /// never digested; replayed cells report the per-profile mean).
+    cpu_ms: f64,
     /// Distance matched the serial-Dijkstra oracle.
     exact: bool,
     /// The session returned an error (never expected; counted, not
@@ -252,11 +255,15 @@ fn probe_session(
     let mut client = ctx
         .client(method)
         .unwrap_or_else(|e| panic!("LoadSpec::validate admits only air methods: {e}"));
-    match client.query(&mut ch, query) {
+    let start = Instant::now();
+    let result = client.query(&mut ch, query);
+    let cpu_ms = start.elapsed().as_secs_f64() * 1000.0;
+    match result {
         Ok(out) => SessionProfile {
             tuning: out.stats.tuning_packets,
             latency: out.stats.latency_packets,
             peak_memory_bytes: out.stats.peak_memory_bytes,
+            cpu_ms,
             exact: out.distance == oracle,
             failed: false,
         },
@@ -264,6 +271,7 @@ fn probe_session(
             tuning: 0,
             latency: 0,
             peak_memory_bytes: 0,
+            cpu_ms,
             exact: false,
             failed: true,
         },
@@ -498,6 +506,11 @@ struct CellMetrics {
     failures: u64,
     peak_memory_bytes: usize,
     fault: Option<FaultAgg>,
+    /// Measured CPU milliseconds summed over this worker's real client
+    /// sessions (full-session cells only; timing-only, never digested).
+    session_cpu_ms: f64,
+    /// Real sessions behind `session_cpu_ms`.
+    cpu_sessions: u64,
 }
 
 const HIST_BUCKETS: usize = 1024;
@@ -520,6 +533,8 @@ impl CellMetrics {
             failures: 0,
             peak_memory_bytes: 0,
             fault: supervised.then(|| FaultAgg::new(cycle_len)),
+            session_cpu_ms: 0.0,
+            cpu_sessions: 0,
         }
     }
 
@@ -544,6 +559,8 @@ impl CellMetrics {
         if let (Some(a), Some(b)) = (self.fault.as_mut(), other.fault) {
             a.absorb(b);
         }
+        self.session_cpu_ms += other.session_cpu_ms;
+        self.cpu_sessions += other.cpu_sessions;
     }
 }
 
@@ -639,7 +656,11 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
                         );
                         let device = client.as_mut().expect("full-session scratch");
                         let (query, oracle) = pool[qi];
-                        match device.query(&mut ch, &query) {
+                        let t0 = Instant::now();
+                        let result = device.query(&mut ch, &query);
+                        partial.session_cpu_ms += t0.elapsed().as_secs_f64() * 1000.0;
+                        partial.cpu_sessions += 1;
+                        match result {
                             Ok(out) => partial.record(
                                 rate,
                                 out.stats.tuning_packets,
@@ -653,6 +674,7 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
                     CellMode::Supervised { plan } => {
                         let device = client.as_mut().expect("full-session scratch");
                         let (query, oracle) = pool[qi];
+                        let t0 = Instant::now();
                         let s = supervise(FLASH_BUDGET, cycle_len, |k| {
                             // Attempt 0 re-derives this client's own
                             // offset/loss stream; re-tunes draw fresh
@@ -668,6 +690,8 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
                             let result = device.query(&mut ch, &query);
                             (result, AttemptReport::of(&ch, (0, 0)))
                         });
+                        partial.session_cpu_ms += t0.elapsed().as_secs_f64() * 1000.0;
+                        partial.cpu_sessions += 1;
                         partial.fault.as_mut().expect("supervised metrics").session(
                             s.attempts,
                             s.recovery_packets,
@@ -714,6 +738,19 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
             .collect(),
     });
 
+    // Mean measured CPU per real client session: the profile table for
+    // replayed cells (their served clients are O(1) replays), the served
+    // sessions themselves otherwise.
+    let client_cpu_ms = match &cell.mode {
+        CellMode::Replay { profiles, .. } => {
+            let n = profiles.len().max(1);
+            profiles.iter().map(|p| p.cpu_ms).sum::<f64>() / n as f64
+        }
+        CellMode::Exact | CellMode::Supervised { .. } => {
+            metrics.session_cpu_ms / metrics.cpu_sessions.max(1) as f64
+        }
+    };
+
     LoadCellReport {
         scenario: spec.scenario.name.clone(),
         method: cell.method.name(),
@@ -731,6 +768,7 @@ fn run_cell(prep: &PreparedLoad, cell: &PreparedCell, threads: usize) -> LoadCel
         radio_energy_joules_total: metrics.energy_uj.sum() as f64 / 1e6,
         fault,
         cpu_ms: start.elapsed().as_secs_f64() * 1000.0,
+        client_cpu_ms,
     }
 }
 

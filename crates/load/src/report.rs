@@ -128,6 +128,11 @@ pub struct LoadCellReport {
     pub fault: Option<LoadFaultSummary>,
     /// Wall-clock serving time for the cell (excluded from the digest).
     pub cpu_ms: f64,
+    /// Mean measured CPU milliseconds of one real client session —
+    /// profile sessions for replayed cells, every served session for
+    /// full-session cells. Timing-only, like `cpu_ms`: excluded from the
+    /// digest and serialized only with `include_timings`.
+    pub client_cpu_ms: f64,
 }
 
 impl LoadCellReport {
@@ -168,7 +173,10 @@ impl LoadCellReport {
             s.push_str(&format!(", \"fault\": {}", fault.json()));
         }
         if include_timings {
-            s.push_str(&format!(", \"cpu_ms\": {:.3}", self.cpu_ms));
+            s.push_str(&format!(
+                ", \"cpu_ms\": {:.3}, \"client_cpu_ms\": {:.4}",
+                self.cpu_ms, self.client_cpu_ms
+            ));
         }
         s
     }
@@ -319,6 +327,7 @@ mod tests {
             radio_energy_joules_total: 1.5,
             fault: None,
             cpu_ms: 3.0,
+            client_cpu_ms: 0.25,
         }
     }
 
@@ -354,6 +363,7 @@ mod tests {
         };
         let d0 = r.digest();
         r.cells[0].cpu_ms = 999.0;
+        r.cells[0].client_cpu_ms = 999.0;
         assert_eq!(r.digest(), d0, "cpu time must not affect the digest");
         r.cells[0].latency.p99 += 1;
         assert_ne!(r.digest(), d0, "deterministic fields must");
@@ -366,6 +376,7 @@ mod tests {
         };
         assert!(!r.to_json(false).contains("cpu_ms"));
         assert!(r.to_json(true).contains("cpu_ms"));
+        assert!(r.to_json(true).contains("client_cpu_ms"));
         assert!(r.to_json(false).contains("latency_packets"));
     }
 

@@ -131,6 +131,42 @@ fn smoke_matrix_serves_exactly_and_reports_percentiles() {
     }
 }
 
+/// Modeled per-client peak memory must never regress. The CSR/arena
+/// client-state rewrite tightened real process memory while keeping the
+/// *modeled* charges byte-identical; these ceilings are the smoke
+/// matrix's per-cell peaks captured from the pre-CSR store. A cell
+/// exceeding its ceiling means a client started charging more than the
+/// paper's cost model says it should.
+#[test]
+fn peak_client_memory_never_regresses() {
+    let specs = smoke_load_matrix();
+    let report = run(&prepare(&specs, 2), 2);
+    let ceilings: &[(&str, &str, usize)] = &[
+        ("smoke-grid10-kd-lossless", "nr", 5136),
+        ("smoke-grid10-kd-lossless", "eb", 6656),
+        ("smoke-grid10-kd-lossless", "dj", 6240),
+        ("smoke-grid10-kd-lossless", "hiti_air", 16208),
+        ("smoke-grid8-kd-bernoulli5", "nr", 4072),
+        ("smoke-grid8-kd-bernoulli5", "dj", 3984),
+        ("smoke-flash-grid8-chaos1", "nr", 2800),
+        ("smoke-flash-grid8-chaos1", "dj", 3984),
+    ];
+    assert_eq!(report.cells.len(), ceilings.len(), "smoke matrix changed");
+    for &(scenario, method, ceiling) in ceilings {
+        let cell = report
+            .cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.method == method)
+            .unwrap_or_else(|| panic!("missing cell {scenario}/{method}"));
+        assert!(
+            cell.peak_memory_bytes <= ceiling,
+            "{scenario}/{method}: peak {} exceeds pre-CSR ceiling {ceiling}",
+            cell.peak_memory_bytes
+        );
+        assert!(cell.peak_memory_bytes > 0, "{scenario}/{method}: no charge");
+    }
+}
+
 /// The flash-crowd certificate at population scale: a whole crowd
 /// tuning in against one chaotic server is **never wrong** — every
 /// answered session matched the oracle, every give-up is typed, every

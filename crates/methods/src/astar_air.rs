@@ -8,16 +8,21 @@
 //! client can *measure* the tightest admissible scale factor
 //!
 //! ```text
-//! c = min over received edges e with |e| > 0 of (w(e) - 1) / |e|
+//! c = min over received edges e with |e| > 0 of w(e) / |e|
 //! ```
 //!
-//! and use `h(v) = floor(c · |v, target|)`. Using `w - 1` (not `w`)
-//! absorbs the integer floor: `h(v) - h(u) ≤ c·|v,u| + 1 ≤ w(v,u)`, so
-//! the bound is *consistent* — A* settles each node once and stays
-//! exact — and admissible (`h(v) ≤ Σ (w-1) ≤ d(v, t)` along any path).
-//! On metric-ish networks (the paper's presets) this prunes the search
-//! toward the target; on adversarial weights `c` degrades to 0 and the
-//! search degenerates to plain Dijkstra, still exact.
+//! and use `h(v) = max(ceil(c · |v, target|) - 1, 0)`. The `- 1` outside
+//! the ceiling absorbs integer rounding: `h(v) - h(u) =
+//! ceil(c·|v,t|) - ceil(c·|u,t|) ≤ ceil(c·|v,u|) ≤ w(v,u)` (triangle
+//! inequality, then `c·|v,u| ≤ w`), so the bound is *consistent* — A*
+//! settles each node once and stays exact — and admissible
+//! (`ceil(x) - 1 ≤ x`, and `c·|v,t| ≤ d(v, t)` along any path). An
+//! earlier form used `(w - 1) / |e|` with a floor, which is also
+//! consistent but collapses to `c = 0` — plain Dijkstra — the moment any
+//! received edge has weight 1, precisely the short unit-ish edges road
+//! networks are full of. On truly adversarial weights (a zero-weight
+//! edge) `c` still degrades to 0 and the search degenerates to plain
+//! Dijkstra, still exact.
 //!
 //! Tuning time and latency are DJ's (the whole cycle either way); the
 //! win is client CPU — fewer settled nodes per query.
@@ -28,6 +33,7 @@ use crate::{
 };
 use spair_baselines::{DjProgram, DjServer};
 use spair_broadcast::{BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats};
+use spair_core::netcodec::ReceivedGraph;
 use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_roadnet::astar::{astar_search, LowerBound};
 use spair_roadnet::{Distance, NodeId, Point, QueuePolicy, RoadNetwork};
@@ -64,7 +70,7 @@ impl MethodProgram for AstarMethodProgram {
     }
 
     fn make_client(&self, _queue: QueuePolicy) -> Result<Box<dyn AirClient>, MethodUnavailable> {
-        Ok(Box::new(AstarAirClient))
+        Ok(Box::new(AstarAirClient::default()))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -84,7 +90,7 @@ impl BroadcastMethod for AstarAir {
     }
 }
 
-/// The measured geometric bound: `floor(c · euclid(v, target))`.
+/// The measured geometric bound: `max(ceil(c · euclid(v, target)) - 1, 0)`.
 struct MeasuredBound {
     c: f64,
     points: Vec<Point>,
@@ -93,8 +99,10 @@ struct MeasuredBound {
 
 impl MeasuredBound {
     /// Measures the scale factor over the received edges. The safety
-    /// shrink counters f64 round-off in the ratio computation; `w - 1`
-    /// in the numerator is what makes the floored bound consistent.
+    /// shrink counters f64 round-off in the ratio computation and keeps
+    /// the ceiling-based bound strictly inside its consistency margin;
+    /// the `- 1` lives in [`LowerBound::lower_bound`], not here, so
+    /// weight-1 edges no longer zero the factor.
     fn measure(g: &RoadNetwork) -> f64 {
         let mut c = f64::INFINITY;
         for v in g.node_ids() {
@@ -102,12 +110,12 @@ impl MeasuredBound {
             for (u, w) in g.out_edges(v) {
                 let d = pv.euclidean(&g.point(u));
                 if d > 1e-12 {
-                    c = c.min((w.saturating_sub(1)) as f64 / d);
+                    c = c.min(w as f64 / d);
                 }
             }
         }
         if c.is_finite() {
-            (c * (1.0 - 1e-9)).max(0.0)
+            (c * (1.0 - 1e-6)).max(0.0)
         } else {
             0.0
         }
@@ -116,12 +124,17 @@ impl MeasuredBound {
 
 impl LowerBound for MeasuredBound {
     fn lower_bound(&self, v: NodeId, _target: NodeId) -> Distance {
-        (self.c * self.points[v as usize].euclidean(&self.target_pt)).floor() as Distance
+        let x = self.c * self.points[v as usize].euclidean(&self.target_pt);
+        (x.ceil() as Distance).saturating_sub(1)
     }
 }
 
 /// The A*-on-air client.
-struct AstarAirClient;
+#[derive(Default)]
+struct AstarAirClient {
+    /// Reusable receive/search arenas (cleared per session).
+    store: ReceivedGraph,
+}
 
 impl AirClient for AstarAirClient {
     fn method_name(&self) -> &'static str {
@@ -142,9 +155,8 @@ impl AirClient for AstarAirClient {
                 stats: QueryStats::default(),
             });
         }
-        let net = receive_network(ch, &mut mem)?;
-        let (Some(&s), Some(&t)) = (net.to_dense.get(&q.source), net.to_dense.get(&q.target))
-        else {
+        let net = receive_network(ch, &mut mem, &mut self.store)?;
+        let (Some(s), Some(t)) = (net.dense(q.source), net.dense(q.target)) else {
             return Err(QueryError::Unreachable);
         };
         let (res, stats) = cpu.time(|| {

@@ -16,6 +16,7 @@ use crate::{
 };
 use spair_baselines::{DjProgram, DjServer};
 use spair_broadcast::{BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats};
+use spair_core::netcodec::ReceivedGraph;
 use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_roadnet::{bidirectional_search_paths, QueuePolicy};
 
@@ -51,7 +52,7 @@ impl MethodProgram for BidiMethodProgram {
     }
 
     fn make_client(&self, _queue: QueuePolicy) -> Result<Box<dyn AirClient>, MethodUnavailable> {
-        Ok(Box::new(BidiAirClient))
+        Ok(Box::new(BidiAirClient::default()))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -72,7 +73,11 @@ impl BroadcastMethod for BidiAir {
 }
 
 /// The bidirectional-on-air client.
-struct BidiAirClient;
+#[derive(Default)]
+struct BidiAirClient {
+    /// Reusable receive/search arenas (cleared per session).
+    store: ReceivedGraph,
+}
 
 impl AirClient for BidiAirClient {
     fn method_name(&self) -> &'static str {
@@ -93,9 +98,8 @@ impl AirClient for BidiAirClient {
                 stats: QueryStats::default(),
             });
         }
-        let net = receive_network(ch, &mut mem)?;
-        let (Some(&s), Some(&t)) = (net.to_dense.get(&q.source), net.to_dense.get(&q.target))
-        else {
+        let net = receive_network(ch, &mut mem, &mut self.store)?;
+        let (Some(s), Some(t)) = (net.dense(q.source), net.dense(q.target)) else {
             return Err(QueryError::Unreachable);
         };
         let (res, stats) = cpu.time(|| bidirectional_search_paths(&net.g, s, t));

@@ -123,10 +123,26 @@ impl DijkstraQueue for MinHeap<NodeId> {
     }
 }
 
-/// Dial's circular bucket queue.
+/// Sentinel for "no entry" in the bucket head and chain arrays.
+const NIL: u32 = u32::MAX;
+
+/// Dial's circular bucket queue, flattened: instead of one `Vec` per
+/// bucket, every bucket is an intrusive stack threaded through a shared
+/// entry arena (`head[slot]` -> `next` chain). The cursor scan then reads
+/// one `u32` per empty bucket (branch-free against a 24-byte `Vec`
+/// header per probe), creating a queue costs one flat allocation, and
+/// drained entries recycle through a free list — no per-bucket
+/// allocations at all.
 #[derive(Debug, Clone)]
 pub struct BucketQueue {
-    buckets: Vec<Vec<NodeId>>,
+    /// Arena index of each bucket's top entry (`NIL` = empty).
+    head: Vec<u32>,
+    /// Entry arena: the queued node...
+    items: Vec<NodeId>,
+    /// ...and the next entry below it in the same bucket (or `NIL`).
+    next: Vec<u32>,
+    /// Head of the free list threaded through `next`.
+    free: u32,
     /// Key the cursor currently points at.
     cur: Distance,
     /// Live entries (including stale duplicates).
@@ -137,7 +153,10 @@ impl BucketQueue {
     /// Queue for searches whose edge weights never exceed `max_weight`.
     pub fn new(max_weight: Weight) -> Self {
         Self {
-            buckets: vec![Vec::new(); max_weight as usize + 1],
+            head: vec![NIL; max_weight as usize + 1],
+            items: Vec::new(),
+            next: Vec::new(),
+            free: NIL,
             cur: 0,
             len: 0,
         }
@@ -162,15 +181,16 @@ impl BucketQueue {
 
     #[inline]
     fn span(&self) -> Distance {
-        self.buckets.len() as Distance
+        self.head.len() as Distance
     }
 }
 
 impl DijkstraQueue for BucketQueue {
     fn clear(&mut self) {
-        for b in &mut self.buckets {
-            b.clear();
-        }
+        self.head.fill(NIL);
+        self.items.clear();
+        self.next.clear();
+        self.free = NIL;
         self.cur = 0;
         self.len = 0;
     }
@@ -194,7 +214,19 @@ impl DijkstraQueue for BucketQueue {
             self.cur + self.span()
         );
         let slot = (key % self.span()) as usize;
-        self.buckets[slot].push(item);
+        let e = if self.free != NIL {
+            let e = self.free;
+            self.free = self.next[e as usize];
+            self.items[e as usize] = item;
+            self.next[e as usize] = self.head[slot];
+            e
+        } else {
+            let e = self.items.len() as u32;
+            self.items.push(item);
+            self.next.push(self.head[slot]);
+            e
+        };
+        self.head[slot] = e;
         self.len += 1;
     }
 
@@ -205,9 +237,14 @@ impl DijkstraQueue for BucketQueue {
         }
         let span = self.span();
         loop {
-            if let Some(v) = self.buckets[(self.cur % span) as usize].pop() {
+            let slot = (self.cur % span) as usize;
+            let e = self.head[slot];
+            if e != NIL {
+                self.head[slot] = self.next[e as usize];
+                self.next[e as usize] = self.free;
+                self.free = e;
                 self.len -= 1;
-                return Some((self.cur, v));
+                return Some((self.cur, self.items[e as usize]));
             }
             self.cur += 1;
         }

@@ -68,6 +68,62 @@ pub struct RoadNetwork {
 }
 
 impl RoadNetwork {
+    /// Builds a network directly from forward-CSR parts, computing the
+    /// reverse adjacency and cached maximum weight here. Produces exactly
+    /// the graph [`GraphBuilder::finish`] would for the same edges fed in
+    /// source-major CSR order — per-node edge order is preserved, and
+    /// reverse edges are laid out in global (source-major) order — but
+    /// without the builder's intermediate edge list and hash set. The
+    /// client-side per-session rebuild of received networks runs on this.
+    pub fn from_csr(
+        points: Vec<Point>,
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+        out_weights: Vec<Weight>,
+    ) -> Self {
+        let n = points.len();
+        let m = out_targets.len();
+        assert_eq!(out_offsets.len(), n + 1, "offsets must have n + 1 entries");
+        assert_eq!(out_weights.len(), m, "weights must match targets");
+        assert_eq!(out_offsets[0], 0, "offsets must start at 0");
+        assert_eq!(out_offsets[n] as usize, m, "offsets must end at edge count");
+        debug_assert!(out_offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(out_targets.iter().all(|&t| (t as usize) < n));
+
+        let mut in_offsets = vec![0u32; n + 1];
+        for &to in &out_targets {
+            in_offsets[to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_weights = vec![0 as Weight; m];
+        let mut cursor = in_offsets.clone();
+        for from in 0..n {
+            let (lo, hi) = (out_offsets[from] as usize, out_offsets[from + 1] as usize);
+            for e in lo..hi {
+                let to = out_targets[e] as usize;
+                let slot = cursor[to] as usize;
+                in_sources[slot] = from as NodeId;
+                in_weights[slot] = out_weights[e];
+                cursor[to] += 1;
+            }
+        }
+
+        let max_weight = out_weights.iter().copied().max().unwrap_or(0);
+        Self {
+            points,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+            max_weight,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod astar;
+pub mod bench_out;
 pub mod bidirectional;
 pub mod bucket_queue;
 pub mod dijkstra;

@@ -149,3 +149,132 @@ proptest! {
         prop_assert_eq!(dijkstra_distance(&g2, s, t), dijkstra_distance(&g, s, t));
     }
 }
+
+/// Feeds a network's own CSR arrays back through
+/// [`RoadNetwork::from_csr`]. With edges fed in source-major order the
+/// rebuild must be indistinguishable from a `GraphBuilder` fed the same
+/// sequence — the `receive_network` fast path depends on exactly that
+/// equivalence (its predecessor built the received graph through
+/// `GraphBuilder` in source-major dense order).
+fn rebuild_via_csr(g: &RoadNetwork) -> RoadNetwork {
+    let mut out_offsets: Vec<u32> = Vec::with_capacity(g.num_nodes() + 1);
+    let mut out_targets: Vec<NodeId> = Vec::with_capacity(g.num_edges());
+    let mut out_weights = Vec::with_capacity(g.num_edges());
+    out_offsets.push(0);
+    for v in g.node_ids() {
+        for (u, w) in g.out_edges(v) {
+            out_targets.push(u);
+            out_weights.push(w);
+        }
+        out_offsets.push(out_targets.len() as u32);
+    }
+    RoadNetwork::from_csr(g.points().to_vec(), out_offsets, out_targets, out_weights)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `from_csr` reproduces the builder graph exactly: adjacency in both
+    /// directions, then — the behavioral part — identical settle order,
+    /// distances, parents and first-hop colors under every queue policy.
+    #[test]
+    fn from_csr_is_indistinguishable_from_builder(
+        g in arb_network(),
+        pick in 0usize..10_000,
+    ) {
+        use spair_roadnet::dijkstra::{DijkstraWorkspace, Direction};
+        use spair_roadnet::QueuePolicy;
+
+        // Reference: a builder fed the same edges in source-major order
+        // (the order `receive_network` feeds `from_csr`). The original
+        // generated graph's own insertion order is NOT source-major, so
+        // its reverse adjacency ordering is not part of the claim.
+        let g = {
+            let mut b = spair_roadnet::GraphBuilder::new();
+            for v in g.node_ids() {
+                b.add_node(g.point(v));
+            }
+            for v in g.node_ids() {
+                for (u, w) in g.out_edges(v) {
+                    b.add_edge(v, u, w);
+                }
+            }
+            b.finish()
+        };
+        let c = rebuild_via_csr(&g);
+        prop_assert_eq!(g.num_nodes(), c.num_nodes());
+        prop_assert_eq!(g.num_edges(), c.num_edges());
+        prop_assert_eq!(g.max_weight(), c.max_weight());
+        for v in g.node_ids() {
+            prop_assert_eq!(g.point(v).x, c.point(v).x);
+            prop_assert_eq!(g.point(v).y, c.point(v).y);
+            let go: Vec<_> = g.out_edges(v).collect();
+            let co: Vec<_> = c.out_edges(v).collect();
+            prop_assert_eq!(go, co, "out edges of {}", v);
+            let gi: Vec<_> = g.in_edges(v).collect();
+            let ci: Vec<_> = c.in_edges(v).collect();
+            prop_assert_eq!(gi, ci, "in edges of {}", v);
+        }
+
+        let s = (pick % g.num_nodes()) as NodeId;
+        for policy in [QueuePolicy::Auto, QueuePolicy::Heap, QueuePolicy::Bucket] {
+            for dir in [Direction::Forward, Direction::Reverse] {
+                let mut wg = DijkstraWorkspace::for_graph(&g, policy);
+                let mut wc = DijkstraWorkspace::for_graph(&c, policy);
+                wg.run(&g, s, dir);
+                wc.run(&c, s, dir);
+                prop_assert_eq!(
+                    wg.settle_order(),
+                    wc.settle_order(),
+                    "settle order from {} under {:?}/{:?}", s, policy, dir
+                );
+                for v in g.node_ids() {
+                    prop_assert_eq!(wg.distance(v), wc.distance(v));
+                    prop_assert_eq!(wg.parent(v), wc.parent(v));
+                }
+                if dir == Direction::Forward {
+                    let mut hops_g = vec![0u8; g.num_nodes()];
+                    let mut hops_c = vec![0u8; c.num_nodes()];
+                    spair_roadnet::first_hops_from_workspace(&g, &wg, &mut hops_g);
+                    spair_roadnet::first_hops_from_workspace(&c, &wc, &mut hops_c);
+                    prop_assert_eq!(
+                        &hops_g, &hops_c,
+                        "first-hop colors from {} under {:?}", s, policy
+                    );
+                }
+            }
+        }
+    }
+
+    /// Zero-weight edges create equal-key ties; the CSR rebuild must
+    /// break them exactly like the builder graph under every policy.
+    #[test]
+    fn from_csr_preserves_zero_weight_tie_breaks(
+        edges in proptest::collection::vec((0u32..14, 0u32..14, 0u32..3u32), 1..60),
+        source in 0u32..14,
+    ) {
+        use spair_roadnet::dijkstra::{DijkstraWorkspace, Direction};
+        use spair_roadnet::{GraphBuilder, QueuePolicy};
+
+        let mut b = GraphBuilder::new();
+        for i in 0..14u32 {
+            b.add_node(Point::new(f64::from(i % 4), f64::from(i / 4)));
+        }
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.finish();
+        let c = rebuild_via_csr(&g);
+        for policy in [QueuePolicy::Auto, QueuePolicy::Heap, QueuePolicy::Bucket] {
+            let mut wg = DijkstraWorkspace::for_graph(&g, policy);
+            let mut wc = DijkstraWorkspace::for_graph(&c, policy);
+            wg.run(&g, source, Direction::Forward);
+            wc.run(&c, source, Direction::Forward);
+            prop_assert_eq!(wg.settle_order(), wc.settle_order(), "{:?}", policy);
+            for v in g.node_ids() {
+                prop_assert_eq!(wg.distance(v), wc.distance(v));
+                prop_assert_eq!(wg.parent(v), wc.parent(v));
+            }
+        }
+    }
+}

@@ -17,7 +17,7 @@
 //! on any wrong answer, budget violation or determinism break**, so CI
 //! can use it as a gate.
 
-use spair_roadnet::parallel;
+use spair_roadnet::{bench_out, parallel};
 use spair_sim::{
     fault_matrix, nightly_fault_matrix, run_fault_matrix, smoke_fault_matrix, MethodId,
     MethodRegistry,
@@ -99,7 +99,23 @@ fn parse_opts() -> Opts {
         std::process::exit(2);
     }
     opts.threads = parallel::resolve_threads(threads_flag);
+    opts.out = bench_out::redirect_partial_out(&opts.out, partial_reason(&opts));
     opts
+}
+
+/// A run may refresh the committed `BENCH_faults.json` only in the full
+/// default configuration: the default chaos matrix over the complete
+/// method registry. Everything else is redirected to `*.smoke.json`.
+fn partial_reason(opts: &Opts) -> Option<&'static str> {
+    if opts.smoke {
+        Some("--smoke")
+    } else if opts.nightly {
+        Some("--nightly")
+    } else if opts.methods != MethodRegistry::standard().all() {
+        Some("--methods-restricted")
+    } else {
+        None
+    }
 }
 
 fn main() {
@@ -198,5 +214,37 @@ fn main() {
     if !bit_identical {
         eprintln!("DETERMINISM FAILURE: parallel run diverged from serial");
         std::process::exit(1);
+    }
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_opts() -> Opts {
+        Opts {
+            smoke: false,
+            nightly: false,
+            threads: 1,
+            methods: MethodRegistry::standard().all(),
+            out: "BENCH_faults.json".to_string(),
+        }
+    }
+
+    #[test]
+    fn full_default_run_may_write_the_committed_artifact() {
+        assert_eq!(partial_reason(&full_opts()), None);
+    }
+
+    #[test]
+    fn partial_runs_never_shadow_the_committed_artifact() {
+        let mut o = full_opts();
+        o.smoke = true;
+        assert_eq!(
+            bench_out::redirect_partial_out(&o.out, partial_reason(&o)),
+            "BENCH_faults.smoke.json"
+        );
+        let mut o = full_opts();
+        o.methods.truncate(2);
+        assert_eq!(partial_reason(&o), Some("--methods-restricted"));
     }
 }

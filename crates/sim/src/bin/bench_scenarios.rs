@@ -19,7 +19,7 @@
 //! any conformance mismatch or determinism break**, so CI can use it as
 //! a gate.
 
-use spair_roadnet::parallel;
+use spair_roadnet::{bench_out, parallel};
 use spair_sim::{
     default_matrix, nightly_matrix, run_matrix, smoke_matrix, MethodId, MethodRegistry,
 };
@@ -145,7 +145,24 @@ fn parse_opts() -> Opts {
         std::process::exit(2);
     }
     opts.threads = parallel::resolve_threads(threads_flag);
+    opts.out = bench_out::redirect_partial_out(&opts.out, partial_reason(&opts));
     opts
+}
+
+/// A run may refresh the committed `BENCH_scenarios.json` only in the
+/// full default configuration: the default matrix over the complete
+/// method registry. Everything else is a partial run the clobber guard
+/// redirects to `*.smoke.json`.
+fn partial_reason(opts: &Opts) -> Option<&'static str> {
+    if opts.smoke {
+        Some("--smoke")
+    } else if opts.nightly {
+        Some("--nightly")
+    } else if opts.methods != MethodRegistry::standard().all() {
+        Some("--methods-restricted")
+    } else {
+        None
+    }
 }
 
 fn main() {
@@ -246,5 +263,41 @@ fn main() {
     if !bit_identical {
         eprintln!("DETERMINISM FAILURE: parallel run diverged from serial");
         std::process::exit(1);
+    }
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_opts() -> Opts {
+        Opts {
+            smoke: false,
+            nightly: false,
+            threads: 1,
+            methods: MethodRegistry::standard().all(),
+            out: "BENCH_scenarios.json".to_string(),
+        }
+    }
+
+    #[test]
+    fn full_default_run_may_write_the_committed_artifact() {
+        assert_eq!(partial_reason(&full_opts()), None);
+    }
+
+    #[test]
+    fn smoke_nightly_and_restricted_runs_are_partial() {
+        let mut o = full_opts();
+        o.smoke = true;
+        assert_eq!(partial_reason(&o), Some("--smoke"));
+        let mut o = full_opts();
+        o.nightly = true;
+        assert_eq!(partial_reason(&o), Some("--nightly"));
+        let mut o = full_opts();
+        o.methods.pop();
+        assert_eq!(partial_reason(&o), Some("--methods-restricted"));
+        assert_eq!(
+            bench_out::redirect_partial_out(&o.out, partial_reason(&o)),
+            "BENCH_scenarios.smoke.json"
+        );
     }
 }
