@@ -15,6 +15,7 @@ use spair_broadcast::{
 };
 use spair_core::client_common::MAX_RETRY_CYCLES;
 use spair_core::netcodec::{encode_nodes, ReceivedGraph};
+use spair_core::patch::{ClientArena, Coverage};
 use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_roadnet::{NodeId, QueuePolicy, RoadNetwork};
 
@@ -166,6 +167,13 @@ impl AirClient for DjClient {
             }),
             None => Err(QueryError::Unreachable),
         }
+    }
+
+    fn export_arena(&mut self) -> Option<ClientArena> {
+        Some(ClientArena {
+            store: std::mem::take(&mut self.store),
+            coverage: Coverage::Whole,
+        })
     }
 }
 

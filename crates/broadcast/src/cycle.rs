@@ -26,12 +26,20 @@ pub enum SegmentKind {
     NetworkData,
     /// Per-node auxiliary data (flags / distance vectors / quadtrees).
     AuxData,
+    /// The directory of one patch cycle: version stamps plus per-region
+    /// offsets into the patch data (dynamic worlds).
+    PatchIndex,
+    /// Versioned weight deltas of one region (dynamic worlds).
+    PatchData(u16),
 }
 
 impl SegmentKind {
     /// Whether tuning to this segment's start yields an index copy.
     fn is_index(&self) -> bool {
-        matches!(self, SegmentKind::GlobalIndex | SegmentKind::LocalIndex(_))
+        matches!(
+            self,
+            SegmentKind::GlobalIndex | SegmentKind::LocalIndex(_) | SegmentKind::PatchIndex
+        )
     }
 }
 
@@ -246,6 +254,22 @@ mod tests {
         assert_eq!(c.packet(1).next_index(), 1);
         assert_eq!(c.packet(3).next_index(), 2); // wraps to 0 (+6)
         assert_eq!(c.packet(5).next_index(), 0);
+    }
+
+    #[test]
+    fn patch_index_counts_as_index() {
+        // A patch cycle: directory first, then per-region deltas. Every
+        // data packet must point back to the next directory copy so a
+        // client tuning in mid-cycle can find the version stamp.
+        let mut b = CycleBuilder::new();
+        b.push_segment(SegmentKind::PatchIndex, PacketKind::Index, payloads(1, 1));
+        b.push_segment(SegmentKind::PatchData(0), PacketKind::Patch, payloads(2, 2));
+        b.push_segment(SegmentKind::PatchData(1), PacketKind::Patch, payloads(1, 3));
+        let c = b.finish();
+        assert_eq!(c.packet(0).next_index(), 3); // wraps to next cycle's directory
+        assert_eq!(c.packet(1).next_index(), 2);
+        assert_eq!(c.packet(3).next_index(), 0);
+        assert_eq!(c.find_segment(SegmentKind::PatchData(1)).unwrap().start, 3);
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub enum PacketKind {
     /// distance vectors, SPQ quadtrees), kept in separate packets from the
     /// adjacency data per §6.2.
     Aux = 3,
+    /// Delta-broadcast weight updates for dynamic worlds: versioned edge
+    /// patches a client applies to its received arena instead of
+    /// re-tuning from scratch.
+    Patch = 4,
 }
 
 impl PacketKind {
@@ -76,6 +80,7 @@ impl PacketKind {
             1 => Some(PacketKind::LocalIndex),
             2 => Some(PacketKind::Data),
             3 => Some(PacketKind::Aux),
+            4 => Some(PacketKind::Patch),
             _ => None,
         }
     }
@@ -191,6 +196,7 @@ mod tests {
             PacketKind::LocalIndex,
             PacketKind::Data,
             PacketKind::Aux,
+            PacketKind::Patch,
         ] {
             assert_eq!(PacketKind::from_u8(k as u8), Some(k));
         }

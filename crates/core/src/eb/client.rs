@@ -5,18 +5,24 @@ use crate::client_common::{find_next_index, receive_segment, MAX_RETRY_CYCLES};
 use crate::eb::index::EbIndexDecoder;
 use crate::eb::server::EbSummary;
 use crate::netcodec::{decode_payload, ReceivedGraph};
+use crate::patch::{ClientArena, Coverage};
 use crate::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_broadcast::packet::PacketKind;
 use spair_broadcast::{BroadcastChannel, CpuMeter, MemoryMeter, QueryStats, Received};
 use spair_partition::{KdLocator, RegionId};
 use spair_roadnet::{QueuePolicy, DIST_INF};
 
-/// The EB client. One instance can serve many queries; it holds no state
-/// between queries beyond the method summary.
+/// The EB client. One instance can serve many queries; between queries it
+/// holds the method summary plus the last session's received arena (the
+/// [`AirClient::export_arena`] hook for dynamic worlds).
 #[derive(Debug, Clone)]
 pub struct EbClient {
     summary: EbSummary,
     queue: QueuePolicy,
+    /// Last session's received arena.
+    store: ReceivedGraph,
+    /// Regions the last session received data from, ascending.
+    held: Vec<u16>,
 }
 
 impl EbClient {
@@ -25,6 +31,8 @@ impl EbClient {
         Self {
             summary,
             queue: QueuePolicy::default(),
+            store: ReceivedGraph::new(),
+            held: Vec::new(),
         }
     }
 
@@ -203,7 +211,8 @@ impl AirClient for EbClient {
         }
         entries.sort_by_key(|&(_, e)| (e.data_offset as usize + len - here) % len);
 
-        let mut store = ReceivedGraph::new();
+        let mut store = std::mem::take(&mut self.store);
+        store.clear();
         let mut missing: Vec<usize> = Vec::new(); // absolute offsets lost
         for &(r, e) in &entries {
             let take = if r == rs || r == rt {
@@ -250,6 +259,12 @@ impl AirClient for EbClient {
         // guarantees the answer is correct for the whole network).
         mem.alloc(store.num_nodes() * 24); // dist/parent search state
         let (res, settled) = cpu.time(|| store.shortest_path_with(q.source, q.target, self.queue));
+        self.held = {
+            let mut h: Vec<u16> = needed.to_vec();
+            h.sort_unstable();
+            h
+        };
+        self.store = store;
         let stats = QueryStats {
             tuning_packets: ch.tuned(),
             latency_packets: ch.elapsed(),
@@ -266,6 +281,13 @@ impl AirClient for EbClient {
             }),
             None => Err(QueryError::Unreachable),
         }
+    }
+
+    fn export_arena(&mut self) -> Option<ClientArena> {
+        Some(ClientArena {
+            store: std::mem::take(&mut self.store),
+            coverage: Coverage::Regions(std::mem::take(&mut self.held)),
+        })
     }
 }
 

@@ -38,6 +38,7 @@ pub mod memory_bound;
 pub mod netcodec;
 pub mod nr;
 pub mod onedge;
+pub mod patch;
 pub mod precompute;
 pub mod query;
 pub mod regionset;
@@ -48,6 +49,9 @@ pub use knn::{KnnClient, KnnProgram, KnnServer};
 pub use memory_bound::MemoryBoundProcessor;
 pub use nr::{NrClient, NrProgram, NrServer, NrSummary};
 pub use onedge::{on_edge_query, OnEdgeOutcome, OnEdgePoint};
+pub use patch::{
+    build_patch_cycle, receive_patch, ClientArena, Coverage, PatchError, PatchReport, WeightDelta,
+};
 pub use precompute::{BorderPrecomputation, MinMax};
 pub use query::{Query, QueryError, QueryOutcome};
 pub use regionset::RegionSet;

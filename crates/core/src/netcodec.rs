@@ -443,6 +443,35 @@ impl ReceivedGraph {
         self.max_weight
     }
 
+    /// Applies one delta-broadcast weight update to the received arena.
+    ///
+    /// Updates **every** stored `(from, to)` entry — §6.2 re-reception can
+    /// legitimately duplicate an adjacency entry inside a run, and a patch
+    /// must not leave a stale copy behind for the search to pick up.
+    /// `max_weight` only ever grows: a lowered weight leaves the bucket
+    /// queue oversized, which stays correct.
+    pub fn apply_weight(&mut self, from: NodeId, to: NodeId, w: Weight) -> PatchApply {
+        let s = match self.live_slot(from) {
+            Some(s) => s as usize,
+            None => return PatchApply::NotHeld,
+        };
+        let (start, len) = self.runs[s];
+        let (lo, hi) = (start as usize, start as usize + len as usize);
+        let mut hit = false;
+        for e in &mut self.edges[lo..hi] {
+            if e.0 == to {
+                e.1 = w;
+                hit = true;
+            }
+        }
+        if hit {
+            self.max_weight = self.max_weight.max(w);
+            PatchApply::Applied
+        } else {
+            PatchApply::MissingEdge
+        }
+    }
+
     /// Dijkstra from `source` to `target` over the received subgraph on
     /// the default queue policy. Returns `(distance, path)` if `target`
     /// is reachable, plus settled node count.
@@ -544,6 +573,103 @@ impl ReceivedGraph {
         }
         (None, settled)
     }
+
+    /// [`Self::shortest_path_with`] plus a certification bit for stores
+    /// that hold only *part* of the network (an anchored method's patched
+    /// arena). The search may label and pop unmaterialized slots (nodes
+    /// referenced as edge targets but never received); such a slot has no
+    /// out-edges here, yet in the real network it does. The answer is
+    /// **certified** iff no unmaterialized slot validly popped strictly
+    /// below the target's distance (pop keys are non-decreasing, so any
+    /// shorter true path would have to leave the held subgraph through
+    /// such a pop); an unreachable verdict is certified iff no
+    /// unmaterialized slot popped at all. An uncertified result tells the
+    /// caller to fall back to a full re-tune.
+    pub fn shortest_path_checked(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        queue: QueuePolicy,
+    ) -> (Option<(u64, Vec<NodeId>)>, usize, bool) {
+        let expected = Some(self.live.div_ceil(2));
+        match queue.resolve_for(self.max_weight, expected) {
+            QueuePolicy::Bucket => {
+                self.search_checked(source, target, &mut BucketQueue::new(self.max_weight))
+            }
+            _ => self.search_checked(source, target, &mut spair_roadnet::MinHeap::new()),
+        }
+    }
+
+    /// The certified sibling of [`Self::search`]: identical queue
+    /// discipline, plus tracking of the first (minimum) valid pop of an
+    /// unmaterialized slot.
+    fn search_checked<Q: DijkstraQueue>(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        queue: &mut Q,
+    ) -> (Option<(u64, Vec<NodeId>)>, usize, bool) {
+        let s_slot = self.ensure_slot(source);
+        let t_slot = self.slot_lookup(target).unwrap_or(NO_SLOT);
+        self.fresh_scratch();
+        let stamp = self.cur_stamp;
+        let mut settled = 0usize;
+        let mut min_unmat: Option<u64> = None;
+        self.dist[s_slot as usize] = 0;
+        self.parent[s_slot as usize] = NO_SLOT;
+        self.stamp[s_slot as usize] = stamp;
+        queue.push(0, s_slot);
+        while let Some((key, v)) = queue.pop() {
+            let vi = v as usize;
+            if self.stamp[vi] != stamp || self.dist[vi] != key {
+                continue;
+            }
+            settled += 1;
+            if v == t_slot {
+                let mut path = vec![self.ids[vi]];
+                let mut cur = vi;
+                while self.parent[cur] != NO_SLOT {
+                    cur = self.parent[cur] as usize;
+                    path.push(self.ids[cur]);
+                }
+                path.reverse();
+                // A tie (min_unmat == key) cannot hide a shorter path:
+                // leaving the held subgraph there costs at least one more
+                // positive-weight edge.
+                let certified = min_unmat.is_none_or(|m| m >= key);
+                return (Some((key, path)), settled, certified);
+            }
+            if self.flags[vi] & SLOT_MATERIALIZED == 0 && min_unmat.is_none() {
+                min_unmat = Some(key);
+            }
+            let (start, len) = self.runs[vi];
+            let (lo, hi) = (start as usize, start as usize + len as usize);
+            for (&(_, w), &u) in self.edges[lo..hi].iter().zip(&self.target_slots[lo..hi]) {
+                let cand = key + w as u64;
+                let ui = u as usize;
+                if self.stamp[ui] != stamp || cand < self.dist[ui] {
+                    self.dist[ui] = cand;
+                    self.parent[ui] = v;
+                    self.stamp[ui] = stamp;
+                    queue.push(cand, u);
+                }
+            }
+        }
+        (None, settled, min_unmat.is_none())
+    }
+}
+
+/// Outcome of [`ReceivedGraph::apply_weight`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchApply {
+    /// The edge was held and its weight updated.
+    Applied,
+    /// The source node was never materialized — the client does not hold
+    /// this region, so the delta does not concern it.
+    NotHeld,
+    /// The source node is held but the edge is absent: the patch stream
+    /// disagrees with the arena (a protocol error, not a skippable miss).
+    MissingEdge,
 }
 
 #[cfg(test)]
@@ -673,6 +799,77 @@ mod tests {
         let freed = store.discard(0);
         assert!(freed > 0);
         assert_eq!(charged - freed, store.retained_bytes());
+    }
+
+    #[test]
+    fn apply_weight_updates_every_duplicate_entry() {
+        let mut store = ReceivedGraph::new();
+        let rec = NodeRecord {
+            id: 0,
+            point: Point::new(0.0, 0.0),
+            more: false,
+            border: false,
+            edges: vec![(1, 5), (2, 7)],
+        };
+        // §6.2 re-reception: the same record ingested twice duplicates the
+        // run entries.
+        store.ingest(rec.clone());
+        store.ingest(rec);
+        assert_eq!(store.apply_weight(0, 1, 9), PatchApply::Applied);
+        for &(t, w) in store.out_edges(0) {
+            if t == 1 {
+                assert_eq!(w, 9, "stale duplicate survived the patch");
+            }
+        }
+        assert_eq!(store.apply_weight(0, 3, 1), PatchApply::MissingEdge);
+        assert_eq!(store.apply_weight(42, 1, 1), PatchApply::NotHeld);
+        assert_eq!(store.max_weight(), 9);
+    }
+
+    #[test]
+    fn checked_search_certifies_full_store_and_flags_partial_one() {
+        let g = small_grid(6, 6, 4);
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        let mut full = ReceivedGraph::new();
+        for p in &encode_nodes(&g, &nodes) {
+            for rec in decode_payload(p).unwrap() {
+                full.ingest(rec);
+            }
+        }
+        let (res, _, certified) = full.shortest_path_checked(0, 35, QueuePolicy::Auto);
+        assert!(certified);
+        assert_eq!(res.map(|(d, _)| d), dijkstra_distance(&g, 0, 35));
+
+        // Hold only the first half of the nodes: paths that would leave
+        // the held set must void the certificate.
+        let mut part = ReceivedGraph::new();
+        let held: Vec<NodeId> = nodes.iter().copied().filter(|&v| v < 18).collect();
+        for p in &encode_nodes(&g, &held) {
+            for rec in decode_payload(p).unwrap() {
+                part.ingest(rec);
+            }
+        }
+        let (_, _, certified) = part.shortest_path_checked(0, 17, QueuePolicy::Auto);
+        assert!(!certified, "escape through an unheld node went unnoticed");
+    }
+
+    #[test]
+    fn checked_search_matches_unchecked_on_full_store() {
+        let g = small_grid(7, 7, 11);
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        let mut store = ReceivedGraph::new();
+        for p in &encode_nodes(&g, &nodes) {
+            for rec in decode_payload(p).unwrap() {
+                store.ingest(rec);
+            }
+        }
+        for &(s, t) in &[(0u32, 48u32), (5, 44), (20, 2)] {
+            let (a, sa) = store.shortest_path_with(s, t, QueuePolicy::Heap);
+            let (b, sb, cert) = store.shortest_path_checked(s, t, QueuePolicy::Heap);
+            assert_eq!(a, b);
+            assert_eq!(sa, sb);
+            assert!(cert);
+        }
     }
 
     #[test]

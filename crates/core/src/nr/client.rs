@@ -5,6 +5,7 @@ use crate::client_common::{find_next_index, MAX_RETRY_CYCLES};
 use crate::netcodec::{decode_payload, ReceivedGraph};
 use crate::nr::index::{parse_header, NrIndexDecoder, NrSharedState, NO_NEXT};
 use crate::nr::server::NrSummary;
+use crate::patch::{ClientArena, Coverage};
 use crate::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_broadcast::packet::PacketKind;
 use spair_broadcast::{BroadcastChannel, CpuMeter, MemoryMeter, QueryStats, Received};
@@ -16,6 +17,11 @@ use spair_roadnet::QueuePolicy;
 pub struct NrClient {
     summary: NrSummary,
     queue: QueuePolicy,
+    /// Last session's received arena, retained for [`AirClient::export_arena`]
+    /// (dynamic worlds patch it in place instead of re-tuning).
+    store: ReceivedGraph,
+    /// Regions the last session received data from, ascending.
+    held: Vec<u16>,
 }
 
 /// What [`NrClient::receive_local_index`] ran into after the copy.
@@ -35,6 +41,8 @@ impl NrClient {
         Self {
             summary,
             queue: QueuePolicy::default(),
+            store: ReceivedGraph::new(),
+            held: Vec::new(),
         }
     }
 
@@ -244,7 +252,8 @@ impl AirClient for NrClient {
 
         let n = self.summary.num_regions as RegionId;
         let mut shared = NrSharedState::default();
-        let mut store = ReceivedGraph::new();
+        let mut store = std::mem::take(&mut self.store);
+        store.clear();
         let mut received = vec![false; n as usize];
         let mut missing: Vec<usize> = Vec::new();
         let mut rs_rt: Option<(RegionId, RegionId)> = None;
@@ -433,6 +442,12 @@ impl AirClient for NrClient {
 
         mem.alloc(store.num_nodes() * 24);
         let (res, settled) = cpu.time(|| store.shortest_path_with(q.source, q.target, self.queue));
+        self.held = received
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &got)| got.then_some(r as u16))
+            .collect();
+        self.store = store;
         let stats = QueryStats {
             tuning_packets: ch.tuned(),
             latency_packets: ch.elapsed(),
@@ -449,6 +464,13 @@ impl AirClient for NrClient {
             }),
             None => Err(QueryError::Unreachable),
         }
+    }
+
+    fn export_arena(&mut self) -> Option<ClientArena> {
+        Some(ClientArena {
+            store: std::mem::take(&mut self.store),
+            coverage: Coverage::Regions(std::mem::take(&mut self.held)),
+        })
     }
 }
 

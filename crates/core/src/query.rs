@@ -89,6 +89,14 @@ pub trait AirClient {
         channel: &mut BroadcastChannel<'_>,
         query: &Query,
     ) -> Result<QueryOutcome, QueryError>;
+
+    /// Hands the last session's received arena (and its coverage) to a
+    /// dynamic-world driver, consuming it — the hook delta-broadcast
+    /// patching builds on. Methods whose answers cannot be upgraded by
+    /// weight patches (index-carrying cycles) keep the default `None`.
+    fn export_arena(&mut self) -> Option<crate::patch::ClientArena> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,13 @@
 //! against decode-then-ingest.
 
 use proptest::prelude::*;
+use spair_broadcast::cycle::SegmentKind;
+use spair_broadcast::{BroadcastChannel, LossModel};
 use spair_core::netcodec::{decode_payload, encode_nodes, NodeRecord, ReceivedGraph};
+use spair_core::patch::{
+    build_patch_cycle, decode_patch_payload, dir_packet_count, receive_patch, Coverage,
+    PatchDecoder, PatchError, WeightDelta,
+};
 use spair_core::query::decoded_node_bytes;
 use spair_roadnet::generators::{small_grid, NetworkPreset};
 use spair_roadnet::{
@@ -295,6 +301,208 @@ proptest! {
         let g = NetworkPreset::Germany.config_for_nodes(seed, 320).generate();
         let n = g.num_nodes() as u32;
         run_payload_differential(&g, &[(0, n - 1), (n / 4, 3 * n / 4)]);
+    }
+}
+
+/// Rebuilds a full-coverage store from every encoded payload of `g`.
+fn full_store(g: &RoadNetwork) -> ReceivedGraph {
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    let mut store = ReceivedGraph::new();
+    for p in encode_nodes(g, &nodes) {
+        store.ingest_payload(&p).expect("well-formed payload");
+    }
+    store
+}
+
+/// Snapshot of every observable edge in a store, for unchanged-state
+/// assertions.
+fn edge_snapshot(store: &ReceivedGraph) -> Vec<(NodeId, Vec<(NodeId, Weight)>)> {
+    let mut ids: Vec<NodeId> = store.node_ids().collect();
+    ids.sort_unstable();
+    ids.into_iter()
+        .map(|v| (v, store.out_edges(v).to_vec()))
+        .collect()
+}
+
+/// One proptest-generated patch: distinct regions, each with a non-empty
+/// delta list.
+fn patch_groups() -> impl Strategy<Value = Vec<(u16, Vec<WeightDelta>)>> {
+    let delta = (0u32..50, 0u32..50, 1u32..10_000).prop_map(|(from, to, weight)| WeightDelta {
+        from,
+        to,
+        weight,
+    });
+    proptest::collection::vec((0u16..40, proptest::collection::vec(delta, 1..8)), 0..12).prop_map(
+        |pairs| {
+            // Last write per region wins: the builder expects distinct
+            // region keys.
+            let dedup: std::collections::BTreeMap<u16, Vec<WeightDelta>> =
+                pairs.into_iter().collect();
+            dedup.into_iter().collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Patch-packet codec round trip: every region group sent through
+    /// `build_patch_cycle` decodes — directory packets in any order,
+    /// then per-region data segments — to exactly the input deltas and
+    /// version stamps.
+    #[test]
+    fn patch_cycle_round_trips(groups in patch_groups(), base in 0u32..1000) {
+        let version = base + 1;
+        let cycle = build_patch_cycle(version, base, &groups);
+        let dir = cycle.find_segment(SegmentKind::PatchIndex).expect("directory");
+        prop_assert_eq!(dir.len, dir_packet_count(groups.len()));
+        let mut dec = PatchDecoder::new();
+        for i in (0..dir.len).rev() {
+            dec.ingest_directory_payload(cycle.packet(dir.start + i).payload())
+                .expect("consistent directory");
+        }
+        prop_assert!(dec.is_complete());
+        let h = dec.header().expect("complete directory has a header");
+        prop_assert_eq!(
+            (h.version, h.base_version, h.region_count as usize),
+            (version, base, groups.len())
+        );
+        prop_assert_eq!(dec.regions().len(), groups.len());
+        for (r, deltas) in &groups {
+            let entry = dec.regions().get(r).expect("listed region");
+            prop_assert_eq!(entry.entries as usize, deltas.len());
+            let seg = cycle
+                .find_segment(SegmentKind::PatchData(*r))
+                .expect("data segment");
+            let mut got = Vec::new();
+            for p in 0..seg.len {
+                got.extend(
+                    decode_patch_payload(cycle.packet(seg.start + p).payload())
+                        .expect("well-formed patch payload"),
+                );
+            }
+            prop_assert_eq!(&got, deltas);
+        }
+    }
+}
+
+/// Per-version perturbation: for each edge index selected, the new
+/// weight. Applied modulo the graph's edge count.
+type RawChain = Vec<Vec<(usize, u32)>>;
+
+fn version_chain() -> impl Strategy<Value = RawChain> {
+    let step = proptest::collection::vec((0usize..4096, 1u32..5_000), 0..30);
+    proptest::collection::vec(step, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A full-coverage arena patched through an arbitrary chain of
+    /// versions must equal a `ReceivedGraph` rebuilt from scratch off
+    /// the final-version network — node set, points, borders, every
+    /// adjacency list, and searches under each explicit queue policy.
+    #[test]
+    fn patched_arena_equals_rebuilt_store(seed in 0u64..500, chain in version_chain(), offset in 0usize..64) {
+        let g = small_grid(7, 7, seed);
+        let mut patched = full_store(&g);
+        // CSR-ordered edge list doubles as the weights model.
+        let mut edges: Vec<(NodeId, NodeId, Weight)> = g
+            .node_ids()
+            .flat_map(|v| g.out_edges(v).map(move |(u, w)| (v, u, w)))
+            .collect();
+        for (step, touched) in chain.iter().enumerate() {
+            let version = step as u32 + 1;
+            let mut groups: std::collections::BTreeMap<u16, Vec<WeightDelta>> =
+                std::collections::BTreeMap::new();
+            let edge_count = edges.len();
+            for &(idx, weight) in touched {
+                let e = &mut edges[idx % edge_count];
+                e.2 = weight;
+                groups.entry((e.0 % 3) as u16).or_default().push(WeightDelta {
+                    from: e.0,
+                    to: e.1,
+                    weight,
+                });
+            }
+            let groups: Vec<(u16, Vec<WeightDelta>)> = groups.into_iter().collect();
+            let cycle = build_patch_cycle(version, version - 1, &groups);
+            let mut ch =
+                BroadcastChannel::tune_in(&cycle, offset % cycle.len(), LossModel::Lossless);
+            let rep = receive_patch(&mut ch, version - 1, &Coverage::Whole, &mut patched)
+                .expect("lossless whole-coverage patch applies");
+            prop_assert_eq!(rep.version, version);
+            prop_assert_eq!(rep.skipped_not_held, 0);
+        }
+        // Rebuild from scratch off the final network.
+        let final_net = {
+            let mut offsets = vec![0u32];
+            let mut targets = Vec::new();
+            let mut weights = Vec::new();
+            let mut it = edges.iter().peekable();
+            for v in g.node_ids() {
+                while let Some(&&(from, to, w)) = it.peek() {
+                    if from != v {
+                        break;
+                    }
+                    targets.push(to);
+                    weights.push(w);
+                    it.next();
+                }
+                offsets.push(targets.len() as u32);
+            }
+            RoadNetwork::from_csr(g.points().to_vec(), offsets, targets, weights)
+        };
+        let mut rebuilt = full_store(&final_net);
+        prop_assert_eq!(edge_snapshot(&patched), edge_snapshot(&rebuilt));
+        for v in g.node_ids() {
+            prop_assert_eq!(patched.point(v), rebuilt.point(v));
+            prop_assert_eq!(patched.is_border(v), rebuilt.is_border(v));
+        }
+        // Explicit policies only: the stores may disagree on max_weight
+        // (patching never lowers the running maximum), which Auto uses
+        // to pick a queue — results must match under a pinned queue.
+        let n = g.num_nodes() as u32;
+        for (s, t) in [(0, n - 1), (n / 3, n / 2)] {
+            for policy in [QueuePolicy::Heap, QueuePolicy::Bucket] {
+                prop_assert_eq!(
+                    patched.shortest_path_with(s, t, policy),
+                    rebuilt.shortest_path_with(s, t, policy),
+                    "search {}->{} under {:?}", s, t, policy
+                );
+            }
+        }
+    }
+
+    /// Version monotonicity: a patch whose base version is not exactly
+    /// the arena's version — behind it, ahead of it, or equal to its
+    /// future target — must be refused with a typed `Stale` error and
+    /// leave the arena byte-identical. A stale patch never silently
+    /// applies.
+    #[test]
+    fn stale_patch_never_silently_applies(seed in 0u64..500, have in 0u32..50, base in 0u32..50) {
+        prop_assume!(have != base);
+        let g = small_grid(6, 6, seed);
+        let mut store = full_store(&g);
+        let before = edge_snapshot(&store);
+        let (from, to, _) = {
+            let v = g.node_ids().next().unwrap();
+            let (u, w) = g.out_edges(v).next().unwrap();
+            (v, u, w)
+        };
+        let cycle = build_patch_cycle(
+            base + 1,
+            base,
+            &[(0, vec![WeightDelta { from, to, weight: 77_777 }])],
+        );
+        let mut ch = BroadcastChannel::tune_in(&cycle, 0, LossModel::Lossless);
+        match receive_patch(&mut ch, have, &Coverage::Whole, &mut store) {
+            Err(PatchError::Stale { have: h, base: b }) => {
+                prop_assert_eq!((h, b), (have, base));
+            }
+            other => prop_assert!(false, "expected Stale, got {:?}", other),
+        }
+        prop_assert_eq!(edge_snapshot(&store), before, "arena untouched");
     }
 }
 

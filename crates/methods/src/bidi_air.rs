@@ -17,6 +17,7 @@ use crate::{
 use spair_baselines::{DjProgram, DjServer};
 use spair_broadcast::{BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats};
 use spair_core::netcodec::ReceivedGraph;
+use spair_core::patch::{ClientArena, Coverage};
 use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
 use spair_roadnet::{bidirectional_search_paths, QueuePolicy};
 
@@ -31,6 +32,7 @@ pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
     on_edge: true,
     own_channel: true,
     population_replayable: true,
+    patches_incrementally: true,
     reference_cycle: None,
 };
 
@@ -119,5 +121,12 @@ impl AirClient for BidiAirClient {
             }),
             None => Err(QueryError::Unreachable),
         }
+    }
+
+    fn export_arena(&mut self) -> Option<ClientArena> {
+        Some(ClientArena {
+            store: std::mem::take(&mut self.store),
+            coverage: Coverage::Whole,
+        })
     }
 }

@@ -19,6 +19,7 @@ pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
     on_edge: true,
     own_channel: true,
     population_replayable: true,
+    patches_incrementally: true,
     reference_cycle: None,
 };
 

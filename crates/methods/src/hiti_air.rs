@@ -20,6 +20,7 @@ pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
     on_edge: true,
     own_channel: true,
     population_replayable: true,
+    patches_incrementally: false,
     reference_cycle: None,
 };
 

@@ -25,6 +25,7 @@ pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
     on_edge: false,
     own_channel: true,
     population_replayable: false,
+    patches_incrementally: false,
     reference_cycle: None,
 };
 

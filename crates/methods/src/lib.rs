@@ -97,6 +97,14 @@ pub struct MethodDescriptor {
     /// Lossless populations replay in O(1) per client from per-anchor
     /// session profiles in the load harness.
     pub population_replayable: bool,
+    /// In a dynamic world (live weight updates broadcast as versioned
+    /// patch cycles) the client can patch its received arena in place —
+    /// it holds raw adjacency data and exports it via
+    /// [`AirClient::export_arena`] (NR, EB, DJ, A*, bidirectional).
+    /// Index-transforming methods (LD, AF, SPQ, HiTi, §6.1 mem-bound,
+    /// kNN) bake weights into derived structures and must rebuild from a
+    /// fresh full cycle per version.
+    pub patches_incrementally: bool,
     /// For methods without [`MethodDescriptor::own_channel`]: the
     /// registry name of the method whose cycle length their cell reports
     /// quote.

@@ -29,6 +29,7 @@ pub const DESCRIPTOR: MethodDescriptor = MethodDescriptor {
     on_edge: true,
     own_channel: false,
     population_replayable: false,
+    patches_incrementally: false,
     reference_cycle: Some("nr"),
 };
 

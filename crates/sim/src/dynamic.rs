@@ -1,0 +1,920 @@
+//! Dynamic-world certification: versioned delta-broadcast of live
+//! weight updates, differentially verified per version.
+//!
+//! A [`DynamicSpec`] pairs a base [`ScenarioSpec`] with a seeded
+//! [`TrafficSpec`] and a version count. The context expands every
+//! version's network through the pure traffic model ([`network_at`]),
+//! builds the server-side patch cycle for each version step
+//! ([`build_patch_cycle`] over [`version_deltas`]), and poses the same
+//! point-to-point queries against **every** version, each with a fresh
+//! serial-Dijkstra oracle on that version's network.
+//!
+//! Per method, the runner models a commuter who keeps their device:
+//!
+//! * **Version 0** — a plain full session on the method's own cycle
+//!   (byte-identical to the static engine's world).
+//! * **Incremental methods** (descriptor
+//!   [`patches_incrementally`](spair_methods::MethodDescriptor::patches_incrementally)):
+//!   the client exports its received arena, and each subsequent version
+//!   is served by one **patch session** — directory plus exactly the
+//!   held regions' delta segments — followed by a *certified* local
+//!   search ([`ReceivedGraph::shortest_path_checked`]). Any typed patch
+//!   failure ([`PatchError`]) or an uncertified search falls back to a
+//!   full re-tune under the PR 6 recovery supervisor, and the fallback
+//!   cause is classified per cell.
+//! * **Rebuild methods** (index-transforming: LD, AF, SPQ, HiTi): every
+//!   version is a fresh full session on that version's rebuilt program.
+//!
+//! Cells fan out with the same chunk-ordered map-reduce as the
+//! conformance and chaos matrices, so a [`DynamicMatrix`] — and its
+//! digest — is bit-identical for every thread count.
+//!
+//! [`ReceivedGraph::shortest_path_checked`]: spair_core::netcodec::ReceivedGraph::shortest_path_checked
+
+use crate::engine::{path_is_valid, session_seed, splitmix64};
+use crate::faults::FAULT_BUDGET;
+use crate::spec::{GraphSpec, ScenarioSpec, TuneInSpec, WorkloadMix};
+use crate::traffic::{network_at, version_deltas, TrafficSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spair_broadcast::{BroadcastChannel, BroadcastCycle};
+use spair_core::patch::{build_patch_cycle, receive_patch, ClientArena, PatchError};
+use spair_core::{supervise, AttemptReport, BorderPrecomputation, Query, SessionOutcome};
+use spair_methods::{MethodId, MethodRegistry, ProgramSet, SessionShape, Tuning, World};
+use spair_partition::{KdTreePartition, Partitioning};
+use spair_roadnet::{dijkstra_distance, parallel, Distance, NetworkPreset, NodeId, RoadNetwork};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One dynamic world: a base scenario, how its weights evolve, and how
+/// many cycle versions to run (version 0 is the unperturbed base).
+#[derive(Debug, Clone)]
+pub struct DynamicSpec {
+    /// The static scenario the world starts from. Only the
+    /// point-to-point portion of its workload runs (dynamic certification
+    /// is about re-answering the same journeys as the world changes).
+    pub base: ScenarioSpec,
+    /// The seeded weight-evolution model.
+    pub traffic: TrafficSpec,
+    /// Total versions including version 0 (`>= 2`).
+    pub versions: usize,
+}
+
+/// A fully expanded dynamic world: per-version programs, patch cycles,
+/// and per-version oracle answers for every query.
+pub struct DynamicContext {
+    /// The spec this context expands.
+    pub spec: DynamicSpec,
+    /// The queries every version re-answers, with `oracles[v]` the serial
+    /// Dijkstra distance on version `v`'s network.
+    pub queries: Vec<(Query, Vec<Distance>)>,
+    /// Per-version lazy program sets (`worlds[v]` serves version `v`).
+    worlds: Vec<ProgramSet>,
+    /// `patch_cycles[v - 1]` upgrades version `v - 1` to `v`.
+    patch_cycles: Vec<BroadcastCycle>,
+}
+
+impl DynamicContext {
+    /// Expands `spec`: every version's network, patch cycle and oracle
+    /// column. Methods build their per-version programs lazily on first
+    /// use, so rebuild-heavy servers are only constructed where a cell
+    /// actually runs.
+    pub fn build(spec: &DynamicSpec) -> Self {
+        assert!(spec.versions >= 2, "a dynamic world needs >= 2 versions");
+        let s = &spec.base;
+        let g0 = s.graph.build(s.seed);
+        let part = match s.partitioner {
+            crate::spec::PartitionerKind::KdMedian => KdTreePartition::build(&g0, s.regions),
+            crate::spec::PartitionerKind::UniformGrid => {
+                KdTreePartition::build_uniform(&g0, s.regions)
+            }
+        };
+        let part = Arc::new(part);
+
+        // Per-version worlds. Coordinates never change, so the partition
+        // is shared; border precomputation re-runs per version (it reads
+        // weights).
+        let mut worlds = Vec::with_capacity(spec.versions);
+        let mut networks: Vec<Arc<RoadNetwork>> = Vec::with_capacity(spec.versions);
+        for v in 0..spec.versions {
+            let gv = if v == 0 {
+                g0.clone()
+            } else {
+                network_at(&g0, &spec.traffic, s.seed, v as u32)
+            };
+            let pre = BorderPrecomputation::run(&gv, part.as_ref());
+            let world = World {
+                g: Arc::new(gv),
+                part: part.clone(),
+                pre: Arc::new(pre),
+                pois: Arc::new(Vec::new()),
+                tuning: Tuning::default(),
+            };
+            networks.push(world.g.clone());
+            worlds.push(ProgramSet::new(world));
+        }
+
+        let patch_cycles: Vec<BroadcastCycle> = (1..spec.versions)
+            .map(|v| {
+                let deltas = version_deltas(&g0, &part, &spec.traffic, s.seed, v as u32);
+                build_patch_cycle(v as u32, v as u32 - 1, &deltas)
+            })
+            .collect();
+
+        // Commuter journeys: reachable same-region pairs — the local-query
+        // regime the paper's anchored methods target, and the one where a
+        // patched partial arena can certify its own exactness (the search
+        // ball stays inside the materialized regions). Oracles are fresh
+        // per version; reachability is version-invariant (topology never
+        // changes).
+        let n = g0.num_nodes();
+        // A node is interior when all its neighbors share its region —
+        // homes and offices, not border crossings. Interior endpoints are
+        // preferred (their search balls mostly stay inside the regions a
+        // patched arena holds); thin kd regions without interior mates
+        // fall back to plain same-region pairs.
+        let interior = |v: NodeId| {
+            g0.out_edges(v)
+                .all(|(u, _)| part.region_of(u) == part.region_of(v))
+        };
+        // Hop counts from `src` out to `cap` hops — commutes are a few
+        // blocks, not a traversal of the city.
+        let hops_from = |src: NodeId, cap: usize| {
+            let mut dist = vec![usize::MAX; n];
+            let mut frontier = vec![src];
+            dist[src as usize] = 0;
+            for h in 1..=cap {
+                let mut next = Vec::new();
+                for &v in &frontier {
+                    for (u, _) in g0.out_edges(v) {
+                        if dist[u as usize] == usize::MAX {
+                            dist[u as usize] = h;
+                            next.push(u);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            dist
+        };
+        let mut rng = StdRng::seed_from_u64(splitmix64(s.seed ^ 0xD9_4A11C));
+        let mut queries = Vec::with_capacity(s.workload.point_to_point);
+        for _ in 0..s.workload.point_to_point {
+            let mut found = None;
+            for round in 0..256 {
+                let src = rng.gen_range(0..n) as NodeId;
+                let region = part.region_of(src);
+                // Prefer short interior-to-interior journeys; relax both
+                // constraints when half the draw budget is gone (thin kd
+                // regions may simply lack such pairs).
+                let strict = round < 128;
+                if strict && !interior(src) {
+                    continue;
+                }
+                let hops = if strict {
+                    hops_from(src, 3)
+                } else {
+                    Vec::new()
+                };
+                let mates: Vec<NodeId> = g0
+                    .node_ids()
+                    .filter(|&v| {
+                        v != src
+                            && part.region_of(v) == region
+                            && (!strict || (interior(v) && hops[v as usize] != usize::MAX))
+                    })
+                    .collect();
+                if mates.is_empty() {
+                    continue;
+                }
+                let dst = mates[rng.gen_range(0..mates.len())];
+                if dijkstra_distance(&g0, src, dst).is_some() {
+                    found = Some((src, dst));
+                    break;
+                }
+            }
+            let (src, dst) = found.expect("no reachable same-region pair in 256 draws");
+            let oracles: Vec<Distance> = networks
+                .iter()
+                .map(|gv| dijkstra_distance(gv, src, dst).expect("topology is version-invariant"))
+                .collect();
+            queries.push((Query::for_nodes(&g0, src, dst), oracles));
+        }
+
+        Self {
+            spec: spec.clone(),
+            queries,
+            worlds,
+            patch_cycles,
+        }
+    }
+
+    /// Version `v`'s network.
+    pub fn g(&self, v: usize) -> &RoadNetwork {
+        &self.worlds[v].world().g
+    }
+
+    /// The patch cycle upgrading `v - 1` to `v`.
+    pub fn patch_cycle(&self, v: usize) -> &BroadcastCycle {
+        &self.patch_cycles[v - 1]
+    }
+
+    /// Version `v`'s broadcast cycle for `method`, building the program
+    /// on first use. Dynamic methods all broadcast their own cycle.
+    fn cycle(&self, v: usize, method: MethodId) -> &BroadcastCycle {
+        self.worlds[v]
+            .ensure(method)
+            .cycle()
+            .expect("dynamic methods broadcast a cycle")
+    }
+
+    /// A fresh client bound to version `v`'s program.
+    fn client(&self, v: usize, method: MethodId) -> Box<dyn spair_core::query::AirClient> {
+        self.worlds[v]
+            .ensure(method)
+            .make_client(self.spec.base.queue)
+            .expect("dynamic methods are air clients")
+    }
+}
+
+/// The methods a dynamic world exercises: air clients with a cycle of
+/// their own (the §6.1 channel-less runner and the kNN client have no
+/// journey to re-answer over patches).
+pub fn dynamic_methods() -> Vec<MethodId> {
+    MethodRegistry::standard()
+        .all()
+        .into_iter()
+        .filter(|m| {
+            let d = m.descriptor();
+            d.air_client && d.own_channel && !d.knn
+        })
+        .collect()
+}
+
+/// Aggregated result of one (scenario × method) dynamic cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicCellReport {
+    /// Scenario name (matrix row).
+    pub scenario: String,
+    /// Traffic-model label.
+    pub traffic: String,
+    /// Method name (matrix column).
+    pub method: &'static str,
+    /// Whether the method patched in place (vs rebuilding per version).
+    pub patches_incrementally: bool,
+    /// Versions run (including version 0).
+    pub versions: usize,
+    /// Queries posed per version.
+    pub queries: usize,
+    /// (query × version) answers produced and oracle-checked.
+    pub answered: usize,
+    /// Answers contradicting that version's oracle (distance or path).
+    /// The gate requires 0.
+    pub mismatches: usize,
+    /// Supervised sessions that gave up typed.
+    pub typed_failures: usize,
+    /// Patch sessions that applied cleanly and certified their search.
+    pub patch_sessions: usize,
+    /// Fallback full re-tunes (typed patch failure or uncertified
+    /// search), including chain restarts after a failed session.
+    pub fallback_retunes: usize,
+    /// Why fallbacks happened (`class → count`), sorted by class.
+    pub fallback_classes: Vec<(String, usize)>,
+    /// Packets received across every version-0 full session.
+    pub initial_tune_packets: u64,
+    /// Packets received across every patch session.
+    pub patch_packets: u64,
+    /// Packets received across every re-tune (rebuild sessions and
+    /// supervised fallbacks).
+    pub retune_packets: u64,
+    /// The method's version-0 cycle length.
+    pub cycle_packets: usize,
+    /// Total patch-cycle packets across all version steps (scenario
+    /// property, repeated per cell for self-contained rows).
+    pub patch_cycle_packets: usize,
+    /// `(patch_packets + retune_packets) / (queries × (versions - 1))` —
+    /// the headline: what staying current costs per version, per client.
+    pub mean_update_packets_per_version: f64,
+}
+
+impl DynamicCellReport {
+    /// The per-cell certificate: every produced answer matched its
+    /// version's oracle.
+    pub fn exact(&self) -> bool {
+        self.mismatches == 0
+    }
+
+    fn json_fields(&self) -> String {
+        let classes: Vec<String> = self
+            .fallback_classes
+            .iter()
+            .map(|(c, n)| format!("\"{c}\": {n}"))
+            .collect();
+        format!(
+            "\"scenario\": \"{}\", \"traffic\": \"{}\", \"method\": \"{}\", \
+             \"patches_incrementally\": {}, \"versions\": {}, \"queries\": {}, \
+             \"answered\": {}, \"mismatches\": {}, \"typed_failures\": {}, \
+             \"patch_sessions\": {}, \"fallback_retunes\": {}, \
+             \"fallback_classes\": {{{}}}, \"initial_tune_packets\": {}, \
+             \"patch_packets\": {}, \"retune_packets\": {}, \"cycle_packets\": {}, \
+             \"patch_cycle_packets\": {}, \"mean_update_packets_per_version\": {:.3}, \
+             \"exact\": {}",
+            self.scenario,
+            self.traffic,
+            self.method,
+            self.patches_incrementally,
+            self.versions,
+            self.queries,
+            self.answered,
+            self.mismatches,
+            self.typed_failures,
+            self.patch_sessions,
+            self.fallback_retunes,
+            classes.join(", "),
+            self.initial_tune_packets,
+            self.patch_packets,
+            self.retune_packets,
+            self.cycle_packets,
+            self.patch_cycle_packets,
+            self.mean_update_packets_per_version,
+            self.exact(),
+        )
+    }
+}
+
+/// The full dynamic matrix of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicMatrix {
+    /// Every (scenario × method) cell, in scenario-major order.
+    pub cells: Vec<DynamicCellReport>,
+}
+
+impl DynamicMatrix {
+    /// Whether every cell certifies — the dynamic-conformance gate.
+    pub fn all_exact(&self) -> bool {
+        self.cells.iter().all(DynamicCellReport::exact)
+    }
+
+    /// Total oracle contradictions across the matrix.
+    pub fn total_mismatches(&self) -> usize {
+        self.cells.iter().map(|c| c.mismatches).sum()
+    }
+
+    /// The headline claim of the dynamic axis: in every scenario, every
+    /// anchored incremental method (NR, EB) stays current strictly
+    /// cheaper per version (`mean_update_packets_per_version`) than
+    /// every whole-cycle method — partial tuning pays off exactly where
+    /// the paper says it should.
+    pub fn partial_tuning_advantage(&self) -> bool {
+        let registry = MethodRegistry::standard();
+        let mut anchored_max: BTreeMap<&str, f64> = BTreeMap::new();
+        let mut whole_min: BTreeMap<&str, f64> = BTreeMap::new();
+        for c in &self.cells {
+            let d = registry
+                .get(c.method)
+                .expect("cell method is registered")
+                .descriptor();
+            let m = c.mean_update_packets_per_version;
+            match d.shape {
+                Some(SessionShape::Anchored) if d.patches_incrementally => {
+                    let e = anchored_max.entry(c.scenario.as_str()).or_insert(m);
+                    *e = e.max(m);
+                }
+                Some(SessionShape::WholeCycle) => {
+                    let e = whole_min.entry(c.scenario.as_str()).or_insert(m);
+                    *e = e.min(m);
+                }
+                _ => {}
+            }
+        }
+        !anchored_max.is_empty()
+            && anchored_max.iter().all(|(scenario, anchored)| {
+                whole_min.get(scenario).is_none_or(|whole| anchored < whole)
+            })
+    }
+
+    /// FNV-1a digest over the (fully deterministic) serialized cells.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Serializes the matrix. Every field is a pure function of the
+    /// scenario seeds, so the output is byte-for-byte reproducible.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    { ");
+            out.push_str(&c.json_fields());
+            out.push_str(" }");
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]");
+        out
+    }
+
+    /// A fixed-width text table (one row per cell) for terminal output.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:<18} {:<13} {:>5} {:>4} {:>5} {:>6} {:>6} {:>8} {:>8} {:>10} {:>5}\n",
+            "Scenario",
+            "Method",
+            "Patch",
+            "Ans",
+            "Wrong",
+            "PatchS",
+            "Fallbk",
+            "PatchPk",
+            "RetunePk",
+            "MeanUpd/v",
+            "Exact"
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<18} {:<13} {:>5} {:>4} {:>5} {:>6} {:>6} {:>8} {:>8} {:>10.1} {:>5}\n",
+                c.scenario,
+                c.method,
+                if c.patches_incrementally { "yes" } else { "no" },
+                c.answered,
+                c.mismatches,
+                c.patch_sessions,
+                c.fallback_retunes,
+                c.patch_packets,
+                c.retune_packets,
+                c.mean_update_packets_per_version,
+                if c.exact() { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+/// Per-cell accumulation state.
+struct DynAcc {
+    answered: usize,
+    mismatches: usize,
+    typed_failures: usize,
+    patch_sessions: usize,
+    fallback_retunes: usize,
+    fallback_classes: BTreeMap<&'static str, usize>,
+    initial_tune_packets: u64,
+    patch_packets: u64,
+    retune_packets: u64,
+}
+
+impl DynAcc {
+    fn new() -> Self {
+        Self {
+            answered: 0,
+            mismatches: 0,
+            typed_failures: 0,
+            patch_sessions: 0,
+            fallback_retunes: 0,
+            fallback_classes: BTreeMap::new(),
+            initial_tune_packets: 0,
+            patch_packets: 0,
+            retune_packets: 0,
+        }
+    }
+
+    /// Verifies one produced answer against version `v`'s oracle.
+    fn check(
+        &mut self,
+        ctx: &DynamicContext,
+        v: usize,
+        query: &Query,
+        oracle: Distance,
+        res: Option<(Distance, Vec<NodeId>)>,
+    ) {
+        self.answered += 1;
+        let ok = match res {
+            Some((dist, path)) => {
+                dist == oracle && path_is_valid(ctx.g(v), query.source, query.target, dist, &path)
+            }
+            // Workload pairs are reachable at every version.
+            None => false,
+        };
+        if !ok {
+            self.mismatches += 1;
+        }
+    }
+
+    fn fallback(&mut self, class: &'static str) {
+        self.fallback_retunes += 1;
+        *self.fallback_classes.entry(class).or_insert(0) += 1;
+    }
+
+    fn into_report(self, ctx: &DynamicContext, method: MethodId) -> DynamicCellReport {
+        let d = method.descriptor();
+        let versions = ctx.spec.versions;
+        let queries = ctx.queries.len();
+        let update_sessions = (queries * (versions - 1)) as f64;
+        DynamicCellReport {
+            scenario: ctx.spec.base.name.clone(),
+            traffic: ctx.spec.traffic.label(),
+            method: method.name(),
+            patches_incrementally: d.patches_incrementally,
+            versions,
+            queries,
+            answered: self.answered,
+            mismatches: self.mismatches,
+            typed_failures: self.typed_failures,
+            patch_sessions: self.patch_sessions,
+            fallback_retunes: self.fallback_retunes,
+            fallback_classes: self
+                .fallback_classes
+                .into_iter()
+                .map(|(c, n)| (c.to_string(), n))
+                .collect(),
+            initial_tune_packets: self.initial_tune_packets,
+            patch_packets: self.patch_packets,
+            retune_packets: self.retune_packets,
+            cycle_packets: ctx.cycle(0, method).len(),
+            patch_cycle_packets: ctx.patch_cycles.iter().map(BroadcastCycle::len).sum(),
+            mean_update_packets_per_version: if update_sessions > 0.0 {
+                (self.patch_packets + self.retune_packets) as f64 / update_sessions
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn open_dyn_channel<'a>(
+    ctx: &DynamicContext,
+    cycle: &'a BroadcastCycle,
+    seed: u64,
+) -> BroadcastChannel<'a> {
+    let offset = match ctx.spec.base.tune_in {
+        TuneInSpec::Start => 0,
+        TuneInSpec::Uniform => (splitmix64(seed) % cycle.len() as u64) as usize,
+    };
+    BroadcastChannel::tune_in(
+        cycle,
+        offset,
+        ctx.spec.base.loss.model(splitmix64(seed ^ 0x10C5)),
+    )
+}
+
+/// Derives the `k`-th supervised attempt's seed (attempt 0 reuses the
+/// base so fault-free fallbacks are reproducible against plain sessions).
+fn attempt_seed(base: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        base
+    } else {
+        splitmix64(base ^ u64::from(attempt))
+    }
+}
+
+fn patch_error_class(e: &PatchError) -> &'static str {
+    match e {
+        PatchError::Stale { .. } => "stale_version",
+        PatchError::MissingEdge { .. } => "patch_missing_edge",
+        PatchError::Aborted(_) => "patch_aborted",
+    }
+}
+
+/// Runs one (scenario × method) dynamic cell: every query at every
+/// version, each answer differentially verified against that version's
+/// oracle.
+pub fn run_dynamic_cell(ctx: &DynamicContext, method: MethodId) -> DynamicCellReport {
+    let d = method.descriptor();
+    let queue = ctx.spec.base.queue;
+    // The dynamic seed space is salted so it never collides with the
+    // static engine's or the chaos harness's session streams.
+    let seed = splitmix64(ctx.spec.base.seed ^ 0xDA_11_4C);
+    let mut acc = DynAcc::new();
+
+    for (qi, (query, oracles)) in ctx.queries.iter().enumerate() {
+        // Version 0: a plain full session on the base world's cycle.
+        let mut client = ctx.client(0, method);
+        let cycle0 = ctx.cycle(0, method);
+        let seed0 = session_seed(seed, method, qi, 0);
+        let mut ch = open_dyn_channel(ctx, cycle0, seed0);
+        let first = client.query(&mut ch, query);
+        acc.initial_tune_packets += ch.tuned();
+        let mut arena: Option<ClientArena> = match first {
+            Ok(out) => {
+                acc.check(ctx, 0, query, oracles[0], Some((out.distance, out.path)));
+                if d.patches_incrementally {
+                    client.export_arena()
+                } else {
+                    None
+                }
+            }
+            Err(_) => {
+                // Lossless/lossy sessions recover internally; an error
+                // here contradicts the reachable oracle.
+                acc.answered += 1;
+                acc.mismatches += 1;
+                None
+            }
+        };
+
+        for (v, &oracle) in oracles.iter().enumerate().skip(1) {
+            let vseed = session_seed(seed, method, qi, v);
+            if let Some(ar) = arena.as_mut() {
+                // One patch session: directory + held regions only. The
+                // patch cycle repeats on air until the next version, so a
+                // lossy attempt just listens again — deltas carry absolute
+                // weights, making re-application idempotent. Attempts are
+                // bounded by the same recovery budget the §6.2 supervisor
+                // enforces; only then does the client give up on the
+                // arena and fall back to a full re-tune.
+                let patch_base = splitmix64(vseed ^ 0x9A7C);
+                let mut patched = Err(PatchError::Aborted("no patch attempt ran"));
+                for k in 0..FAULT_BUDGET.max_attempts {
+                    let mut pch =
+                        open_dyn_channel(ctx, ctx.patch_cycle(v), attempt_seed(patch_base, k));
+                    patched = receive_patch(&mut pch, v as u32 - 1, &ar.coverage, &mut ar.store);
+                    acc.patch_packets += pch.tuned();
+                    match &patched {
+                        // A stale directory is not a reception fault:
+                        // listening again cannot un-stale the arena.
+                        Ok(_) | Err(PatchError::Stale { .. }) => break,
+                        Err(_) => {}
+                    }
+                }
+                match patched {
+                    Ok(_) => {
+                        let (res, _, certified) =
+                            ar.store
+                                .shortest_path_checked(query.source, query.target, queue);
+                        if certified {
+                            acc.patch_sessions += 1;
+                            acc.check(ctx, v, query, oracle, res);
+                            continue;
+                        }
+                        // The changed world routed the journey outside the
+                        // arena's materialized set: re-tune.
+                        acc.fallback("uncertified_search");
+                    }
+                    Err(e) => acc.fallback(patch_error_class(&e)),
+                }
+                arena = None;
+            } else if d.patches_incrementally {
+                // The chain broke at an earlier version; re-establish it.
+                acc.fallback("no_arena");
+            }
+
+            if d.patches_incrementally {
+                // Supervised full re-tune on version v's world.
+                let cycle_v = ctx.cycle(v, method);
+                let mut cv = ctx.client(v, method);
+                let base = splitmix64(vseed ^ 0x7E71);
+                let sup = supervise(FAULT_BUDGET, cycle_v.len(), |k| {
+                    let mut rch = open_dyn_channel(ctx, cycle_v, attempt_seed(base, k));
+                    let result = cv.query(&mut rch, query);
+                    (result, AttemptReport::of(&rch, (0, 0)))
+                });
+                acc.retune_packets += sup.tuned_packets;
+                match sup.outcome {
+                    SessionOutcome::Answered(out) => {
+                        acc.check(ctx, v, query, oracle, Some((out.distance, out.path)));
+                        // The re-tuned arena holds version v: the chain
+                        // resumes patching at v + 1.
+                        arena = cv.export_arena();
+                    }
+                    SessionOutcome::Unreachable => {
+                        acc.answered += 1;
+                        acc.mismatches += 1;
+                    }
+                    SessionOutcome::Failed(e) => {
+                        acc.typed_failures += 1;
+                        *acc.fallback_classes.entry(e.root_class()).or_insert(0) += 1;
+                    }
+                }
+            } else {
+                // Rebuild method: a fresh full session per version.
+                let cycle_v = ctx.cycle(v, method);
+                let mut cv = ctx.client(v, method);
+                let mut rch = open_dyn_channel(ctx, cycle_v, vseed);
+                let result = cv.query(&mut rch, query);
+                acc.retune_packets += rch.tuned();
+                match result {
+                    Ok(out) => acc.check(ctx, v, query, oracle, Some((out.distance, out.path))),
+                    Err(_) => {
+                        acc.answered += 1;
+                        acc.mismatches += 1;
+                    }
+                }
+            }
+        }
+    }
+    acc.into_report(ctx, method)
+}
+
+/// Builds every dynamic context, then fans the independent
+/// (scenario × method) cells across `threads` workers with the same
+/// chunk-ordered merge as the other matrices — bit-identical for every
+/// thread count.
+pub fn run_dynamic_matrix(
+    specs: &[DynamicSpec],
+    methods: &[MethodId],
+    threads: usize,
+) -> DynamicMatrix {
+    let contexts: Vec<DynamicContext> = specs.iter().map(DynamicContext::build).collect();
+    let mut cells: Vec<(usize, MethodId)> = Vec::new();
+    for si in 0..contexts.len() {
+        for &m in methods {
+            let d = m.descriptor();
+            if d.air_client && d.own_channel && !d.knn {
+                cells.push((si, m));
+            }
+        }
+    }
+    let reports = parallel::map_reduce_chunked(
+        &cells,
+        threads,
+        2,
+        || (),
+        Vec::new,
+        |_, partial: &mut Vec<DynamicCellReport>, chunk, _| {
+            for &(si, m) in chunk {
+                partial.push(run_dynamic_cell(&contexts[si], m));
+            }
+        },
+        |a, b| a.extend(b),
+    )
+    .unwrap_or_default();
+    DynamicMatrix { cells: reports }
+}
+
+fn dyn_base(name: &str, seed: u64, traffic: TrafficSpec, versions: usize) -> DynamicSpec {
+    // Big enough that journeys are genuinely local (the regime where
+    // partial tuning pays): whole-cycle methods must swallow the entire
+    // 20×20 world per version while anchored clients touch a few
+    // regions of it.
+    let mut s = ScenarioSpec::small(name, seed);
+    s.graph = GraphSpec::Grid {
+        width: 20,
+        height: 20,
+    };
+    s.regions = 16;
+    s.workload = WorkloadMix::p2p(6);
+    DynamicSpec {
+        base: s,
+        traffic,
+        versions,
+    }
+}
+
+/// The default dynamic matrix behind `BENCH_dynamic.json`: pure
+/// rush-hour ramps (dense deltas — most edges move every version),
+/// ramps with incident spikes (sparse deltas), and incident traffic
+/// over a lossy channel (patch reception and §6.2 recovery must
+/// compose).
+pub fn dynamic_matrix() -> Vec<DynamicSpec> {
+    let mut lossy = dyn_base("dyn-lossy-incidents", 503, TrafficSpec::incidents(), 4);
+    lossy.base.loss = crate::spec::LossSpec::Bernoulli { rate: 0.05 };
+    vec![
+        dyn_base("dyn-rushhour", 501, TrafficSpec::rush_hour(), 4),
+        dyn_base("dyn-incidents", 502, TrafficSpec::incidents(), 4),
+        lossy,
+    ]
+}
+
+/// The CI smoke gate: two fast worlds covering pure ramps and incident
+/// spikes.
+pub fn smoke_dynamic_matrix() -> Vec<DynamicSpec> {
+    let tiny = |name: &str, seed: u64, traffic: TrafficSpec| {
+        let mut s = ScenarioSpec::small(name, seed);
+        s.graph = GraphSpec::Grid {
+            width: 8,
+            height: 8,
+        };
+        s.workload = WorkloadMix::p2p(4);
+        DynamicSpec {
+            base: s,
+            traffic,
+            versions: 3,
+        }
+    };
+    vec![
+        tiny("dyn-smoke-rush", 521, TrafficSpec::rush_hour()),
+        tiny("dyn-smoke-incidents", 522, TrafficSpec::incidents()),
+    ]
+}
+
+/// The nightly dynamic matrix: the default set plus a harsher, longer
+/// world and a Germany-class (paper-default topology) cell.
+pub fn nightly_dynamic_matrix() -> Vec<DynamicSpec> {
+    let mut specs = dynamic_matrix();
+    specs.push(dyn_base("dyn-harsh", 531, TrafficSpec::harsh(), 6));
+    let mut germany = dyn_base("dyn-germany2k", 532, TrafficSpec::incidents(), 4);
+    germany.base.graph = GraphSpec::PresetNodes {
+        preset: NetworkPreset::Germany,
+        nodes: 2000,
+    };
+    germany.base.regions = 16;
+    specs.push(germany);
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(seed: u64) -> DynamicSpec {
+        let mut s = ScenarioSpec::small("dyn-test", seed);
+        s.graph = GraphSpec::Grid {
+            width: 8,
+            height: 8,
+        };
+        s.workload = WorkloadMix::p2p(3);
+        DynamicSpec {
+            base: s,
+            traffic: TrafficSpec::rush_hour(),
+            versions: 3,
+        }
+    }
+
+    #[test]
+    fn incremental_methods_patch_and_stay_exact() {
+        let ctx = DynamicContext::build(&quick_spec(61));
+        for m in [MethodId::NR, MethodId::EB, MethodId::DJ] {
+            let r = run_dynamic_cell(&ctx, m);
+            assert!(r.exact(), "{}: {} mismatches", m.name(), r.mismatches);
+            assert!(r.patches_incrementally);
+            assert_eq!(r.answered, r.queries * r.versions);
+            assert!(
+                r.patch_sessions > 0,
+                "{}: some version must be served by a patch",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_methods_retune_every_version_and_stay_exact() {
+        let ctx = DynamicContext::build(&quick_spec(62));
+        for m in [MethodId::LD, MethodId::AF] {
+            let r = run_dynamic_cell(&ctx, m);
+            assert!(r.exact(), "{}: {} mismatches", m.name(), r.mismatches);
+            assert!(!r.patches_incrementally);
+            assert_eq!(r.patch_sessions, 0);
+            assert!(r.retune_packets >= (r.cycle_packets * r.queries * (r.versions - 1)) as u64);
+        }
+    }
+
+    #[test]
+    fn oracles_change_across_versions() {
+        let ctx = DynamicContext::build(&quick_spec(63));
+        assert!(
+            ctx.queries
+                .iter()
+                .any(|(_, oracles)| oracles.windows(2).any(|w| w[0] != w[1])),
+            "rush-hour ramps must move at least one oracle distance"
+        );
+    }
+
+    #[test]
+    fn patching_beats_whole_cycle_retuning() {
+        let ctx = DynamicContext::build(&quick_spec(64));
+        let nr = run_dynamic_cell(&ctx, MethodId::NR);
+        let ld = run_dynamic_cell(&ctx, MethodId::LD);
+        assert!(
+            nr.mean_update_packets_per_version < ld.mean_update_packets_per_version,
+            "NR patches ({:.1}/v) must undercut LD rebuilds ({:.1}/v)",
+            nr.mean_update_packets_per_version,
+            ld.mean_update_packets_per_version
+        );
+    }
+
+    #[test]
+    fn dynamic_matrix_is_thread_invariant() {
+        let specs = vec![quick_spec(65)];
+        let methods = [MethodId::NR, MethodId::DJ, MethodId::LD];
+        let serial = run_dynamic_matrix(&specs, &methods, 1);
+        let par = run_dynamic_matrix(&specs, &methods, 4);
+        assert_eq!(serial.to_json(), par.to_json());
+        assert_eq!(serial.digest(), par.digest());
+    }
+
+    #[test]
+    fn matrices_are_well_formed() {
+        for specs in [
+            dynamic_matrix(),
+            smoke_dynamic_matrix(),
+            nightly_dynamic_matrix(),
+        ] {
+            assert!(!specs.is_empty());
+            let mut names: Vec<&str> = specs.iter().map(|s| s.base.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), specs.len(), "scenario names must be unique");
+            for s in &specs {
+                assert!(s.versions >= 2);
+                assert!(s.base.workload.point_to_point > 0);
+            }
+        }
+        assert!(dynamic_methods().len() >= 8);
+    }
+}

@@ -34,12 +34,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod engine;
 pub mod faults;
 pub mod matrix;
 pub mod report;
 pub mod spec;
+pub mod traffic;
 
+pub use dynamic::{
+    dynamic_matrix, dynamic_methods, nightly_dynamic_matrix, run_dynamic_cell, run_dynamic_matrix,
+    smoke_dynamic_matrix, DynamicCellReport, DynamicContext, DynamicMatrix, DynamicSpec,
+};
 pub use engine::{run_cell, run_matrix, ScenarioContext, WorkItem};
 pub use faults::{
     fault_matrix, nightly_fault_matrix, run_fault_cell, run_fault_matrix, smoke_fault_matrix,
@@ -53,3 +59,4 @@ pub use spair_methods::{
 pub use spec::{
     FaultSpec, GraphSpec, LossSpec, PartitionerKind, ScenarioSpec, TuneInSpec, WorkloadMix,
 };
+pub use traffic::{network_at, version_deltas, weight_at, TrafficSpec};
