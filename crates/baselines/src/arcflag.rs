@@ -15,7 +15,7 @@
 //! in separate Aux packets so a lost flag packet degrades to "all bits
 //! set" for those edges (§6.2) instead of corrupting adjacency data.
 
-use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_broadcast::codec::{u16_of, EncodeError, PayloadReader, RecordBuf, RecordWriter};
 use spair_broadcast::cycle::SegmentKind;
 use spair_broadcast::packet::PacketKind;
 use spair_broadcast::{
@@ -126,6 +126,14 @@ impl ArcFlagIndex {
     pub fn flag(&self, e: u32, r: RegionId) -> bool {
         (self.flags[e as usize * self.words + r as usize / 64] >> (r as usize % 64)) & 1 == 1
     }
+
+    /// Bit-identity certificate: same flag words, word for word (build
+    /// timing excluded).
+    pub fn same_flags(&self, other: &Self) -> bool {
+        self.words == other.words
+            && self.num_regions == other.num_regions
+            && self.flags == other.flags
+    }
 }
 
 /// The ArcFlag broadcast program.
@@ -162,7 +170,9 @@ impl<'a> ArcFlagServer<'a> {
     }
 
     /// Assembles the cycle: kd splits, adjacency data, then flag vectors.
-    pub fn build_program(&self) -> ArcFlagProgram {
+    /// Fails with a typed [`EncodeError`] when the partition exceeds a
+    /// wire field of the splits format (instead of silently truncating).
+    pub fn build_program(&self) -> Result<ArcFlagProgram, EncodeError> {
         let n = self.part.num_regions();
         let flag_bytes = n.div_ceil(8);
         let nodes: Vec<NodeId> = self.g.node_ids().collect();
@@ -178,8 +188,8 @@ impl<'a> ArcFlagServer<'a> {
         for (ci, chunk) in self.part.splits().chunks(12).enumerate() {
             rec.clear();
             rec.put_u8(SPLITS_MAGIC)
-                .put_u16((ci * 12) as u16)
-                .put_u16(self.part.splits().len() as u16)
+                .put_u16(u16_of(ci * 12, "arcflag splits chunk start")?)
+                .put_u16(u16_of(self.part.splits().len(), "arcflag splits count")?)
                 .put_u8(chunk.len() as u8);
             for &s in chunk {
                 rec.put_f64(s);
@@ -220,10 +230,10 @@ impl<'a> ArcFlagServer<'a> {
         }
         b.push_segment(SegmentKind::AuxData, PacketKind::Aux, w.finish());
 
-        ArcFlagProgram {
+        Ok(ArcFlagProgram {
             cycle: b.finish(),
             num_regions: n,
-        }
+        })
     }
 }
 
@@ -415,7 +425,9 @@ mod tests {
         let g = small_grid(9, 9, seed);
         let part = KdTreePartition::build(&g, regions);
         let index = ArcFlagIndex::build(&g, &part);
-        let program = ArcFlagServer::new(&g, &part, &index).build_program();
+        let program = ArcFlagServer::new(&g, &part, &index)
+            .build_program()
+            .expect("encode");
         (g, program)
     }
 
@@ -507,6 +519,61 @@ mod tests {
                 BroadcastChannel::tune_in(program.cycle(), 11, LossModel::bernoulli(0.1, seed));
             let out = client.query(&mut ch, &q).unwrap();
             assert_eq!(Some(out.distance), dijkstra_distance(&g, 4, 76));
+        }
+    }
+
+    /// Decoder panic audit: every payload — random, truncated, or
+    /// bit-flipped — must yield a typed reject or a partial decode,
+    /// never a panic.
+    mod panic_audit {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// Real cycle payloads (flag and split records), built once.
+        fn real_payloads() -> &'static [Vec<u8>] {
+            static PAYLOADS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+            PAYLOADS.get_or_init(|| {
+                let (_, program) = setup(2, 8);
+                let cycle = program.cycle();
+                (0..cycle.len().min(48))
+                    .map(|i| cycle.packet(i).payload().to_vec())
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            #[test]
+            fn arbitrary_payloads_never_panic(
+                payload in proptest::collection::vec(any::<u8>(), 0..200),
+                flag_bytes in 0usize..9,
+            ) {
+                let _ = decode_flags(&payload, flag_bytes);
+                let mut splits = Vec::new();
+                let _ = decode_splits(&payload, &mut splits);
+            }
+
+            #[test]
+            fn corrupted_real_payloads_never_panic(
+                which in 0usize..48,
+                cut in 0usize..256,
+                bit in 0usize..(1 << 11),
+            ) {
+                let payloads = real_payloads();
+                let payload = &payloads[which % payloads.len()];
+                let truncated = &payload[..cut.min(payload.len())];
+                let _ = decode_flags(truncated, 1);
+                let mut splits = Vec::new();
+                let _ = decode_splits(truncated, &mut splits);
+                let mut flipped = payload.clone();
+                let b = bit % (flipped.len() * 8);
+                flipped[b / 8] ^= 1 << (b % 8);
+                let _ = decode_flags(&flipped, 1);
+                let mut splits = Vec::new();
+                let _ = decode_splits(&flipped, &mut splits);
+            }
         }
     }
 }

@@ -34,7 +34,7 @@
 
 use crate::hiti::HiTiIndex;
 use bytes::Bytes;
-use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_broadcast::codec::{u16_of, u8_of, EncodeError, PayloadReader, RecordBuf, RecordWriter};
 use spair_broadcast::cycle::{CycleBuilder, SegmentKind};
 use spair_broadcast::packet::{PacketKind, PAYLOAD_CAPACITY};
 use spair_broadcast::{
@@ -98,10 +98,13 @@ impl<'a> HiTiAirServer<'a> {
 
     /// Index payloads given the per-cell offset table (fixed width, so a
     /// placeholder pass and the real pass produce equal packet counts).
-    fn encode_index(&self, cells: &[(u32, u16)]) -> Vec<Bytes> {
+    /// Every count squeezed into a narrow wire field goes through a
+    /// checked conversion — the u16 seq/total wrap this format already
+    /// shipped once is exactly the bug class the typed error retires.
+    fn encode_index(&self, cells: &[(u32, u16)]) -> Result<Vec<Bytes>, EncodeError> {
         let side = self.index.base_side();
         let loc = self.index.locator();
-        let body = |total: u32| -> Vec<Bytes> {
+        let body = |total: u32| -> Result<Vec<Bytes>, EncodeError> {
             let mut w = RecordWriter::with_capacity(PAYLOAD_CAPACITY - HEADER_LEN);
             let mut rec = RecordBuf::new();
 
@@ -110,14 +113,14 @@ impl<'a> HiTiAirServer<'a> {
                 .put_f64(loc.min.y)
                 .put_f64(loc.cell_w)
                 .put_f64(loc.cell_h)
-                .put_u16(side as u16)
-                .put_u8(self.index.levels.len() as u8);
+                .put_u16(u16_of(side, "hiti grid side")?)
+                .put_u8(u8_of(self.index.levels.len(), "hiti level count")?);
             w.push_record(rec.as_slice());
 
             for (cell, &(offset, packets)) in cells.iter().enumerate() {
                 rec.clear();
                 rec.put_u8(TAG_CELL)
-                    .put_u16(cell as u16)
+                    .put_u16(u16_of(cell, "hiti cell id")?)
                     .put_u32(offset)
                     .put_u16(packets);
                 w.push_record(rec.as_slice());
@@ -128,22 +131,26 @@ impl<'a> HiTiAirServer<'a> {
             for (level, l) in self.index.levels.iter().enumerate() {
                 for se in &l.super_edges {
                     let cell = self.index.base_cell_of(se.from);
-                    let group = self.index.group_of_cell(cell, level) as u16;
+                    let group = u16_of(
+                        self.index.group_of_cell(cell, level),
+                        "hiti super-edge group",
+                    )?;
+                    let via = l.via(se);
                     rec.clear();
                     rec.put_u8(TAG_SE)
                         .put_u32(id)
-                        .put_u8(level as u8)
+                        .put_u8(u8_of(level, "hiti super-edge level")?)
                         .put_u16(group)
                         .put_u32(se.from)
                         .put_u32(se.to)
                         .put_u64(se.cost)
-                        .put_u16(se.via.len() as u16);
+                        .put_u16(u16_of(via.len(), "hiti super-edge path length")?);
                     w.push_record(rec.as_slice());
-                    for (ci, chunk) in se.via.chunks(PATH_CHUNK).enumerate() {
+                    for (ci, chunk) in via.chunks(PATH_CHUNK).enumerate() {
                         rec.clear();
                         rec.put_u8(TAG_SEPATH)
                             .put_u32(id)
-                            .put_u16((ci * PATH_CHUNK) as u16)
+                            .put_u16(sepath_start(ci)?)
                             .put_u8(chunk.len() as u8);
                         for &v in chunk {
                             rec.put_u32(v);
@@ -176,14 +183,17 @@ impl<'a> HiTiAirServer<'a> {
                     v.extend_from_slice(&body);
                     Bytes::from(v)
                 })
+                .map(Ok)
                 .collect()
         };
-        let count = body(0).len() as u32;
+        let count = body(0)?.len() as u32;
         body(count)
     }
 
-    /// Assembles the broadcast program.
-    pub fn build_program(&self) -> HiTiProgram {
+    /// Assembles the broadcast program. Fails with a typed
+    /// [`EncodeError`] when the world exceeds a wire field of the index
+    /// format (instead of silently truncating a counter).
+    pub fn build_program(&self) -> Result<HiTiProgram, EncodeError> {
         let side = self.index.base_side();
         let num_cells = side * side;
         let mut by_cell: Vec<Vec<NodeId>> = vec![Vec::new(); num_cells];
@@ -197,20 +207,23 @@ impl<'a> HiTiAirServer<'a> {
 
         // Pass 1: placeholder offsets to learn the index extent.
         let placeholder = vec![(0u32, 0u16); num_cells];
-        let index_packets = self.encode_index(&placeholder).len();
+        let index_packets = self.encode_index(&placeholder)?.len();
 
         let mut offset = index_packets;
         let cells: Vec<(u32, u16)> = cell_payloads
             .iter()
             .map(|p| {
-                let entry = (offset as u32, p.len() as u16);
+                let entry = (
+                    spair_broadcast::codec::u32_of(offset, "hiti cell offset")?,
+                    u16_of(p.len(), "hiti cell packet count")?,
+                );
                 offset += p.len();
-                entry
+                Ok(entry)
             })
-            .collect();
+            .collect::<Result<_, EncodeError>>()?;
 
         // Pass 2: real offsets.
-        let index_payloads = self.encode_index(&cells);
+        let index_payloads = self.encode_index(&cells)?;
         assert_eq!(index_payloads.len(), index_packets, "fixed-width encoding");
 
         let mut b = CycleBuilder::new();
@@ -222,11 +235,18 @@ impl<'a> HiTiAirServer<'a> {
                 payloads,
             );
         }
-        HiTiProgram {
+        Ok(HiTiProgram {
             cycle: b.finish(),
             index_packets,
-        }
+        })
     }
+}
+
+/// Node offset of SEPATH chunk `ci` within its super-edge's path view,
+/// checked against the u16 wire field (paths past 65 535 interior nodes
+/// would otherwise wrap the offset and scramble reassembly).
+fn sepath_start(ci: usize) -> Result<u16, EncodeError> {
+    u16_of(ci * PATH_CHUNK, "hiti se path start")
 }
 
 /// One decoded super-edge of the catalog.
@@ -671,7 +691,9 @@ mod tests {
     fn setup(seed: u64, side: usize, levels: usize) -> (RoadNetwork, HiTiProgram) {
         let g = small_grid(12, 12, seed);
         let index = HiTiIndex::build(&g, side, levels);
-        let program = HiTiAirServer::new(&g, &index).build_program();
+        let program = HiTiAirServer::new(&g, &index)
+            .build_program()
+            .expect("encode");
         (g, program)
     }
 
@@ -809,5 +831,71 @@ mod tests {
         let out = client.query(&mut ch, &Query::for_nodes(&g, 7, 7)).unwrap();
         assert_eq!(out.distance, 0);
         assert_eq!(out.path, vec![7]);
+    }
+
+    /// Encoder boundary: the SEPATH chunk offset is a u16 wire field;
+    /// the last in-range chunk encodes, the first past it is a typed
+    /// error, not a silent wrap.
+    #[test]
+    fn sepath_start_boundary() {
+        let last_ok = u16::MAX as usize / PATH_CHUNK;
+        assert_eq!(sepath_start(last_ok), Ok((last_ok * PATH_CHUNK) as u16));
+        assert!(sepath_start(last_ok + 1).is_err());
+    }
+
+    /// Decoder panic audit: every payload — random, truncated, or
+    /// bit-flipped — must yield a typed reject or a partial decode,
+    /// never a panic.
+    mod panic_audit {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// Real cycle payloads, built once (the HiTi build dominates).
+        fn real_payloads() -> &'static [Vec<u8>] {
+            static PAYLOADS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+            PAYLOADS.get_or_init(|| {
+                let (_, program) = setup(2, 4, 2);
+                let cycle = program.cycle();
+                (0..cycle.len().min(48))
+                    .map(|i| cycle.packet(i).payload().to_vec())
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            #[test]
+            fn arbitrary_payloads_never_panic(
+                mut payload in proptest::collection::vec(any::<u8>(), 0..200),
+                force_magic in any::<bool>(),
+            ) {
+                if force_magic && !payload.is_empty() {
+                    payload[0] = MAGIC;
+                }
+                let mut dec = DecodedIndex::default();
+                let _ = dec.ingest(&payload);
+                let _ = dec.retained_bytes();
+            }
+
+            #[test]
+            fn corrupted_real_payloads_never_panic(
+                which in 0usize..48,
+                cut in 0usize..256,
+                bit in 0usize..(1 << 11),
+            ) {
+                let payloads = real_payloads();
+                let payload = &payloads[which % payloads.len()];
+                let mut dec = DecodedIndex::default();
+                let _ = dec.ingest(&payload[..cut.min(payload.len())]);
+                let mut flipped = payload.clone();
+                let b = bit % (flipped.len() * 8);
+                flipped[b / 8] ^= 1 << (b % 8);
+                let mut dec = DecodedIndex::default();
+                let _ = dec.ingest(&flipped);
+                let _ = dec.retained_bytes();
+            }
+        }
     }
 }

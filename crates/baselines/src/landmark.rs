@@ -17,7 +17,7 @@ use spair_broadcast::{
 };
 use spair_core::netcodec::{decode_payload, encode_nodes, ReceivedGraph};
 use spair_core::query::{AirClient, Query, QueryError, QueryOutcome};
-use spair_roadnet::dijkstra::{dijkstra_full, dijkstra_full_reverse};
+use spair_roadnet::dijkstra::{DijkstraWorkspace, Direction};
 use spair_roadnet::{Distance, MinHeap, NodeId, RoadNetwork, DIST_INF};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -44,13 +44,19 @@ impl LandmarkIndex {
         let start = Instant::now();
         let n = g.num_nodes();
         let mut landmarks = Vec::with_capacity(k);
+        // One persistent stamped workspace per direction: the 2k full
+        // searches reuse the same dist/parent/version arrays instead of
+        // allocating a fresh tree each, and distances (all the build
+        // reads) are identical to the per-call `dijkstra_full` trees.
+        let mut fwd = DijkstraWorkspace::new(n);
+        let mut rev = DijkstraWorkspace::new(n);
         // Start from the node farthest from node 0, then iterate
         // farthest-from-the-set.
-        let t0 = dijkstra_full(g, 0);
+        fwd.run(g, 0, Direction::Forward);
         let first = g
             .node_ids()
-            .filter(|&v| t0.reachable(v))
-            .max_by_key(|&v| t0.distance(v))
+            .filter(|&v| fwd.distance(v) != DIST_INF)
+            .max_by_key(|&v| fwd.distance(v))
             .unwrap_or(0);
         landmarks.push(first);
         let mut to_landmark = vec![DIST_INF; n * k];
@@ -63,9 +69,9 @@ impl LandmarkIndex {
         // identical to the serial build.
         for i in 0..k {
             let l = landmarks[i];
-            let (fwd, rev) = spair_roadnet::parallel::join(
-                || dijkstra_full(g, l),         // d(L -> v)
-                || dijkstra_full_reverse(g, l), // d(v -> L)
+            spair_roadnet::parallel::join(
+                || fwd.run(g, l, Direction::Forward), // d(L -> v)
+                || rev.run(g, l, Direction::Reverse), // d(v -> L)
             );
             for v in g.node_ids() {
                 from_landmark[v as usize * k + i] = fwd.distance(v);
@@ -94,6 +100,14 @@ impl LandmarkIndex {
     /// Number of landmarks.
     pub fn k(&self) -> usize {
         self.landmarks.len()
+    }
+
+    /// Bit-identity certificate: same landmark choice and the same
+    /// distance vectors, entry for entry (build timing excluded).
+    pub fn same_vectors(&self, other: &Self) -> bool {
+        self.landmarks == other.landmarks
+            && self.to_landmark == other.to_landmark
+            && self.from_landmark == other.from_landmark
     }
 }
 

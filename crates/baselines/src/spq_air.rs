@@ -18,7 +18,7 @@
 //! one-step expansion), while lost adjacency data must be re-received.
 
 use crate::spq::{Quadtree, SpqIndex, NO_COLOR};
-use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_broadcast::codec::{u16_of, EncodeError, PayloadReader, RecordBuf, RecordWriter};
 use spair_broadcast::cycle::{CycleBuilder, SegmentKind};
 use spair_broadcast::packet::PacketKind;
 use spair_broadcast::{BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats};
@@ -33,8 +33,10 @@ const NODE_LEAF: u8 = 0;
 const NODE_INTERNAL: u8 = 1;
 const NODE_MIXED: u8 = 2;
 
-/// Serializes a quadtree into a compact preorder byte string.
-fn encode_tree(tree: &Quadtree, out: &mut Vec<u8>) {
+/// Serializes a quadtree into a compact preorder byte string. Fails with
+/// a typed error if a mixed node holds more points than the u16 count
+/// field carries (silent truncation would desynchronize the decoder).
+fn encode_tree(tree: &Quadtree, out: &mut Vec<u8>) -> Result<(), EncodeError> {
     match tree {
         Quadtree::Leaf(c) => {
             out.push(NODE_LEAF);
@@ -43,12 +45,13 @@ fn encode_tree(tree: &Quadtree, out: &mut Vec<u8>) {
         Quadtree::Internal(children) => {
             out.push(NODE_INTERNAL);
             for ch in children.iter() {
-                encode_tree(ch, out);
+                encode_tree(ch, out)?;
             }
         }
         Quadtree::Mixed(points) => {
             out.push(NODE_MIXED);
-            out.extend_from_slice(&(points.len() as u16).to_le_bytes());
+            let count = u16_of(points.len(), "spq mixed-node point count")?;
+            out.extend_from_slice(&count.to_le_bytes());
             for (p, c) in points {
                 out.extend_from_slice(&p.x.to_le_bytes());
                 out.extend_from_slice(&p.y.to_le_bytes());
@@ -56,10 +59,24 @@ fn encode_tree(tree: &Quadtree, out: &mut Vec<u8>) {
             }
         }
     }
+    Ok(())
 }
+
+/// Deepest tree `decode_tree` accepts. Real quadtrees subdivide a
+/// bounded box a few dozen times at most; a corrupted blob of nested
+/// INTERNAL tags must yield a typed `None`, not a recursion-driven
+/// stack overflow.
+const MAX_TREE_DEPTH: usize = 512;
 
 /// Parses one preorder-encoded quadtree, advancing `pos`.
 fn decode_tree(bytes: &[u8], pos: &mut usize) -> Option<Quadtree> {
+    decode_tree_at(bytes, pos, 0)
+}
+
+fn decode_tree_at(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Quadtree> {
+    if depth >= MAX_TREE_DEPTH {
+        return None;
+    }
     let tag = *bytes.get(*pos)?;
     *pos += 1;
     match tag {
@@ -71,11 +88,10 @@ fn decode_tree(bytes: &[u8], pos: &mut usize) -> Option<Quadtree> {
         NODE_INTERNAL => {
             let mut children = Vec::with_capacity(4);
             for _ in 0..4 {
-                children.push(decode_tree(bytes, pos)?);
+                children.push(decode_tree_at(bytes, pos, depth + 1)?);
             }
-            Some(Quadtree::Internal(Box::new(
-                children.try_into().expect("exactly four children"),
-            )))
+            let children: [Quadtree; 4] = children.try_into().ok()?;
+            Some(Quadtree::Internal(Box::new(children)))
         }
         NODE_MIXED => {
             let count = u16::from_le_bytes(bytes.get(*pos..*pos + 2)?.try_into().ok()?) as usize;
@@ -132,8 +148,10 @@ impl<'a> SpqAirServer<'a> {
         Self { g, index }
     }
 
-    /// Assembles the broadcast program.
-    pub fn build_program(&self) -> SpqProgram {
+    /// Assembles the broadcast program. Fails with a typed
+    /// [`EncodeError`] when a quadtree exceeds a wire field of the tree
+    /// format (instead of silently truncating a counter).
+    pub fn build_program(&self) -> Result<SpqProgram, EncodeError> {
         let nodes: Vec<NodeId> = self.g.node_ids().collect();
         let mut b = CycleBuilder::new();
         b.push_segment(
@@ -150,7 +168,7 @@ impl<'a> SpqAirServer<'a> {
         let mut blob = Vec::new();
         for v in self.g.node_ids() {
             blob.clear();
-            encode_tree(self.index.tree(v), &mut blob);
+            encode_tree(self.index.tree(v), &mut blob)?;
             // Max record body ~110 bytes: 13 bytes of header leaves 97.
             for (ci, chunk) in blob.chunks(96).enumerate() {
                 rec.clear();
@@ -167,11 +185,11 @@ impl<'a> SpqAirServer<'a> {
         let tree_packets = tree_payloads.len();
         b.push_segment(SegmentKind::AuxData, PacketKind::Aux, tree_payloads);
 
-        SpqProgram {
+        Ok(SpqProgram {
             cycle: b.finish(),
             bbox: self.g.bounding_box(),
             tree_packets,
-        }
+        })
     }
 }
 
@@ -337,7 +355,9 @@ mod tests {
     fn setup(seed: u64) -> (RoadNetwork, SpqProgram) {
         let g = small_grid(8, 8, seed);
         let index = SpqIndex::build(&g);
-        let program = SpqAirServer::new(&g, &index).build_program();
+        let program = SpqAirServer::new(&g, &index)
+            .build_program()
+            .expect("encode");
         (g, program)
     }
 
@@ -347,7 +367,7 @@ mod tests {
         let index = SpqIndex::build(&g);
         for v in g.node_ids() {
             let mut blob = Vec::new();
-            encode_tree(index.tree(v), &mut blob);
+            encode_tree(index.tree(v), &mut blob).expect("encode");
             let mut pos = 0usize;
             let tree = decode_tree(&blob, &mut pos).unwrap();
             assert_eq!(pos, blob.len(), "node {v}: trailing bytes");
@@ -449,5 +469,82 @@ mod tests {
         let mut ch = BroadcastChannel::lossless(program.cycle());
         let out = client.query(&mut ch, &Query::for_nodes(&g, 5, 5)).unwrap();
         assert_eq!(out.distance, 0);
+    }
+
+    /// Encoder boundary: a mixed quadtree leaf holds its point count in
+    /// a u16 wire field — 65 535 points encode, 65 536 is a typed
+    /// error, not a silent wrap.
+    #[test]
+    fn mixed_leaf_point_count_boundary() {
+        let at_cap = Quadtree::Mixed(vec![(Point::new(0.0, 0.0), 1); u16::MAX as usize]);
+        let mut blob = Vec::new();
+        assert!(encode_tree(&at_cap, &mut blob).is_ok());
+        let over = Quadtree::Mixed(vec![(Point::new(0.0, 0.0), 1); u16::MAX as usize + 1]);
+        let mut blob = Vec::new();
+        assert!(encode_tree(&over, &mut blob).is_err());
+    }
+
+    /// Decoder panic audit: every blob — random, truncated, or
+    /// bit-flipped — must decode to `None` or a valid tree, never panic
+    /// (the depth cap turns nested-INTERNAL bombs into typed rejects).
+    mod panic_audit {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// Real encoded trees, built once.
+        fn real_blobs() -> &'static [Vec<u8>] {
+            static BLOBS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+            BLOBS.get_or_init(|| {
+                let g = small_grid(7, 7, 5);
+                let index = SpqIndex::build(&g);
+                g.node_ids()
+                    .take(24)
+                    .map(|v| {
+                        let mut blob = Vec::new();
+                        encode_tree(index.tree(v), &mut blob).expect("encode");
+                        blob
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            #[test]
+            fn arbitrary_blobs_never_panic(
+                blob in proptest::collection::vec(any::<u8>(), 0..200),
+            ) {
+                let mut pos = 0;
+                let _ = decode_tree(&blob, &mut pos);
+            }
+
+            /// A blob of nothing but INTERNAL tags is the recursion
+            /// bomb; the depth cap must reject it.
+            #[test]
+            fn nested_internal_bomb_is_rejected(len in 1usize..4096) {
+                let blob = vec![NODE_INTERNAL; len];
+                let mut pos = 0;
+                prop_assert_eq!(decode_tree(&blob, &mut pos), None);
+            }
+
+            #[test]
+            fn corrupted_real_blobs_never_panic(
+                which in 0usize..24,
+                cut in 0usize..256,
+                bit in 0usize..(1 << 11),
+            ) {
+                let blobs = real_blobs();
+                let blob = &blobs[which % blobs.len()];
+                let mut pos = 0;
+                let _ = decode_tree(&blob[..cut.min(blob.len())], &mut pos);
+                let mut flipped = blob.clone();
+                let b = bit % (flipped.len() * 8);
+                flipped[b / 8] ^= 1 << (b % 8);
+                let mut pos = 0;
+                let _ = decode_tree(&flipped, &mut pos);
+            }
+        }
     }
 }

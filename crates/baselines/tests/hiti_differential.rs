@@ -1,0 +1,335 @@
+//! Differential certification of the flattened server-side precompute
+//! builds against the original `HashMap` implementations, reimplemented
+//! here verbatim as test oracles.
+//!
+//! The slot-arena rewrites of [`HiTiIndex`] and [`LandmarkIndex`] claim
+//! bit-identical output: the same super-edges with the same materialized
+//! path views in the same order, and the same landmark choices with the
+//! same distance vectors. These tests check that claim on random grid
+//! networks and on zero-weight-tie graphs (where any change in settle
+//! order would surface as a different path view), and pin every build to
+//! its serial result across thread counts via the `same_tables` /
+//! `same_vectors` / `same_flags` certificates.
+
+use proptest::prelude::*;
+use spair_baselines::arcflag::ArcFlagIndex;
+use spair_baselines::hiti::HiTiIndex;
+use spair_baselines::landmark::LandmarkIndex;
+use spair_partition::{GridPartition, KdTreePartition, Partitioning};
+use spair_roadnet::dijkstra::{dijkstra_full, dijkstra_full_reverse};
+use spair_roadnet::generators::small_grid;
+use spair_roadnet::{Distance, MinHeap, NodeId, Point, RoadNetwork, DIST_INF};
+use std::collections::{HashMap, HashSet};
+
+// ---------------------------------------------------------------------
+// Legacy HiTi build, copied from the original implementation: HashMap
+// grouping, HashSet membership, map-backed restricted Dijkstra, one
+// heap `Vec` per super-edge. This is the behavioral oracle.
+// ---------------------------------------------------------------------
+
+/// One legacy super-edge: `(from, to, cost, via)`.
+type LegacySuperEdge = (NodeId, NodeId, Distance, Vec<NodeId>);
+
+/// Levels (finest first) of legacy super-edges, in emission order.
+fn legacy_hiti_levels(
+    g: &RoadNetwork,
+    side: usize,
+    num_levels: usize,
+) -> Vec<Vec<LegacySuperEdge>> {
+    assert!(side.is_power_of_two());
+    let base = GridPartition::build(g, side, side);
+    let base_cell: Vec<u16> = g.node_ids().map(|v| base.region_of(v)).collect();
+    let mut levels = Vec::with_capacity(num_levels);
+    for level in 0..num_levels {
+        let cells = side >> level;
+        let group_of = |v: NodeId| -> usize {
+            let c = base_cell[v as usize] as usize;
+            let (x, y) = (c % side, c / side);
+            (y >> level) * cells + (x >> level)
+        };
+        let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for v in g.node_ids() {
+            groups.entry(group_of(v)).or_default().push(v);
+        }
+        let mut group_list: Vec<(usize, Vec<NodeId>)> = groups.into_iter().collect();
+        group_list.sort_unstable_by_key(|&(gid, _)| gid);
+        let mut super_edges = Vec::new();
+        for (_, nodes) in &group_list {
+            legacy_group_super_edges(g, nodes, &mut super_edges);
+        }
+        levels.push(super_edges);
+    }
+    levels
+}
+
+fn legacy_group_super_edges(g: &RoadNetwork, nodes: &[NodeId], out: &mut Vec<LegacySuperEdge>) {
+    let inside: HashSet<NodeId> = nodes.iter().copied().collect();
+    let borders: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|&v| {
+            g.out_edges(v).any(|(u, _)| !inside.contains(&u))
+                || g.in_edges(v).any(|(u, _)| !inside.contains(&u))
+        })
+        .collect();
+    let border_set: HashSet<NodeId> = borders.iter().copied().collect();
+    for &b in &borders {
+        for (t, d, via) in legacy_restricted_dijkstra(g, b, &inside) {
+            if t != b && border_set.contains(&t) {
+                out.push((b, t, d, via));
+            }
+        }
+    }
+}
+
+fn legacy_restricted_dijkstra(
+    g: &RoadNetwork,
+    source: NodeId,
+    inside: &HashSet<NodeId>,
+) -> Vec<(NodeId, Distance, Vec<NodeId>)> {
+    let mut dist: HashMap<NodeId, Distance> = HashMap::new();
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut heap = MinHeap::new();
+    dist.insert(source, 0);
+    heap.push(0, source);
+    while let Some(e) = heap.pop() {
+        let v = e.item;
+        if dist.get(&v) != Some(&e.key) {
+            continue;
+        }
+        for (u, w) in g.out_edges(v) {
+            if !inside.contains(&u) {
+                continue;
+            }
+            let cand = e.key + w as Distance;
+            if dist.get(&u).is_none_or(|&d| cand < d) {
+                dist.insert(u, cand);
+                parent.insert(u, v);
+                heap.push(cand, u);
+            }
+        }
+    }
+    let mut reached: Vec<(NodeId, Distance)> = dist.into_iter().collect();
+    reached.sort_unstable_by_key(|&(v, _)| v);
+    reached
+        .into_iter()
+        .map(|(v, d)| {
+            let mut via = Vec::new();
+            let mut cur = v;
+            while let Some(&p) = parent.get(&cur) {
+                if p == source {
+                    break;
+                }
+                via.push(p);
+                cur = p;
+            }
+            via.reverse();
+            (v, d, via)
+        })
+        .collect()
+}
+
+/// Asserts the flattened index equals the legacy oracle, edge for edge
+/// and path view for path view, in emission order.
+fn assert_hiti_matches_legacy(g: &RoadNetwork, side: usize, num_levels: usize) {
+    let flat = HiTiIndex::build(g, side, num_levels);
+    let legacy = legacy_hiti_levels(g, side, num_levels);
+    assert_eq!(flat.levels.len(), legacy.len(), "level count");
+    for (li, (new_level, old_level)) in flat.levels.iter().zip(&legacy).enumerate() {
+        assert_eq!(
+            new_level.super_edges.len(),
+            old_level.len(),
+            "level {li}: super-edge count"
+        );
+        for (ei, (se, (from, to, cost, via))) in
+            new_level.super_edges.iter().zip(old_level).enumerate()
+        {
+            assert_eq!(
+                (se.from, se.to, se.cost),
+                (*from, *to, *cost),
+                "level {li}, edge {ei}"
+            );
+            assert_eq!(
+                new_level.via(se),
+                via.as_slice(),
+                "level {li}, edge {ei} via"
+            );
+        }
+    }
+}
+
+/// A lattice network where most edges have weight zero: every search is
+/// tie-saturated, so path views pin the settle order exactly.
+fn zero_tie_lattice(k: usize) -> RoadNetwork {
+    let mut points = Vec::with_capacity(k * k);
+    for y in 0..k {
+        for x in 0..k {
+            points.push(Point::new(x as f64, y as f64));
+        }
+    }
+    let mut offsets = vec![0u32];
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    for y in 0..k {
+        for x in 0..k {
+            let v = (y * k + x) as NodeId;
+            let mut push = |u: NodeId| {
+                targets.push(u);
+                // Two of every three edges weigh zero.
+                weights.push(if (v as usize + targets.len()).is_multiple_of(3) {
+                    1
+                } else {
+                    0
+                });
+            };
+            if x + 1 < k {
+                push(v + 1);
+            }
+            if x > 0 {
+                push(v - 1);
+            }
+            if y + 1 < k {
+                push(v + k as NodeId);
+            }
+            if y > 0 {
+                push(v - k as NodeId);
+            }
+            offsets.push(targets.len() as u32);
+        }
+    }
+    RoadNetwork::from_csr(points, offsets, targets, weights)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random grid networks: the flattened build must reproduce the
+    /// legacy super-edge stream verbatim at every level.
+    #[test]
+    fn hiti_flat_build_matches_legacy(seed in 0u64..500, wh in 6usize..11) {
+        let g = small_grid(wh, wh, seed);
+        assert_hiti_matches_legacy(&g, 4, 3);
+    }
+
+    /// Thread-count bit-identity on random grids, via the certificate.
+    #[test]
+    fn hiti_threads_bit_identical(seed in 0u64..200) {
+        let g = small_grid(8, 8, seed);
+        let one = HiTiIndex::build_with_threads(&g, 4, 2, 1);
+        for t in [2, 3, 8] {
+            let multi = HiTiIndex::build_with_threads(&g, 4, 2, t);
+            prop_assert!(one.same_tables(&multi), "threads={t}");
+        }
+    }
+}
+
+/// Zero-weight ties everywhere: any divergence in heap tie-breaking or
+/// relaxation order between the flat and map-backed builds would change
+/// a path view here.
+#[test]
+fn hiti_zero_weight_ties_match_legacy() {
+    for k in [6, 9, 12] {
+        let g = zero_tie_lattice(k);
+        assert_hiti_matches_legacy(&g, 4, 2);
+        let one = HiTiIndex::build_with_threads(&g, 4, 2, 1);
+        for t in [2, 5] {
+            assert!(
+                one.same_tables(&HiTiIndex::build_with_threads(&g, 4, 2, t)),
+                "k={k} threads={t}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy Landmark build: fresh full-Dijkstra trees per landmark (the
+// pre-workspace implementation), serial.
+// ---------------------------------------------------------------------
+
+fn legacy_landmark_build(g: &RoadNetwork, k: usize) -> LandmarkIndex {
+    let n = g.num_nodes();
+    let mut landmarks = Vec::with_capacity(k);
+    let t0 = dijkstra_full(g, 0);
+    let first = g
+        .node_ids()
+        .filter(|&v| t0.reachable(v))
+        .max_by_key(|&v| t0.distance(v))
+        .unwrap_or(0);
+    landmarks.push(first);
+    let mut to_landmark = vec![DIST_INF; n * k];
+    let mut from_landmark = vec![DIST_INF; n * k];
+    let mut min_dist = vec![Distance::MAX; n];
+    for i in 0..k {
+        let l = landmarks[i];
+        let fwd = dijkstra_full(g, l);
+        let rev = dijkstra_full_reverse(g, l);
+        for v in g.node_ids() {
+            from_landmark[v as usize * k + i] = fwd.distance(v);
+            to_landmark[v as usize * k + i] = rev.distance(v);
+            if fwd.distance(v) != DIST_INF {
+                min_dist[v as usize] = min_dist[v as usize].min(fwd.distance(v));
+            }
+        }
+        if i + 1 < k {
+            let next = g
+                .node_ids()
+                .filter(|&v| min_dist[v as usize] != Distance::MAX)
+                .max_by_key(|&v| min_dist[v as usize])
+                .unwrap_or(l);
+            landmarks.push(next);
+        }
+    }
+    LandmarkIndex {
+        landmarks,
+        to_landmark,
+        from_landmark,
+        precompute_secs: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The workspace-backed landmark build must choose the same
+    /// landmarks and produce the same distance vectors as fresh
+    /// per-landmark Dijkstra trees.
+    #[test]
+    fn landmark_build_matches_legacy(seed in 0u64..500, k in 1usize..6) {
+        let g = small_grid(8, 8, seed);
+        let flat = LandmarkIndex::build(&g, k);
+        let legacy = legacy_landmark_build(&g, k);
+        prop_assert!(flat.same_vectors(&legacy));
+    }
+}
+
+/// Landmark selection on a tie-saturated lattice (many nodes share the
+/// same max distance) must still match: both builds break the farthest
+/// tie by the same `max_by_key` scan over ascending node ids.
+#[test]
+fn landmark_zero_weight_ties_match_legacy() {
+    let g = zero_tie_lattice(10);
+    let flat = LandmarkIndex::build(&g, 4);
+    let legacy = legacy_landmark_build(&g, 4);
+    assert!(flat.same_vectors(&legacy));
+}
+
+// ---------------------------------------------------------------------
+// ArcFlag: already flat (workspace scratch + OR-merge); pin the
+// thread-count invariance with its certificate.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flag words must be identical for every worker count.
+    #[test]
+    fn arcflag_threads_bit_identical(seed in 0u64..200) {
+        let g = small_grid(8, 8, seed);
+        let part = KdTreePartition::build(&g, 8);
+        let one = ArcFlagIndex::build_with_threads(&g, &part, 1);
+        for t in [2, 3, 8] {
+            let multi = ArcFlagIndex::build_with_threads(&g, &part, t);
+            prop_assert!(one.same_flags(&multi), "threads={t}");
+        }
+    }
+}

@@ -107,7 +107,9 @@ fn bench_heavy_baselines(c: &mut Criterion) {
     c.bench_function("server/hiti_program", |b| {
         b.iter(|| HiTiAirServer::new(&world.g, &hiti).build_program())
     });
-    let hiti_program = HiTiAirServer::new(&world.g, &hiti).build_program();
+    let hiti_program = HiTiAirServer::new(&world.g, &hiti)
+        .build_program()
+        .expect("encode");
     let q = random_queries(&world.g, 1, 5)[0];
     c.bench_function("client/HiTi", |b| {
         b.iter(|| {
@@ -120,7 +122,9 @@ fn bench_heavy_baselines(c: &mut Criterion) {
     c.bench_function("server/spq_program", |b| {
         b.iter(|| SpqAirServer::new(&world.g, &spq).build_program())
     });
-    let spq_program = SpqAirServer::new(&world.g, &spq).build_program();
+    let spq_program = SpqAirServer::new(&world.g, &spq)
+        .build_program()
+        .expect("encode");
     c.bench_function("client/SPQ", |b| {
         b.iter(|| {
             let mut ch = BroadcastChannel::lossless(spq_program.cycle());
@@ -139,7 +143,9 @@ fn bench_extensions(c: &mut Criterion) {
 
     // On-air kNN.
     let pois: Vec<u32> = world.g.node_ids().step_by(20).collect();
-    let knn_program = KnnServer::new(&world.g, &world.part, &world.pre, &pois).build_program();
+    let knn_program = KnnServer::new(&world.g, &world.part, &world.pre, &pois)
+        .build_program()
+        .expect("encode");
     c.bench_function("client/knn_k4", |b| {
         b.iter(|| {
             let mut ch = BroadcastChannel::lossless(knn_program.cycle());

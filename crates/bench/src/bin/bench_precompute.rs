@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p spair-bench --bin bench_precompute -- \
-//!     [--side 71] [--regions 32] [--spq-side 45] [--threads N] [--repeat 3] \
+//!     [--side 71] [--regions 32] [--spq-side 45] [--hiti-side 45] \
+//!     [--threads N] [--repeat 3] \
 //!     [--out BENCH_precompute.json]
 //! ```
 //!
@@ -19,11 +20,17 @@
 //!    quadtree construction is the costliest precompute stage the
 //!    framework has, so its speedup is tracked as its own trajectory
 //!    point,
-//! 4. writes the measurements as JSON.
+//! 4. repeats it once more for the HiTi hierarchy build on a
+//!    `--hiti-side`-sized grid (`HiTiIndex::build_with_threads` at one
+//!    worker vs many, gated on `same_tables`) — the flattened
+//!    slot-arena build whose serial/parallel identity the hierarchy
+//!    experiments rely on,
+//! 5. writes the measurements as JSON.
 //!
 //! The JSON schema is documented in ROADMAP.md's Performance section.
 
 use spair_baselines::spq::SpqIndex;
+use spair_baselines::HiTiIndex;
 use spair_core::BorderPrecomputation;
 use spair_partition::KdTreePartition;
 use spair_roadnet::generators::small_grid;
@@ -34,6 +41,7 @@ struct Opts {
     side: usize,
     regions: usize,
     spq_side: usize,
+    hiti_side: usize,
     threads: usize,
     repeat: usize,
     out: String,
@@ -46,6 +54,7 @@ impl Opts {
             side: 71,
             regions: 32,
             spq_side: 45,
+            hiti_side: 45,
             threads: 0,
             repeat: 3,
             out: "BENCH_precompute.json".to_string(),
@@ -78,6 +87,7 @@ fn parse_opts() -> Opts {
             "--side" => opts.side = parse(flag, value()),
             "--regions" => opts.regions = parse(flag, value()),
             "--spq-side" => opts.spq_side = parse(flag, value()),
+            "--hiti-side" => opts.hiti_side = parse(flag, value()),
             "--threads" => {
                 let n = parse(flag, value());
                 if n == 0 {
@@ -91,15 +101,20 @@ fn parse_opts() -> Opts {
             other => {
                 eprintln!(
                     "error: unknown flag {other}\nusage: bench_precompute \
-                     [--side N] [--regions N] [--spq-side N] [--threads N] [--repeat N] \
-                     [--out PATH]"
+                     [--side N] [--regions N] [--spq-side N] [--hiti-side N] \
+                     [--threads N] [--repeat N] [--out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if opts.repeat == 0 || opts.side == 0 || opts.regions == 0 || opts.spq_side == 0 {
-        eprintln!("error: --side, --regions, --spq-side and --repeat must be >= 1");
+    if opts.repeat == 0
+        || opts.side == 0
+        || opts.regions == 0
+        || opts.spq_side == 0
+        || opts.hiti_side == 0
+    {
+        eprintln!("error: --side, --regions, --spq-side, --hiti-side and --repeat must be >= 1");
         std::process::exit(2);
     }
     opts.threads = parallel::resolve_threads(threads_flag);
@@ -109,12 +124,17 @@ fn parse_opts() -> Opts {
 
 /// The committed `BENCH_precompute.json` is generated with the default
 /// problem sizes; a run shrunk (or grown) via `--side`/`--regions`/
-/// `--spq-side`/`--repeat` is a partial run redirected to
+/// `--spq-side`/`--hiti-side`/`--repeat` is a partial run redirected to
 /// `*.smoke.json`.
 fn partial_reason(opts: &Opts) -> Option<&'static str> {
     let d = Opts::default_sizes();
-    if (opts.side, opts.regions, opts.spq_side, opts.repeat)
-        != (d.side, d.regions, d.spq_side, d.repeat)
+    if (
+        opts.side,
+        opts.regions,
+        opts.spq_side,
+        opts.hiti_side,
+        opts.repeat,
+    ) != (d.side, d.regions, d.spq_side, d.hiti_side, d.repeat)
     {
         Some("non-default problem size")
     } else {
@@ -186,6 +206,36 @@ fn main() {
     let spq_speedup = spq_serial_secs / spq_parallel_secs;
     eprintln!("spq speedup:  {spq_speedup:.2}x (bit-identical: {spq_identical})");
 
+    // HiTi hierarchy build: restricted border-pair Dijkstras over every
+    // group of every level, on the flat slot-arena path. One worker vs
+    // many, pinned bit-identical via the `same_tables` certificate.
+    const HITI_GRID_SIDE: usize = 8;
+    const HITI_LEVELS: usize = 4;
+    let hg = small_grid(opts.hiti_side, opts.hiti_side, 42);
+    eprintln!(
+        "hiti graph: {} nodes, {} edges",
+        hg.num_nodes(),
+        hg.num_edges()
+    );
+    let (hiti_serial_secs, hiti_serial) = best_of(opts.repeat, || {
+        HiTiIndex::build_with_threads(&hg, HITI_GRID_SIDE, HITI_LEVELS, 1)
+    });
+    eprintln!(
+        "hiti serial:   {hiti_serial_secs:.3}s (best of {})",
+        opts.repeat
+    );
+    let (hiti_parallel_secs, hiti_par) = best_of(opts.repeat, || {
+        HiTiIndex::build_with_threads(&hg, HITI_GRID_SIDE, HITI_LEVELS, opts.threads)
+    });
+    eprintln!(
+        "hiti parallel: {hiti_parallel_secs:.3}s (best of {})",
+        opts.repeat
+    );
+    let hiti_identical = hiti_serial.same_tables(&hiti_par);
+    assert!(hiti_identical, "parallel HiTi build diverged from serial");
+    let hiti_speedup = hiti_serial_secs / hiti_parallel_secs;
+    eprintln!("hiti speedup:  {hiti_speedup:.2}x (bit-identical: {hiti_identical})");
+
     let json = format!(
         "{{\n  \
          \"benchmark\": \"border_precompute_serial_vs_parallel\",\n  \
@@ -198,7 +248,10 @@ fn main() {
          \"bit_identical\": {},\n  \
          \"spq\": {{ \"nodes\": {}, \"edges\": {}, \"total_blocks\": {}, \
          \"index_packets\": {}, \"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \
-         \"speedup\": {:.4}, \"bit_identical\": {} }}\n\
+         \"speedup\": {:.4}, \"bit_identical\": {} }},\n  \
+         \"hiti\": {{ \"nodes\": {}, \"edges\": {}, \"grid_side\": {}, \"levels\": {}, \
+         \"index_bytes\": {}, \"index_packets\": {}, \"serial_secs\": {:.6}, \
+         \"parallel_secs\": {:.6}, \"speedup\": {:.4}, \"bit_identical\": {} }}\n\
          }}\n",
         g.num_nodes(),
         g.num_edges(),
@@ -220,7 +273,17 @@ fn main() {
         spq_serial_secs,
         spq_parallel_secs,
         spq_speedup,
-        spq_identical
+        spq_identical,
+        hg.num_nodes(),
+        hg.num_edges(),
+        HITI_GRID_SIDE,
+        HITI_LEVELS,
+        hiti_serial.index_bytes(),
+        hiti_serial.index_packets(),
+        hiti_serial_secs,
+        hiti_parallel_secs,
+        hiti_speedup,
+        hiti_identical
     );
     std::fs::write(&opts.out, &json).expect("write BENCH json");
     println!("{json}");

@@ -680,8 +680,9 @@ fn ablations(opts: &Opts) {
         .collect();
     pois.sort_unstable();
     pois.dedup();
-    let knn_program =
-        spair_core::KnnServer::new(&world.g, &world.part, &world.pre, &pois).build_program();
+    let knn_program = spair_core::KnnServer::new(&world.g, &world.part, &world.pre, &pois)
+        .build_program()
+        .expect("encode");
     let mut knn_client = spair_core::KnnClient::new(world.part.num_regions());
     let mut tuned = 0u64;
     let knn_queries = 25.min(n_queries);

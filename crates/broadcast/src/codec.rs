@@ -11,6 +11,61 @@
 
 use crate::packet::PAYLOAD_CAPACITY;
 use bytes::Bytes;
+use std::fmt;
+
+/// A value that does not fit the fixed-width wire field an encoder is
+/// writing it into. The air-index encoders use the checked converters
+/// below instead of silent `as` truncation: a world too large for a
+/// format fails loudly with the field name, never with a wrapped
+/// counter and a corrupt index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Wire-field name, e.g. `"hiti se path start"`.
+    pub field: &'static str,
+    /// The value that overflowed.
+    pub value: u64,
+    /// Largest value the field can carry.
+    pub max: u64,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "encode overflow: {} = {} exceeds wire field max {}",
+            self.field, self.value, self.max
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Checked `usize` → `u8` wire conversion.
+pub fn u8_of(value: usize, field: &'static str) -> Result<u8, EncodeError> {
+    u8::try_from(value).map_err(|_| EncodeError {
+        field,
+        value: value as u64,
+        max: u8::MAX as u64,
+    })
+}
+
+/// Checked `usize` → `u16` wire conversion.
+pub fn u16_of(value: usize, field: &'static str) -> Result<u16, EncodeError> {
+    u16::try_from(value).map_err(|_| EncodeError {
+        field,
+        value: value as u64,
+        max: u16::MAX as u64,
+    })
+}
+
+/// Checked `usize` → `u32` wire conversion.
+pub fn u32_of(value: usize, field: &'static str) -> Result<u32, EncodeError> {
+    u32::try_from(value).map_err(|_| EncodeError {
+        field,
+        value: value as u64,
+        max: u32::MAX as u64,
+    })
+}
 
 /// Splits a byte stream into packet payloads along record boundaries.
 #[derive(Debug)]
@@ -110,6 +165,18 @@ impl<'a> PayloadReader<'a> {
         Some(s)
     }
 
+    /// Takes the next `N` bytes as a fixed array. Panic-free: bounds are
+    /// the only failure, reported as `None` — this reader decodes bytes
+    /// received off the air, where truncation must be a typed miss, not
+    /// a crash.
+    #[inline]
+    fn take_array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Some(out)
+    }
+
     /// Reads a `u8`.
     pub fn read_u8(&mut self) -> Option<u8> {
         self.take(1).map(|s| s[0])
@@ -117,32 +184,27 @@ impl<'a> PayloadReader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn read_u16(&mut self) -> Option<u16> {
-        self.take(2)
-            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+        self.take_array().map(u16::from_le_bytes)
     }
 
     /// Reads a little-endian `u32`.
     pub fn read_u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        self.take_array().map(u32::from_le_bytes)
     }
 
     /// Reads a little-endian `u64`.
     pub fn read_u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        self.take_array().map(u64::from_le_bytes)
     }
 
     /// Reads a little-endian `f32`.
     pub fn read_f32(&mut self) -> Option<f32> {
-        self.take(4)
-            .map(|s| f32::from_le_bytes(s.try_into().unwrap()))
+        self.take_array().map(f32::from_le_bytes)
     }
 
     /// Reads a little-endian `f64`.
     pub fn read_f64(&mut self) -> Option<f64> {
-        self.take(8)
-            .map(|s| f64::from_le_bytes(s.try_into().unwrap()))
+        self.take_array().map(f64::from_le_bytes)
     }
 }
 
@@ -283,6 +345,18 @@ mod tests {
         assert_eq!(rd.read_f64(), Some(-2.25));
         assert!(rd.is_empty());
         assert_eq!(rd.read_u8(), None);
+    }
+
+    #[test]
+    fn checked_converters_accept_max_and_reject_above() {
+        assert_eq!(u16_of(65_535, "count"), Ok(65_535));
+        let e = u16_of(65_536, "count").unwrap_err();
+        assert_eq!((e.field, e.value, e.max), ("count", 65_536, 65_535));
+        assert!(e.to_string().contains("count"));
+        assert_eq!(u8_of(255, "len"), Ok(255));
+        assert!(u8_of(256, "len").is_err());
+        assert_eq!(u32_of(u32::MAX as usize, "off"), Ok(u32::MAX));
+        assert!(u32_of(u32::MAX as usize + 1, "off").is_err());
     }
 
     #[test]

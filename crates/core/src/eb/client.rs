@@ -305,7 +305,9 @@ mod tests {
         let g = small_grid(12, 12, seed);
         let part = KdTreePartition::build(&g, regions);
         let pre = BorderPrecomputation::run(&g, &part);
-        let program = EbServer::new(&g, &part, &pre).build_program();
+        let program = EbServer::new(&g, &part, &pre)
+            .build_program()
+            .expect("encode");
         (g, program)
     }
 

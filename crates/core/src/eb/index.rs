@@ -17,7 +17,7 @@
 
 use crate::precompute::MinMax;
 use bytes::Bytes;
-use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_broadcast::codec::{u16_of, EncodeError, PayloadReader, RecordBuf, RecordWriter};
 use spair_broadcast::packet::PAYLOAD_CAPACITY;
 use spair_partition::RegionId;
 use spair_roadnet::{Distance, DIST_INF};
@@ -68,7 +68,11 @@ impl EbIndex {
     /// values (fixed-width encoding), which the server relies on to break
     /// the layout/offset circularity: encode once with placeholder
     /// offsets, lay out the cycle, then re-encode with real offsets.
-    pub fn encode(&self) -> Vec<Bytes> {
+    ///
+    /// Fails with a typed [`EncodeError`] when the index exceeds a wire
+    /// field (chunk starts, square coordinates, the u16 seq/total
+    /// header) instead of silently truncating a counter.
+    pub fn encode(&self) -> Result<Vec<Bytes>, EncodeError> {
         let n = self.num_regions;
         assert_eq!(self.splits.len(), n - 1);
         assert_eq!(self.minmax.len(), n * n);
@@ -76,7 +80,7 @@ impl EbIndex {
 
         // First pass with total=0 to learn the packet count, second pass
         // with the real total. Both passes produce identical structure.
-        let body = |total: u16| -> Vec<Bytes> {
+        let body = |total: u16| -> Result<Vec<Bytes>, EncodeError> {
             let header_len = 7;
             let mut w = RecordWriter::with_capacity(PAYLOAD_CAPACITY - header_len);
             let mut rec = RecordBuf::new();
@@ -88,7 +92,7 @@ impl EbIndex {
             for (ci, chunk) in self.splits.chunks(12).enumerate() {
                 rec.clear();
                 rec.put_u8(TAG_SPLITS)
-                    .put_u16((ci * 12) as u16)
+                    .put_u16(u16_of(ci * 12, "eb splits chunk start")?)
                     .put_u8(chunk.len() as u8);
                 for &s in chunk {
                     rec.put_f64(s);
@@ -105,8 +109,8 @@ impl EbIndex {
                     let sj = SQUARE_SIDE.min(n - j0);
                     rec.clear();
                     rec.put_u8(TAG_SQUARE)
-                        .put_u16(i0 as u16)
-                        .put_u16(j0 as u16)
+                        .put_u16(u16_of(i0, "eb square row")?)
+                        .put_u16(u16_of(j0, "eb square column")?)
                         .put_u8(si as u8)
                         .put_u8(sj as u8);
                     for i in i0..i0 + si {
@@ -126,7 +130,7 @@ impl EbIndex {
             for (r, e) in self.regions.iter().enumerate() {
                 rec.clear();
                 rec.put_u8(TAG_REGION)
-                    .put_u16(r as u16)
+                    .put_u16(u16_of(r, "eb region id")?)
                     .put_u32(e.data_offset)
                     .put_u16(e.cross_packets)
                     .put_u16(e.local_packets);
@@ -140,17 +144,17 @@ impl EbIndex {
                 .map(|(seq, body)| {
                     let mut full = RecordBuf::new();
                     full.put_u8(MAGIC)
-                        .put_u16(seq as u16)
+                        .put_u16(u16_of(seq, "eb index seq")?)
                         .put_u16(total)
-                        .put_u16(n as u16);
+                        .put_u16(u16_of(n, "eb region count")?);
                     let mut v = full.as_slice().to_vec();
                     v.extend_from_slice(&body);
-                    Bytes::from(v)
+                    Ok(Bytes::from(v))
                 })
                 .collect()
         };
 
-        let count = body(0).len() as u16;
+        let count = u16_of(body(0)?.len(), "eb index total packets")?;
         body(count)
     }
 }
@@ -224,6 +228,13 @@ impl EbIndexDecoder {
             return false;
         };
         let n = n as usize;
+        // A bit-flipped header must yield a typed reject, never a panic:
+        // n == 0 would underflow the `n - 1` split store below, and an
+        // implausibly large n would turn the `n * n` min/max matrix into
+        // an allocation bomb before any real payload is inspected.
+        if n == 0 || n > crate::nr::MAX_WIRE_REGIONS {
+            return false;
+        }
         if self.num_regions.is_none() {
             self.num_regions = Some(n);
             self.splits = vec![None; n - 1];
@@ -367,7 +378,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let idx = sample_index(16);
-        let payloads = idx.encode();
+        let payloads = idx.encode().unwrap();
         let mut dec = EbIndexDecoder::new();
         for p in &payloads {
             assert!(dec.ingest(p));
@@ -395,13 +406,13 @@ mod tests {
         for c in &mut a.minmax {
             c.max = 4_000_000;
         }
-        assert_eq!(a.encode().len(), b.encode().len());
+        assert_eq!(a.encode().unwrap().len(), b.encode().unwrap().len());
     }
 
     #[test]
     fn partial_decode_reports_missing() {
         let idx = sample_index(8);
-        let payloads = idx.encode();
+        let payloads = idx.encode().unwrap();
         let mut dec = EbIndexDecoder::new();
         // Skip one packet.
         for (i, p) in payloads.iter().enumerate() {
@@ -428,7 +439,7 @@ mod tests {
             max: 0,
         };
         let mut dec = EbIndexDecoder::new();
-        for p in &idx.encode() {
+        for p in &idx.encode().unwrap() {
             dec.ingest(p);
         }
         let cell = dec.minmax(0, 1).unwrap();
@@ -446,7 +457,61 @@ mod tests {
     fn retained_bytes_formula() {
         let idx = sample_index(8);
         let mut dec = EbIndexDecoder::new();
-        dec.ingest(&idx.encode()[0]);
+        dec.ingest(&idx.encode().unwrap()[0]);
         assert_eq!(dec.retained_bytes(), 7 * 8 + 64 * 16 + 8 * 8);
+    }
+
+    /// Decoder panic audit: every payload — random, truncated, or
+    /// bit-flipped — must yield a typed reject or a partial decode,
+    /// never a panic.
+    mod panic_audit {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            #[test]
+            fn arbitrary_payloads_never_panic(
+                payload in proptest::collection::vec(any::<u8>(), 0..220),
+            ) {
+                let mut dec = EbIndexDecoder::new();
+                let _ = dec.ingest(&payload);
+                let _ = dec.splits();
+                let _ = dec.num_regions();
+            }
+
+            #[test]
+            fn corrupted_real_payloads_never_panic(
+                cut in 0usize..256,
+                bit in 0usize..(1 << 11),
+            ) {
+                for payload in sample_index(8).encode().unwrap() {
+                    let mut dec = EbIndexDecoder::new();
+                    let _ = dec.ingest(&payload[..cut.min(payload.len())]);
+                    let mut flipped = payload.to_vec();
+                    let b = bit % (flipped.len() * 8);
+                    flipped[b / 8] ^= 1 << (b % 8);
+                    let mut dec = EbIndexDecoder::new();
+                    let _ = dec.ingest(&flipped);
+                    let _ = dec.splits();
+                }
+            }
+        }
+
+        /// Hostile header region counts: zero (would underflow the
+        /// `n - 1` split store) and u16::MAX (would blow up the `n * n`
+        /// min/max matrix) must be typed rejects.
+        #[test]
+        fn hostile_region_counts_are_rejected() {
+            let payload = sample_index(8).encode().unwrap().remove(0);
+            for n in [0u16, u16::MAX] {
+                let mut hostile = payload.to_vec();
+                hostile[5..7].copy_from_slice(&n.to_le_bytes());
+                let mut dec = EbIndexDecoder::new();
+                assert!(!dec.ingest(&hostile), "n={n}");
+                assert_eq!(dec.num_regions(), None);
+            }
+        }
     }
 }

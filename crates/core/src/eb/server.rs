@@ -4,6 +4,7 @@ use crate::eb::index::{EbIndex, EbRegionEntry};
 use crate::netcodec::encode_nodes_with_borders;
 use crate::precompute::BorderPrecomputation;
 use bytes::Bytes;
+use spair_broadcast::codec::EncodeError;
 use spair_broadcast::cycle::SegmentKind;
 use spair_broadcast::interleave::{interleave_1m, optimal_m, DataChunk};
 use spair_broadcast::packet::PacketKind;
@@ -111,7 +112,7 @@ impl<'a> EbServer<'a> {
     /// encode with placeholder offsets to learn the index packet count,
     /// lay the cycle out, read the region offsets back from the layout,
     /// re-encode, and rebuild the identical layout with the real index.
-    pub fn build_program(&self) -> EbProgram {
+    pub fn build_program(&self) -> Result<EbProgram, EncodeError> {
         let n = self.part.num_regions();
         let region_data = self.region_payloads();
 
@@ -124,7 +125,7 @@ impl<'a> EbServer<'a> {
                 })
                 .collect(),
         );
-        let index_payloads = placeholder.encode();
+        let index_payloads = placeholder.encode()?;
         let index_packets = index_payloads.len();
         let total_data: usize = region_data.iter().map(|(c, l)| c.len() + l.len()).sum();
         let m = optimal_m(total_data, index_packets);
@@ -160,17 +161,17 @@ impl<'a> EbServer<'a> {
             .collect();
 
         // Real build: same payload counts => identical layout.
-        let real_index = self.index_with_offsets(entries).encode();
+        let real_index = self.index_with_offsets(entries).encode()?;
         assert_eq!(real_index.len(), index_packets, "fixed-width encoding");
         let cycle = interleave_1m(real_index, chunks(&region_data), m).finish();
         debug_assert_eq!(cycle.len(), dry.len());
 
-        EbProgram {
+        Ok(EbProgram {
             cycle,
             summary: EbSummary { num_regions: n },
             index_packets,
             replication: m,
-        }
+        })
     }
 }
 
@@ -185,7 +186,9 @@ mod tests {
         let g = small_grid(10, 10, seed);
         let part = KdTreePartition::build(&g, regions);
         let pre = BorderPrecomputation::run(&g, &part);
-        let program = EbServer::new(&g, &part, &pre).build_program();
+        let program = EbServer::new(&g, &part, &pre)
+            .build_program()
+            .expect("encode");
         (g, program)
     }
 

@@ -29,7 +29,7 @@ use crate::eb::{EbIndex, EbRegionEntry};
 use crate::netcodec::{decode_payload, encode_nodes_with_borders, ReceivedGraph};
 use crate::precompute::BorderPrecomputation;
 use bytes::Bytes;
-use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_broadcast::codec::{EncodeError, PayloadReader, RecordBuf, RecordWriter};
 use spair_broadcast::cycle::SegmentKind;
 use spair_broadcast::interleave::{interleave_1m, optimal_m, DataChunk};
 use spair_broadcast::packet::PacketKind;
@@ -94,7 +94,7 @@ impl<'a> KnnServer<'a> {
 
     /// Assembles the program. The POI stream rides as extra index packets
     /// after each EB index copy, so a client has POIs and matrix together.
-    pub fn build_program(&self) -> KnnProgram {
+    pub fn build_program(&self) -> Result<KnnProgram, EncodeError> {
         let n = self.part.num_regions();
         // Whole-region payloads (kNN needs local nodes too: a POI can be
         // anywhere, so there is no cross-border shortcut here).
@@ -106,7 +106,7 @@ impl<'a> KnnServer<'a> {
             })
             .collect();
 
-        let index_of = |entries: Vec<EbRegionEntry>| -> Vec<Bytes> {
+        let index_of = |entries: Vec<EbRegionEntry>| -> Result<Vec<Bytes>, EncodeError> {
             let mut minmax = Vec::with_capacity(n * n);
             for i in 0..n as u16 {
                 for j in 0..n as u16 {
@@ -119,9 +119,9 @@ impl<'a> KnnServer<'a> {
                 minmax,
                 regions: entries,
             }
-            .encode();
+            .encode()?;
             payloads.extend(self.poi_payloads());
-            payloads
+            Ok(payloads)
         };
 
         let placeholder: Vec<EbRegionEntry> = (0..n)
@@ -131,7 +131,7 @@ impl<'a> KnnServer<'a> {
                 local_packets: 0,
             })
             .collect();
-        let index_payloads = index_of(placeholder);
+        let index_payloads = index_of(placeholder)?;
         let index_packets = index_payloads.len();
         let total_data: usize = region_payloads.iter().map(Vec::len).sum();
         let m = optimal_m(total_data, index_packets);
@@ -160,13 +160,13 @@ impl<'a> KnnServer<'a> {
                 }
             })
             .collect();
-        let real = index_of(entries);
+        let real = index_of(entries)?;
         assert_eq!(real.len(), index_packets, "fixed-width encoding");
         let cycle = interleave_1m(real, chunks(&region_payloads), m).finish();
-        KnnProgram {
+        Ok(KnnProgram {
             cycle,
             num_regions: n,
-        }
+        })
     }
 }
 
@@ -503,7 +503,9 @@ mod tests {
             .collect();
         pois.sort_unstable();
         pois.dedup();
-        let program = KnnServer::new(&g, &part, &pre, &pois).build_program();
+        let program = KnnServer::new(&g, &part, &pre, &pois)
+            .build_program()
+            .expect("encode");
         (g, pois, program)
     }
 

@@ -26,16 +26,27 @@
 //! node sequence. The saving materializes when regions are large relative
 //! to their border count — exactly the road-network regime (a few percent
 //! of a kd region's nodes are border nodes at paper scale).
+//!
+//! Internally `G'` is a flat slot arena rather than a per-node map, the
+//! same layout [`crate::netcodec::ReceivedGraph`] uses: every broadcast id
+//! seen gets a dense `u32` slot (direct-index table below
+//! [`DIRECT_ID_CAP`], spill map above), per-slot adjacency is an intrusive
+//! list inside one shared edge arena, and both Dijkstras (the per-region
+//! contraction and the final `G'` search) run over stamp-versioned dense
+//! scratch arrays that regions reuse without reallocating. Distances and
+//! memory charges are identical to the former map-based processor; unlike
+//! it, super-edge emission order is deterministic (ascending reached id)
+//! rather than hash-iteration order.
 
 use crate::netcodec::ReceivedGraph;
 use crate::query::decoded_node_bytes;
 use spair_broadcast::{CpuMeter, MemoryMeter};
 use spair_roadnet::bucket_queue::AUTO_BUCKET_MAX_WEIGHT;
 use spair_roadnet::{BucketQueue, DijkstraQueue, Distance, MinHeap, NodeId, QueuePolicy, Weight};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// One edge of the contracted graph `G'`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum GEdge {
     /// A raw network edge retained as-is (border/cross edges).
     Raw(Weight),
@@ -44,10 +55,46 @@ enum GEdge {
     Super(Distance, usize),
 }
 
+/// Sentinel for "no slot" / "no parent" / "end of adjacency list".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Largest broadcast id served by the direct-index slot table; ids beyond
+/// it go to the spill map so a hostile id space cannot balloon the table.
+const DIRECT_ID_CAP: usize = 1 << 22;
+
 /// Incremental §6.1 contractor.
 #[derive(Debug, Default)]
 pub struct MemoryBoundProcessor {
-    gprime: HashMap<NodeId, Vec<(NodeId, GEdge)>>,
+    /// Broadcast id -> slot for ids below [`DIRECT_ID_CAP`] (`NO_SLOT` =
+    /// unseen), grown on demand.
+    slot_table: Vec<u32>,
+    /// Slots of outlandish ids (≥ [`DIRECT_ID_CAP`]).
+    slot_spill: HashMap<NodeId, u32>,
+    /// Broadcast id per slot.
+    ids: Vec<NodeId>,
+    /// Head of each slot's adjacency list in the edge arena.
+    adj_head: Vec<u32>,
+    /// Tail of each slot's adjacency list (appends preserve edge order).
+    adj_tail: Vec<u32>,
+    /// Edge arena: target slot + payload; `edge_next` links same-source
+    /// edges in insertion order.
+    edge_to: Vec<u32>,
+    edge_payload: Vec<GEdge>,
+    edge_next: Vec<u32>,
+    /// Slots whose adjacency list is non-empty (sizes the bucket queue the
+    /// way the former map's `len()` did).
+    adj_nodes: usize,
+    /// Stamped scratch shared by the contraction and `G'` Dijkstras.
+    dist: Vec<Distance>,
+    parent: Vec<u32>,
+    stamp: Vec<u64>,
+    search: u64,
+    /// Region-membership / anchor stamps for the current `add_region`.
+    member: Vec<u64>,
+    anchor: Vec<u64>,
+    region_epoch: u64,
+    /// Slots touched by the current search, in first-touch order.
+    touched: Vec<u32>,
     paths: Vec<Vec<NodeId>>,
     keep_paths: bool,
     queue: QueuePolicy,
@@ -85,6 +132,66 @@ impl MemoryBoundProcessor {
         self
     }
 
+    /// Slot of `v`, if seen.
+    #[inline]
+    fn slot_lookup(&self, v: NodeId) -> Option<u32> {
+        if (v as usize) < self.slot_table.len() {
+            let s = self.slot_table[v as usize];
+            if s != NO_SLOT {
+                Some(s)
+            } else {
+                None
+            }
+        } else if (v as usize) < DIRECT_ID_CAP {
+            None
+        } else {
+            self.slot_spill.get(&v).copied()
+        }
+    }
+
+    /// Slot of `v`, creating one if unseen. New slots get empty adjacency
+    /// and already-expired scratch stamps.
+    fn ensure_slot(&mut self, v: NodeId) -> u32 {
+        if let Some(s) = self.slot_lookup(v) {
+            return s;
+        }
+        let s = self.ids.len() as u32;
+        if (v as usize) < DIRECT_ID_CAP {
+            if (v as usize) >= self.slot_table.len() {
+                let new_len = ((v as usize + 1).next_power_of_two()).min(DIRECT_ID_CAP);
+                self.slot_table.resize(new_len, NO_SLOT);
+            }
+            self.slot_table[v as usize] = s;
+        } else {
+            self.slot_spill.insert(v, s);
+        }
+        self.ids.push(v);
+        self.adj_head.push(NO_SLOT);
+        self.adj_tail.push(NO_SLOT);
+        self.dist.push(0);
+        self.parent.push(NO_SLOT);
+        self.stamp.push(0);
+        self.member.push(0);
+        self.anchor.push(0);
+        s
+    }
+
+    /// Appends one `G'` edge `from -> to` at the end of `from`'s list.
+    fn push_edge(&mut self, from: u32, to: u32, e: GEdge) {
+        let idx = self.edge_to.len() as u32;
+        self.edge_to.push(to);
+        self.edge_payload.push(e);
+        self.edge_next.push(NO_SLOT);
+        let f = from as usize;
+        if self.adj_head[f] == NO_SLOT {
+            self.adj_head[f] = idx;
+            self.adj_nodes += 1;
+        } else {
+            self.edge_next[self.adj_tail[f] as usize] = idx;
+        }
+        self.adj_tail[f] = idx;
+    }
+
     /// Contracts one fully received region.
     ///
     /// `region_nodes` are the node ids of the region with their adjacency
@@ -105,55 +212,134 @@ impl MemoryBoundProcessor {
             .sum();
         self.mem.alloc(raw_bytes);
 
-        let inside: HashSet<NodeId> = region_nodes.iter().copied().collect();
-        let mut anchors: Vec<NodeId> = region_nodes
-            .iter()
-            .copied()
-            .filter(|&v| store.is_border(v).unwrap_or(false))
-            .collect();
+        self.region_epoch += 1;
+        let epoch = self.region_epoch;
+        let mut anchors: Vec<u32> = Vec::new();
+        for &v in region_nodes {
+            let s = self.ensure_slot(v);
+            self.member[s as usize] = epoch;
+            if store.is_border(v).unwrap_or(false) {
+                self.anchor[s as usize] = epoch;
+                anchors.push(s);
+            }
+        }
         for &t in terminals {
-            if inside.contains(&t) && !anchors.contains(&t) {
-                anchors.push(t);
+            if let Some(s) = self.slot_lookup(t) {
+                let si = s as usize;
+                if self.member[si] == epoch && self.anchor[si] != epoch {
+                    self.anchor[si] = epoch;
+                    anchors.push(s);
+                }
             }
         }
 
-        let anchor_set: HashSet<NodeId> = anchors.iter().copied().collect();
-        let mut new_edges: Vec<(NodeId, NodeId, GEdge)> = Vec::new();
+        let mut new_edges: Vec<(u32, u32, GEdge)> = Vec::new();
         let mut path_bytes = 0usize;
-        let keep_paths = self.keep_paths;
-        self.cpu.time(|| {
+        // Meter taken out for the duration so the closure can borrow the
+        // rest of `self` mutably.
+        let mut cpu = std::mem::take(&mut self.cpu);
+        cpu.time(|| {
             for &a in &anchors {
-                path_bytes += contract_from(
-                    store,
-                    a,
-                    &inside,
-                    &anchor_set,
-                    keep_paths,
-                    &mut self.paths,
-                    &mut new_edges,
-                );
+                path_bytes += self.contract_from(store, a, &mut new_edges);
             }
             // Keep raw cross-region edges of border nodes (border edges).
-            for &v in &anchors {
-                for &(u, w) in store.out_edges(v) {
-                    if !inside.contains(&u) {
-                        new_edges.push((v, u, GEdge::Raw(w)));
+            for &a in &anchors {
+                for &(u, w) in store.out_edges(self.ids[a as usize]) {
+                    let us = self.ensure_slot(u);
+                    if self.member[us as usize] != epoch {
+                        new_edges.push((a, us, GEdge::Raw(w)));
                     }
                 }
             }
         });
+        self.cpu = cpu;
         self.mem.alloc(path_bytes + new_edges.len() * 16);
         for (from, to, e) in new_edges {
             self.max_cost = self.max_cost.max(match &e {
                 GEdge::Raw(w) => *w as Distance,
                 GEdge::Super(d, _) => *d,
             });
-            self.gprime.entry(from).or_default().push((to, e));
+            self.push_edge(from, to, e);
         }
 
         // Release the raw region data (§6.1: "the region data can be
         // discarded").
         self.mem.free(raw_bytes);
+    }
+
+    /// Region-restricted Dijkstra from anchor slot `a`; appends
+    /// super-edges to every other anchor reached, in ascending reached-id
+    /// order. Returns the bytes of stored paths.
+    fn contract_from(
+        &mut self,
+        store: &ReceivedGraph,
+        a: u32,
+        out: &mut Vec<(u32, u32, GEdge)>,
+    ) -> usize {
+        let epoch = self.region_epoch;
+        self.search += 1;
+        let search = self.search;
+        self.touched.clear();
+        let mut heap = MinHeap::new();
+        self.dist[a as usize] = 0;
+        self.parent[a as usize] = NO_SLOT;
+        self.stamp[a as usize] = search;
+        self.touched.push(a);
+        heap.push(0, self.ids[a as usize]);
+        while let Some(e) = heap.pop() {
+            let v = e.item;
+            // Popped ids were stamped when pushed; the slot exists.
+            let vs = self.slot_lookup(v).expect("queued node has a slot");
+            if self.dist[vs as usize] != e.key {
+                continue;
+            }
+            for &(u, w) in store.out_edges(v) {
+                let us = self.ensure_slot(u) as usize;
+                if self.member[us] != epoch {
+                    continue;
+                }
+                let cand = e.key + w as Distance;
+                let seen = self.stamp[us] == search;
+                if !seen || cand < self.dist[us] {
+                    self.dist[us] = cand;
+                    self.parent[us] = vs;
+                    if !seen {
+                        self.stamp[us] = search;
+                        self.touched.push(us as u32);
+                    }
+                    heap.push(cand, u);
+                }
+            }
+        }
+        // The former map-based processor iterated its distance map in hash
+        // order here; ascending reached-id order is deterministic and
+        // emits the same super-edge *set*.
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort_unstable_by_key(|&s| self.ids[s as usize]);
+        let mut bytes = 0usize;
+        for &bs in &touched {
+            let bi = bs as usize;
+            if bs == a || self.anchor[bi] != epoch {
+                continue;
+            }
+            let idx = if self.keep_paths {
+                let mut path = vec![self.ids[bi]];
+                let mut cur = bi;
+                while self.parent[cur] != NO_SLOT {
+                    cur = self.parent[cur] as usize;
+                    path.push(self.ids[cur]);
+                }
+                path.reverse();
+                bytes += 4 * path.len();
+                self.paths.push(path);
+                self.paths.len() - 1
+            } else {
+                usize::MAX // contracted marker: answer path stays anchor-level
+            };
+            out.push((a, bs, GEdge::Super(self.dist[bi], idx)));
+        }
+        self.touched = touched;
+        bytes
     }
 
     /// Final Dijkstra over `G'` followed by super-edge expansion, on the
@@ -165,12 +351,12 @@ impl MemoryBoundProcessor {
     ) -> Option<(Distance, Vec<NodeId>)> {
         let bucket_ok = self.max_cost <= AUTO_BUCKET_MAX_WEIGHT as Distance;
         let resolved = if bucket_ok {
-            let expected = Some(self.gprime.len().div_ceil(2));
+            let expected = Some(self.adj_nodes.div_ceil(2));
             self.queue.resolve_for(self.max_cost as Weight, expected)
         } else {
             QueuePolicy::Heap
         };
-        let (dist, parent) = match resolved {
+        let (t_slot, spidx) = match resolved {
             QueuePolicy::Bucket => self.gprime_search(
                 source,
                 target,
@@ -178,19 +364,20 @@ impl MemoryBoundProcessor {
             ),
             _ => self.gprime_search(source, target, &mut MinHeap::new()),
         };
-        let d = *dist.get(&target)?;
+        let t_slot = t_slot?;
+        let d = self.dist[t_slot as usize];
         // Expand: walk parents, splicing super-edge paths back in.
-        let mut path = vec![target];
-        let mut cur = target;
-        while cur != source {
-            let &(p, pidx) = parent.get(&cur)?;
-            match pidx {
-                None | Some(usize::MAX) => path.push(p),
+        let mut path = vec![self.ids[t_slot as usize]];
+        let mut cur = t_slot as usize;
+        while self.parent[cur] != NO_SLOT {
+            let p = self.parent[cur] as usize;
+            match spidx[cur] {
+                None | Some(usize::MAX) => path.push(self.ids[p]),
                 Some(i) => {
                     // Stored path runs p -> cur; splice reversed interior.
                     let sp = &self.paths[i];
-                    debug_assert_eq!(sp.first(), Some(&p));
-                    debug_assert_eq!(sp.last(), Some(&cur));
+                    debug_assert_eq!(sp.first(), Some(&self.ids[p]));
+                    debug_assert_eq!(sp.last(), Some(&self.ids[cur]));
                     for &node in sp.iter().rev().skip(1) {
                         path.push(node);
                     }
@@ -202,119 +389,76 @@ impl MemoryBoundProcessor {
         Some((d, path))
     }
 
-    /// The `G'` Dijkstra itself, generic over the driving queue. Takes
-    /// `gprime` out of `self` for the duration so the CPU meter can time
-    /// the closure without aliasing.
+    /// The `G'` Dijkstra itself, generic over the driving queue. Returns
+    /// the settled target slot (scratch holds dist/parent) plus each
+    /// slot's reaching super-edge path index.
     fn gprime_search<Q: DijkstraQueue>(
         &mut self,
         source: NodeId,
         target: NodeId,
         queue: &mut Q,
-    ) -> GSearchState {
-        let gprime = std::mem::take(&mut self.gprime);
-        let result = self.cpu.time(|| {
-            let mut dist: HashMap<NodeId, Distance> = HashMap::new();
-            let mut parent: HashMap<NodeId, (NodeId, Option<usize>)> = HashMap::new();
-            dist.insert(source, 0);
-            queue.push(0, source);
+    ) -> (Option<u32>, Vec<Option<usize>>) {
+        let s_slot = self.ensure_slot(source);
+        let t_slot = self.slot_lookup(target).unwrap_or(NO_SLOT);
+        let mut spidx: Vec<Option<usize>> = vec![None; self.ids.len()];
+        let mut reached_target = false;
+        // Meter taken out for the duration so the closure can borrow the
+        // rest of `self` mutably.
+        let mut cpu = std::mem::take(&mut self.cpu);
+        cpu.time(|| {
+            self.search += 1;
+            let search = self.search;
+            self.dist[s_slot as usize] = 0;
+            self.parent[s_slot as usize] = NO_SLOT;
+            self.stamp[s_slot as usize] = search;
+            queue.push(0, s_slot);
             while let Some((key, v)) = queue.pop() {
-                if dist.get(&v) != Some(&key) {
+                let vi = v as usize;
+                if self.stamp[vi] != search || self.dist[vi] != key {
                     continue;
                 }
-                if v == target {
+                if v == t_slot {
+                    reached_target = true;
                     break;
                 }
-                for (u, edge) in gprime.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
-                    let (cost, pidx) = match edge {
-                        GEdge::Raw(w) => (*w as Distance, None),
-                        GEdge::Super(d, i) => (*d, Some(*i)),
+                let mut e = self.adj_head[vi];
+                while e != NO_SLOT {
+                    let ei = e as usize;
+                    let u = self.edge_to[ei];
+                    let (cost, pidx) = match self.edge_payload[ei] {
+                        GEdge::Raw(w) => (w as Distance, None),
+                        GEdge::Super(d, i) => (d, Some(i)),
                     };
                     let cand = key + cost;
-                    if dist.get(u).is_none_or(|&d| cand < d) {
-                        dist.insert(*u, cand);
-                        parent.insert(*u, (v, pidx));
-                        queue.push(cand, *u);
+                    let ui = u as usize;
+                    if self.stamp[ui] != search || cand < self.dist[ui] {
+                        self.dist[ui] = cand;
+                        self.parent[ui] = v;
+                        self.stamp[ui] = search;
+                        spidx[ui] = pidx;
+                        queue.push(cand, u);
                     }
+                    e = self.edge_next[ei];
                 }
             }
-            (dist, parent)
         });
-        self.gprime = gprime;
-        result
-    }
-}
-
-/// `(distances, parents)` of one `G'` search.
-type GSearchState = (
-    HashMap<NodeId, Distance>,
-    HashMap<NodeId, (NodeId, Option<usize>)>,
-);
-
-/// Region-restricted Dijkstra from anchor `a`; appends super-edges to
-/// every other anchor reached. Returns the bytes of stored paths.
-fn contract_from(
-    store: &ReceivedGraph,
-    a: NodeId,
-    inside: &HashSet<NodeId>,
-    anchors: &HashSet<NodeId>,
-    keep_paths: bool,
-    paths: &mut Vec<Vec<NodeId>>,
-    out: &mut Vec<(NodeId, NodeId, GEdge)>,
-) -> usize {
-    let mut dist: HashMap<NodeId, Distance> = HashMap::new();
-    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
-    let mut heap = MinHeap::new();
-    dist.insert(a, 0);
-    heap.push(0, a);
-    while let Some(e) = heap.pop() {
-        let v = e.item;
-        if dist.get(&v) != Some(&e.key) {
-            continue;
-        }
-        for &(u, w) in store.out_edges(v) {
-            if !inside.contains(&u) {
-                continue;
-            }
-            let cand = e.key + w as Distance;
-            if dist.get(&u).is_none_or(|&d| cand < d) {
-                dist.insert(u, cand);
-                parent.insert(u, v);
-                heap.push(cand, u);
-            }
-        }
-    }
-    let mut bytes = 0usize;
-    for (&b, &d) in &dist {
-        if b == a || !anchors.contains(&b) {
-            continue;
-        }
-        let idx = if keep_paths {
-            let mut path = vec![b];
-            let mut cur = b;
-            while let Some(&p) = parent.get(&cur) {
-                path.push(p);
-                cur = p;
-            }
-            path.reverse();
-            bytes += 4 * path.len();
-            paths.push(path);
-            paths.len() - 1
+        self.cpu = cpu;
+        if reached_target {
+            (Some(t_slot), spidx)
         } else {
-            usize::MAX // contracted marker: answer path stays anchor-level
-        };
-        out.push((a, b, GEdge::Super(d, idx)));
+            (None, spidx)
+        }
     }
-    bytes
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netcodec::{decode_payload, encode_nodes_with_borders};
+    use crate::netcodec::{decode_payload, encode_nodes_with_borders, NodeRecord};
     use crate::precompute::BorderPrecomputation;
     use spair_partition::{KdTreePartition, Partitioning};
     use spair_roadnet::generators::small_grid;
-    use spair_roadnet::{dijkstra_distance, RoadNetwork};
+    use spair_roadnet::{dijkstra_distance, Point, RoadNetwork};
 
     /// Builds a ReceivedGraph holding the whole network with true border
     /// flags, plus the per-region node lists.
@@ -477,5 +621,45 @@ mod tests {
             proc.add_region(&store, nodes, &[]);
         }
         assert!(proc.cpu.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn spill_range_node_ids_use_the_spill_map() {
+        // A two-region chain whose ids straddle DIRECT_ID_CAP exercises
+        // both halves of the slot table.
+        let base = (super::DIRECT_ID_CAP as NodeId) - 2;
+        let ids: Vec<NodeId> = (0..6).map(|i| base + i).collect();
+        let mut store = ReceivedGraph::new();
+        for (k, &id) in ids.iter().enumerate() {
+            let mut edges = Vec::new();
+            if k > 0 {
+                edges.push((ids[k - 1], 7));
+            }
+            if k + 1 < ids.len() {
+                edges.push((ids[k + 1], 7));
+            }
+            store.ingest(NodeRecord {
+                id,
+                point: Point::new(k as f64, 0.0),
+                border: k == 2 || k == 3, // the bridge endpoints
+                edges,
+                more: false,
+            });
+        }
+        let regions = [ids[..3].to_vec(), ids[3..].to_vec()];
+        let (s, t) = (ids[0], ids[5]);
+        let mut proc = MemoryBoundProcessor::with_paths();
+        for nodes in &regions {
+            let terminals: Vec<NodeId> = [s, t]
+                .iter()
+                .copied()
+                .filter(|v| nodes.contains(v))
+                .collect();
+            proc.add_region(&store, nodes, &terminals);
+        }
+        let (d, path) = proc.shortest_path(s, t).expect("reachable");
+        assert_eq!(d, 35);
+        assert_eq!(path, ids);
+        assert!(!proc.slot_spill.is_empty(), "ids above the cap must spill");
     }
 }

@@ -488,7 +488,9 @@ mod tests {
         let g = small_grid(12, 12, seed);
         let part = KdTreePartition::build(&g, regions);
         let pre = BorderPrecomputation::run(&g, &part);
-        let program = NrServer::new(&g, &part, &pre).build_program();
+        let program = NrServer::new(&g, &part, &pre)
+            .build_program()
+            .expect("encode");
         (g, program)
     }
 
@@ -514,8 +516,12 @@ mod tests {
         let g = small_grid(14, 14, 31);
         let part = KdTreePartition::build(&g, 16);
         let pre = BorderPrecomputation::run(&g, &part);
-        let nr_program = NrServer::new(&g, &part, &pre).build_program();
-        let eb_program = crate::eb::EbServer::new(&g, &part, &pre).build_program();
+        let nr_program = NrServer::new(&g, &part, &pre)
+            .build_program()
+            .expect("encode");
+        let eb_program = crate::eb::EbServer::new(&g, &part, &pre)
+            .build_program()
+            .expect("encode");
         let q = Query::for_nodes(&g, 0, 17);
         let mut nr = NrClient::new(nr_program.summary());
         let mut eb = crate::eb::EbClient::new(eb_program.summary());

@@ -13,11 +13,16 @@
 //! region, sequence, copy length, region count).
 
 use bytes::Bytes;
-use spair_broadcast::codec::{PayloadReader, RecordBuf, RecordWriter};
+use spair_broadcast::codec::{u16_of, EncodeError, PayloadReader, RecordBuf, RecordWriter};
 use spair_broadcast::packet::PAYLOAD_CAPACITY;
 use spair_partition::RegionId;
 
 const MAGIC: u8 = 0xA2;
+
+/// Upper bound on the region count a decoder will accept from the wire.
+/// Far above any real partitioning (the paper tops out at hundreds), but
+/// small enough that `n * n` matrix cells stay an ordinary allocation.
+pub(crate) const MAX_WIRE_REGIONS: usize = 4096;
 const TAG_SPLITS: u8 = 1;
 const TAG_NEXT: u8 = 2;
 const TAG_OFFSET: u8 = 3;
@@ -67,14 +72,18 @@ pub struct NrLocalIndex {
 impl NrLocalIndex {
     /// Encodes into packet payloads. Fixed width given `num_regions`, so
     /// packet counts never change when offsets are patched.
-    pub fn encode(&self) -> Vec<Bytes> {
+    ///
+    /// Fails with a typed [`EncodeError`] when the index exceeds a wire
+    /// field (chunk starts, row ids, the u16 seq/total header) instead
+    /// of silently truncating a counter.
+    pub fn encode(&self) -> Result<Vec<Bytes>, EncodeError> {
         let n = self.num_regions;
         assert_eq!(self.splits.len(), n - 1);
         assert_eq!(self.next.len(), n * n);
         assert_eq!(self.offsets.len(), n);
         let wide = n > 255;
 
-        let body = |total: u16| -> Vec<Bytes> {
+        let body = |total: u16| -> Result<Vec<Bytes>, EncodeError> {
             let mut w = RecordWriter::with_capacity(PAYLOAD_CAPACITY - HEADER_LEN);
             let mut rec = RecordBuf::new();
 
@@ -86,7 +95,7 @@ impl NrLocalIndex {
             for (ci, chunk) in self.splits.chunks(12).enumerate() {
                 rec.clear();
                 rec.put_u8(TAG_SPLITS)
-                    .put_u16((ci * 12) as u16)
+                    .put_u16(u16_of(ci * 12, "nr splits chunk start")?)
                     .put_u8(chunk.len() as u8);
                 for &s in chunk {
                     rec.put_f64(s);
@@ -97,7 +106,7 @@ impl NrLocalIndex {
             for (r, e) in self.offsets.iter().enumerate() {
                 rec.clear();
                 rec.put_u8(TAG_OFFSET)
-                    .put_u16(r as u16)
+                    .put_u16(u16_of(r, "nr offset region id")?)
                     .put_u32(e.data_offset)
                     .put_u16(e.cross_packets)
                     .put_u16(e.local_packets);
@@ -111,8 +120,8 @@ impl NrLocalIndex {
                 for (ci, chunk) in row.chunks(per_chunk).enumerate() {
                     rec.clear();
                     rec.put_u8(TAG_NEXT)
-                        .put_u16(i as u16)
-                        .put_u16((ci * per_chunk) as u16)
+                        .put_u16(u16_of(i, "nr next-row region")?)
+                        .put_u16(u16_of(ci * per_chunk, "nr next-row chunk start")?)
                         .put_u8(chunk.len() as u8);
                     for &c in chunk {
                         if wide {
@@ -132,17 +141,17 @@ impl NrLocalIndex {
                     let mut h = RecordBuf::new();
                     h.put_u8(MAGIC)
                         .put_u16(self.region)
-                        .put_u16(seq as u16)
+                        .put_u16(u16_of(seq, "nr index seq")?)
                         .put_u16(total)
-                        .put_u16(n as u16);
+                        .put_u16(u16_of(n, "nr region count")?);
                     let mut v = h.as_slice().to_vec();
                     v.extend_from_slice(&body);
-                    Bytes::from(v)
+                    Ok(Bytes::from(v))
                 })
                 .collect()
         };
 
-        let count = body(0).len() as u16;
+        let count = u16_of(body(0)?.len(), "nr index total packets")?;
         body(count)
     }
 }
@@ -219,6 +228,13 @@ impl NrIndexDecoder {
             return false;
         };
         let n = n as usize;
+        // A bit-flipped header must yield a typed reject, never a panic:
+        // n == 0 would underflow the shared `n - 1` split store, and an
+        // implausibly large n would turn `n * n` cells into an allocation
+        // bomb before any real payload is inspected.
+        if n == 0 || n > MAX_WIRE_REGIONS {
+            return false;
+        }
         self.region = Some(region);
         if total > 0 {
             self.total_packets = Some(total);
@@ -351,7 +367,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let idx = sample(3, 16);
-        let payloads = idx.encode();
+        let payloads = idx.encode().unwrap();
         let mut dec = NrIndexDecoder::new();
         let mut shared = NrSharedState::default();
         for p in &payloads {
@@ -376,7 +392,7 @@ mod tests {
         idx.next[5] = NO_NEXT;
         let mut dec = NrIndexDecoder::new();
         let mut shared = NrSharedState::default();
-        for p in &idx.encode() {
+        for p in &idx.encode().unwrap() {
             dec.ingest(p, &mut shared);
         }
         assert_eq!(dec.cell(0, 5), Some(NO_NEXT));
@@ -387,7 +403,7 @@ mod tests {
         let idx = sample(1, 512);
         let mut dec = NrIndexDecoder::new();
         let mut shared = NrSharedState::default();
-        for p in &idx.encode() {
+        for p in &idx.encode().unwrap() {
             assert!(dec.ingest(p, &mut shared));
         }
         assert_eq!(dec.cell(511, 511), Some(idx.next[512 * 512 - 1]));
@@ -396,13 +412,13 @@ mod tests {
     #[test]
     fn packet_count_fixed_for_offset_values() {
         let mut a = sample(2, 32);
-        let b = a.encode().len();
+        let b = a.encode().unwrap().len();
         for e in &mut a.offsets {
             e.data_offset = u32::MAX / 2;
             e.cross_packets = 60_000;
             e.local_packets = 5_000;
         }
-        assert_eq!(a.encode().len(), b);
+        assert_eq!(a.encode().unwrap().len(), b);
     }
 
     #[test]
@@ -410,8 +426,8 @@ mod tests {
         let idx0 = sample(0, 8);
         let idx1 = sample(1, 8);
         let mut shared = NrSharedState::default();
-        let p0 = idx0.encode();
-        let p1 = idx1.encode();
+        let p0 = idx0.encode().unwrap();
+        let p1 = idx1.encode().unwrap();
         // Lose packet 0 of copy 0, ingest the rest; then copy 1 complete.
         let mut d0 = NrIndexDecoder::new();
         for p in p0.iter().skip(1) {
@@ -433,7 +449,64 @@ mod tests {
         // 32 regions: one local index must stay within ~20 packets
         // (32*32 bytes of cells + 31 f64 splits + 32*11 offset table).
         let idx = sample(0, 32);
-        let count = idx.encode().len();
+        let count = idx.encode().unwrap().len();
         assert!(count <= 20, "local index unexpectedly large: {count}");
+    }
+
+    /// Decoder panic audit: every payload — random, truncated, or
+    /// bit-flipped — must yield a typed reject or a partial decode,
+    /// never a panic.
+    mod panic_audit {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            #[test]
+            fn arbitrary_payloads_never_panic(
+                payload in proptest::collection::vec(any::<u8>(), 0..220),
+            ) {
+                let mut dec = NrIndexDecoder::new();
+                let mut shared = NrSharedState::default();
+                let _ = dec.ingest(&payload, &mut shared);
+                let _ = shared.complete_splits();
+            }
+
+            #[test]
+            fn corrupted_real_payloads_never_panic(
+                cut in 0usize..256,
+                bit in 0usize..(1 << 11),
+            ) {
+                for payload in sample(3, 16).encode().unwrap() {
+                    let mut dec = NrIndexDecoder::new();
+                    let mut shared = NrSharedState::default();
+                    let _ = dec.ingest(&payload[..cut.min(payload.len())], &mut shared);
+                    let mut flipped = payload.to_vec();
+                    let b = bit % (flipped.len() * 8);
+                    flipped[b / 8] ^= 1 << (b % 8);
+                    let mut dec = NrIndexDecoder::new();
+                    let mut shared = NrSharedState::default();
+                    let _ = dec.ingest(&flipped, &mut shared);
+                    let _ = shared.complete_splits();
+                }
+            }
+        }
+
+        /// Hostile header region counts: zero (would underflow the
+        /// shared `n - 1` split store) and u16::MAX (would blow up the
+        /// `n * n` next-cell matrix) must be typed rejects.
+        #[test]
+        fn hostile_region_counts_are_rejected() {
+            let payload = sample(3, 16).encode().unwrap().remove(0);
+            for n in [0u16, u16::MAX] {
+                let mut hostile = payload.to_vec();
+                hostile[7..9].copy_from_slice(&n.to_le_bytes());
+                let mut dec = NrIndexDecoder::new();
+                let mut shared = NrSharedState::default();
+                assert!(!dec.ingest(&hostile, &mut shared), "n={n}");
+                assert!(shared.splits.is_empty(), "n={n}: no allocation");
+            }
+        }
     }
 }

@@ -21,5 +21,6 @@ mod index;
 mod server;
 
 pub use client::NrClient;
+pub(crate) use index::MAX_WIRE_REGIONS;
 pub use index::{NrLocalIndex, NrOffsetEntry};
 pub use server::{NrProgram, NrServer, NrSummary};

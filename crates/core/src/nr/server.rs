@@ -4,6 +4,7 @@ use crate::netcodec::encode_nodes_with_borders;
 use crate::nr::index::{NrLocalIndex, NrOffsetEntry, NO_NEXT};
 use crate::precompute::BorderPrecomputation;
 use bytes::Bytes;
+use spair_broadcast::codec::EncodeError;
 use spair_broadcast::cycle::{CycleBuilder, SegmentKind};
 use spair_broadcast::packet::PacketKind;
 use spair_broadcast::BroadcastCycle;
@@ -90,7 +91,7 @@ impl<'a> NrServer<'a> {
     /// region's data is split into its cross-border and local segments
     /// (§4.1), so clients skip the local segments of intermediate regions;
     /// this is what keeps NR's tuning time below EB's in Figure 10a.
-    pub fn build_program(&self) -> NrProgram {
+    pub fn build_program(&self) -> Result<NrProgram, EncodeError> {
         let n = self.part.num_regions();
         let region_payloads: Vec<(Vec<Bytes>, Vec<Bytes>)> = (0..n)
             .map(|r| {
@@ -142,7 +143,7 @@ impl<'a> NrServer<'a> {
         let mut entries = Vec::with_capacity(n);
         let mut index_lens = Vec::with_capacity(n);
         for m in 0..n {
-            let ilen = dry_indexes[m].encode().len();
+            let ilen = dry_indexes[m].encode()?.len();
             index_lens.push(ilen);
             offset += ilen;
             entries.push(NrOffsetEntry {
@@ -156,7 +157,7 @@ impl<'a> NrServer<'a> {
         // Pass 2: real offsets (identical packet counts by construction).
         let mut builder = CycleBuilder::new();
         for (m, idx) in make_indexes(&entries).into_iter().enumerate() {
-            let payloads = idx.encode();
+            let payloads = idx.encode()?;
             assert_eq!(payloads.len(), index_lens[m], "fixed-width encoding");
             builder.push_segment(
                 SegmentKind::LocalIndex(m as u16),
@@ -174,11 +175,11 @@ impl<'a> NrServer<'a> {
                 region_payloads[m].1.clone(),
             );
         }
-        NrProgram {
+        Ok(NrProgram {
             cycle: builder.finish(),
             summary: NrSummary { num_regions: n },
             index_packets_per_region: index_lens,
-        }
+        })
     }
 }
 
@@ -192,7 +193,9 @@ mod tests {
         let g = small_grid(10, 10, seed);
         let part = KdTreePartition::build(&g, regions);
         let pre = BorderPrecomputation::run(&g, &part);
-        let program = NrServer::new(&g, &part, &pre).build_program();
+        let program = NrServer::new(&g, &part, &pre)
+            .build_program()
+            .expect("encode");
         (g, program)
     }
 
@@ -284,7 +287,9 @@ mod tests {
         let g = small_grid(12, 12, 7);
         let part = KdTreePartition::build(&g, 16);
         let pre = BorderPrecomputation::run(&g, &part);
-        let nr = NrServer::new(&g, &part, &pre).build_program();
+        let nr = NrServer::new(&g, &part, &pre)
+            .build_program()
+            .expect("encode");
         let raw: usize = (0..16u16)
             .map(|r| {
                 nr.cycle()

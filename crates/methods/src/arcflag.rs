@@ -72,16 +72,23 @@ impl BroadcastMethod for ArcFlag {
     fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
         // The scenario engine reuses the world's partition; the bench
         // harness fine-tunes AF its own region count (paper: 16).
+        // A world exceeding a wire field of the index format is a
+        // configuration error; surface the typed encode error loudly
+        // rather than broadcasting a truncated index.
         let (index, num_regions, program) = match world.tuning.af_regions {
             None => {
                 let index = ArcFlagIndex::build(&world.g, &world.part);
-                let program = ArcFlagServer::new(&world.g, &world.part, &index).build_program();
+                let program = ArcFlagServer::new(&world.g, &world.part, &index)
+                    .build_program()
+                    .unwrap_or_else(|e| panic!("arcflag: {e}"));
                 (index, world.part.num_regions(), program)
             }
             Some(regions) => {
                 let part = KdTreePartition::build(&world.g, regions);
                 let index = ArcFlagIndex::build(&world.g, &part);
-                let program = ArcFlagServer::new(&world.g, &part, &index).build_program();
+                let program = ArcFlagServer::new(&world.g, &part, &index)
+                    .build_program()
+                    .unwrap_or_else(|e| panic!("arcflag: {e}"));
                 (index, part.num_regions(), program)
             }
         };

@@ -66,7 +66,12 @@ impl BroadcastMethod for Eb {
 
     fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
         Box::new(EbMethodProgram {
-            program: EbServer::new(&world.g, &world.part, &world.pre).build_program(),
+            // A world exceeding a wire field of the index format is a
+            // configuration error; surface the typed encode error loudly
+            // rather than broadcasting a truncated index.
+            program: EbServer::new(&world.g, &world.part, &world.pre)
+                .build_program()
+                .unwrap_or_else(|e| panic!("eb: {e}")),
         })
     }
 }

@@ -71,7 +71,12 @@ impl BroadcastMethod for HiTiAir {
         let index = HiTiIndex::build(&world.g, world.tuning.hiti_side, world.tuning.hiti_levels);
         Box::new(HiTiMethodProgram {
             precompute_secs: index.precompute_secs,
-            program: HiTiAirServer::new(&world.g, &index).build_program(),
+            // A world exceeding a wire field of the index format is a
+            // configuration error; surface the typed encode error loudly
+            // rather than broadcasting a truncated index.
+            program: HiTiAirServer::new(&world.g, &index)
+                .build_program()
+                .unwrap_or_else(|e| panic!("hiti_air: {e}")),
         })
     }
 }

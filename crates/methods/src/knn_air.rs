@@ -90,7 +90,12 @@ impl BroadcastMethod for KnnAir {
             "knn_air needs a POI set (World::with_pois)"
         );
         Box::new(KnnMethodProgram {
-            program: KnnServer::new(&world.g, &world.part, &world.pre, &world.pois).build_program(),
+            // A world exceeding a wire field of the index format is a
+            // configuration error; surface the typed encode error loudly
+            // rather than broadcasting a truncated index.
+            program: KnnServer::new(&world.g, &world.part, &world.pre, &world.pois)
+                .build_program()
+                .unwrap_or_else(|e| panic!("knn_air: {e}")),
             num_regions: world.part.num_regions(),
         })
     }

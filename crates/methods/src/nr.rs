@@ -65,7 +65,12 @@ impl BroadcastMethod for Nr {
 
     fn build_program(&self, world: &World) -> Box<dyn MethodProgram> {
         Box::new(NrMethodProgram {
-            program: NrServer::new(&world.g, &world.part, &world.pre).build_program(),
+            // A world exceeding a wire field of the index format is a
+            // configuration error; surface the typed encode error loudly
+            // rather than broadcasting a truncated index.
+            program: NrServer::new(&world.g, &world.part, &world.pre)
+                .build_program()
+                .unwrap_or_else(|e| panic!("nr: {e}")),
         })
     }
 }

@@ -73,7 +73,12 @@ impl BroadcastMethod for SpqAir {
         let index = SpqIndex::build(&world.g);
         Box::new(SpqMethodProgram {
             precompute_secs: index.precompute_secs,
-            program: SpqAirServer::new(&world.g, &index).build_program(),
+            // A world exceeding a wire field of the index format is a
+            // configuration error; surface the typed encode error loudly
+            // rather than broadcasting a truncated index.
+            program: SpqAirServer::new(&world.g, &index)
+                .build_program()
+                .unwrap_or_else(|e| panic!("spq_air: {e}")),
         })
     }
 }

@@ -128,15 +128,20 @@ const NIL: u32 = u32::MAX;
 
 /// Dial's circular bucket queue, flattened: instead of one `Vec` per
 /// bucket, every bucket is an intrusive stack threaded through a shared
-/// entry arena (`head[slot]` -> `next` chain). The cursor scan then reads
-/// one `u32` per empty bucket (branch-free against a 24-byte `Vec`
-/// header per probe), creating a queue costs one flat allocation, and
-/// drained entries recycle through a free list — no per-bucket
-/// allocations at all.
+/// entry arena (`head[slot]` -> `next` chain). The cursor scan is
+/// branch-free over a u64 occupancy bitmap — `trailing_zeros` per word
+/// instead of one `u32` probe per empty bucket — creating a queue costs
+/// two flat allocations, and drained entries recycle through a free
+/// list — no per-bucket allocations at all.
 #[derive(Debug, Clone)]
 pub struct BucketQueue {
     /// Arena index of each bucket's top entry (`NIL` = empty).
     head: Vec<u32>,
+    /// Occupancy bitmap over `head`: bit `s % 64` of word `s / 64` is set
+    /// iff `head[s] != NIL`. The pop cursor advances by `trailing_zeros`
+    /// over whole words instead of probing one `u32` per empty bucket, so
+    /// a scan across `k` empty buckets costs `k / 64` word loads.
+    occupied: Vec<u64>,
     /// Entry arena: the queued node...
     items: Vec<NodeId>,
     /// ...and the next entry below it in the same bucket (or `NIL`).
@@ -152,8 +157,10 @@ pub struct BucketQueue {
 impl BucketQueue {
     /// Queue for searches whose edge weights never exceed `max_weight`.
     pub fn new(max_weight: Weight) -> Self {
+        let span = max_weight as usize + 1;
         Self {
-            head: vec![NIL; max_weight as usize + 1],
+            head: vec![NIL; span],
+            occupied: vec![0; span.div_ceil(64)],
             items: Vec::new(),
             next: Vec::new(),
             free: NIL,
@@ -183,11 +190,36 @@ impl BucketQueue {
     fn span(&self) -> Distance {
         self.head.len() as Distance
     }
+
+    /// First occupied slot at or circularly after `start`. Scans the
+    /// occupancy bitmap a word at a time: the first word is masked below
+    /// `start`, every later probe is a whole-word `trailing_zeros`. Must
+    /// only be called with at least one live entry.
+    #[inline]
+    fn next_occupied(&self, start: usize) -> usize {
+        let nwords = self.occupied.len();
+        let w0 = start / 64;
+        let masked = self.occupied[w0] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return w0 * 64 + masked.trailing_zeros() as usize;
+        }
+        // Wrap once around the circular window; the final iteration
+        // revisits `w0` unmasked, covering slots below `start`.
+        for i in 1..=nwords {
+            let w = (w0 + i) % nwords;
+            let word = self.occupied[w];
+            if word != 0 {
+                return w * 64 + word.trailing_zeros() as usize;
+            }
+        }
+        unreachable!("occupancy bitmap empty with len > 0")
+    }
 }
 
 impl DijkstraQueue for BucketQueue {
     fn clear(&mut self) {
         self.head.fill(NIL);
+        self.occupied.fill(0);
         self.items.clear();
         self.next.clear();
         self.free = NIL;
@@ -214,6 +246,7 @@ impl DijkstraQueue for BucketQueue {
             self.cur + self.span()
         );
         let slot = (key % self.span()) as usize;
+        self.occupied[slot / 64] |= 1u64 << (slot % 64);
         let e = if self.free != NIL {
             let e = self.free;
             self.free = self.next[e as usize];
@@ -236,18 +269,21 @@ impl DijkstraQueue for BucketQueue {
             return None;
         }
         let span = self.span();
-        loop {
-            let slot = (self.cur % span) as usize;
-            let e = self.head[slot];
-            if e != NIL {
-                self.head[slot] = self.next[e as usize];
-                self.next[e as usize] = self.free;
-                self.free = e;
-                self.len -= 1;
-                return Some((self.cur, self.items[e as usize]));
-            }
-            self.cur += 1;
+        let start = (self.cur % span) as usize;
+        let slot = self.next_occupied(start);
+        // Circular distance from the cursor's slot to the found slot; all
+        // live keys sit in `[cur, cur + span)` (push asserts it), so this
+        // is exactly how far the cursor advances.
+        self.cur += (slot as Distance + span - start as Distance) % span;
+        let e = self.head[slot];
+        self.head[slot] = self.next[e as usize];
+        if self.head[slot] == NIL {
+            self.occupied[slot / 64] &= !(1u64 << (slot % 64));
         }
+        self.next[e as usize] = self.free;
+        self.free = e;
+        self.len -= 1;
+        Some((self.cur, self.items[e as usize]))
     }
 }
 
@@ -354,6 +390,39 @@ mod tests {
                 QueuePolicy::Bucket
             );
         }
+    }
+
+    #[test]
+    fn bitmap_scan_crosses_word_boundaries_and_wraps() {
+        // Span of 130 slots = 3 bitmap words; keys land so the scan must
+        // skip whole empty words and wrap the circular window.
+        let mut q = BucketQueue::new(129);
+        q.push(0, 1);
+        q.push(127, 2); // last bit of word 1
+        q.push(129, 3); // word 2 (partial word)
+        assert_eq!(q.pop(), Some((0, 1)));
+        assert_eq!(q.pop(), Some((127, 2)));
+        assert_eq!(q.pop(), Some((129, 3)));
+        // Cursor at 129; the next window wraps: slot(200) = 70 < slot(129).
+        q.push(200, 4);
+        q.push(255, 5);
+        assert_eq!(q.pop(), Some((200, 4)));
+        assert_eq!(q.pop(), Some((255, 5)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn bitmap_clears_only_when_bucket_drains() {
+        // Two entries in one bucket: the occupancy bit must survive the
+        // first pop (LIFO within a bucket), then clear on the second.
+        let mut q = BucketQueue::new(7);
+        q.push(3, 10);
+        q.push(3, 11);
+        assert_eq!(q.pop(), Some((3, 11)));
+        assert_eq!(q.pop(), Some((3, 10)));
+        assert!(q.pop().is_none());
+        q.push(4, 12);
+        assert_eq!(q.pop(), Some((4, 12)));
     }
 
     #[test]

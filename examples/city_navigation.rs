@@ -24,12 +24,18 @@ fn main() {
     // Server-side setup for every method.
     let part32 = KdTreePartition::build(&network, 32);
     let pre = BorderPrecomputation::run(&network, &part32);
-    let nr = NrServer::new(&network, &part32, &pre).build_program();
-    let eb = EbServer::new(&network, &part32, &pre).build_program();
+    let nr = NrServer::new(&network, &part32, &pre)
+        .build_program()
+        .expect("encode");
+    let eb = EbServer::new(&network, &part32, &pre)
+        .build_program()
+        .expect("encode");
     let dj = DjServer::new(&network).build_program();
     let part16 = KdTreePartition::build(&network, 16);
     let af_index = ArcFlagIndex::build(&network, &part16);
-    let af = ArcFlagServer::new(&network, &part16, &af_index).build_program();
+    let af = ArcFlagServer::new(&network, &part16, &af_index)
+        .build_program()
+        .expect("encode");
     let ld_index = LandmarkIndex::build(&network, 4);
     let ld = LandmarkServer::new(&network, &ld_index).build_program();
 

@@ -13,7 +13,9 @@ fn main() {
     let network = NetworkPreset::Milan.scaled_config(9, 0.05).generate();
     let part = KdTreePartition::build(&network, 16);
     let pre = BorderPrecomputation::run(&network, &part);
-    let program = NrServer::new(&network, &part, &pre).build_program();
+    let program = NrServer::new(&network, &part, &pre)
+        .build_program()
+        .expect("encode");
     let locator = NodeLocator::build(&network);
 
     // Two raw GPS fixes somewhere between intersections.

@@ -11,7 +11,9 @@ fn main() {
     let network = spair::roadnet::generators::small_grid(24, 24, 11);
     let part = KdTreePartition::build(&network, 16);
     let pre = BorderPrecomputation::run(&network, &part);
-    let program = NrServer::new(&network, &part, &pre).build_program();
+    let program = NrServer::new(&network, &part, &pre)
+        .build_program()
+        .expect("encode");
     let query = Query::for_nodes(&network, 0, (network.num_nodes() - 1) as u32);
     let reference =
         spair::roadnet::dijkstra_distance(&network, query.source, query.target).unwrap();

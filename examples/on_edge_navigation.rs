@@ -15,7 +15,9 @@ fn main() {
     let network = NetworkPreset::Milan.scaled_config(42, 0.02).generate();
     let partitioning = KdTreePartition::build(&network, 16);
     let precomputed = BorderPrecomputation::run(&network, &partitioning);
-    let program = NrServer::new(&network, &partitioning, &precomputed).build_program();
+    let program = NrServer::new(&network, &partitioning, &precomputed)
+        .build_program()
+        .expect("encode");
     println!(
         "network: {} nodes, cycle {} packets",
         network.num_nodes(),

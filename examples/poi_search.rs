@@ -28,7 +28,9 @@ fn main() {
     stations.sort_unstable();
     stations.dedup();
 
-    let program = KnnServer::new(&network, &partitioning, &precomputed, &stations).build_program();
+    let program = KnnServer::new(&network, &partitioning, &precomputed, &stations)
+        .build_program()
+        .expect("encode");
     println!(
         "network: {} nodes, {} gas stations, cycle {} packets",
         network.num_nodes(),

@@ -16,7 +16,9 @@ fn main() {
     );
     let partitioning = KdTreePartition::build(&network, 16);
     let precomputed = BorderPrecomputation::run(&network, &partitioning);
-    let program = NrServer::new(&network, &partitioning, &precomputed).build_program();
+    let program = NrServer::new(&network, &partitioning, &precomputed)
+        .build_program()
+        .expect("encode");
     println!(
         "broadcast cycle: {} packets of 128 bytes",
         program.cycle().len()

@@ -175,10 +175,14 @@ fn build_cycle(
             let part = KdTreePartition::build(g, regions);
             let pre = BorderPrecomputation::run(g, &part);
             if method == "nr" {
-                let p = NrServer::new(g, &part, &pre).build_program();
+                let p = NrServer::new(g, &part, &pre)
+                    .build_program()
+                    .expect("encode");
                 Ok((p.cycle().clone(), format!("NR, {regions} regions")))
             } else {
-                let p = EbServer::new(g, &part, &pre).build_program();
+                let p = EbServer::new(g, &part, &pre)
+                    .build_program()
+                    .expect("encode");
                 Ok((
                     p.cycle().clone(),
                     format!(
@@ -195,7 +199,9 @@ fn build_cycle(
         "af" => {
             let part = KdTreePartition::build(g, regions.min(16));
             let index = spair::baselines::arcflag::ArcFlagIndex::build(g, &part);
-            let p = spair::baselines::ArcFlagServer::new(g, &part, &index).build_program();
+            let p = spair::baselines::ArcFlagServer::new(g, &part, &index)
+                .build_program()
+                .expect("encode");
             Ok((
                 p.cycle().clone(),
                 format!("ArcFlag, {} regions", regions.min(16)),
@@ -253,11 +259,15 @@ fn query(args: &[String]) -> Result<(), String> {
     let (cycle, mut client): (spair::broadcast::BroadcastCycle, Box<dyn AirClient>) =
         match method.as_str() {
             "nr" => {
-                let p = NrServer::new(&g, &part, &pre).build_program();
+                let p = NrServer::new(&g, &part, &pre)
+                    .build_program()
+                    .expect("encode");
                 (p.cycle().clone(), Box::new(NrClient::new(p.summary())))
             }
             "eb" => {
-                let p = EbServer::new(&g, &part, &pre).build_program();
+                let p = EbServer::new(&g, &part, &pre)
+                    .build_program()
+                    .expect("encode");
                 (p.cycle().clone(), Box::new(EbClient::new(p.summary())))
             }
             "dj" => {
@@ -267,7 +277,9 @@ fn query(args: &[String]) -> Result<(), String> {
             "af" => {
                 let af_part = KdTreePartition::build(&g, regions.min(16));
                 let index = spair::baselines::arcflag::ArcFlagIndex::build(&g, &af_part);
-                let p = spair::baselines::ArcFlagServer::new(&g, &af_part, &index).build_program();
+                let p = spair::baselines::ArcFlagServer::new(&g, &af_part, &index)
+                    .build_program()
+                    .expect("encode");
                 (
                     p.cycle().clone(),
                     Box::new(ArcFlagClient::new(regions.min(16))),
@@ -334,7 +346,9 @@ fn knn(args: &[String]) -> Result<(), String> {
     let part = KdTreePartition::build(&g, regions);
     let pre = BorderPrecomputation::run(&g, &part);
     let pois: Vec<NodeId> = g.node_ids().step_by(every.max(1)).collect();
-    let program = KnnServer::new(&g, &part, &pre, &pois).build_program();
+    let program = KnnServer::new(&g, &part, &pre, &pois)
+        .build_program()
+        .expect("encode");
     let mut client = KnnClient::new(regions);
     let mut ch = BroadcastChannel::lossless(program.cycle());
     let out = client

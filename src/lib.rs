@@ -26,7 +26,9 @@
 //! let network = spair::roadnet::generators::small_grid(12, 12, 7);
 //! let partitioning = KdTreePartition::build(&network, 16);
 //! let precomputed = BorderPrecomputation::run(&network, &partitioning);
-//! let program = NrServer::new(&network, &partitioning, &precomputed).build_program();
+//! let program = NrServer::new(&network, &partitioning, &precomputed)
+//!     .build_program()
+//!     .expect("counters fit the wire format");
 //!
 //! // A client tunes in at an arbitrary moment and asks for a shortest path.
 //! let mut channel = BroadcastChannel::lossless(program.cycle());

@@ -33,11 +33,17 @@ fn setup(seed: u64, nodes: usize, regions: usize) -> Setup {
     let g = network(seed, nodes);
     let part = KdTreePartition::build(&g, regions);
     let pre = BorderPrecomputation::run(&g, &part);
-    let nr = NrServer::new(&g, &part, &pre).build_program();
-    let eb = EbServer::new(&g, &part, &pre).build_program();
+    let nr = NrServer::new(&g, &part, &pre)
+        .build_program()
+        .expect("encode");
+    let eb = EbServer::new(&g, &part, &pre)
+        .build_program()
+        .expect("encode");
     let dj = DjServer::new(&g).build_program();
     let af_index = ArcFlagIndex::build(&g, &part);
-    let af = ArcFlagServer::new(&g, &part, &af_index).build_program();
+    let af = ArcFlagServer::new(&g, &part, &af_index)
+        .build_program()
+        .expect("encode");
     let ld_index = LandmarkIndex::build(&g, 3);
     let ld = LandmarkServer::new(&g, &ld_index).build_program();
     Setup {

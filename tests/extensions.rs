@@ -48,7 +48,7 @@ proptest! {
         let side = 1usize << side_pow;
         let levels = (side_pow as usize + 1).min(3);
         let index = HiTiIndex::build(&g, side, levels);
-        let program = HiTiAirServer::new(&g, &index).build_program();
+        let program = HiTiAirServer::new(&g, &index).build_program().expect("encode");
         let s = (pair.0 % g.num_nodes()) as NodeId;
         let t = (pair.1 % g.num_nodes()) as NodeId;
         let mut ch = BroadcastChannel::tune_in(
@@ -69,7 +69,7 @@ proptest! {
         offset in 0usize..10_000,
     ) {
         let index = SpqIndex::build(&g);
-        let program = SpqAirServer::new(&g, &index).build_program();
+        let program = SpqAirServer::new(&g, &index).build_program().expect("encode");
         let s = (pair.0 % g.num_nodes()) as NodeId;
         let t = (pair.1 % g.num_nodes()) as NodeId;
         let mut ch = BroadcastChannel::tune_in(
@@ -91,7 +91,7 @@ proptest! {
     ) {
         let part = KdTreePartition::build(&g, 8);
         let pre = BorderPrecomputation::run(&g, &part);
-        let program = EbServer::new(&g, &part, &pre).build_program();
+        let program = EbServer::new(&g, &part, &pre).build_program().expect("encode");
         let n = g.num_nodes() as NodeId;
         let Some((u, v, w)) = splittable_arc(&g, picks.0 % n) else {
             return Ok(());
@@ -130,7 +130,7 @@ proptest! {
         pois.sort_unstable();
         pois.dedup();
         prop_assume!(!pois.is_empty());
-        let program = KnnServer::new(&g, &part, &pre, &pois).build_program();
+        let program = KnnServer::new(&g, &part, &pre, &pois).build_program().expect("encode");
         let s = (source % g.num_nodes()) as NodeId;
         let mut ch = BroadcastChannel::lossless(program.cycle());
         let out = KnnClient::new(8)
@@ -159,11 +159,17 @@ fn all_methods_exact_under_bursty_loss() {
     let want = dijkstra_distance(&g, 2, 97);
     let q = Query::for_nodes(&g, 2, 97);
 
-    let nr = NrServer::new(&g, &part, &pre).build_program();
-    let eb = EbServer::new(&g, &part, &pre).build_program();
+    let nr = NrServer::new(&g, &part, &pre)
+        .build_program()
+        .expect("encode");
+    let eb = EbServer::new(&g, &part, &pre)
+        .build_program()
+        .expect("encode");
     let dj = spair::baselines::DjServer::new(&g).build_program();
     let af_index = spair::baselines::arcflag::ArcFlagIndex::build(&g, &part);
-    let af = spair::baselines::ArcFlagServer::new(&g, &part, &af_index).build_program();
+    let af = spair::baselines::ArcFlagServer::new(&g, &part, &af_index)
+        .build_program()
+        .expect("encode");
     let ld_index = spair::baselines::landmark::LandmarkIndex::build(&g, 2);
     let ld = spair::baselines::LandmarkServer::new(&g, &ld_index).build_program();
 
@@ -190,7 +196,9 @@ fn all_methods_exact_under_bursty_loss() {
 fn hiti_air_survives_heavy_loss() {
     let g = spair::roadnet::generators::small_grid(10, 10, 3);
     let index = HiTiIndex::build(&g, 4, 2);
-    let program = HiTiAirServer::new(&g, &index).build_program();
+    let program = HiTiAirServer::new(&g, &index)
+        .build_program()
+        .expect("encode");
     let mut client = HiTiAirClient::new();
     for seed in 0..6 {
         let mut ch = BroadcastChannel::tune_in(
@@ -232,7 +240,9 @@ fn on_edge_same_segment_is_exact_for_all_methods() {
     );
     let want = dijkstra_distance(&g2, ids[0], ids[1]);
 
-    let nr_program = NrServer::new(&g, &part, &pre).build_program();
+    let nr_program = NrServer::new(&g, &part, &pre)
+        .build_program()
+        .expect("encode");
     let mut nr = NrClient::new(nr_program.summary());
     let got_nr = on_edge_query(&src, &dst, |q| {
         let mut ch = BroadcastChannel::lossless(nr_program.cycle());
@@ -241,7 +251,9 @@ fn on_edge_same_segment_is_exact_for_all_methods() {
     .unwrap();
     assert_eq!(Some(got_nr.distance), want);
 
-    let eb_program = EbServer::new(&g, &part, &pre).build_program();
+    let eb_program = EbServer::new(&g, &part, &pre)
+        .build_program()
+        .expect("encode");
     let mut eb = EbClient::new(eb_program.summary());
     let got_eb = on_edge_query(&src, &dst, |q| {
         let mut ch = BroadcastChannel::lossless(eb_program.cycle());
@@ -258,7 +270,9 @@ fn knn_tuning_is_selective_for_local_answers() {
     let pre = BorderPrecomputation::run(&g, &part);
     // POIs everywhere: the nearest few are always local.
     let pois: Vec<NodeId> = g.node_ids().step_by(5).collect();
-    let program = KnnServer::new(&g, &part, &pre, &pois).build_program();
+    let program = KnnServer::new(&g, &part, &pre, &pois)
+        .build_program()
+        .expect("encode");
     let mut client = KnnClient::new(16);
     let mut ch = BroadcastChannel::lossless(program.cycle());
     let out = client.query(&mut ch, 0, g.point(0), 2).unwrap();
@@ -279,8 +293,12 @@ fn hiti_hierarchy_depth_trades_index_for_tuning() {
     let shallow = HiTiIndex::build(&g, 8, 1);
     let deep = HiTiIndex::build(&g, 8, 3);
     assert!(deep.index_bytes() > shallow.index_bytes());
-    let ps = HiTiAirServer::new(&g, &shallow).build_program();
-    let pd = HiTiAirServer::new(&g, &deep).build_program();
+    let ps = HiTiAirServer::new(&g, &shallow)
+        .build_program()
+        .expect("encode");
+    let pd = HiTiAirServer::new(&g, &deep)
+        .build_program()
+        .expect("encode");
     assert!(pd.cycle().len() > ps.cycle().len());
     // Both remain exact.
     for program in [&ps, &pd] {

@@ -210,7 +210,7 @@ proptest! {
     ) {
         let part = KdTreePartition::build(&g, 8);
         let pre = BorderPrecomputation::run_with_threads(&g, &part, threads);
-        let program = NrServer::new(&g, &part, &pre).build_program();
+        let program = NrServer::new(&g, &part, &pre).build_program().expect("encode");
         let s = (pair.0 % g.num_nodes()) as NodeId;
         let t = (pair.1 % g.num_nodes()) as NodeId;
         let q = Query::for_nodes(&g, s, t);

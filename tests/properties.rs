@@ -33,7 +33,7 @@ proptest! {
         let regions = 1usize << regions_pow;
         let part = KdTreePartition::build(&g, regions.max(2));
         let pre = BorderPrecomputation::run(&g, &part);
-        let program = NrServer::new(&g, &part, &pre).build_program();
+        let program = NrServer::new(&g, &part, &pre).build_program().expect("encode");
         let s = (pair.0 % g.num_nodes()) as NodeId;
         let t = (pair.1 % g.num_nodes()) as NodeId;
         let q = Query::for_nodes(&g, s, t);
@@ -55,7 +55,7 @@ proptest! {
     ) {
         let part = KdTreePartition::build(&g, 8);
         let pre = BorderPrecomputation::run(&g, &part);
-        let program = EbServer::new(&g, &part, &pre).build_program();
+        let program = EbServer::new(&g, &part, &pre).build_program().expect("encode");
         let s = (pair.0 % g.num_nodes()) as NodeId;
         let t = (pair.1 % g.num_nodes()) as NodeId;
         let q = Query::for_nodes(&g, s, t);
@@ -170,7 +170,7 @@ proptest! {
         let q = Query::for_nodes(&g, s, t);
         let want = dijkstra_distance(&g, s, t);
 
-        let nr = NrServer::new(&g, &part, &pre).build_program();
+        let nr = NrServer::new(&g, &part, &pre).build_program().expect("encode");
         let mut ch = BroadcastChannel::tune_in(
             nr.cycle(),
             loss_seed as usize % nr.cycle().len(),
@@ -179,7 +179,7 @@ proptest! {
         let out = NrClient::new(nr.summary()).query(&mut ch, &q);
         prop_assert_eq!(out.ok().map(|o| o.distance), want);
 
-        let eb = EbServer::new(&g, &part, &pre).build_program();
+        let eb = EbServer::new(&g, &part, &pre).build_program().expect("encode");
         let mut ch = BroadcastChannel::tune_in(
             eb.cycle(),
             loss_seed as usize % eb.cycle().len(),
