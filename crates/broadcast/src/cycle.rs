@@ -62,6 +62,22 @@ pub struct BroadcastCycle {
 }
 
 impl BroadcastCycle {
+    /// Rebuilds a cycle from already-stamped packets, in cycle order.
+    ///
+    /// This is the client-side entry point for transports that deliver a
+    /// server's cycle packet by packet (the loopback daemon): the wire
+    /// images round-trip through [`Packet::to_wire`]/[`Packet::from_wire`]
+    /// with their next-index pointers intact, so no re-stamping happens
+    /// here. The reconstructed cycle declares no segments — segment
+    /// layout is a server-side construction artifact; clients navigate
+    /// by packet pointers alone.
+    pub fn from_packets(packets: Vec<Packet>) -> Self {
+        Self {
+            packets,
+            segments: Vec::new(),
+        }
+    }
+
     /// Number of packets in one cycle.
     #[inline]
     pub fn len(&self) -> usize {

@@ -18,11 +18,30 @@
 //! The serving phase re-runs single-threaded to certify the parallel
 //! fan-out is bit-identical. **Exits non-zero on any oracle mismatch,
 //! session failure or determinism break**, so CI can use it as a gate.
+//!
+//! `--transport socket` switches to the real serving stack: a
+//! `spair-serve` daemon on a loopback port, client sessions in spawned
+//! worker processes over UDP and TCP, emitting `BENCH_serve.json`
+//! (`--events DIR` places the daemons' JSONL event logs). Every lossless
+//! socket cell's answer digest must equal the in-process reference.
 
 use spair_load::spec::override_population;
-use spair_load::{default_load_matrix, override_flash_population, prepare, run, smoke_load_matrix};
+use spair_load::{
+    default_load_matrix, override_flash_population, prepare, run, run_socket_bench,
+    smoke_load_matrix, SocketBenchConfig, WorkerMode,
+};
 use spair_roadnet::{bench_out, parallel};
 use std::time::Instant;
+
+/// Which serving stack the population runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransportMode {
+    /// The in-process broadcast channel (the default, `BENCH_load.json`).
+    Channel,
+    /// Real loopback sockets against a `spair-serve` daemon, client
+    /// sessions in worker processes (`BENCH_serve.json`).
+    Socket,
+}
 
 struct Opts {
     smoke: bool,
@@ -30,7 +49,10 @@ struct Opts {
     scale: f64,
     population: Option<usize>,
     flash_population: Option<usize>,
+    transport: TransportMode,
+    events: Option<String>,
     out: String,
+    out_set: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -40,7 +62,10 @@ fn parse_opts() -> Opts {
         scale: 1.0,
         population: None,
         flash_population: None,
+        transport: TransportMode::Channel,
+        events: None,
         out: "BENCH_load.json".to_string(),
+        out_set: false,
     };
     // Worker-count precedence (shared by every bench binary): an explicit
     // `--threads` flag wins over `SPAIR_THREADS`, which wins over the
@@ -100,16 +125,34 @@ fn parse_opts() -> Opts {
                 }
                 opts.flash_population = Some(n);
             }
-            "--out" => opts.out = value(),
+            "--transport" => {
+                opts.transport = match value().as_str() {
+                    "channel" => TransportMode::Channel,
+                    "socket" => TransportMode::Socket,
+                    other => {
+                        eprintln!("error: --transport expects channel|socket, got {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--events" => opts.events = Some(value()),
+            "--out" => {
+                opts.out = value();
+                opts.out_set = true;
+            }
             other => {
                 eprintln!(
                     "error: unknown flag {other}\n\
                      usage: bench_load [--smoke] [--threads N] [--population N] \
-                     [--flash-population N] [--scale F] [--out PATH]"
+                     [--flash-population N] [--scale F] [--transport channel|socket] \
+                     [--events DIR] [--out PATH]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if opts.transport == TransportMode::Socket && !opts.out_set {
+        opts.out = "BENCH_serve.json".to_string();
     }
     opts.threads = parallel::resolve_threads(threads_flag);
     opts.out = bench_out::redirect_partial_out(&opts.out, partial_reason(&opts));
@@ -135,8 +178,103 @@ fn partial_reason(opts: &Opts) -> Option<&'static str> {
     }
 }
 
+/// The socket-transport path: real loopback daemons, client sessions in
+/// worker processes, `BENCH_serve.json`. Exits non-zero if any lossless
+/// cell's digest diverges from the in-process reference or any cell —
+/// contention included — produced a wrong answer.
+fn run_socket_main(opts: &Opts) {
+    let events_dir = opts
+        .events
+        .clone()
+        .unwrap_or_else(|| "target/serve-bench".to_string());
+    let exe = std::env::current_exe().expect("current exe for worker spawn");
+    let config = SocketBenchConfig {
+        smoke: opts.smoke,
+        threads: opts.threads,
+        population: opts.population,
+        worker: WorkerMode::Process(exe),
+        events_dir: events_dir.clone().into(),
+    };
+    eprintln!(
+        "# bench_load --transport socket — {} worker processes, events under {events_dir}{}",
+        opts.threads,
+        if opts.smoke { " (smoke)" } else { "" }
+    );
+    let start = Instant::now();
+    let report = run_socket_bench(&config);
+    let wall_secs = start.elapsed().as_secs_f64();
+    eprint!("{}", report.render_table());
+
+    let digest = report.digest();
+    let all_match = report.all_match();
+    eprintln!(
+        "cells: {}  all_match: {all_match}  digest: {digest:016x}",
+        report.cells.len()
+    );
+
+    let sc = &report.scenario;
+    let methods: Vec<String> = sc.methods.iter().map(|m| format!("\"{m}\"")).collect();
+    let d = &report.daemon;
+    let json = format!(
+        "{{\n  \
+         \"benchmark\": \"broadcast_serve_socket\",\n  \
+         \"smoke\": {},\n  \
+         \"grid\": [{}, {}],\n  \
+         \"regions\": {},\n  \
+         \"seed\": {},\n  \
+         \"methods\": [{}],\n  \
+         \"population_per_cell\": {},\n  \
+         \"threads\": {},\n  \
+         \"worker_mode\": \"{}\",\n  \
+         \"all_match\": {all_match},\n  \
+         \"digest\": \"{digest:016x}\",\n  \
+         \"daemon\": {{ \"sessions\": {}, \"rejections\": {}, \"evictions\": {}, \
+         \"injected_drops\": {}, \"backpressure_drops\": {}, \"dead_letters\": {}, \
+         \"events\": {} }},\n  \
+         \"wall_secs\": {wall_secs:.6},\n  \
+         \"cells\": {}\n\
+         }}\n",
+        opts.smoke,
+        sc.grid.0,
+        sc.grid.1,
+        sc.regions,
+        sc.seed,
+        methods.join(", "),
+        opts.population.unwrap_or(sc.population),
+        report.threads,
+        report.worker_mode,
+        d.sessions,
+        d.rejections,
+        d.evictions,
+        d.injected_drops,
+        d.backpressure_drops,
+        d.dead_letters,
+        d.events,
+        report.cells_json(),
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH_serve json");
+    println!("{json}");
+    eprintln!("wrote {}", opts.out);
+    if !all_match {
+        eprintln!("SERVE CONFORMANCE FAILURE: socket answers diverged from in-process");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    // Hidden worker mode: the socket bench re-invokes this binary as
+    // `bench_load --socket-worker ADDR` for each client process; jobs
+    // stream over stdin, replies over stdout (see `spair_load::socket`).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--socket-worker") {
+        let addr = args.get(1).map(String::as_str).unwrap_or("");
+        spair_load::socket::socket_worker_main(addr);
+    }
     let opts = parse_opts();
+    if opts.transport == TransportMode::Socket {
+        run_socket_main(&opts);
+        return;
+    }
     let mut specs = if opts.smoke {
         smoke_load_matrix()
     } else {
@@ -267,7 +405,10 @@ mod tests {
             scale: 1.0,
             population: None,
             flash_population: None,
+            transport: TransportMode::Channel,
+            events: None,
             out: "BENCH_load.json".to_string(),
+            out_set: false,
         }
     }
 
@@ -293,5 +434,28 @@ mod tests {
         let mut o = full_opts();
         o.flash_population = Some(1000);
         assert_eq!(partial_reason(&o), Some("--flash-population-override"));
+    }
+
+    /// The socket artifact gets the same clobber guard: only the full
+    /// default socket run may write `BENCH_serve.json`; smoke and
+    /// population-overridden runs are redirected to `*.smoke.json`.
+    #[test]
+    fn socket_runs_share_the_clobber_guard() {
+        let mut o = full_opts();
+        o.transport = TransportMode::Socket;
+        o.out = "BENCH_serve.json".to_string();
+        assert_eq!(partial_reason(&o), None);
+        assert_eq!(
+            bench_out::redirect_partial_out(&o.out, partial_reason(&o)),
+            "BENCH_serve.json"
+        );
+        o.smoke = true;
+        assert_eq!(
+            bench_out::redirect_partial_out(&o.out, partial_reason(&o)),
+            "BENCH_serve.smoke.json"
+        );
+        o.smoke = false;
+        o.population = Some(8);
+        assert_eq!(partial_reason(&o), Some("--population-override"));
     }
 }

@@ -31,11 +31,16 @@
 pub mod harness;
 pub mod hist;
 pub mod report;
+pub mod socket;
 pub mod spec;
 
 pub use harness::{prepare, run, session_shape, PreparedCell, PreparedLoad};
 pub use hist::StreamingHistogram;
 pub use report::{LoadCellReport, LoadFaultSummary, LoadReport, PercentileSummary};
+pub use socket::{
+    run_socket_bench, socket_scenario, SocketBenchConfig, SocketCellReport, SocketReport,
+    WorkerMode,
+};
 pub use spair_methods::SessionShape;
 pub use spec::{
     default_load_matrix, override_flash_population, paper_scale_graph, smoke_load_matrix, LoadSpec,

@@ -1,0 +1,982 @@
+//! Socket-transport load harness: the `--transport socket` path behind
+//! `BENCH_serve.json`.
+//!
+//! Where the in-process harness iterates a [`spair_broadcast`] channel
+//! object, this module drives the real serving stack end to end: a
+//! [`spair_serve::ServeDaemon`] on a loopback port, client sessions over
+//! real UDP datagrams and TCP streams (optionally in separate worker
+//! *processes*), and per-cell digests that must equal the in-process
+//! answers byte for byte. The schedule (offsets, queries) is a pure
+//! function of the scenario seed and the session index, so the digest is
+//! invariant across worker counts and worker modes — that invariance is
+//! what the CI serve gate pins.
+//!
+//! Cells come in three kinds:
+//!
+//! * `lossless` — method × transport × population, digest-gated against
+//!   the in-process run;
+//! * `contention-drops` — a dedicated daemon injects deterministic
+//!   datagram drops ([`spair_serve::DropPlan`]); sessions finish late
+//!   (healing laps) but every answer still matches in-process;
+//! * `contention-evict` — deliberately stalled consumers against a
+//!   short-stall daemon; the cell counts typed evictions. Contention
+//!   cells never enter the digest (their counters are load-dependent),
+//!   but their `wrong_answers` column must be zero: late or typed,
+//!   never wrong.
+
+use crate::hist::StreamingHistogram;
+use spair_broadcast::{BroadcastChannel, LossModel};
+use spair_core::query::Query;
+use spair_core::BorderPrecomputation;
+use spair_methods::{MethodRegistry, ProgramSet, World};
+use spair_partition::KdTreePartition;
+use spair_roadnet::generators::small_grid;
+use spair_roadnet::{NodeId, Point, QueuePolicy};
+use spair_serve::client::{run_query, SessionConfig, Transport};
+use spair_serve::daemon::{DropPlan, ServeDaemon, ServeOptions, ServeSummary, ServeWorld};
+use spair_serve::frame::{encode_stream, Frame, Hello};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How client sessions are executed.
+#[derive(Debug, Clone)]
+pub enum WorkerMode {
+    /// Sessions run on threads inside this process (tests; still real
+    /// sockets).
+    InThread,
+    /// Sessions run in spawned worker *processes* (the bench default):
+    /// the given executable is re-invoked with `--socket-worker ADDR`
+    /// and jobs stream over its stdin/stdout.
+    Process(PathBuf),
+}
+
+/// Socket-bench configuration.
+#[derive(Debug, Clone)]
+pub struct SocketBenchConfig {
+    /// Smoke matrix (smaller world and population).
+    pub smoke: bool,
+    /// Worker count (threads or processes, per [`WorkerMode`]).
+    pub threads: usize,
+    /// Sessions per lossless cell (`None` → matrix default).
+    pub population: Option<usize>,
+    /// Session execution mode.
+    pub worker: WorkerMode,
+    /// Directory for the daemons' event logs and dead-letter files.
+    pub events_dir: PathBuf,
+}
+
+/// The served world every socket cell shares.
+#[derive(Debug, Clone)]
+pub struct SocketScenario {
+    /// Grid width and height.
+    pub grid: (usize, usize),
+    /// Kd partition regions.
+    pub regions: usize,
+    /// World and schedule seed.
+    pub seed: u64,
+    /// Served registry methods.
+    pub methods: Vec<&'static str>,
+    /// Sessions per lossless cell.
+    pub population: usize,
+    /// Distinct queries the population draws from.
+    pub query_pool: usize,
+}
+
+/// The full and smoke socket scenarios. Both serve NR (region data),
+/// DJ (raw adjacency) and — full only — EB and HiTi, so flat-data and
+/// index-carrying cycles both cross the wire.
+pub fn socket_scenario(smoke: bool) -> SocketScenario {
+    if smoke {
+        SocketScenario {
+            grid: (8, 8),
+            regions: 8,
+            seed: 9301,
+            methods: vec!["nr", "dj"],
+            population: 24,
+            query_pool: 8,
+        }
+    } else {
+        SocketScenario {
+            grid: (12, 12),
+            regions: 16,
+            seed: 9301,
+            methods: vec!["nr", "eb", "dj", "hiti_air"],
+            population: 128,
+            query_pool: 12,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One session to run: everything a worker process needs on one line.
+#[derive(Debug, Clone)]
+pub struct SessionJob {
+    /// Global session index within its cell (digest order).
+    pub index: usize,
+    /// Registry method name.
+    pub method: String,
+    /// Data transport.
+    pub transport: Transport,
+    /// Absolute tune-in offset.
+    pub offset: u64,
+    /// The query this session answers.
+    pub query: Query,
+}
+
+/// A completed session.
+#[derive(Debug, Clone)]
+pub struct SessionAnswer {
+    /// Job index (cells collate by this).
+    pub index: usize,
+    /// Shortest-path distance.
+    pub distance: u64,
+    /// Path node sequence.
+    pub path: Vec<NodeId>,
+    /// Microseconds from connect to admission.
+    pub admission_us: u64,
+    /// Receiver-observed datagram gaps.
+    pub observed_drops: u64,
+    /// Laps listened until the cycle table filled.
+    pub laps: u32,
+}
+
+/// The deterministic per-cell schedule: offsets and queries are pure
+/// functions of (scenario seed, method name, session index) — the same
+/// for every transport, worker count and worker mode.
+pub fn schedule(
+    sc: &SocketScenario,
+    g: &spair_roadnet::RoadNetwork,
+    method: &str,
+    transport: Transport,
+    population: usize,
+) -> Vec<SessionJob> {
+    let n = g.num_nodes() as u64;
+    let mseed = method
+        .bytes()
+        .fold(sc.seed, |h, b| splitmix64(h ^ u64::from(b)));
+    let pool: Vec<Query> = (0..sc.query_pool)
+        .map(|i| {
+            let h = splitmix64(mseed ^ 0x5155_4552_5950_4f4f ^ i as u64);
+            let src = (h % n) as NodeId;
+            let mut dst = (splitmix64(h) % n) as NodeId;
+            if dst == src {
+                dst = (dst + 1) % n as NodeId;
+            }
+            Query::for_nodes(g, src, dst)
+        })
+        .collect();
+    (0..population)
+        .map(|s| SessionJob {
+            index: s,
+            method: method.to_string(),
+            transport,
+            offset: splitmix64(mseed ^ 0x4f46_4653_4554 ^ s as u64) % 100_000,
+            query: pool[s % pool.len()],
+        })
+        .collect()
+}
+
+/// FNV-1a over a cell's answers in session-index order — the quantity
+/// the transports must agree on.
+pub fn answers_digest(answers: &[SessionAnswer]) -> u64 {
+    let mut sorted: Vec<&SessionAnswer> = answers.iter().collect();
+    sorted.sort_by_key(|a| a.index);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for a in &sorted {
+        fold(a.index as u64);
+        fold(a.distance);
+        fold(a.path.len() as u64);
+        for &n in &a.path {
+            fold(u64::from(n));
+        }
+    }
+    h
+}
+
+/// In-process reference answers for a schedule: the same method client
+/// over the same cycle at the same offsets, via the in-memory channel.
+pub fn in_process_answers(programs: &ProgramSet, jobs: &[SessionJob]) -> Vec<SessionAnswer> {
+    let registry = MethodRegistry::standard();
+    jobs.iter()
+        .map(|job| {
+            let id = registry.get(&job.method).expect("scheduled method");
+            let program = programs.ensure(id);
+            let cycle = program.cycle().expect("served method has a cycle");
+            let mut client = program.make_client(QueuePolicy::Heap).expect("air client");
+            let mut ch = BroadcastChannel::tune_in(
+                cycle,
+                (job.offset % cycle.len() as u64) as usize,
+                LossModel::Lossless,
+            );
+            let outcome = ch_query(&mut *client, &mut ch, &job.query);
+            SessionAnswer {
+                index: job.index,
+                distance: outcome.0,
+                path: outcome.1,
+                admission_us: 0,
+                observed_drops: 0,
+                laps: 1,
+            }
+        })
+        .collect()
+}
+
+fn ch_query(
+    client: &mut dyn spair_core::query::AirClient,
+    ch: &mut BroadcastChannel<'_>,
+    q: &Query,
+) -> (u64, Vec<NodeId>) {
+    let outcome = client.query(ch, q).expect("lossless in-process query");
+    (outcome.distance, outcome.path)
+}
+
+/// Builds the shared program set for a scenario.
+pub fn build_programs(sc: &SocketScenario) -> ProgramSet {
+    let g = small_grid(sc.grid.0, sc.grid.1, sc.seed);
+    let part = KdTreePartition::build(&g, sc.regions);
+    let pre = BorderPrecomputation::run(&g, &part);
+    ProgramSet::new(World::from_parts(g, part, pre))
+}
+
+/// Runs one cell's jobs against a daemon, in threads or processes.
+/// Returns answers (index order not guaranteed) and failures.
+pub fn run_jobs(
+    addr: SocketAddr,
+    jobs: &[SessionJob],
+    threads: usize,
+    worker: &WorkerMode,
+) -> (Vec<SessionAnswer>, Vec<String>) {
+    match worker {
+        WorkerMode::InThread => run_jobs_threads(addr, jobs, threads),
+        WorkerMode::Process(exe) => run_jobs_processes(addr, jobs, threads, exe),
+    }
+}
+
+fn run_one(addr: SocketAddr, job: &SessionJob) -> Result<SessionAnswer, String> {
+    let config = SessionConfig {
+        addr,
+        method: job.method.clone(),
+        transport: job.transport,
+        offset: job.offset,
+        queue: QueuePolicy::Heap,
+        max_wait: Duration::from_secs(60),
+        frame_pause: Duration::ZERO,
+    };
+    let (outcome, m) =
+        run_query(&config, &job.query).map_err(|e| format!("session {}: {e}", job.index))?;
+    Ok(SessionAnswer {
+        index: job.index,
+        distance: outcome.distance,
+        path: outcome.path,
+        admission_us: m.admission_us,
+        observed_drops: m.observed_drops,
+        laps: m.laps,
+    })
+}
+
+fn run_jobs_threads(
+    addr: SocketAddr,
+    jobs: &[SessionJob],
+    threads: usize,
+) -> (Vec<SessionAnswer>, Vec<String>) {
+    let queue: Arc<Mutex<VecDeque<SessionJob>>> =
+        Arc::new(Mutex::new(jobs.iter().cloned().collect()));
+    let out: Arc<Mutex<(Vec<SessionAnswer>, Vec<String>)>> =
+        Arc::new(Mutex::new((Vec::new(), Vec::new())));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let queue = Arc::clone(&queue);
+            let out = Arc::clone(&out);
+            scope.spawn(move || loop {
+                let job = { queue.lock().unwrap().pop_front() };
+                let Some(job) = job else { break };
+                let res = run_one(addr, &job);
+                let mut o = out.lock().unwrap();
+                match res {
+                    Ok(a) => o.0.push(a),
+                    Err(e) => o.1.push(e),
+                }
+            });
+        }
+    });
+    Arc::try_unwrap(out)
+        .expect("workers joined")
+        .into_inner()
+        .unwrap()
+}
+
+/// Serializes a job as one worker-protocol line. Coordinates travel as
+/// `f64::to_bits` hex so the worker reconstructs them exactly.
+pub fn job_to_line(job: &SessionJob) -> String {
+    format!(
+        "{} {} {} {} {} {} {:016x} {:016x} {:016x} {:016x}\n",
+        job.index,
+        job.method,
+        job.transport.name(),
+        job.offset,
+        job.query.source,
+        job.query.target,
+        job.query.source_pt.x.to_bits(),
+        job.query.source_pt.y.to_bits(),
+        job.query.target_pt.x.to_bits(),
+        job.query.target_pt.y.to_bits(),
+    )
+}
+
+/// Parses a worker-protocol job line (inverse of [`job_to_line`]).
+pub fn job_from_line(line: &str) -> Result<SessionJob, String> {
+    let mut p = line.split_ascii_whitespace();
+    let mut next = |what: &str| p.next().ok_or_else(|| format!("missing {what}"));
+    let index: usize = next("index")?.parse().map_err(|e| format!("index: {e}"))?;
+    let method = next("method")?.to_string();
+    let transport = match next("transport")? {
+        "tcp" => Transport::Tcp,
+        "udp" => Transport::Udp,
+        other => return Err(format!("unknown transport {other}")),
+    };
+    let offset: u64 = next("offset")?
+        .parse()
+        .map_err(|e| format!("offset: {e}"))?;
+    let source: NodeId = next("src")?.parse().map_err(|e| format!("src: {e}"))?;
+    let target: NodeId = next("dst")?.parse().map_err(|e| format!("dst: {e}"))?;
+    let mut coord = |what: &str| -> Result<f64, String> {
+        let bits = u64::from_str_radix(next(what)?, 16).map_err(|e| format!("{what}: {e}"))?;
+        Ok(f64::from_bits(bits))
+    };
+    let (sx, sy, tx, ty) = (coord("sx")?, coord("sy")?, coord("tx")?, coord("ty")?);
+    Ok(SessionJob {
+        index,
+        method,
+        transport,
+        offset,
+        query: Query {
+            source,
+            target,
+            source_pt: Point::new(sx, sy),
+            target_pt: Point::new(tx, ty),
+        },
+    })
+}
+
+fn answer_to_line(a: &SessionAnswer) -> String {
+    let path: Vec<String> = a.path.iter().map(|n| n.to_string()).collect();
+    format!(
+        "ok {} {} {} {} {} {}\n",
+        a.index,
+        a.distance,
+        a.admission_us,
+        a.observed_drops,
+        a.laps,
+        path.join(",")
+    )
+}
+
+fn answer_from_line(line: &str) -> Result<SessionAnswer, String> {
+    let mut p = line.split_ascii_whitespace();
+    match p.next() {
+        Some("ok") => {}
+        Some("err") => return Err(line["err".len()..].trim().to_string()),
+        other => return Err(format!("bad worker reply {other:?}")),
+    }
+    let mut next = |what: &str| {
+        p.next()
+            .ok_or_else(|| format!("missing {what}"))
+            .and_then(|s| s.parse::<u64>().map_err(|e| format!("{what}: {e}")))
+    };
+    let index = next("index")? as usize;
+    let distance = next("distance")?;
+    let admission_us = next("admission_us")?;
+    let observed_drops = next("observed_drops")?;
+    let laps = next("laps")? as u32;
+    let path_field = p.next().unwrap_or("");
+    let path: Vec<NodeId> = if path_field.is_empty() {
+        Vec::new()
+    } else {
+        path_field
+            .split(',')
+            .map(|s| s.parse().map_err(|e| format!("path: {e}")))
+            .collect::<Result<_, String>>()?
+    };
+    Ok(SessionAnswer {
+        index,
+        distance,
+        path,
+        admission_us,
+        observed_drops,
+        laps,
+    })
+}
+
+/// The worker-process entry point: `bench_load --socket-worker ADDR`
+/// lands here. Reads job lines on stdin, runs each session against the
+/// daemon at `addr`, writes one reply line per job, exits 0.
+pub fn socket_worker_main(addr: &str) -> ! {
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("socket worker: bad addr: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match job_from_line(&line) {
+            Ok(job) => match run_one(addr, &job) {
+                Ok(a) => answer_to_line(&a),
+                Err(e) => format!("err {e}\n"),
+            },
+            Err(e) => format!("err bad job line: {e}\n"),
+        };
+        if out.write_all(reply.as_bytes()).is_err() {
+            break;
+        }
+        let _ = out.flush();
+    }
+    std::process::exit(0);
+}
+
+fn run_jobs_processes(
+    addr: SocketAddr,
+    jobs: &[SessionJob],
+    threads: usize,
+    exe: &Path,
+) -> (Vec<SessionAnswer>, Vec<String>) {
+    let workers = threads.max(1).min(jobs.len().max(1));
+    let mut children = Vec::new();
+    for w in 0..workers {
+        let share: Vec<&SessionJob> = jobs.iter().skip(w).step_by(workers).collect();
+        if share.is_empty() {
+            continue;
+        }
+        let mut child = match std::process::Command::new(exe)
+            .arg("--socket-worker")
+            .arg(addr.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+        {
+            Ok(c) => c,
+            Err(e) => {
+                return (
+                    Vec::new(),
+                    vec![format!("spawn worker {}: {e}", exe.display())],
+                )
+            }
+        };
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let mut wire = String::new();
+        for job in &share {
+            wire.push_str(&job_to_line(job));
+        }
+        // Small shares fit comfortably in the pipe buffer; write and
+        // close so the worker sees EOF after its last job.
+        if stdin.write_all(wire.as_bytes()).is_err() {
+            let _ = child.kill();
+        }
+        drop(stdin);
+        children.push((child, share.len()));
+    }
+    let mut answers = Vec::new();
+    let mut failures = Vec::new();
+    for (mut child, expected) in children {
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut got = 0usize;
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match answer_from_line(&line) {
+                Ok(a) => answers.push(a),
+                Err(e) => failures.push(e),
+            }
+            got += 1;
+        }
+        if got != expected {
+            failures.push(format!("worker returned {got}/{expected} replies"));
+        }
+        match child.wait() {
+            Ok(s) if s.success() => {}
+            Ok(s) => failures.push(format!("worker exited {s}")),
+            Err(e) => failures.push(format!("worker wait: {e}")),
+        }
+    }
+    (answers, failures)
+}
+
+/// One socket bench cell's results.
+#[derive(Debug, Clone)]
+pub struct SocketCellReport {
+    /// Registry method name.
+    pub method: String,
+    /// Transport column.
+    pub transport: &'static str,
+    /// `lossless`, `contention-drops` or `contention-evict`.
+    pub kind: &'static str,
+    /// Sessions attempted.
+    pub population: usize,
+    /// Sessions that produced an answer.
+    pub completed: usize,
+    /// FNV digest of the answers (0 for the evict cell).
+    pub answers_digest: u64,
+    /// FNV digest of the in-process reference.
+    pub expected_digest: u64,
+    /// Whether the two digests agree (always true for committed runs).
+    pub digest_match: bool,
+    /// Sessions whose answer differed from in-process (must be 0).
+    pub wrong_answers: usize,
+    /// Typed session failures (strings; empty for lossless cells).
+    pub failures: Vec<String>,
+    /// Receiver-observed datagram gaps, summed.
+    pub observed_drops: u64,
+    /// Daemon-side injected drops (contention-drops cell).
+    pub drops_injected: u64,
+    /// Daemon-side send-buffer drops.
+    pub backpressure_drops: u64,
+    /// Slow consumers evicted (contention-evict cell).
+    pub evictions: u64,
+    /// Admission-latency histogram (µs).
+    pub admission_us: StreamingHistogram,
+    /// Wall-clock seconds for the cell (excluded from digests).
+    pub wall_secs: f64,
+}
+
+impl SocketCellReport {
+    fn admission_json(&self) -> String {
+        let h = &self.admission_us;
+        format!(
+            "{{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }}",
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.max()
+        )
+    }
+}
+
+/// The full socket bench report behind `BENCH_serve.json`.
+#[derive(Debug)]
+pub struct SocketReport {
+    /// The scenario every cell shares.
+    pub scenario: SocketScenario,
+    /// Worker count used.
+    pub threads: usize,
+    /// `"process"` or `"thread"` workers.
+    pub worker_mode: &'static str,
+    /// Per-cell results.
+    pub cells: Vec<SocketCellReport>,
+    /// Lossless daemon counters after shutdown.
+    pub daemon: ServeSummary,
+}
+
+impl SocketReport {
+    /// Every lossless cell digest matches in-process and no cell —
+    /// contention included — produced a wrong answer.
+    pub fn all_match(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.digest_match && c.wrong_answers == 0)
+    }
+
+    /// FNV-1a over the deterministic columns only: cell identity,
+    /// population, answer digests and digest verdicts. Timing,
+    /// contention counters and daemon totals are excluded, so the
+    /// digest is invariant across worker counts and worker modes.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let fold_bytes = |bytes: &[u8], h: &mut u64| {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for c in &self.cells {
+            if c.kind != "lossless" {
+                continue;
+            }
+            fold_bytes(c.method.as_bytes(), &mut h);
+            fold_bytes(c.transport.as_bytes(), &mut h);
+            fold_bytes(&(c.population as u64).to_le_bytes(), &mut h);
+            fold_bytes(&c.answers_digest.to_le_bytes(), &mut h);
+            fold_bytes(&c.expected_digest.to_le_bytes(), &mut h);
+            fold_bytes(&[u8::from(c.digest_match)], &mut h);
+            fold_bytes(&(c.wrong_answers as u64).to_le_bytes(), &mut h);
+        }
+        h
+    }
+
+    /// Renders the cells array (pretty, two-space indented under the
+    /// top-level document).
+    pub fn cells_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"method\": \"{}\", \"transport\": \"{}\", \"kind\": \"{}\", \
+                 \"population\": {}, \"completed\": {}, \
+                 \"answers_digest\": \"{:016x}\", \"expected_digest\": \"{:016x}\", \
+                 \"digest_match\": {}, \"wrong_answers\": {}, \"failures\": {}, \
+                 \"observed_drops\": {}, \"drops_injected\": {}, \
+                 \"backpressure_drops\": {}, \"evictions\": {}, \
+                 \"admission_us\": {}, \"wall_secs\": {:.6} }}{}\n",
+                c.method,
+                c.transport,
+                c.kind,
+                c.population,
+                c.completed,
+                c.answers_digest,
+                c.expected_digest,
+                c.digest_match,
+                c.wrong_answers,
+                c.failures.len(),
+                c.observed_drops,
+                c.drops_injected,
+                c.backpressure_drops,
+                c.evictions,
+                c.admission_json(),
+                c.wall_secs,
+                if i + 1 == self.cells.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]");
+        out
+    }
+
+    /// One human-readable line per cell (stderr progress table).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            out.push_str(&format!(
+                "  {:<10} {:<4} {:<17} n={:<5} match={} wrong={} drops(inj/bp/obs)={}/{}/{} evict={} adm_p95={}us {:.2}s\n",
+                c.method,
+                c.transport,
+                c.kind,
+                c.completed,
+                c.digest_match,
+                c.wrong_answers,
+                c.drops_injected,
+                c.backpressure_drops,
+                c.observed_drops,
+                c.evictions,
+                c.admission_us.percentile(0.95),
+                c.wall_secs,
+            ));
+        }
+        out
+    }
+}
+
+fn admission_hist() -> StreamingHistogram {
+    // Bound 100ms in µs; loopback admissions sit far below.
+    StreamingHistogram::with_bound(100_000, 200)
+}
+
+fn collate_cell(
+    method: &str,
+    transport: &'static str,
+    kind: &'static str,
+    jobs: &[SessionJob],
+    (answers, failures): (Vec<SessionAnswer>, Vec<String>),
+    expected: &[SessionAnswer],
+    wall_secs: f64,
+) -> SocketCellReport {
+    let mut admission = admission_hist();
+    let mut observed_drops = 0u64;
+    for a in &answers {
+        admission.record(a.admission_us);
+        observed_drops += a.observed_drops;
+    }
+    let mut wrong = 0usize;
+    for a in &answers {
+        let e = &expected[a.index];
+        debug_assert_eq!(e.index, a.index);
+        if a.distance != e.distance || a.path != e.path {
+            wrong += 1;
+        }
+    }
+    let digest = answers_digest(&answers);
+    let expected_digest = answers_digest(expected);
+    SocketCellReport {
+        method: method.to_string(),
+        transport,
+        kind,
+        population: jobs.len(),
+        completed: answers.len(),
+        answers_digest: digest,
+        expected_digest,
+        digest_match: digest == expected_digest && answers.len() == jobs.len(),
+        wrong_answers: wrong,
+        failures,
+        observed_drops,
+        drops_injected: 0,
+        backpressure_drops: 0,
+        evictions: 0,
+        admission_us: admission,
+        wall_secs,
+    }
+}
+
+/// Runs the socket bench end to end and returns the report.
+pub fn run_socket_bench(config: &SocketBenchConfig) -> SocketReport {
+    let sc = socket_scenario(config.smoke);
+    let population = config.population.unwrap_or(sc.population);
+    std::fs::create_dir_all(&config.events_dir).expect("events dir");
+    let programs = build_programs(&sc);
+    let g = programs.world().g.clone();
+    let registry = MethodRegistry::standard();
+    let ids: Vec<_> = sc
+        .methods
+        .iter()
+        .map(|n| registry.get(n).expect("scenario method"))
+        .collect();
+
+    // --- Lossless cells: one daemon serves every method's channel. ---
+    let world = ServeWorld::from_program_set(&programs, &ids);
+    let opts = ServeOptions {
+        events_path: config.events_dir.join("serve.events.jsonl"),
+        dead_letter_path: config.events_dir.join("serve.deadletter.jsonl"),
+        ..ServeOptions::in_dir(&config.events_dir)
+    };
+    let daemon = ServeDaemon::start(world, opts).expect("start lossless daemon");
+    let addr = daemon.local_addr();
+
+    let mut cells = Vec::new();
+    for method in &sc.methods {
+        // The schedule is transport-independent, so the UDP and TCP
+        // digests must agree with each other *and* with in-process.
+        let expected = {
+            let jobs = schedule(&sc, &g, method, Transport::Udp, population);
+            in_process_answers(&programs, &jobs)
+        };
+        for transport in [Transport::Udp, Transport::Tcp] {
+            let jobs = schedule(&sc, &g, method, transport, population);
+            let start = Instant::now();
+            let (answers, failures) = run_jobs(addr, &jobs, config.threads, &config.worker);
+            let wall = start.elapsed().as_secs_f64();
+            eprintln!(
+                "  cell {method}/{} served {}/{} sessions in {wall:.2}s",
+                transport.name(),
+                answers.len(),
+                jobs.len()
+            );
+            cells.push(collate_cell(
+                method,
+                transport.name(),
+                "lossless",
+                &jobs,
+                (answers, failures),
+                &expected,
+                wall,
+            ));
+        }
+    }
+    let daemon_summary = daemon.shutdown().expect("lossless daemon shutdown");
+
+    // --- Contention cell 1: deterministic injected datagram drops. ---
+    let drop_method = sc.methods[0];
+    let drop_population = population.min(16);
+    let world = ServeWorld::from_program_set(&programs, &ids[..1]);
+    let opts = ServeOptions {
+        drop_plan: Some(DropPlan {
+            permille: 200,
+            laps: 2,
+        }),
+        events_path: config.events_dir.join("serve.drops.events.jsonl"),
+        dead_letter_path: config.events_dir.join("serve.drops.deadletter.jsonl"),
+        ..ServeOptions::in_dir(&config.events_dir)
+    };
+    let drop_daemon = ServeDaemon::start(world, opts).expect("start drop daemon");
+    let drop_addr = drop_daemon.local_addr();
+    let jobs = schedule(&sc, &g, drop_method, Transport::Udp, drop_population);
+    let expected = in_process_answers(&programs, &jobs);
+    let start = Instant::now();
+    // Contention cells always run in-thread: they measure the daemon
+    // under pressure, not client-process scaling.
+    let (answers, failures) = run_jobs(drop_addr, &jobs, config.threads, &WorkerMode::InThread);
+    let wall = start.elapsed().as_secs_f64();
+    let drop_summary = drop_daemon.shutdown().expect("drop daemon shutdown");
+    let mut cell = collate_cell(
+        drop_method,
+        "udp",
+        "contention-drops",
+        &jobs,
+        (answers, failures),
+        &expected,
+        wall,
+    );
+    cell.drops_injected = drop_summary.injected_drops;
+    cell.backpressure_drops = drop_summary.backpressure_drops;
+    cells.push(cell);
+
+    // --- Contention cell 2: stalled consumers get evicted. ---
+    let world = ServeWorld::from_program_set(&programs, &ids[..1]);
+    let opts = ServeOptions {
+        stall: Duration::from_millis(100),
+        max_laps: 1_000_000,
+        lap_pause: Duration::ZERO,
+        events_path: config.events_dir.join("serve.evict.events.jsonl"),
+        dead_letter_path: config.events_dir.join("serve.evict.deadletter.jsonl"),
+        ..ServeOptions::in_dir(&config.events_dir)
+    };
+    let evict_daemon = ServeDaemon::start(world, opts).expect("start evict daemon");
+    let evict_addr = evict_daemon.local_addr();
+    let start = Instant::now();
+    let stalled = 4usize;
+    let mut stalled_conns = Vec::new();
+    for _ in 0..stalled {
+        // Handshake, then never read: the daemon must evict us.
+        let mut s = TcpStream::connect(evict_addr).expect("connect evict daemon");
+        s.write_all(&encode_stream(&Frame::Hello(Hello {
+            method: sc.methods[0].to_string(),
+            transport: 0,
+            udp_port: 0,
+            offset: 0,
+        })))
+        .expect("hello");
+        stalled_conns.push(s);
+    }
+    let events_path = config.events_dir.join("serve.evict.events.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let text = std::fs::read_to_string(&events_path).unwrap_or_default();
+        if text.matches("client_evicted").count() >= stalled {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "evict daemon never evicted its stalled consumers"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    drop(stalled_conns);
+    let evict_summary = evict_daemon.shutdown().expect("evict daemon shutdown");
+    let wall = start.elapsed().as_secs_f64();
+    cells.push(SocketCellReport {
+        method: sc.methods[0].to_string(),
+        transport: "tcp",
+        kind: "contention-evict",
+        population: stalled,
+        completed: 0,
+        answers_digest: 0,
+        expected_digest: 0,
+        digest_match: true, // no answers to disagree
+        wrong_answers: 0,
+        failures: Vec::new(),
+        observed_drops: 0,
+        drops_injected: 0,
+        backpressure_drops: 0,
+        evictions: evict_summary.evictions,
+        admission_us: admission_hist(),
+        wall_secs: wall,
+    });
+
+    SocketReport {
+        scenario: sc,
+        threads: config.threads,
+        worker_mode: match config.worker {
+            WorkerMode::InThread => "thread",
+            WorkerMode::Process(_) => "process",
+        },
+        cells,
+        daemon: daemon_summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_lines_roundtrip_exactly() {
+        let sc = socket_scenario(true);
+        let programs = build_programs(&sc);
+        let g = programs.world().g.clone();
+        let jobs = schedule(&sc, &g, "nr", Transport::Udp, 9);
+        for job in &jobs {
+            let back = job_from_line(&job_to_line(job)).expect("roundtrip");
+            assert_eq!(back.index, job.index);
+            assert_eq!(back.method, job.method);
+            assert_eq!(back.transport, job.transport);
+            assert_eq!(back.offset, job.offset);
+            assert_eq!(back.query, job.query);
+        }
+    }
+
+    #[test]
+    fn answer_lines_roundtrip_and_type_errors() {
+        let a = SessionAnswer {
+            index: 5,
+            distance: 123_456,
+            path: vec![1, 2, 3, 60],
+            admission_us: 890,
+            observed_drops: 2,
+            laps: 3,
+        };
+        let b = answer_from_line(&answer_to_line(&a)).expect("roundtrip");
+        assert_eq!(b.index, 5);
+        assert_eq!(b.distance, 123_456);
+        assert_eq!(b.path, vec![1, 2, 3, 60]);
+        assert_eq!((b.admission_us, b.observed_drops, b.laps), (890, 2, 3));
+        assert!(answer_from_line("err session 3: timed out").is_err());
+        assert!(answer_from_line("garbage").is_err());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_transport_invariant() {
+        let sc = socket_scenario(true);
+        let programs = build_programs(&sc);
+        let g = programs.world().g.clone();
+        let a = schedule(&sc, &g, "nr", Transport::Udp, 16);
+        let b = schedule(&sc, &g, "nr", Transport::Tcp, 16);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.offset, y.offset, "offsets must not depend on transport");
+            assert_eq!(x.query, y.query);
+        }
+        // Different methods draw different offsets (independent seeds).
+        let c = schedule(&sc, &g, "dj", Transport::Udp, 16);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.offset != y.offset));
+    }
+
+    #[test]
+    fn answers_digest_is_order_invariant_but_content_sensitive() {
+        let mk = |d: u64| SessionAnswer {
+            index: (d % 3) as usize,
+            distance: d,
+            path: vec![d as NodeId],
+            admission_us: 1,
+            observed_drops: 0,
+            laps: 1,
+        };
+        let fwd = vec![mk(10), mk(11), mk(12)];
+        let rev: Vec<SessionAnswer> = fwd.iter().rev().cloned().collect();
+        assert_eq!(answers_digest(&fwd), answers_digest(&rev));
+        let mut changed = fwd.clone();
+        changed[1].distance += 1;
+        assert_ne!(answers_digest(&fwd), answers_digest(&changed));
+    }
+}

@@ -1,7 +1,8 @@
 //! ArcFlag (§2.1, §3.2) behind the [`BroadcastMethod`] trait.
 
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_baselines::arcflag::ArcFlagIndex;
 use spair_baselines::{ArcFlagClient, ArcFlagProgram, ArcFlagServer};
@@ -55,6 +56,13 @@ impl MethodProgram for ArcFlagMethodProgram {
         Ok(Box::new(ArcFlagClient::new(self.num_regions)))
     }
 
+    fn client_bootstrap(&self) -> ClientBootstrap {
+        ClientBootstrap {
+            num_regions: self.num_regions,
+            bbox: None,
+        }
+    }
+
     fn precompute_secs(&self) -> f64 {
         self.precompute_secs
     }
@@ -97,5 +105,16 @@ impl BroadcastMethod for ArcFlag {
             num_regions,
             program,
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        bootstrap: &ClientBootstrap,
+        _queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        if bootstrap.num_regions == 0 {
+            return Err(MethodUnavailable::BadBootstrap(DESCRIPTOR.name));
+        }
+        Ok(Box::new(ArcFlagClient::new(bootstrap.num_regions)))
     }
 }

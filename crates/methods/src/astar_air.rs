@@ -29,7 +29,8 @@
 
 use crate::received::receive_network;
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_baselines::{DjProgram, DjServer};
 use spair_broadcast::{BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats};
@@ -89,6 +90,14 @@ impl BroadcastMethod for AstarAir {
         Box::new(AstarMethodProgram {
             program: DjServer::new(&world.g).build_program(),
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        _bootstrap: &ClientBootstrap,
+        _queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(AstarAirClient::default()))
     }
 }
 

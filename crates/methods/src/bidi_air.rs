@@ -12,7 +12,8 @@
 
 use crate::received::receive_network;
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_baselines::{DjProgram, DjServer};
 use spair_broadcast::{BroadcastChannel, BroadcastCycle, CpuMeter, MemoryMeter, QueryStats};
@@ -71,6 +72,14 @@ impl BroadcastMethod for BidiAir {
         Box::new(BidiMethodProgram {
             program: DjServer::new(&world.g).build_program(),
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        _bootstrap: &ClientBootstrap,
+        _queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(BidiAirClient::default()))
     }
 }
 

@@ -1,7 +1,8 @@
 //! Dijkstra on air (§3.2) behind the [`BroadcastMethod`] trait.
 
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_baselines::{DjClient, DjProgram, DjServer};
 use spair_broadcast::BroadcastCycle;
@@ -65,5 +66,13 @@ impl BroadcastMethod for Dj {
         Box::new(DjMethodProgram {
             program: DjServer::new(&world.g).build_program(),
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        _bootstrap: &ClientBootstrap,
+        queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(DjClient::new().with_queue_policy(queue)))
     }
 }

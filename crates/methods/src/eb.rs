@@ -1,11 +1,12 @@
 //! Elliptic Boundary (§4) behind the [`BroadcastMethod`] trait.
 
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_broadcast::BroadcastCycle;
 use spair_core::query::AirClient;
-use spair_core::{EbClient, EbProgram, EbServer};
+use spair_core::{EbClient, EbProgram, EbServer, EbSummary};
 use spair_roadnet::QueuePolicy;
 
 /// EB's descriptor.
@@ -54,6 +55,13 @@ impl MethodProgram for EbMethodProgram {
         ))
     }
 
+    fn client_bootstrap(&self) -> ClientBootstrap {
+        ClientBootstrap {
+            num_regions: self.program.summary().num_regions,
+            bbox: None,
+        }
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -73,5 +81,18 @@ impl BroadcastMethod for Eb {
                 .build_program()
                 .unwrap_or_else(|e| panic!("eb: {e}")),
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        bootstrap: &ClientBootstrap,
+        queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(
+            EbClient::new(EbSummary {
+                num_regions: bootstrap.num_regions,
+            })
+            .with_queue_policy(queue),
+        ))
     }
 }

@@ -2,7 +2,8 @@
 //! trait.
 
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_baselines::{HiTiAirClient, HiTiAirServer, HiTiIndex, HiTiProgram};
 use spair_broadcast::BroadcastCycle;
@@ -78,5 +79,13 @@ impl BroadcastMethod for HiTiAir {
                 .build_program()
                 .unwrap_or_else(|e| panic!("hiti_air: {e}")),
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        _bootstrap: &ClientBootstrap,
+        _queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(HiTiAirClient::new()))
     }
 }

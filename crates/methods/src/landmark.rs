@@ -1,7 +1,8 @@
 //! Landmark / ALT (§2.1, §3.2) behind the [`BroadcastMethod`] trait.
 
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_baselines::landmark::LandmarkIndex;
 use spair_baselines::{LandmarkClient, LandmarkProgram, LandmarkServer};
@@ -74,5 +75,13 @@ impl BroadcastMethod for Landmark {
             program: LandmarkServer::new(&world.g, &index).build_program(),
             precompute_secs,
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        _bootstrap: &ClientBootstrap,
+        _queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(LandmarkClient::new()))
     }
 }

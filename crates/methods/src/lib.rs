@@ -221,6 +221,10 @@ pub enum MethodUnavailable {
     NotAirClient(&'static str),
     /// The method is not a kNN client.
     NotKnn(&'static str),
+    /// The admission bootstrap lacks a field the method's remote client
+    /// requires (serving daemon and client process disagree about the
+    /// method).
+    BadBootstrap(&'static str),
 }
 
 impl std::fmt::Display for MethodUnavailable {
@@ -240,6 +244,12 @@ impl std::fmt::Display for MethodUnavailable {
                 write!(f, "{name} is not an air client method")
             }
             MethodUnavailable::NotKnn(name) => write!(f, "{name} is not a kNN client method"),
+            MethodUnavailable::BadBootstrap(name) => {
+                write!(
+                    f,
+                    "{name}'s remote client is missing a required bootstrap field"
+                )
+            }
         }
     }
 }
@@ -327,6 +337,23 @@ impl World {
     }
 }
 
+/// The a-priori knowledge a client needs to tune in to a method's cycle
+/// from across a process boundary — the serving daemon ships this blob
+/// in its admission reply so remote client processes can build an
+/// [`AirClient`] without ever seeing the server's [`World`].
+///
+/// It is deliberately tiny: the paper's clients assume almost nothing
+/// beyond "which method the channel carries" (EB/NR need the region
+/// count, SPQ its quadtree bounding box; everything else starts blind
+/// and learns the rest from the packets themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClientBootstrap {
+    /// Kd region count (NR, EB, AF; 0 where unused).
+    pub num_regions: usize,
+    /// Quadtree bounding box (SPQ; `None` elsewhere).
+    pub bbox: Option<(Point, Point)>,
+}
+
 /// The interface the harnesses drive kNN programs through (the §8
 /// client's query signature differs from [`AirClient`]'s).
 pub trait KnnAirClient {
@@ -362,6 +389,13 @@ pub trait MethodProgram: Send + Sync {
         Err(MethodUnavailable::NotKnn(self.descriptor().name))
     }
 
+    /// The a-priori blob a remote client process needs before tuning in
+    /// (shipped by the serving daemon in its admission reply). Methods
+    /// whose clients start blind keep the empty default.
+    fn client_bootstrap(&self) -> ClientBootstrap {
+        ClientBootstrap::default()
+    }
+
     /// Channel-free local answer for methods that re-process another
     /// method's data instead of tuning in (§6.1 memory-bound
     /// contraction). `None` for everything else.
@@ -394,6 +428,20 @@ pub trait BroadcastMethod: Send + Sync {
 
     /// Builds the server-side broadcast program for a world.
     fn build_program(&self, world: &World) -> Box<dyn MethodProgram>;
+
+    /// A fresh client built from a [`ClientBootstrap`] alone — the
+    /// remote twin of [`MethodProgram::make_client`] for client
+    /// processes that hold no program (they receive the cycle over a
+    /// socket). `Err(NotAirClient)` for methods not driven through the
+    /// [`AirClient`] interface.
+    fn make_remote_client(
+        &self,
+        bootstrap: &ClientBootstrap,
+        queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        let _ = (bootstrap, queue);
+        Err(MethodUnavailable::NotAirClient(self.descriptor().name))
+    }
 }
 
 /// The ordered method registry.
@@ -500,6 +548,17 @@ impl MethodRegistry {
     /// The implementation behind a handle.
     pub fn method(&self, id: MethodId) -> &dyn BroadcastMethod {
         self.methods[id.ordinal() as usize].as_ref()
+    }
+
+    /// A remote client for `id` from its admission bootstrap — the
+    /// lookup the serving daemon's client processes go through.
+    pub fn remote_client(
+        &self,
+        id: MethodId,
+        bootstrap: &ClientBootstrap,
+        queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        self.method(id).make_remote_client(bootstrap, queue)
     }
 }
 

@@ -1,11 +1,12 @@
 //! Next Region (§5) behind the [`BroadcastMethod`] trait.
 
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_broadcast::BroadcastCycle;
 use spair_core::query::AirClient;
-use spair_core::{NrClient, NrProgram, NrServer};
+use spair_core::{NrClient, NrProgram, NrServer, NrSummary};
 use spair_roadnet::QueuePolicy;
 
 /// NR's descriptor.
@@ -53,6 +54,13 @@ impl MethodProgram for NrMethodProgram {
         ))
     }
 
+    fn client_bootstrap(&self) -> ClientBootstrap {
+        ClientBootstrap {
+            num_regions: self.program.summary().num_regions,
+            bbox: None,
+        }
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -72,5 +80,18 @@ impl BroadcastMethod for Nr {
                 .build_program()
                 .unwrap_or_else(|e| panic!("nr: {e}")),
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        bootstrap: &ClientBootstrap,
+        queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        Ok(Box::new(
+            NrClient::new(NrSummary {
+                num_regions: bootstrap.num_regions,
+            })
+            .with_queue_policy(queue),
+        ))
     }
 }

@@ -2,7 +2,8 @@
 //! [`BroadcastMethod`] trait.
 
 use crate::{
-    BroadcastMethod, MethodDescriptor, MethodProgram, MethodUnavailable, SessionShape, World,
+    BroadcastMethod, ClientBootstrap, MethodDescriptor, MethodProgram, MethodUnavailable,
+    SessionShape, World,
 };
 use spair_baselines::{SpqAirServer, SpqClient, SpqIndex, SpqProgram};
 use spair_broadcast::BroadcastCycle;
@@ -53,6 +54,13 @@ impl MethodProgram for SpqMethodProgram {
         Ok(Box::new(SpqClient::new(self.program.bbox())))
     }
 
+    fn client_bootstrap(&self) -> ClientBootstrap {
+        ClientBootstrap {
+            num_regions: 0,
+            bbox: Some(self.program.bbox()),
+        }
+    }
+
     fn precompute_secs(&self) -> f64 {
         self.precompute_secs
     }
@@ -80,5 +88,16 @@ impl BroadcastMethod for SpqAir {
                 .build_program()
                 .unwrap_or_else(|e| panic!("spq_air: {e}")),
         })
+    }
+
+    fn make_remote_client(
+        &self,
+        bootstrap: &ClientBootstrap,
+        _queue: QueuePolicy,
+    ) -> Result<Box<dyn AirClient>, MethodUnavailable> {
+        let bbox = bootstrap
+            .bbox
+            .ok_or(MethodUnavailable::BadBootstrap(DESCRIPTOR.name))?;
+        Ok(Box::new(SpqClient::new(bbox)))
     }
 }

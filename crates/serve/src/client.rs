@@ -1,0 +1,468 @@
+//! The client side: tune in to a running daemon over a real socket,
+//! collect one full cycle, rebuild it, and answer queries with the
+//! registry's unmodified method clients.
+//!
+//! The client keeps a slot table of `cycle_len` entries. Every data
+//! frame carries an absolute slot number; `slot % cycle_len` is its
+//! table position, so a datagram lost on one lap is simply filled by
+//! the same position on a later lap. Drops therefore only ever *delay*
+//! a session (more laps listened), never change its answer — once the
+//! table is full the rebuilt [`BroadcastCycle`] is byte-identical to
+//! the one the daemon serves, and the digest of any query run over it
+//! matches the in-process run exactly.
+
+use crate::frame::{
+    self, Close, CloseReason, Frame, FrameError, Hello, RejectReason, StreamDecoder,
+};
+use spair_broadcast::{BroadcastChannel, BroadcastCycle, LossModel, Packet};
+use spair_core::query::{Query, QueryOutcome};
+use spair_methods::{ClientBootstrap, MethodRegistry};
+use spair_roadnet::QueuePolicy;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// Which transport carries the data frames (admission is always TCP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Length-prefixed frames on the control connection itself.
+    Tcp,
+    /// One CRC-framed datagram per packet to the client's UDP port.
+    Udp,
+}
+
+impl Transport {
+    /// Stable name for logs and bench cells.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Tcp => "tcp",
+            Transport::Udp => "udp",
+        }
+    }
+
+    fn wire(self) -> u8 {
+        match self {
+            Transport::Tcp => 0,
+            Transport::Udp => 1,
+        }
+    }
+}
+
+/// One tune-in session's parameters.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Daemon address.
+    pub addr: SocketAddr,
+    /// Registry method name (`"nr"`, `"dj"`, ...).
+    pub method: String,
+    /// Data transport.
+    pub transport: Transport,
+    /// Absolute tune-in offset (the session's position in the cycle).
+    pub offset: u64,
+    /// Priority-queue policy for the rebuilt client.
+    pub queue: QueuePolicy,
+    /// Overall deadline for collecting the cycle.
+    pub max_wait: Duration,
+    /// Artificial per-frame processing pause — the slow-consumer
+    /// injection knob for contention cells. Zero for honest clients.
+    pub frame_pause: Duration,
+}
+
+impl SessionConfig {
+    /// An honest lossless session for `method` over `transport`.
+    pub fn new(addr: SocketAddr, method: &str, transport: Transport) -> Self {
+        Self {
+            addr,
+            method: method.to_string(),
+            transport,
+            offset: 0,
+            queue: QueuePolicy::Heap,
+            max_wait: Duration::from_secs(30),
+            frame_pause: Duration::ZERO,
+        }
+    }
+}
+
+/// What the client measured while collecting the cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionMetrics {
+    /// Session id the daemon assigned.
+    pub session: u32,
+    /// Microseconds from connect to the `Admit` frame.
+    pub admission_us: u64,
+    /// Cycle length in packets.
+    pub cycle_len: u64,
+    /// Data frames received (including duplicates).
+    pub frames_rx: u64,
+    /// Frames for an already-filled slot.
+    pub dups: u64,
+    /// Gaps observed in the absolute slot sequence (UDP loss as seen
+    /// from the receiver).
+    pub observed_drops: u64,
+    /// Undecodable datagrams skipped (UDP only; each is typed and
+    /// counted, never ingested).
+    pub bad_frames: u64,
+    /// Laps listened until the table filled.
+    pub laps: u32,
+}
+
+/// Why a session did not produce a cycle.
+#[derive(Debug)]
+pub enum SessionFailure {
+    /// The daemon refused admission.
+    Rejected(RejectReason),
+    /// The daemon evicted this client as a slow consumer.
+    Evicted,
+    /// The daemon shut down mid-session.
+    DaemonShutdown,
+    /// The daemon's lap budget ran out before the table filled.
+    Expired,
+    /// `max_wait` elapsed before the table filled.
+    Timeout,
+    /// The TCP stream produced an undecodable frame (fatal on a
+    /// reliable transport — it means a protocol bug, not loss).
+    Frame(FrameError),
+    /// Socket-level failure.
+    Io(String),
+    /// The rebuilt client could not be constructed or errored.
+    Query(String),
+}
+
+impl std::fmt::Display for SessionFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionFailure::Rejected(r) => write!(f, "admission rejected ({r:?})"),
+            SessionFailure::Evicted => write!(f, "evicted as slow consumer"),
+            SessionFailure::DaemonShutdown => write!(f, "daemon shut down"),
+            SessionFailure::Expired => write!(f, "session expired before cycle completed"),
+            SessionFailure::Timeout => write!(f, "deadline elapsed before cycle completed"),
+            SessionFailure::Frame(e) => write!(f, "stream framing error: {e}"),
+            SessionFailure::Io(e) => write!(f, "socket error: {e}"),
+            SessionFailure::Query(e) => write!(f, "client error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionFailure {}
+
+impl From<std::io::Error> for SessionFailure {
+    fn from(e: std::io::Error) -> Self {
+        SessionFailure::Io(e.to_string())
+    }
+}
+
+fn close_to_failure(reason: CloseReason) -> SessionFailure {
+    match reason {
+        CloseReason::EvictedSlowConsumer => SessionFailure::Evicted,
+        CloseReason::DaemonShutdown => SessionFailure::DaemonShutdown,
+        CloseReason::Expired => SessionFailure::Expired,
+        CloseReason::Done | CloseReason::ProtocolError => {
+            SessionFailure::Query("server closed before cycle completed".into())
+        }
+    }
+}
+
+/// Tracks receive-side slot accounting: table fill, duplicates, and the
+/// gap count that surfaces datagram loss to metrics.
+struct SlotTable {
+    slots: Vec<Option<Packet>>,
+    filled: usize,
+    next_expected: Option<u64>,
+}
+
+impl SlotTable {
+    fn new(cycle_len: u64) -> Self {
+        Self {
+            slots: vec![None; cycle_len as usize],
+            filled: 0,
+            next_expected: None,
+        }
+    }
+
+    fn ingest(&mut self, slot: u64, packet: Packet, m: &mut SessionMetrics) {
+        m.frames_rx += 1;
+        if let Some(exp) = self.next_expected {
+            if slot > exp {
+                m.observed_drops += slot - exp;
+            }
+        }
+        self.next_expected = Some(slot + 1);
+        let pos = (slot % self.slots.len() as u64) as usize;
+        if self.slots[pos].is_some() {
+            m.dups += 1;
+        } else {
+            self.slots[pos] = Some(packet);
+            self.filled += 1;
+        }
+    }
+
+    fn complete(&self) -> bool {
+        self.filled == self.slots.len()
+    }
+
+    fn into_cycle(self) -> BroadcastCycle {
+        BroadcastCycle::from_packets(
+            self.slots
+                .into_iter()
+                .map(|p| p.expect("table complete"))
+                .collect(),
+        )
+    }
+}
+
+fn send_done(control: &mut TcpStream, session: u32, m: &SessionMetrics) {
+    let _ = control.write_all(&frame::encode_stream(&Frame::Close(Close {
+        session,
+        reason: CloseReason::Done,
+        drops: m.observed_drops,
+        laps: m.laps,
+    })));
+    let _ = control.flush();
+}
+
+/// Blocking-with-timeout read of the next frame off the control stream.
+fn next_control_frame(
+    stream: &mut TcpStream,
+    dec: &mut StreamDecoder,
+    deadline: Instant,
+) -> Result<Frame, SessionFailure> {
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(f) = dec.next_frame().map_err(SessionFailure::Frame)? {
+            return Ok(f);
+        }
+        if Instant::now() > deadline {
+            return Err(SessionFailure::Timeout);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(SessionFailure::Io("connection closed".into())),
+            Ok(n) => dec.push(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Tunes in, collects one full cycle, closes the session, and returns
+/// the rebuilt cycle with its bootstrap and metrics.
+pub fn fetch_cycle(
+    config: &SessionConfig,
+) -> Result<(BroadcastCycle, ClientBootstrap, SessionMetrics), SessionFailure> {
+    let started = Instant::now();
+    let deadline = started + config.max_wait;
+    let udp = match config.transport {
+        Transport::Udp => {
+            let s = UdpSocket::bind("127.0.0.1:0")?;
+            s.set_read_timeout(Some(Duration::from_millis(100)))?;
+            Some(s)
+        }
+        Transport::Tcp => None,
+    };
+    let udp_port = udp
+        .as_ref()
+        .map(|s| s.local_addr().map(|a| a.port()))
+        .transpose()?
+        .unwrap_or(0);
+
+    let mut control = TcpStream::connect_timeout(&config.addr, config.max_wait)?;
+    control.set_nodelay(true)?;
+    control.set_read_timeout(Some(Duration::from_millis(100)))?;
+    control.write_all(&frame::encode_stream(&Frame::Hello(Hello {
+        method: config.method.clone(),
+        transport: config.transport.wire(),
+        udp_port,
+        offset: config.offset,
+    })))?;
+
+    let mut dec = StreamDecoder::new();
+    let (session, cycle_len, bootstrap) =
+        match next_control_frame(&mut control, &mut dec, deadline)? {
+            Frame::Admit(a) => (a.session, a.cycle_len, a.bootstrap),
+            Frame::Reject(r) => return Err(SessionFailure::Rejected(r)),
+            Frame::Close(c) => return Err(close_to_failure(c.reason)),
+            _ => return Err(SessionFailure::Frame(FrameError::UnknownKind(0xFE))),
+        };
+    if cycle_len == 0 {
+        return Err(SessionFailure::Query(
+            "daemon advertised empty cycle".into(),
+        ));
+    }
+    let mut metrics = SessionMetrics {
+        session,
+        admission_us: started.elapsed().as_micros() as u64,
+        cycle_len,
+        ..SessionMetrics::default()
+    };
+    let mut table = SlotTable::new(cycle_len);
+
+    match udp {
+        None => collect_tcp(
+            &mut control,
+            &mut dec,
+            deadline,
+            config,
+            &mut table,
+            &mut metrics,
+        )?,
+        Some(sock) => collect_udp(
+            &mut control,
+            &mut dec,
+            &sock,
+            deadline,
+            config,
+            &mut table,
+            &mut metrics,
+        )?,
+    }
+
+    metrics.laps = (metrics.frames_rx / cycle_len.max(1)) as u32 + 1;
+    send_done(&mut control, session, &metrics);
+    Ok((table.into_cycle(), bootstrap, metrics))
+}
+
+fn collect_tcp(
+    control: &mut TcpStream,
+    dec: &mut StreamDecoder,
+    deadline: Instant,
+    config: &SessionConfig,
+    table: &mut SlotTable,
+    metrics: &mut SessionMetrics,
+) -> Result<(), SessionFailure> {
+    while !table.complete() {
+        match next_control_frame(control, dec, deadline)? {
+            Frame::Data(d) => {
+                table.ingest(d.slot, d.packet, metrics);
+                if !config.frame_pause.is_zero() {
+                    std::thread::sleep(config.frame_pause);
+                }
+            }
+            Frame::Close(c) => return Err(close_to_failure(c.reason)),
+            _ => return Err(SessionFailure::Frame(FrameError::UnknownKind(0xFE))),
+        }
+    }
+    Ok(())
+}
+
+fn collect_udp(
+    control: &mut TcpStream,
+    dec: &mut StreamDecoder,
+    sock: &UdpSocket,
+    deadline: Instant,
+    config: &SessionConfig,
+    table: &mut SlotTable,
+    metrics: &mut SessionMetrics,
+) -> Result<(), SessionFailure> {
+    // The control connection turns nonblocking: we only poll it for a
+    // daemon-initiated Close while datagrams stream on the UDP socket.
+    control.set_nonblocking(true)?;
+    let mut dgram = [0u8; frame::MAX_FRAME];
+    while !table.complete() {
+        if Instant::now() > deadline {
+            control.set_nonblocking(false)?;
+            return Err(SessionFailure::Timeout);
+        }
+        match sock.recv_from(&mut dgram) {
+            Ok((n, _peer)) => match frame::decode(&dgram[..n]) {
+                Ok(Frame::Data(d)) => {
+                    table.ingest(d.slot, d.packet, metrics);
+                    if !config.frame_pause.is_zero() {
+                        std::thread::sleep(config.frame_pause);
+                    }
+                }
+                Ok(_) => metrics.bad_frames += 1,
+                Err(_) => {
+                    // A corrupt datagram is indistinguishable from line
+                    // noise: typed, counted, skipped — the slot heals on
+                    // a later lap.
+                    metrics.bad_frames += 1;
+                }
+            },
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => {
+                control.set_nonblocking(false)?;
+                return Err(e.into());
+            }
+        }
+        // Drain any control-plane Close.
+        let mut cbuf = [0u8; 1024];
+        loop {
+            match control.read(&mut cbuf) {
+                Ok(0) => break,
+                Ok(n) => dec.push(&cbuf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        while let Some(f) = dec.next_frame().map_err(SessionFailure::Frame)? {
+            if let Frame::Close(c) = f {
+                control.set_nonblocking(false)?;
+                return Err(close_to_failure(c.reason));
+            }
+        }
+    }
+    control.set_nonblocking(false)?;
+    Ok(())
+}
+
+/// Fetches the cycle and answers one query with the registry's remote
+/// client — end to end over the socket, byte-identical to an in-process
+/// run once the table fills.
+pub fn run_query(
+    config: &SessionConfig,
+    query: &Query,
+) -> Result<(QueryOutcome, SessionMetrics), SessionFailure> {
+    let (cycle, bootstrap, metrics) = fetch_cycle(config)?;
+    let registry = MethodRegistry::standard();
+    let id = registry
+        .get(&config.method)
+        .map_err(|e| SessionFailure::Query(e.to_string()))?;
+    let mut client = registry
+        .remote_client(id, &bootstrap, config.queue)
+        .map_err(|e| SessionFailure::Query(e.to_string()))?;
+    let mut channel = BroadcastChannel::tune_in(
+        &cycle,
+        (config.offset % metrics.cycle_len) as usize,
+        LossModel::Lossless,
+    );
+    let outcome = client
+        .query(&mut channel, query)
+        .map_err(|e| SessionFailure::Query(e.to_string()))?;
+    Ok((outcome, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> Packet {
+        Packet::new(spair_broadcast::PacketKind::Data, 0, bytes::Bytes::new())
+    }
+
+    #[test]
+    fn slot_table_wraps_heals_and_counts() {
+        let mut m = SessionMetrics::default();
+        let mut t = SlotTable::new(4);
+        // Lap 0 with slot 2 lost; lap 1 redelivers it.
+        for slot in [0u64, 1, 3] {
+            t.ingest(slot, pkt(), &mut m);
+        }
+        assert_eq!(m.observed_drops, 1);
+        assert!(!t.complete());
+        for slot in [4u64, 5, 6] {
+            t.ingest(slot, pkt(), &mut m);
+        }
+        assert!(t.complete());
+        assert_eq!(m.dups, 2); // slots 4 and 5 duplicate 0 and 1
+        assert_eq!(m.frames_rx, 6);
+    }
+
+    #[test]
+    fn transport_names_are_stable() {
+        assert_eq!(Transport::Tcp.name(), "tcp");
+        assert_eq!(Transport::Udp.name(), "udp");
+        assert_eq!(Transport::Tcp.wire(), 0);
+        assert_eq!(Transport::Udp.wire(), 1);
+    }
+}

@@ -1,0 +1,725 @@
+//! The broadcast daemon: admission, per-session streamers, backpressure
+//! and graceful shutdown.
+//!
+//! One daemon serves one [`ServeWorld`] — a set of named broadcast
+//! channels, each an assembled method cycle plus its client bootstrap
+//! blob. Admission runs over a TCP control connection: the client sends
+//! a `Hello` naming a method, a transport and a tune-in offset; the
+//! daemon replies `Admit` (session id, cycle length, bootstrap) and
+//! starts streaming the cycle lap after lap in absolute slot order
+//! (`slot % cycle_len` is the cycle position), until the client closes,
+//! the lap budget runs out, the consumer is too slow, or the daemon
+//! shuts down — each end typed as a [`CloseReason`] in both the wire
+//! `Close` frame and the `session_closed` event.
+//!
+//! Backpressure is transport-shaped, never answer-shaped (the PR 6
+//! contract — late or typed, never wrong):
+//!
+//! * **TCP**: the kernel send buffer is the queue and a write timeout
+//!   is the stall detector. A consumer that drains nothing for
+//!   [`ServeOptions::stall`] is evicted (`client_evicted`, typed
+//!   `Close`).
+//! * **UDP**: a full socket buffer drops the datagram (counted,
+//!   `packet_dropped` with cause `backpressure`); a [`DropPlan`]
+//!   additionally injects *deterministic* seeded drops so contention
+//!   cells exercise gap recovery reproducibly. Dropped slots re-arrive
+//!   on a later lap — the client is delayed, its answer unchanged.
+
+use crate::events::{DeadLetter, Event, EventLog};
+use crate::frame::{
+    self, Close, CloseReason, DataFrame, Frame, Hello, RejectReason, StreamDecoder,
+};
+use spair_broadcast::BroadcastCycle;
+use spair_methods::{ClientBootstrap, MethodId, MethodRegistry, ProgramSet};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One served broadcast channel: a method's assembled cycle plus the
+/// a-priori blob its remote clients need.
+pub struct ServeChannel {
+    /// Registry name (`"nr"`, `"dj"`, ...).
+    pub name: String,
+    /// The assembled cycle, shared across session threads.
+    pub cycle: Arc<BroadcastCycle>,
+    /// Shipped in the admission reply.
+    pub bootstrap: ClientBootstrap,
+}
+
+/// The set of channels one daemon serves.
+#[derive(Default)]
+pub struct ServeWorld {
+    channels: Vec<ServeChannel>,
+}
+
+impl ServeWorld {
+    /// An empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a channel.
+    pub fn push(&mut self, channel: ServeChannel) {
+        self.channels.push(channel);
+    }
+
+    /// Builds a world from an already-built [`ProgramSet`]: every
+    /// requested method that broadcasts its own cycle to air clients
+    /// becomes a channel (descriptor-driven — no per-method dispatch).
+    pub fn from_program_set(programs: &ProgramSet, methods: &[MethodId]) -> Self {
+        let mut world = Self::new();
+        for &m in methods {
+            let d = m.descriptor();
+            if !(d.air_client && d.own_channel) {
+                continue;
+            }
+            let program = programs.ensure(m);
+            let Ok(cycle) = program.cycle() else { continue };
+            world.push(ServeChannel {
+                name: m.name().to_string(),
+                cycle: Arc::new(cycle.clone()),
+                bootstrap: program.client_bootstrap(),
+            });
+        }
+        world
+    }
+
+    /// The served channels.
+    pub fn channels(&self) -> &[ServeChannel] {
+        &self.channels
+    }
+
+    fn find(&self, name: &str) -> Option<&ServeChannel> {
+        self.channels.iter().find(|c| c.name == name)
+    }
+}
+
+/// Deterministic injected datagram drops (UDP transport only): during
+/// the first `laps` laps of a session, each slot is dropped with
+/// probability `permille`/1000, seeded by (session, slot) — so a
+/// contention cell's drop pattern replays exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct DropPlan {
+    /// Drop probability in permille (0..=1000).
+    pub permille: u16,
+    /// Inject only during this many initial laps (later laps heal the
+    /// gaps, keeping sessions late-but-correct).
+    pub laps: u32,
+}
+
+impl DropPlan {
+    fn drops(&self, session: u32, slot: u64, lap: u32) -> bool {
+        if lap >= self.laps || self.permille == 0 {
+            return false;
+        }
+        let h = splitmix64(0x5350_D809 ^ (u64::from(session) << 32) ^ slot);
+        (h % 1000) < u64::from(self.permille)
+    }
+}
+
+/// `splitmix64` — the same generator the load harness seeds sessions
+/// with (its copy is private to that crate; the function is its own
+/// spec: Steele et al., "Fast splittable pseudorandom number
+/// generators").
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Laps streamed per session before the server closes it
+    /// (`Expired`) — the bound that keeps abandoned sessions finite.
+    pub max_laps: u32,
+    /// TCP write stall after which a consumer is evicted.
+    pub stall: Duration,
+    /// Pause between laps (lets prompt clients drain; keeps UDP bursts
+    /// inside the loopback socket buffer).
+    pub lap_pause: Duration,
+    /// Deterministic injected drops (UDP data frames only).
+    pub drop_plan: Option<DropPlan>,
+    /// JSONL event log path.
+    pub events_path: PathBuf,
+    /// Dead-letter file path.
+    pub dead_letter_path: PathBuf,
+}
+
+impl ServeOptions {
+    /// Defaults on an ephemeral loopback port, logging under `dir`.
+    pub fn in_dir(dir: &std::path::Path) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_laps: 64,
+            stall: Duration::from_millis(1500),
+            lap_pause: Duration::from_micros(200),
+            drop_plan: None,
+            events_path: dir.join("serve.events.jsonl"),
+            dead_letter_path: dir.join("serve.deadletter.jsonl"),
+        }
+    }
+}
+
+/// Monotonic counters the daemon exposes after shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeSummary {
+    /// Sessions admitted.
+    pub sessions: u64,
+    /// Admissions rejected.
+    pub rejections: u64,
+    /// Slow consumers evicted.
+    pub evictions: u64,
+    /// Deterministically injected datagram drops.
+    pub injected_drops: u64,
+    /// Datagrams dropped by send-buffer backpressure.
+    pub backpressure_drops: u64,
+    /// Dead-letter entries recorded.
+    pub dead_letters: u64,
+    /// Event-log lines emitted.
+    pub events: u64,
+}
+
+struct Counters {
+    sessions: AtomicU64,
+    rejections: AtomicU64,
+    evictions: AtomicU64,
+    injected_drops: AtomicU64,
+    backpressure_drops: AtomicU64,
+}
+
+struct Shared {
+    world: ServeWorld,
+    opts: ServeOptions,
+    stop: AtomicBool,
+    next_session: AtomicU32,
+    events: EventLog,
+    dead: DeadLetter,
+    counters: Counters,
+}
+
+/// A running daemon. Dropping it without [`ServeDaemon::shutdown`]
+/// aborts ungracefully (tests assert the graceful path flushes).
+pub struct ServeDaemon {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServeDaemon {
+    /// Binds, starts the accept loop, and returns the running daemon.
+    pub fn start(world: ServeWorld, opts: ServeOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let events = EventLog::create(&opts.events_path)?;
+        let dead = DeadLetter::create(&opts.dead_letter_path)?;
+        let mut started = Event::new("daemon_started")
+            .str("addr", &addr.to_string())
+            .u64("channels", world.channels.len() as u64);
+        for c in &world.channels {
+            started = started.u64(&format!("cycle_len_{}", c.name), c.cycle.len() as u64);
+        }
+        events.emit(started);
+        let shared = Arc::new(Shared {
+            world,
+            opts,
+            stop: AtomicBool::new(false),
+            next_session: AtomicU32::new(1),
+            events,
+            dead,
+            counters: Counters {
+                sessions: AtomicU64::new(0),
+                rejections: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                injected_drops: AtomicU64::new(0),
+                backpressure_drops: AtomicU64::new(0),
+            },
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolve ephemeral ports through this).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The event log path.
+    pub fn events_path(&self) -> PathBuf {
+        self.shared.opts.events_path.clone()
+    }
+
+    /// Requests stop, joins every session, closes them with a typed
+    /// reason, appends `daemon_stopped`, and flushes + fsyncs both log
+    /// files. Idempotent.
+    pub fn shutdown(mut self) -> std::io::Result<ServeSummary> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let c = &self.shared.counters;
+        let summary = ServeSummary {
+            sessions: c.sessions.load(Ordering::SeqCst),
+            rejections: c.rejections.load(Ordering::SeqCst),
+            evictions: c.evictions.load(Ordering::SeqCst),
+            injected_drops: c.injected_drops.load(Ordering::SeqCst),
+            backpressure_drops: c.backpressure_drops.load(Ordering::SeqCst),
+            dead_letters: self.shared.dead.recorded(),
+            events: 0,
+        };
+        self.shared.events.emit(
+            Event::new("daemon_stopped")
+                .u64("sessions", summary.sessions)
+                .u64("rejections", summary.rejections)
+                .u64("evictions", summary.evictions)
+                .u64("injected_drops", summary.injected_drops)
+                .u64("backpressure_drops", summary.backpressure_drops)
+                .u64("dead_letters", summary.dead_letters),
+        );
+        self.shared.events.flush_sync()?;
+        self.shared.dead.flush_sync()?;
+        Ok(ServeSummary {
+            events: self.shared.events.emitted(),
+            ..summary
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let s = Arc::clone(&shared);
+                sessions.push(std::thread::spawn(move || run_session(stream, peer, s)));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        sessions.retain(|h| !h.is_finished());
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+/// Reads frames currently available on the control stream without
+/// blocking; returns the first `Close` seen, or an error for a poisoned
+/// stream.
+fn poll_close(
+    stream: &TcpStream,
+    dec: &mut StreamDecoder,
+) -> Result<Option<Close>, frame::FrameError> {
+    let mut buf = [0u8; 1024];
+    let mut s = stream;
+    let _ = stream.set_nonblocking(true);
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => dec.push(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+    let _ = stream.set_nonblocking(false);
+    while let Some(f) = dec.next_frame()? {
+        if let Frame::Close(c) = f {
+            return Ok(Some(c));
+        }
+    }
+    Ok(None)
+}
+
+struct SessionCtx<'a> {
+    shared: &'a Shared,
+    session: u32,
+    frames_sent: u64,
+    injected: u64,
+    backpressure: u64,
+}
+
+impl SessionCtx<'_> {
+    fn close_event(&self, reason: &str, client: Option<Close>) {
+        let mut ev = Event::new("session_closed")
+            .u64("session", u64::from(self.session))
+            .str("reason", reason)
+            .u64("frames_sent", self.frames_sent)
+            .u64("drops_injected", self.injected)
+            .u64("drops_backpressure", self.backpressure);
+        if let Some(c) = client {
+            ev = ev
+                .u64("client_drops", c.drops)
+                .u64("client_laps", u64::from(c.laps));
+        }
+        self.shared.events.emit(ev);
+    }
+}
+
+fn run_session(mut stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+
+    // --- Admission: read the Hello off the control stream. ---
+    let mut dec = StreamDecoder::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let hello: Hello = loop {
+        if shared.stop.load(Ordering::SeqCst) || Instant::now() > deadline {
+            let _ = stream.write_all(&frame::encode_stream(&Frame::Reject(
+                RejectReason::ShuttingDown,
+            )));
+            return;
+        }
+        let mut buf = [0u8; 1024];
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => dec.push(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(_) => return,
+        }
+        let err = match dec.next_frame() {
+            Ok(None) => continue,
+            Ok(Some(Frame::Hello(h))) => break h,
+            // Out-of-protocol frame before admission.
+            Ok(Some(_)) => frame::FrameError::UnknownKind(0xFF),
+            Err(e) => e,
+        };
+        // Undecodable or out-of-protocol bytes: dead-letter the evidence
+        // and refuse — the daemon state is untouched.
+        shared
+            .dead
+            .record(&format!("hello from {peer}"), &err, &buf);
+        shared.counters.rejections.fetch_add(1, Ordering::SeqCst);
+        shared.shared_reject(&mut stream, peer, RejectReason::Protocol);
+        return;
+    };
+
+    // --- Resolve the channel. ---
+    let Some(channel) = shared.world.find(&hello.method) else {
+        let known = MethodRegistry::standard().get(&hello.method).is_ok();
+        let reason = if known {
+            RejectReason::NotServed
+        } else {
+            RejectReason::UnknownMethod
+        };
+        shared.counters.rejections.fetch_add(1, Ordering::SeqCst);
+        shared.shared_reject(&mut stream, peer, reason);
+        return;
+    };
+
+    let session = shared.next_session.fetch_add(1, Ordering::SeqCst);
+    shared.counters.sessions.fetch_add(1, Ordering::SeqCst);
+    let cycle = Arc::clone(&channel.cycle);
+    let cycle_len = cycle.len() as u64;
+    let transport = if hello.transport == 1 { "udp" } else { "tcp" };
+    shared.events.emit(
+        Event::new("session_admitted")
+            .u64("session", u64::from(session))
+            .str("method", &channel.name)
+            .str("transport", transport)
+            .str("peer", &peer.to_string())
+            .u64("offset", hello.offset)
+            .u64("cycle_len", cycle_len),
+    );
+    if stream
+        .write_all(&frame::encode_stream(&Frame::Admit(frame::Admit {
+            session,
+            cycle_len,
+            bootstrap: channel.bootstrap,
+        })))
+        .is_err()
+    {
+        shared.events.emit(
+            Event::new("session_closed")
+                .u64("session", u64::from(session))
+                .str("reason", "connection_lost")
+                .u64("frames_sent", 0),
+        );
+        return;
+    }
+
+    let mut ctx = SessionCtx {
+        shared: &shared,
+        session,
+        frames_sent: 0,
+        injected: 0,
+        backpressure: 0,
+    };
+    if hello.transport == 1 {
+        stream_udp(&mut ctx, &stream, &mut dec, peer, &hello, &cycle);
+    } else {
+        stream_tcp(&mut ctx, &mut stream, &mut dec, &hello, &cycle);
+    }
+}
+
+impl Shared {
+    fn shared_reject(&self, stream: &mut TcpStream, peer: SocketAddr, reason: RejectReason) {
+        self.events.emit(
+            Event::new("session_rejected")
+                .str("peer", &peer.to_string())
+                .u64("reason", reason as u64),
+        );
+        let _ = stream.write_all(&frame::encode_stream(&Frame::Reject(reason)));
+    }
+}
+
+fn send_close(stream: &TcpStream, session: u32, reason: CloseReason) {
+    let mut stream = stream;
+    let _ = stream.write_all(&frame::encode_stream(&Frame::Close(Close {
+        session,
+        reason,
+        drops: 0,
+        laps: 0,
+    })));
+}
+
+/// Streams the cycle over the control TCP connection itself. The kernel
+/// send buffer is the per-client queue; a write that stalls past
+/// `opts.stall` evicts the consumer.
+fn stream_tcp(
+    ctx: &mut SessionCtx<'_>,
+    stream: &mut TcpStream,
+    dec: &mut StreamDecoder,
+    hello: &Hello,
+    cycle: &BroadcastCycle,
+) {
+    let shared = ctx.shared;
+    let opts = &shared.opts;
+    let _ = stream.set_write_timeout(Some(opts.stall));
+    let len = cycle.len() as u64;
+    for lap in 0..opts.max_laps {
+        if shared.stop.load(Ordering::SeqCst) {
+            send_close(stream, ctx.session, CloseReason::DaemonShutdown);
+            ctx.close_event("daemon_shutdown", None);
+            return;
+        }
+        shared.events.emit(
+            Event::new("cycle_started")
+                .u64("session", u64::from(ctx.session))
+                .u64("lap", u64::from(lap)),
+        );
+        for i in 0..len {
+            let slot = hello.offset + u64::from(lap) * len + i;
+            let pos = (slot % len) as usize;
+            let bytes = frame::encode_stream(&Frame::Data(DataFrame {
+                session: ctx.session,
+                slot,
+                packet: cycle.packet(pos).clone(),
+            }));
+            match stream.write_all(&bytes) {
+                Ok(()) => ctx.frames_sent += 1,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // The consumer drained nothing for a full stall
+                    // window: evict it.
+                    shared.counters.evictions.fetch_add(1, Ordering::SeqCst);
+                    shared.events.emit(
+                        Event::new("client_evicted")
+                            .u64("session", u64::from(ctx.session))
+                            .u64("stall_ms", opts.stall.as_millis() as u64)
+                            .u64("slot", slot),
+                    );
+                    send_close(stream, ctx.session, CloseReason::EvictedSlowConsumer);
+                    ctx.close_event(CloseReason::EvictedSlowConsumer.label(), None);
+                    return;
+                }
+                Err(_) => {
+                    // Peer hung up; whatever it sent first (normally a
+                    // typed Close) is still readable.
+                    let client = poll_close(stream, dec).ok().flatten();
+                    let reason = if client.is_some() {
+                        "done"
+                    } else {
+                        "connection_lost"
+                    };
+                    ctx.close_event(reason, client);
+                    return;
+                }
+            }
+        }
+        match poll_close(stream, dec) {
+            Ok(Some(c)) => {
+                ctx.close_event(c.reason.label(), Some(c));
+                return;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                shared
+                    .dead
+                    .record(&format!("session {} control", ctx.session), &e, &[]);
+                send_close(stream, ctx.session, CloseReason::ProtocolError);
+                ctx.close_event(CloseReason::ProtocolError.label(), None);
+                return;
+            }
+        }
+        std::thread::sleep(opts.lap_pause);
+    }
+    send_close(stream, ctx.session, CloseReason::Expired);
+    ctx.close_event(CloseReason::Expired.label(), None);
+}
+
+/// Streams the cycle as one datagram per packet to the client's UDP
+/// port, keeping the TCP connection as the control plane.
+fn stream_udp(
+    ctx: &mut SessionCtx<'_>,
+    control: &TcpStream,
+    dec: &mut StreamDecoder,
+    peer: SocketAddr,
+    hello: &Hello,
+    cycle: &BroadcastCycle,
+) {
+    let shared = ctx.shared;
+    let opts = &shared.opts;
+    let sock = match UdpSocket::bind("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(_) => {
+            send_close(control, ctx.session, CloseReason::ProtocolError);
+            ctx.close_event("udp_bind_failed", None);
+            return;
+        }
+    };
+    let _ = sock.set_nonblocking(true);
+    let dest = SocketAddr::new(peer.ip(), hello.udp_port);
+    let len = cycle.len() as u64;
+    for lap in 0..opts.max_laps {
+        if shared.stop.load(Ordering::SeqCst) {
+            send_close(control, ctx.session, CloseReason::DaemonShutdown);
+            ctx.close_event("daemon_shutdown", None);
+            return;
+        }
+        shared.events.emit(
+            Event::new("cycle_started")
+                .u64("session", u64::from(ctx.session))
+                .u64("lap", u64::from(lap)),
+        );
+        let mut lap_injected = 0u64;
+        let mut lap_backpressure = 0u64;
+        for i in 0..len {
+            let slot = hello.offset + u64::from(lap) * len + i;
+            if let Some(plan) = opts.drop_plan {
+                if plan.drops(ctx.session, slot, lap) {
+                    lap_injected += 1;
+                    continue;
+                }
+            }
+            let pos = (slot % len) as usize;
+            let body = frame::encode(&Frame::Data(DataFrame {
+                session: ctx.session,
+                slot,
+                packet: cycle.packet(pos).clone(),
+            }));
+            match sock.send_to(&body, dest) {
+                Ok(_) => ctx.frames_sent += 1,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    // Loopback send buffer full: UDP semantics say drop.
+                    lap_backpressure += 1;
+                }
+                Err(_) => lap_backpressure += 1,
+            }
+        }
+        if lap_injected > 0 {
+            ctx.injected += lap_injected;
+            shared
+                .counters
+                .injected_drops
+                .fetch_add(lap_injected, Ordering::SeqCst);
+            shared.events.emit(
+                Event::new("packet_dropped")
+                    .u64("session", u64::from(ctx.session))
+                    .u64("lap", u64::from(lap))
+                    .u64("count", lap_injected)
+                    .str("cause", "injected"),
+            );
+        }
+        if lap_backpressure > 0 {
+            ctx.backpressure += lap_backpressure;
+            shared
+                .counters
+                .backpressure_drops
+                .fetch_add(lap_backpressure, Ordering::SeqCst);
+            shared.events.emit(
+                Event::new("packet_dropped")
+                    .u64("session", u64::from(ctx.session))
+                    .u64("lap", u64::from(lap))
+                    .u64("count", lap_backpressure)
+                    .str("cause", "backpressure"),
+            );
+        }
+        match poll_close(control, dec) {
+            Ok(Some(c)) => {
+                ctx.close_event(c.reason.label(), Some(c));
+                return;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                shared
+                    .dead
+                    .record(&format!("session {} control", ctx.session), &e, &[]);
+                send_close(control, ctx.session, CloseReason::ProtocolError);
+                ctx.close_event(CloseReason::ProtocolError.label(), None);
+                return;
+            }
+        }
+        std::thread::sleep(opts.lap_pause);
+    }
+    send_close(control, ctx.session, CloseReason::Expired);
+    ctx.close_event(CloseReason::Expired.label(), None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_plan_is_deterministic_and_bounded() {
+        let plan = DropPlan {
+            permille: 250,
+            laps: 2,
+        };
+        let mut dropped = 0;
+        for slot in 0..1000u64 {
+            let a = plan.drops(7, slot, 0);
+            let b = plan.drops(7, slot, 0);
+            assert_eq!(a, b, "same (session, slot) must replay");
+            if a {
+                dropped += 1;
+            }
+            assert!(!plan.drops(7, slot, 2), "beyond plan laps never drops");
+        }
+        // ~25% with generous slack.
+        assert!((150..350).contains(&dropped), "dropped {dropped}");
+        // Different sessions see different drop patterns.
+        assert!((0..1000u64).any(|s| plan.drops(1, s, 0) != plan.drops(2, s, 0)));
+    }
+
+    #[test]
+    fn options_default_paths_follow_dir() {
+        let o = ServeOptions::in_dir(std::path::Path::new("/tmp/x"));
+        assert!(o.events_path.ends_with("serve.events.jsonl"));
+        assert!(o.dead_letter_path.ends_with("serve.deadletter.jsonl"));
+        assert_eq!(o.max_laps, 64);
+    }
+}

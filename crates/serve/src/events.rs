@@ -1,0 +1,232 @@
+//! The daemon's observability layer: an append-only JSONL event log in
+//! the outbox style, plus a dead-letter file for undecodable frames.
+//!
+//! Every line is one JSON object with a monotonic `seq`, a wall-clock
+//! `ts_ms` and an `event` kind; the remaining fields are flat
+//! event-specific columns. Timestamps are observability only — nothing
+//! deterministic (digests, bench cells) ever reads this file. The
+//! dead-letter file mirrors the same shape and records *why* inbound
+//! bytes failed to decode together with a bounded hex prefix, so a
+//! misbehaving client is diagnosable after the fact without ever
+//! letting its bytes poison daemon state.
+
+use crate::frame::FrameError;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One event line under construction: a kind plus flat fields, appended
+/// in call order.
+#[derive(Debug)]
+pub struct Event {
+    kind: &'static str,
+    fields: String,
+}
+
+impl Event {
+    /// Starts an event of `kind`.
+    pub fn new(kind: &'static str) -> Self {
+        Self {
+            kind,
+            fields: String::new(),
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, v: u64) -> Self {
+        self.fields.push_str(&format!(",\"{key}\":{v}"));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.fields.push_str(&format!(",\"{key}\":\""));
+        escape_into(&mut self.fields, v);
+        self.fields.push('"');
+        self
+    }
+
+    fn render(&self, seq: u64) -> String {
+        format!(
+            "{{\"seq\":{seq},\"ts_ms\":{},\"event\":\"{}\"{}}}\n",
+            now_ms(),
+            self.kind,
+            self.fields
+        )
+    }
+}
+
+struct Sink {
+    w: BufWriter<File>,
+    seq: u64,
+}
+
+/// The append-only JSONL event log. Shared across session threads; one
+/// mutex serializes lines so events never interleave mid-line.
+pub struct EventLog {
+    path: PathBuf,
+    sink: Mutex<Sink>,
+}
+
+impl EventLog {
+    /// Creates (truncates) the log file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let f = File::create(path)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            sink: Mutex::new(Sink {
+                w: BufWriter::new(f),
+                seq: 0,
+            }),
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event line and flushes it (whole lines reach the
+    /// file immediately, so `tail -f` and watchdogs see live state;
+    /// fsync still only happens on [`EventLog::flush_sync`]). Write
+    /// errors are swallowed by design — observability must never take
+    /// the data plane down.
+    pub fn emit(&self, event: Event) {
+        let mut s = self.sink.lock().expect("event log lock");
+        s.seq += 1;
+        let line = event.render(s.seq);
+        let _ = s.w.write_all(line.as_bytes());
+        let _ = s.w.flush();
+    }
+
+    /// Events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.sink.lock().expect("event log lock").seq
+    }
+
+    /// Flushes buffered lines and fsyncs the file — the graceful
+    /// shutdown path calls this so a `kill -INT` never truncates the
+    /// log mid-line.
+    pub fn flush_sync(&self) -> std::io::Result<()> {
+        let mut s = self.sink.lock().expect("event log lock");
+        s.w.flush()?;
+        s.w.get_ref().sync_all()
+    }
+}
+
+/// The dead-letter file: one line per undecodable inbound frame.
+pub struct DeadLetter {
+    log: EventLog,
+}
+
+impl DeadLetter {
+    /// Creates (truncates) the dead-letter file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            log: EventLog::create(path)?,
+        })
+    }
+
+    /// Records undecodable bytes: where they came from, the typed
+    /// decode error, and a bounded hex prefix of the offending bytes.
+    pub fn record(&self, context: &str, err: &FrameError, bytes: &[u8]) {
+        let mut hex = String::new();
+        for b in bytes.iter().take(32) {
+            hex.push_str(&format!("{b:02x}"));
+        }
+        self.log.emit(
+            Event::new("dead_letter")
+                .str("context", context)
+                .str("error", err.tag())
+                .str("detail", &err.to_string())
+                .u64("len", bytes.len() as u64)
+                .str("prefix_hex", &hex),
+        );
+    }
+
+    /// Entries recorded so far.
+    pub fn recorded(&self) -> u64 {
+        self.log.emitted()
+    }
+
+    /// Flush + fsync (shutdown path).
+    pub fn flush_sync(&self) -> std::io::Result<()> {
+        self.log.flush_sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_json_objects_in_seq_order() {
+        let dir = std::env::temp_dir().join(format!("spair_serve_ev_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let log = EventLog::create(&path).unwrap();
+        log.emit(
+            Event::new("session_admitted")
+                .u64("session", 1)
+                .str("method", "nr"),
+        );
+        log.emit(
+            Event::new("session_closed")
+                .u64("session", 1)
+                .str("reason", "done"),
+        );
+        log.flush_sync().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":1,"));
+        assert!(lines[0].contains("\"event\":\"session_admitted\""));
+        assert!(lines[1].starts_with("{\"seq\":2,"));
+        assert!(lines[1].ends_with('}'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn dead_letter_records_error_taxonomy() {
+        let dir = std::env::temp_dir().join(format!("spair_serve_dl_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dead.jsonl");
+        let dl = DeadLetter::create(&path).unwrap();
+        dl.record("hello", &FrameError::BadCrc, &[0xde, 0xad, 0xbe, 0xef]);
+        dl.flush_sync().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"error\":\"bad_crc\""));
+        assert!(text.contains("\"prefix_hex\":\"deadbeef\""));
+        assert_eq!(dl.recorded(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

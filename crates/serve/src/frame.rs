@@ -1,0 +1,696 @@
+//! The wire format: one frame codec for both loopback transports.
+//!
+//! A *frame body* is the same byte sequence everywhere; the transports
+//! differ only in delimiting. UDP sends one body per datagram (the
+//! datagram length *is* the frame length); TCP prefixes each body with
+//! a little-endian `u16` length ([`StreamDecoder`] reassembles frames
+//! from arbitrary chunk boundaries).
+//!
+//! ```text
+//! 0..2   magic  "SP"
+//! 2      version (1)
+//! 3      kind
+//! 4..    kind-specific fields
+//! tail   CRC-32 (LE) over everything before it
+//! ```
+//!
+//! The CRC is [`spair_broadcast::packet::crc32`] — the same IEEE 802.3
+//! polynomial the 128-byte packet images are checked with, so the data
+//! plane is covered end to end by one error model. Decoding is total:
+//! every way a frame can be wrong maps to a typed [`FrameError`]; no
+//! input slice panics, and no frame is ever half-applied.
+
+use spair_broadcast::packet::{crc32, Packet, PACKET_SIZE, PAYLOAD_CAPACITY};
+use spair_methods::ClientBootstrap;
+use spair_roadnet::{Point, QueuePolicy};
+
+/// Frame magic: `"SP"`.
+pub const MAGIC: [u8; 2] = *b"SP";
+
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+
+/// Smallest well-formed frame body (header + CRC).
+pub const MIN_FRAME: usize = 4 + 4;
+
+/// Largest well-formed frame body (a Hello with a maximal method name
+/// still fits; the data frame is 150 bytes).
+pub const MAX_FRAME: usize = 512;
+
+/// Why a byte sequence is not a frame. Every variant is a *diagnosis*:
+/// the serving daemon dead-letters the offending bytes under it and the
+/// proptests in `tests/frame_props.rs` assert the taxonomy is total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the minimal header + CRC.
+    TooShort(usize),
+    /// Longer than any defined frame.
+    Oversized(usize),
+    /// First two bytes are not `"SP"`.
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// The CRC tail does not match the body.
+    BadCrc,
+    /// A field extends past the end of the body.
+    Truncated,
+    /// Bytes remain after the last field of the frame.
+    Trailing(usize),
+    /// A data frame declares a payload longer than a packet holds.
+    BadPayloadLen(u16),
+    /// The embedded 128-byte packet image has an unknown packet kind.
+    BadPacket,
+    /// A method name is not valid UTF-8.
+    BadText,
+    /// Unknown transport tag in a Hello.
+    BadTransport(u8),
+    /// Unknown queue-policy tag in a Hello.
+    BadQueue(u8),
+    /// An enum-valued field carries an undefined tag.
+    BadTag(u8),
+    /// A `u16` length prefix on the stream is outside frame bounds —
+    /// the stream is poisoned and must be closed.
+    BadStreamLength(u16),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort(n) => write!(f, "frame too short ({n} bytes)"),
+            FrameError::Oversized(n) => write!(f, "frame too long ({n} bytes)"),
+            FrameError::BadMagic => f.write_str("bad frame magic"),
+            FrameError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadCrc => f.write_str("frame CRC mismatch"),
+            FrameError::Truncated => f.write_str("frame field truncated"),
+            FrameError::Trailing(n) => write!(f, "{n} trailing bytes after frame"),
+            FrameError::BadPayloadLen(n) => write!(f, "payload length {n} exceeds capacity"),
+            FrameError::BadPacket => f.write_str("embedded packet image undecodable"),
+            FrameError::BadText => f.write_str("method name is not UTF-8"),
+            FrameError::BadTransport(t) => write!(f, "unknown transport tag {t}"),
+            FrameError::BadQueue(q) => write!(f, "unknown queue tag {q}"),
+            FrameError::BadTag(t) => write!(f, "undefined field tag {t}"),
+            FrameError::BadStreamLength(n) => write!(f, "stream length prefix {n} out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// Stable machine tag for dead-letter entries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FrameError::TooShort(_) => "too_short",
+            FrameError::Oversized(_) => "oversized",
+            FrameError::BadMagic => "bad_magic",
+            FrameError::BadVersion(_) => "bad_version",
+            FrameError::UnknownKind(_) => "unknown_kind",
+            FrameError::BadCrc => "bad_crc",
+            FrameError::Truncated => "truncated",
+            FrameError::Trailing(_) => "trailing",
+            FrameError::BadPayloadLen(_) => "bad_payload_len",
+            FrameError::BadPacket => "bad_packet",
+            FrameError::BadText => "bad_text",
+            FrameError::BadTransport(_) => "bad_transport",
+            FrameError::BadQueue(_) => "bad_queue",
+            FrameError::BadTag(_) => "bad_tag",
+            FrameError::BadStreamLength(_) => "bad_stream_length",
+        }
+    }
+}
+
+/// Why an admission request was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// No registered method has the requested name.
+    UnknownMethod = 0,
+    /// The method exists but is not served (no cycle / not an air
+    /// client).
+    NotServed = 1,
+    /// The daemon is shutting down.
+    ShuttingDown = 2,
+    /// The Hello itself was malformed.
+    Protocol = 3,
+}
+
+impl RejectReason {
+    /// Parses the wire tag (unknown tags collapse to `Protocol`, which
+    /// is already "something is wrong on the other side").
+    pub fn from_u8(b: u8) -> Self {
+        match b {
+            0 => RejectReason::UnknownMethod,
+            1 => RejectReason::NotServed,
+            2 => RejectReason::ShuttingDown,
+            _ => RejectReason::Protocol,
+        }
+    }
+}
+
+/// Why a session ended — the typed reason both peers log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CloseReason {
+    /// The client completed its download and hung up.
+    Done = 0,
+    /// The daemon evicted a slow consumer (backpressure).
+    EvictedSlowConsumer = 1,
+    /// The daemon is shutting down (SIGINT / supervisor stop).
+    DaemonShutdown = 2,
+    /// The peer violated the protocol.
+    ProtocolError = 3,
+    /// The daemon streamed its lap budget without the client closing.
+    Expired = 4,
+}
+
+impl CloseReason {
+    /// Parses the wire tag.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(CloseReason::Done),
+            1 => Some(CloseReason::EvictedSlowConsumer),
+            2 => Some(CloseReason::DaemonShutdown),
+            3 => Some(CloseReason::ProtocolError),
+            4 => Some(CloseReason::Expired),
+            _ => None,
+        }
+    }
+
+    /// Stable label for event-log lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CloseReason::Done => "done",
+            CloseReason::EvictedSlowConsumer => "evicted_slow",
+            CloseReason::DaemonShutdown => "daemon_shutdown",
+            CloseReason::ProtocolError => "protocol_error",
+            CloseReason::Expired => "expired",
+        }
+    }
+}
+
+/// A client's admission request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// Registry name of the method whose cycle to stream.
+    pub method: String,
+    /// 0 = data on this TCP connection, 1 = data as UDP datagrams.
+    pub transport: u8,
+    /// Where the client listens for datagrams (UDP transport only).
+    pub udp_port: u16,
+    /// Requested tune-in offset (absolute slot numbering starts here).
+    pub offset: u64,
+}
+
+/// The daemon's admission reply: the session handle, the cycle length
+/// and the method's a-priori client bootstrap blob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admit {
+    /// Session id (echoed in every data frame).
+    pub session: u32,
+    /// Packets per cycle.
+    pub cycle_len: u64,
+    /// The method's [`ClientBootstrap`].
+    pub bootstrap: ClientBootstrap,
+}
+
+/// One cycle packet on the wire.
+#[derive(Debug, Clone)]
+pub struct DataFrame {
+    /// Session the frame belongs to.
+    pub session: u32,
+    /// Absolute slot number (cycle position = `slot % cycle_len`).
+    pub slot: u64,
+    /// The decoded packet.
+    pub packet: Packet,
+}
+
+/// A typed session termination, flowing either direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Close {
+    /// Session being closed.
+    pub session: u32,
+    /// Why.
+    pub reason: CloseReason,
+    /// Client-observed datagram gaps (0 from the server side).
+    pub drops: u64,
+    /// Laps the client listened through (0 from the server side).
+    pub laps: u32,
+}
+
+/// Every frame the protocol defines.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Admission request (client → daemon).
+    Hello(Hello),
+    /// Admission reply (daemon → client).
+    Admit(Admit),
+    /// Admission refusal (daemon → client).
+    Reject(RejectReason),
+    /// One cycle packet (daemon → client).
+    Data(DataFrame),
+    /// Typed session termination (either direction).
+    Close(Close),
+}
+
+const KIND_HELLO: u8 = 0;
+const KIND_ADMIT: u8 = 1;
+const KIND_REJECT: u8 = 2;
+const KIND_DATA: u8 = 3;
+const KIND_CLOSE: u8 = 4;
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.i + n > self.b.len() {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.b[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.i == self.b.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Trailing(self.b.len() - self.i))
+        }
+    }
+}
+
+fn body_shell(kind: u8) -> Vec<u8> {
+    let mut v = Vec::with_capacity(MIN_FRAME + PACKET_SIZE + 16);
+    v.extend_from_slice(&MAGIC);
+    v.push(VERSION);
+    v.push(kind);
+    v
+}
+
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let c = crc32(&body);
+    body.extend_from_slice(&c.to_le_bytes());
+    debug_assert!(body.len() <= MAX_FRAME);
+    body
+}
+
+/// Encodes a frame body (one UDP datagram).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Hello(h) => {
+            let mut b = body_shell(KIND_HELLO);
+            let name = h.method.as_bytes();
+            assert!(name.len() <= u8::MAX as usize, "method name too long");
+            b.push(name.len() as u8);
+            b.extend_from_slice(name);
+            b.push(h.transport);
+            b.extend_from_slice(&h.udp_port.to_le_bytes());
+            b.extend_from_slice(&h.offset.to_le_bytes());
+            seal(b)
+        }
+        Frame::Admit(a) => {
+            let mut b = body_shell(KIND_ADMIT);
+            b.extend_from_slice(&a.session.to_le_bytes());
+            b.extend_from_slice(&a.cycle_len.to_le_bytes());
+            b.extend_from_slice(&(a.bootstrap.num_regions as u32).to_le_bytes());
+            match a.bootstrap.bbox {
+                None => b.push(0),
+                Some((lo, hi)) => {
+                    b.push(1);
+                    for v in [lo.x, lo.y, hi.x, hi.y] {
+                        b.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+            seal(b)
+        }
+        Frame::Reject(r) => {
+            let mut b = body_shell(KIND_REJECT);
+            b.push(*r as u8);
+            seal(b)
+        }
+        Frame::Data(d) => {
+            let mut b = body_shell(KIND_DATA);
+            b.extend_from_slice(&d.session.to_le_bytes());
+            b.extend_from_slice(&d.slot.to_le_bytes());
+            b.extend_from_slice(&(d.packet.payload().len() as u16).to_le_bytes());
+            b.extend_from_slice(&d.packet.to_wire());
+            seal(b)
+        }
+        Frame::Close(c) => {
+            let mut b = body_shell(KIND_CLOSE);
+            b.extend_from_slice(&c.session.to_le_bytes());
+            b.push(c.reason as u8);
+            b.extend_from_slice(&c.drops.to_le_bytes());
+            b.extend_from_slice(&c.laps.to_le_bytes());
+            seal(b)
+        }
+    }
+}
+
+/// Encodes a frame for the TCP stream (length prefix + body).
+pub fn encode_stream(frame: &Frame) -> Vec<u8> {
+    let body = encode(frame);
+    let mut out = Vec::with_capacity(2 + body.len());
+    out.extend_from_slice(&(body.len() as u16).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes one frame body (one UDP datagram). Total: every input is
+/// either a frame or a typed error.
+pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
+    if body.len() < MIN_FRAME {
+        return Err(FrameError::TooShort(body.len()));
+    }
+    if body.len() > MAX_FRAME {
+        return Err(FrameError::Oversized(body.len()));
+    }
+    let (payload, tail) = body.split_at(body.len() - 4);
+    let crc = u32::from_le_bytes(tail.try_into().unwrap());
+    if crc32(payload) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    if payload[0..2] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if payload[2] != VERSION {
+        return Err(FrameError::BadVersion(payload[2]));
+    }
+    let kind = payload[3];
+    let mut cur = Cur { b: payload, i: 4 };
+    let frame = match kind {
+        KIND_HELLO => {
+            let n = cur.u8()? as usize;
+            let name = cur.take(n)?;
+            let method = std::str::from_utf8(name)
+                .map_err(|_| FrameError::BadText)?
+                .to_string();
+            let transport = cur.u8()?;
+            if transport > 1 {
+                return Err(FrameError::BadTransport(transport));
+            }
+            let udp_port = cur.u16()?;
+            let offset = cur.u64()?;
+            Frame::Hello(Hello {
+                method,
+                transport,
+                udp_port,
+                offset,
+            })
+        }
+        KIND_ADMIT => {
+            let session = cur.u32()?;
+            let cycle_len = cur.u64()?;
+            let num_regions = cur.u32()? as usize;
+            let bbox = match cur.u8()? {
+                0 => None,
+                1 => {
+                    let (x0, y0, x1, y1) = (cur.f64()?, cur.f64()?, cur.f64()?, cur.f64()?);
+                    Some((Point::new(x0, y0), Point::new(x1, y1)))
+                }
+                t => return Err(FrameError::BadTag(t)),
+            };
+            Frame::Admit(Admit {
+                session,
+                cycle_len,
+                bootstrap: ClientBootstrap { num_regions, bbox },
+            })
+        }
+        KIND_REJECT => Frame::Reject(RejectReason::from_u8(cur.u8()?)),
+        KIND_DATA => {
+            let session = cur.u32()?;
+            let slot = cur.u64()?;
+            let payload_len = cur.u16()?;
+            if payload_len as usize > PAYLOAD_CAPACITY {
+                return Err(FrameError::BadPayloadLen(payload_len));
+            }
+            let wire: &[u8; PACKET_SIZE] = cur.take(PACKET_SIZE)?.try_into().unwrap();
+            let packet =
+                Packet::from_wire(wire, payload_len as usize).ok_or(FrameError::BadPacket)?;
+            Frame::Data(DataFrame {
+                session,
+                slot,
+                packet,
+            })
+        }
+        KIND_CLOSE => {
+            let session = cur.u32()?;
+            let tag = cur.u8()?;
+            let reason = CloseReason::from_u8(tag).ok_or(FrameError::BadTag(tag))?;
+            let drops = cur.u64()?;
+            let laps = cur.u32()?;
+            Frame::Close(Close {
+                session,
+                reason,
+                drops,
+                laps,
+            })
+        }
+        k => return Err(FrameError::UnknownKind(k)),
+    };
+    cur.finish()?;
+    Ok(frame)
+}
+
+/// Reassembles frames from a TCP byte stream fed in arbitrary chunks.
+///
+/// A frame is surfaced only once its full body has arrived and decoded —
+/// there is no partial ingest. Any error poisons the decoder (a stream
+/// with a corrupt length prefix has lost framing for good); callers
+/// must drop the connection.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    poisoned: bool,
+}
+
+impl StreamDecoder {
+    /// Fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Next complete frame, `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::BadStreamLength(0));
+        }
+        if self.buf.len() < 2 {
+            return Ok(None);
+        }
+        let len = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        if (len as usize) < MIN_FRAME || (len as usize) > MAX_FRAME {
+            self.poisoned = true;
+            return Err(FrameError::BadStreamLength(len));
+        }
+        let total = 2 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let res = decode(&self.buf[2..total]);
+        self.buf.drain(..total);
+        match res {
+            Ok(f) => Ok(Some(f)),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// The wire tag for a queue policy carried in worker job specs.
+pub fn queue_to_u8(q: QueuePolicy) -> u8 {
+    match q {
+        QueuePolicy::Heap => 0,
+        QueuePolicy::Bucket => 1,
+        QueuePolicy::Auto => 2,
+    }
+}
+
+/// Inverse of [`queue_to_u8`]; unknown tags fall back to `Heap`, the
+/// always-applicable policy.
+pub fn queue_from_u8(b: u8) -> QueuePolicy {
+    match b {
+        1 => QueuePolicy::Bucket,
+        2 => QueuePolicy::Auto,
+        _ => QueuePolicy::Heap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use spair_broadcast::packet::PacketKind;
+
+    fn roundtrip(f: Frame) -> Frame {
+        decode(&encode(&f)).expect("roundtrip")
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let f = roundtrip(Frame::Hello(Hello {
+            method: "nr".into(),
+            transport: 1,
+            udp_port: 40123,
+            offset: 987654321,
+        }));
+        match f {
+            Frame::Hello(h) => {
+                assert_eq!(h.method, "nr");
+                assert_eq!(h.transport, 1);
+                assert_eq!(h.udp_port, 40123);
+                assert_eq!(h.offset, 987654321);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admit_roundtrip_with_bbox() {
+        let boot = ClientBootstrap {
+            num_regions: 16,
+            bbox: Some((Point::new(-1.5, 0.25), Point::new(3.5, 9.0))),
+        };
+        let f = roundtrip(Frame::Admit(Admit {
+            session: 7,
+            cycle_len: 4242,
+            bootstrap: boot,
+        }));
+        match f {
+            Frame::Admit(a) => {
+                assert_eq!(a.session, 7);
+                assert_eq!(a.cycle_len, 4242);
+                assert_eq!(a.bootstrap, boot);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_roundtrip_preserves_packet() {
+        let p = Packet::new(PacketKind::LocalIndex, 99, Bytes::from_static(b"payload"));
+        let f = roundtrip(Frame::Data(DataFrame {
+            session: 3,
+            slot: 1 << 40,
+            packet: p.clone(),
+        }));
+        match f {
+            Frame::Data(d) => {
+                assert_eq!(d.session, 3);
+                assert_eq!(d.slot, 1 << 40);
+                assert_eq!(d.packet.kind(), PacketKind::LocalIndex);
+                assert_eq!(d.packet.next_index(), 99);
+                assert_eq!(d.packet.payload(), p.payload());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_roundtrip() {
+        let f = roundtrip(Frame::Close(Close {
+            session: 12,
+            reason: CloseReason::EvictedSlowConsumer,
+            drops: 17,
+            laps: 3,
+        }));
+        match f {
+            Frame::Close(c) => {
+                assert_eq!(c.reason, CloseReason::EvictedSlowConsumer);
+                assert_eq!((c.session, c.drops, c.laps), (12, 17, 3));
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_is_typed() {
+        let mut b = encode(&Frame::Reject(RejectReason::UnknownMethod));
+        let last = b.len() - 5;
+        b[last] ^= 0x40;
+        assert!(matches!(decode(&b), Err(FrameError::BadCrc)));
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_split_frames() {
+        let mut bytes = Vec::new();
+        let frames = [
+            Frame::Reject(RejectReason::ShuttingDown),
+            Frame::Close(Close {
+                session: 1,
+                reason: CloseReason::Done,
+                drops: 0,
+                laps: 1,
+            }),
+        ];
+        for f in &frames {
+            bytes.extend_from_slice(&encode_stream(f));
+        }
+        // Feed one byte at a time: frames appear exactly at boundaries.
+        let mut dec = StreamDecoder::new();
+        let mut out = 0;
+        for b in bytes {
+            dec.push(&[b]);
+            while let Some(_f) = dec.next_frame().expect("clean stream") {
+                out += 1;
+            }
+        }
+        assert_eq!(out, frames.len());
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn hostile_length_prefix_poisons_stream() {
+        let mut dec = StreamDecoder::new();
+        dec.push(&[0xFF, 0xFF, 0, 0]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadStreamLength(0xFFFF))
+        ));
+        // Poisoned for good — no resynchronization guessing.
+        dec.push(&encode_stream(&Frame::Reject(RejectReason::Protocol)));
+        assert!(dec.next_frame().is_err());
+    }
+}

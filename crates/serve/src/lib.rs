@@ -1,0 +1,51 @@
+//! `spair-serve`: a real serving front end for the broadcast methods.
+//!
+//! Everything else in the repo drives the paper's broadcast cycles
+//! through an in-process iterator. This crate is the step from
+//! "reproduction" to "system": a long-running daemon takes any registry
+//! method's assembled [`spair_broadcast::BroadcastCycle`] and streams it
+//! over real loopback transports — UDP (one CRC-framed datagram per
+//! packet) and TCP (a length-prefixed stream) — to client *processes*
+//! that reconstruct the cycle from the wire and run the unmodified
+//! method clients over it.
+//!
+//! The layering mirrors a real broadcast station:
+//!
+//! * [`frame`] — the wire format. One binary frame codec shared by both
+//!   transports, CRC-32-tailed with the same polynomial the 128-byte
+//!   packet images already use; every malformed input surfaces as a
+//!   typed [`frame::FrameError`], never a panic or a partial ingest.
+//! * [`events`] — the observability layer: an append-only JSONL event
+//!   log in the outbox style (`session_admitted`, `cycle_started`,
+//!   `packet_dropped`, `client_evicted`, `session_closed`) plus a
+//!   dead-letter file for undecodable inbound frames.
+//! * [`daemon`] — session admission over a TCP control connection,
+//!   per-session streamer threads, per-client backpressure (TCP write
+//!   stalls evict slow consumers; UDP send-buffer pressure and the
+//!   deterministic injected [`daemon::DropPlan`] drop datagrams), and
+//!   graceful shutdown that closes every session with a typed reason
+//!   and fsyncs the log.
+//! * [`client`] — the client side: tune in over a socket, collect one
+//!   full cycle into a slot table (late datagrams fill on later laps —
+//!   drops only ever delay an answer, they never change it), rebuild
+//!   the cycle via [`spair_broadcast::BroadcastCycle::from_packets`]
+//!   and answer queries with the registry's remote clients.
+//! * [`signal`] — the SIGINT/SIGTERM shutdown flag for the bins (the
+//!   crate's one scoped `unsafe` block; the build is offline and has no
+//!   libc crate, so the handler registration is a local shim).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod events;
+pub mod frame;
+pub mod signal;
+
+pub use client::{
+    fetch_cycle, run_query, SessionConfig, SessionFailure, SessionMetrics, Transport,
+};
+pub use daemon::{DropPlan, ServeChannel, ServeDaemon, ServeOptions, ServeSummary, ServeWorld};
+pub use events::{DeadLetter, Event, EventLog};
+pub use frame::{CloseReason, Frame, FrameError, RejectReason, StreamDecoder};

@@ -1,0 +1,136 @@
+//! Panic audit at the socket boundary: whatever bytes arrive — random,
+//! truncated, corrupted, duplicated, reordered, rechunked — the frame
+//! layer either produces a frame or a typed [`FrameError`]. It never
+//! panics and never half-ingests.
+
+use proptest::prelude::*;
+use spair_serve::frame::{
+    self, decode, encode, encode_stream, Close, CloseReason, Frame, Hello, StreamDecoder,
+};
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (
+            proptest::collection::vec(b'a'..=b'z', 0..24)
+                .prop_map(|v| String::from_utf8(v).unwrap()),
+            0u8..=1,
+            any::<u16>(),
+            any::<u64>()
+        )
+            .prop_map(|(method, transport, udp_port, offset)| {
+                Frame::Hello(Hello {
+                    method,
+                    transport,
+                    udp_port,
+                    offset,
+                })
+            }),
+        (any::<u32>(), 0u8..=4, any::<u64>(), any::<u32>()).prop_map(
+            |(session, reason, drops, laps)| {
+                Frame::Close(Close {
+                    session,
+                    reason: CloseReason::from_u8(reason).unwrap(),
+                    drops,
+                    laps,
+                })
+            }
+        ),
+        (0u8..=3).prop_map(|r| Frame::Reject(frame::RejectReason::from_u8(r))),
+    ]
+}
+
+proptest! {
+    /// Arbitrary datagrams never panic the decoder; every outcome is a
+    /// frame or a typed error.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        match decode(&bytes) {
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    /// Valid frames round-trip; any strict prefix (a truncated
+    /// datagram) is a typed error, never a misparse.
+    #[test]
+    fn truncation_is_typed(f in arb_frame(), cut in 0usize..100) {
+        let body = encode(&f);
+        prop_assert!(decode(&body).is_ok());
+        if cut > 0 && cut <= body.len() {
+            let truncated = &body[..body.len() - cut.min(body.len())];
+            if truncated.len() < body.len() {
+                prop_assert!(decode(truncated).is_err(), "truncated frame decoded");
+            }
+        }
+    }
+
+    /// Single-byte corruption anywhere in the body is caught (by the
+    /// CRC tail, or by a bounds check before it).
+    #[test]
+    fn corruption_is_typed(f in arb_frame(), pos in 0usize..200, flip in 1u8..=255) {
+        let mut body = encode(&f);
+        let n = body.len();
+        body[pos % n] ^= flip;
+        prop_assert!(decode(&body).is_err(), "corrupted frame decoded");
+    }
+
+    /// A TCP stream of valid frames reassembles identically no matter
+    /// how the bytes are chunked, and duplicated frames simply appear
+    /// twice — no state is torn across chunk boundaries.
+    #[test]
+    fn stream_chunking_is_invisible(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        dup in any::<bool>(),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_stream(f));
+            if dup {
+                wire.extend_from_slice(&encode_stream(f));
+            }
+        }
+        let mut dec = StreamDecoder::new();
+        let mut out = 0usize;
+        for c in wire.chunks(chunk) {
+            dec.push(c);
+            while let Some(_f) = dec.next_frame().expect("valid stream") {
+                out += 1;
+            }
+        }
+        prop_assert_eq!(out, frames.len() * if dup { 2 } else { 1 });
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// Garbage on the stream surfaces as a typed error and poisons the
+    /// decoder — it never panics and never resynchronizes by guessing.
+    #[test]
+    fn stream_garbage_is_typed(bytes in proptest::collection::vec(any::<u8>(), 2..512)) {
+        let mut dec = StreamDecoder::new();
+        dec.push(&bytes);
+        let mut first_err = None;
+        for _ in 0..bytes.len() + 1 {
+            match dec.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => { first_err = Some(e); break; }
+            }
+        }
+        if first_err.is_some() {
+            // Poisoned: even a valid frame afterwards is refused.
+            dec.push(&encode_stream(&Frame::Reject(frame::RejectReason::Protocol)));
+            prop_assert!(dec.next_frame().is_err());
+        }
+    }
+
+    /// Reordered delivery across two sessions' datagrams decodes every
+    /// datagram independently — UDP frames carry no inter-frame state.
+    #[test]
+    fn datagram_reordering_is_harmless(frames in proptest::collection::vec(arb_frame(), 2..10), rot in 0usize..10) {
+        let mut bodies: Vec<Vec<u8>> = frames.iter().map(encode).collect();
+        let n = bodies.len();
+        bodies.rotate_left(rot % n);
+        for b in &bodies {
+            prop_assert!(decode(b).is_ok());
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! End-to-end serving tests: a real daemon on a loopback socket, real
+//! client sessions, answers compared against the in-process channel.
+
+use spair_broadcast::{BroadcastChannel, LossModel};
+use spair_core::query::Query;
+use spair_core::BorderPrecomputation;
+use spair_methods::{MethodRegistry, ProgramSet, World};
+use spair_partition::KdTreePartition;
+use spair_roadnet::generators::small_grid;
+use spair_roadnet::QueuePolicy;
+use spair_serve::client::{fetch_cycle, run_query, SessionConfig, SessionFailure, Transport};
+use spair_serve::daemon::{DropPlan, ServeDaemon, ServeOptions, ServeWorld};
+use spair_serve::frame::{encode_stream, Frame, Hello};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spair_serve_e2e_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk test dir");
+    dir
+}
+
+fn build_programs(w: usize, h: usize, regions: usize, seed: u64) -> ProgramSet {
+    let g = small_grid(w, h, seed);
+    let part = KdTreePartition::build(&g, regions);
+    let pre = BorderPrecomputation::run(&g, &part);
+    ProgramSet::new(World::from_parts(g, part, pre))
+}
+
+fn start_daemon(
+    programs: &ProgramSet,
+    methods: &[&str],
+    dir: &std::path::Path,
+    drop_plan: Option<DropPlan>,
+) -> ServeDaemon {
+    let registry = MethodRegistry::standard();
+    let ids: Vec<_> = methods
+        .iter()
+        .map(|n| registry.get(n).expect("known method"))
+        .collect();
+    let world = ServeWorld::from_program_set(programs, &ids);
+    assert_eq!(world.channels().len(), methods.len());
+    let opts = ServeOptions {
+        drop_plan,
+        ..ServeOptions::in_dir(dir)
+    };
+    ServeDaemon::start(world, opts).expect("daemon start")
+}
+
+/// The tentpole contract: for every served method and both transports,
+/// an answer computed from a socket-delivered cycle is identical to the
+/// answer from the in-process channel at the same tune-in offset.
+#[test]
+fn socket_answers_match_in_process() {
+    let dir = test_dir("equiv");
+    let programs = build_programs(8, 8, 8, 42);
+    let methods = ["nr", "dj"];
+    let daemon = start_daemon(&programs, &methods, &dir, None);
+    let addr = daemon.local_addr();
+    let registry = MethodRegistry::standard();
+
+    let g = programs.world().g.clone();
+    let queries = [
+        Query::for_nodes(&g, 1, 62),
+        Query::for_nodes(&g, 0, 63),
+        Query::for_nodes(&g, 9, 54),
+    ];
+
+    for method in methods {
+        let id = registry.get(method).unwrap();
+        let program = programs.ensure(id);
+        let cycle = program.cycle().expect("cycle");
+        for transport in [Transport::Udp, Transport::Tcp] {
+            for (qi, q) in queries.iter().enumerate() {
+                let offset = (qi as u64) * 37;
+                let mut config = SessionConfig::new(addr, method, transport);
+                config.offset = offset;
+                let (outcome, metrics) = run_query(&config, q).expect("socket query");
+
+                let mut baseline_client = program.make_client(QueuePolicy::Heap).unwrap();
+                let mut ch = BroadcastChannel::tune_in(
+                    cycle,
+                    (offset % cycle.len() as u64) as usize,
+                    LossModel::Lossless,
+                );
+                let baseline = baseline_client.query(&mut ch, q).expect("baseline query");
+
+                assert_eq!(
+                    outcome.distance,
+                    baseline.distance,
+                    "{method}/{} distance mismatch",
+                    transport.name()
+                );
+                assert_eq!(
+                    outcome.path,
+                    baseline.path,
+                    "{method}/{} path mismatch",
+                    transport.name()
+                );
+                assert_eq!(metrics.cycle_len, cycle.len() as u64);
+            }
+        }
+    }
+
+    let summary = daemon.shutdown().expect("shutdown");
+    assert_eq!(summary.sessions, (methods.len() * 2 * queries.len()) as u64);
+    assert_eq!(summary.evictions, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Injected datagram drops delay a UDP session (extra laps, observed
+/// gaps) but never change its answer.
+#[test]
+fn udp_drops_delay_but_do_not_corrupt() {
+    let dir = test_dir("drops");
+    let programs = build_programs(8, 8, 8, 7);
+    let daemon = start_daemon(
+        &programs,
+        &["nr"],
+        &dir,
+        Some(DropPlan {
+            permille: 300,
+            laps: 2,
+        }),
+    );
+    let addr = daemon.local_addr();
+    let g = programs.world().g.clone();
+    let q = Query::for_nodes(&g, 2, 61);
+
+    let config = SessionConfig::new(addr, "nr", Transport::Udp);
+    let (outcome, metrics) = run_query(&config, &q).expect("lossy session completes");
+
+    let registry = MethodRegistry::standard();
+    let program = programs.ensure(registry.get("nr").unwrap());
+    let cycle = program.cycle().unwrap();
+    let mut baseline_client = program.make_client(QueuePolicy::Heap).unwrap();
+    let mut ch = BroadcastChannel::lossless(cycle);
+    let baseline = baseline_client.query(&mut ch, &q).unwrap();
+    assert_eq!(outcome.distance, baseline.distance);
+    assert_eq!(outcome.path, baseline.path);
+    // The drop plan must actually have bitten (30% over two laps).
+    assert!(
+        metrics.frames_rx > metrics.cycle_len,
+        "healing laps expected"
+    );
+
+    let summary = daemon.shutdown().unwrap();
+    assert!(summary.injected_drops > 0, "drop plan never fired");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Unknown methods are refused with a typed reason, and garbage instead
+/// of a Hello lands in the dead-letter file without touching daemon
+/// state.
+#[test]
+fn rejections_and_dead_letters_are_typed() {
+    let dir = test_dir("reject");
+    let programs = build_programs(6, 6, 4, 3);
+    let daemon = start_daemon(&programs, &["nr"], &dir, None);
+    let addr = daemon.local_addr();
+
+    // Unknown method name.
+    let config = SessionConfig::new(addr, "no_such_method", Transport::Tcp);
+    match fetch_cycle(&config) {
+        Err(SessionFailure::Rejected(_)) => {}
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    // Served registry method that this daemon does not carry.
+    let config = SessionConfig::new(addr, "dj", Transport::Tcp);
+    match fetch_cycle(&config) {
+        Err(SessionFailure::Rejected(_)) => {}
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // Garbage instead of a Hello: dead-lettered, connection refused.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&[0u8; 2]).unwrap(); // length prefix 0 → poisons stream
+    raw.write_all(b"not a frame at all").unwrap();
+    let mut buf = Vec::new();
+    let _ = raw.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = raw.read_to_end(&mut buf); // daemon replies Reject and closes
+
+    // A valid-looking stream carrying a non-Hello frame is also refused.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&encode_stream(&Frame::Hello(Hello {
+        method: "nr".into(),
+        transport: 7, // invalid transport tag → decode error
+        udp_port: 0,
+        offset: 0,
+    })))
+    .ok();
+    let _ = raw.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf = Vec::new();
+    let _ = raw.read_to_end(&mut buf);
+
+    let summary = daemon.shutdown().unwrap();
+    assert!(
+        summary.rejections >= 3,
+        "rejections: {}",
+        summary.rejections
+    );
+    assert!(
+        summary.dead_letters >= 1,
+        "dead letters: {}",
+        summary.dead_letters
+    );
+    let dead = std::fs::read_to_string(dir.join("serve.deadletter.jsonl")).unwrap();
+    assert!(dead.contains("\"event\":\"dead_letter\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A consumer that stops draining its TCP stream is evicted once the
+/// write stall exceeds the configured window.
+#[test]
+fn slow_tcp_consumer_is_evicted() {
+    let dir = test_dir("evict");
+    let programs = build_programs(8, 8, 8, 11);
+    let registry = MethodRegistry::standard();
+    let world = ServeWorld::from_program_set(&programs, &[registry.get("nr").unwrap()]);
+    let opts = ServeOptions {
+        stall: Duration::from_millis(200),
+        max_laps: 100_000, // keep writing until the buffers burst
+        lap_pause: Duration::ZERO,
+        ..ServeOptions::in_dir(&dir)
+    };
+    let daemon = ServeDaemon::start(world, opts).expect("daemon start");
+    let addr = daemon.local_addr();
+
+    // Handshake, then never read again: the kernel buffers fill, the
+    // daemon's write stalls past 200ms, and the session is evicted.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&encode_stream(&Frame::Hello(Hello {
+        method: "nr".into(),
+        transport: 0,
+        udp_port: 0,
+        offset: 0,
+    })))
+    .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let evicted = loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "eviction never happened"
+        );
+        let events = std::fs::read_to_string(dir.join("serve.events.jsonl")).unwrap_or_default();
+        if events.contains("client_evicted") {
+            break true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(evicted);
+    drop(raw);
+
+    let summary = daemon.shutdown().unwrap();
+    assert_eq!(summary.evictions, 1);
+    let events = std::fs::read_to_string(dir.join("serve.events.jsonl")).unwrap();
+    assert!(events.contains("\"event\":\"client_evicted\""));
+    assert!(events.contains("\"reason\":\"evicted_slow\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `kill -INT` on the daemon binary ends the cycle loop, closes
+/// sessions with a typed reason, and flushes the event log before exit.
+#[test]
+fn sigint_shuts_the_daemon_down_cleanly() {
+    let dir = test_dir("sigint");
+    let events = dir.join("events.jsonl");
+    let dead = dir.join("dead.jsonl");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_serve_daemon"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--grid",
+            "6",
+            "6",
+            "--regions",
+            "4",
+            "--methods",
+            "nr",
+        ])
+        .arg("--events")
+        .arg(&events)
+        .arg("--dead-letter")
+        .arg(&dead)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+
+    // Wait for the listening line (the daemon is up and serving).
+    let mut stdout = child.stdout.take().expect("stdout");
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while byte[0] != b'\n' {
+        stdout.read_exact(&mut byte).expect("daemon died early");
+        line.push(byte[0]);
+    }
+    let line = String::from_utf8(line).unwrap();
+    let addr: std::net::SocketAddr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("listening line")
+        .parse()
+        .expect("addr");
+
+    // One real session against the spawned process.
+    let config = SessionConfig::new(addr, "nr", Transport::Tcp);
+    let (cycle, _boot, _m) = fetch_cycle(&config).expect("fetch over spawned daemon");
+    assert!(!cycle.is_empty());
+
+    let pid = child.id().to_string();
+    let status = std::process::Command::new("kill")
+        .args(["-INT", &pid])
+        .status()
+        .expect("send SIGINT");
+    assert!(status.success());
+
+    let exit = child.wait().expect("daemon exit");
+    assert!(exit.success(), "daemon exited {exit:?}");
+
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("stopped sessions=1"),
+        "summary line: {rest:?}"
+    );
+
+    let text = std::fs::read_to_string(&events).expect("event log flushed");
+    assert!(text.contains("\"event\":\"daemon_started\""));
+    assert!(text.contains("\"event\":\"session_admitted\""));
+    assert!(text.contains("\"event\":\"daemon_stopped\""));
+    // Every line is complete (the flush+fsync path ran).
+    for l in text.lines() {
+        assert!(l.starts_with('{') && l.ends_with('}'), "torn line {l:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
